@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+timing:
+	dune exec bench/main.exe -- --run timing
+
+examples:
+	@for e in quickstart early_planning late_signoff signal_probability \
+	          correlation_models yield_analysis hierarchical_floorplan \
+	          temperature_study sleep_vector_search full_flow; do \
+	  echo "== examples/$$e"; dune exec examples/$$e.exe; echo; done
+
+clean:
+	dune clean

@@ -1,0 +1,711 @@
+(* Command-line interface to the full-chip leakage estimator.
+
+   rgleak cells                         -- library inventory
+   rgleak characterize --cell NAND2_X1  -- per-state characterization
+   rgleak estimate ...                  -- early-mode estimate from a mix
+   rgleak signoff --benchmark c7552     -- late-mode vs true leakage
+   rgleak yield -n 100000 --budget 400  -- distribution quantiles / yield
+   rgleak validate                      -- quick self-check *)
+
+open Cmdliner
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+
+(* ---------- shared argument parsing ---------- *)
+
+let parse_corr s =
+  match String.split_on_char ':' s with
+  | [ "linear"; d ] -> Corr_model.Linear { dmax = float_of_string d }
+  | [ "spherical"; d ] -> Corr_model.Spherical { dmax = float_of_string d }
+  | [ "exp"; r ] -> Corr_model.Exponential { range = float_of_string r }
+  | [ "gauss"; r ] -> Corr_model.Gaussian { range = float_of_string r }
+  | [ "texp"; r; d ] ->
+    Corr_model.Truncated_exponential
+      { range = float_of_string r; dmax = float_of_string d }
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "cannot parse correlation %S (expected e.g. linear:120, exp:60, \
+          gauss:80, spherical:120, texp:60:120)"
+         s)
+
+let parse_mix s =
+  let entries = String.split_on_char ',' (String.trim s) in
+  let pairs =
+    List.map
+      (fun entry ->
+        match String.split_on_char ':' (String.trim entry) with
+        | [ name; w ] -> (String.trim name, float_of_string w)
+        | _ -> failwith (Printf.sprintf "bad mix entry %S (want CELL:WEIGHT)" entry))
+      entries
+  in
+  Histogram.of_weights pairs
+
+let corr_arg =
+  let doc =
+    "Within-die spatial correlation model: linear:DMAX, spherical:DMAX, \
+     exp:RANGE, gauss:RANGE or texp:RANGE:DMAX (micrometres)."
+  in
+  Arg.(value & opt string "spherical:120" & info [ "corr" ] ~docv:"MODEL" ~doc)
+
+let p_arg =
+  let doc =
+    "Signal probability in [0,1]; omit to use the conservative \
+     maximum-leakage setting of the paper (section 2.1.4)."
+  in
+  Arg.(value & opt (some float) None & info [ "p" ] ~docv:"P" ~doc)
+
+let method_arg =
+  let doc = "Estimation method: auto, linear, int2d or polar." in
+  Arg.(value & opt string "auto" & info [ "method" ] ~docv:"METHOD" ~doc)
+
+let vt_arg =
+  let doc = "Apply the random-dopant V_t multiplicative mean correction." in
+  Arg.(value & flag & info [ "vt" ] ~doc)
+
+let parse_method = function
+  | "auto" -> Estimate.Auto
+  | "linear" -> Estimate.Linear
+  | "int2d" -> Estimate.Integral_2d
+  | "polar" -> Estimate.Integral_polar
+  | s -> failwith (Printf.sprintf "unknown method %S" s)
+
+let corr_of s = Corr_model.create (parse_corr s) Process_param.default_channel_length
+
+let char_arg =
+  let doc =
+    "Load a saved library characterization instead of recomputing it \
+     (see 'characterize --save')."
+  in
+  Arg.(value & opt (some string) None & info [ "char" ] ~docv:"FILE" ~doc)
+
+let chars_of = function
+  | None -> Characterize.default_library ()
+  | Some path -> Char_io.load ~path
+
+let print_result label (r : Estimate.result) =
+  Printf.printf "%s\n" label;
+  Printf.printf "  gates          : %d\n" r.Estimate.n;
+  Printf.printf "  mean leakage   : %.4g nA (%.4g uA)\n" r.Estimate.mean
+    (r.Estimate.mean /. 1000.0);
+  Printf.printf "  std deviation  : %.4g nA (%.2f%% of mean)\n" r.Estimate.std
+    (100.0 *. r.Estimate.std /. r.Estimate.mean);
+  Printf.printf "  mean + 3 sigma : %.4g nA\n"
+    (r.Estimate.mean +. (3.0 *. r.Estimate.std));
+  Printf.printf "  method         : %s\n" r.Estimate.method_used;
+  Printf.printf "  Vt mean factor : %.4f\n" r.Estimate.vt_mean_factor
+
+(* ---------- cells ---------- *)
+
+let cells_cmd =
+  let run () =
+    let env = Rgleak_device.Mosfet.default_env in
+    Printf.printf "%-12s %6s %5s %5s %12s %12s\n" "cell" "states" "devs"
+      "depth" "min leak nA" "max leak nA";
+    Array.iter
+      (fun cell ->
+        let lo = ref infinity and hi = ref 0.0 in
+        Array.iter
+          (fun state ->
+            let i = Cell.leakage ~env cell state in
+            if i < !lo then lo := i;
+            if i > !hi then hi := i)
+          (Cell.states cell);
+        Printf.printf "%-12s %6d %5d %5d %12.4f %12.4f\n" cell.Cell.name
+          (Cell.num_states cell) (Cell.device_count cell)
+          (Cell.max_stack_depth cell) !lo !hi)
+      Library.cells;
+    Printf.printf "%d cells total\n" Library.size
+  in
+  Cmd.v (Cmd.info "cells" ~doc:"List the standard-cell library")
+    Term.(const run $ const ())
+
+(* ---------- characterize ---------- *)
+
+let characterize_cmd =
+  let cell_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cell" ] ~docv:"NAME" ~doc:"Characterize only this cell.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the full-library characterization to a file for reuse.")
+  in
+  let temp_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "temp" ] ~docv:"CELSIUS"
+          ~doc:"Characterize at this junction temperature (default 26.85 C = 300 K).")
+  in
+  let run cell_name save temp =
+    let chars =
+      match temp with
+      | None -> Characterize.default_library ()
+      | Some celsius ->
+        Characterize.characterize_library
+          ~env:(Rgleak_device.Mosfet.env_at ~temp_k:(273.15 +. celsius) ())
+          ~param:Process_param.default_channel_length ~seed:1729 ()
+    in
+    (match save with
+    | None -> ()
+    | Some path ->
+      Char_io.save ~path chars;
+      Printf.printf "saved characterization to %s\n" path);
+    let selected =
+      match cell_name with
+      | None -> Array.to_list chars
+      | Some name ->
+        let idx =
+          try Library.index_of name
+          with Not_found -> failwith (Printf.sprintf "unknown cell %S" name)
+        in
+        [ chars.(idx) ]
+    in
+    List.iter
+      (fun (ch : Characterize.cell_char) ->
+        Printf.printf "%s\n" ch.Characterize.cell.Cell.name;
+        Printf.printf
+          "  %5s %12s %12s %12s %12s %10s %10s %12s\n" "state" "mu(fit)"
+          "sigma(fit)" "mu(MC)" "sigma(MC)" "b" "c" "rms(ln)";
+        Array.iter
+          (fun (sc : Characterize.state_char) ->
+            Printf.printf
+              "  %5d %12.5f %12.5f %12.5f %12.5f %10.5f %10.6f %12.5f\n"
+              sc.Characterize.state_index sc.Characterize.mu_analytic
+              sc.Characterize.sigma_analytic sc.Characterize.mu_mc
+              sc.Characterize.sigma_mc sc.Characterize.fit.Mgf.b
+              sc.Characterize.fit.Mgf.c sc.Characterize.fit_rms_log)
+          ch.Characterize.states)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Pre-characterize cells: per-state fitted and MC leakage statistics")
+    Term.(const run $ cell_arg $ save_arg $ temp_arg)
+
+(* ---------- estimate (early mode) ---------- *)
+
+let estimate_cmd =
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "width" ] ~docv:"UM" ~doc:"Die width in micrometres (default: square die from gate count).")
+  in
+  let height_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "height" ] ~docv:"UM" ~doc:"Die height in micrometres.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,AND2_X1:8,OR2_X1:5,XOR2_X1:4,BUF_X1:5,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:"Cell-usage mix as CELL:WEIGHT pairs, comma separated.")
+  in
+  let run n width height mix corr p method_ vt char_file =
+    let histogram = parse_mix mix in
+    let corr = corr_of corr in
+    let layout = Layout.square ~n () in
+    let width = Option.value width ~default:(Layout.width layout) in
+    let height = Option.value height ~default:(Layout.height layout) in
+    let chars = chars_of char_file in
+    let spec = { Estimate.histogram; n; width; height } in
+    let r =
+      Estimate.early ?p ~method_:(parse_method method_) ~with_vt:vt ~chars
+        ~corr spec
+    in
+    print_result
+      (Printf.sprintf "early-mode estimate (%d gates on %.0f x %.0f um)" n
+         width height)
+      r
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Early-mode full-chip leakage estimate from high-level characteristics")
+    Term.(
+      const run $ n_arg $ width_arg $ height_arg $ mix_arg $ corr_arg $ p_arg
+      $ method_arg $ vt_arg $ char_arg)
+
+(* ---------- signoff (late mode on a benchmark) ---------- *)
+
+let signoff_cmd =
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "benchmark" ] ~docv:"NAME"
+          ~doc:"ISCAS85 benchmark name (c432 .. c7552).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-file" ] ~docv:"FILE"
+          ~doc:"Sign off a circuit from an ISCAS .bench file (technology-mapped                 onto the library, then placed).")
+  in
+  let vfile_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verilog-file" ] ~docv:"FILE"
+          ~doc:"Sign off a gate-level structural Verilog netlist (must \
+                instantiate library cells).")
+  in
+  let placement_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "placement" ] ~docv:"FILE"
+          ~doc:"Use this placement file (rgleak-placement format) instead of \
+                placing randomly; applies to --bench-file/--verilog-file.")
+  in
+  let save_placement_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-placement" ] ~docv:"FILE"
+          ~doc:"Write the placement used for the estimate to a file.")
+  in
+  let true_arg =
+    Arg.(
+      value & flag
+      & info [ "true-leakage" ]
+          ~doc:"Also run the O(n^2) exact pairwise reference and report the error.")
+  in
+  let run bench file vfile placement save_placement corr p method_ vt with_true =
+    let corr = corr_of corr in
+    let chars = Characterize.default_library () in
+    let place_netlist netlist label =
+      match placement with
+      | Some path ->
+        let pl = Placement_io.load ~path in
+        let placed = Placement_io.apply netlist pl in
+        Printf.printf "applied placement %s (max snap %.2f um)\n" path
+          (Placement_io.max_snap_distance placed pl);
+        (placed, label)
+      | None ->
+        let die_area = Netlist.total_area netlist /. 0.7 in
+        let side = sqrt die_area in
+        let layout =
+          Layout.of_dims ~n:(Netlist.size netlist) ~width:side ~height:side
+        in
+        let rng = Rng.create ~seed:7919 () in
+        (Placer.place ~strategy:Placer.Random ~rng netlist layout, label)
+    in
+    let placed, label =
+      match (bench, file, vfile) with
+      | Some name, None, None ->
+        let spec =
+          try Benchmarks.find name
+          with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+        in
+        ( Benchmarks.placed spec,
+          Printf.sprintf "late-mode sign-off of %s (%s)" spec.Benchmarks.name
+            spec.Benchmarks.description )
+      | None, Some path, None ->
+        let parsed = Bench_format.parse_file path in
+        let netlist, report = Techmap.map parsed in
+        Printf.printf
+          "mapped %s: %d source gates -> %d library cells (%d decomposed, %d added)\n"
+          parsed.Bench_format.name
+          (Bench_format.gate_count parsed)
+          (Netlist.size netlist) report.Techmap.decomposed report.Techmap.added;
+        place_netlist netlist
+          (Printf.sprintf "late-mode sign-off of %s (from %s)"
+             parsed.Bench_format.name path)
+      | None, None, Some path ->
+        let netlist = Verilog.to_netlist (Verilog.parse_file path) in
+        place_netlist netlist
+          (Printf.sprintf "late-mode sign-off of %s (from %s)"
+             netlist.Netlist.name path)
+      | _ ->
+        failwith
+          "give exactly one of --benchmark, --bench-file or --verilog-file"
+    in
+    let r =
+      Estimate.late ?p ~method_:(parse_method method_) ~with_vt:vt ~chars ~corr
+        placed
+    in
+    (match save_placement with
+    | None -> ()
+    | Some path ->
+      Placement_io.save ~path (Placement_io.of_placed placed);
+      Printf.printf "saved placement to %s\n" path);
+    print_result label r;
+    if with_true then begin
+      let tr = Estimate.true_leakage ?p ~chars ~corr placed in
+      Printf.printf "  true std       : %.4g nA (RG error %.2f%%)\n"
+        tr.Estimate.std
+        (100.0 *. Float.abs ((r.Estimate.std -. tr.Estimate.std) /. tr.Estimate.std))
+    end
+  in
+  Cmd.v
+    (Cmd.info "signoff"
+       ~doc:"Late-mode estimate of a placed ISCAS85-like benchmark")
+    Term.(
+      const run $ bench_arg $ file_arg $ vfile_arg $ placement_arg
+      $ save_placement_arg $ corr_arg $ p_arg $ method_arg $ vt_arg $ true_arg)
+
+(* ---------- yield ---------- *)
+
+let yield_cmd =
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"UA"
+          ~doc:"Leakage budget in microamperes; reports the parametric yield.")
+  in
+  let run n mix corr p budget =
+    let histogram = parse_mix mix in
+    let corr = corr_of corr in
+    let layout = Layout.square ~n () in
+    let chars = Characterize.default_library () in
+    let spec =
+      {
+        Estimate.histogram;
+        n;
+        width = Layout.width layout;
+        height = Layout.height layout;
+      }
+    in
+    let r = Estimate.early ?p ~with_vt:true ~chars ~corr spec in
+    let d = Distribution.of_estimate r in
+    print_result (Printf.sprintf "leakage distribution (%d gates)" n) r;
+    Printf.printf "quantiles (lognormal):\n";
+    List.iter
+      (fun q ->
+        Printf.printf "  P%-5.1f : %10.2f uA\n" (100.0 *. q)
+          (Distribution.quantile d q /. 1000.0))
+      [ 0.5; 0.9; 0.99; 0.999 ];
+    (match budget with
+    | None -> ()
+    | Some b ->
+      Printf.printf "yield at %.1f uA budget: %.2f%%\n" b
+        (100.0 *. Distribution.yield d ~budget:(b *. 1000.0)));
+    Printf.printf "budget for 99%% yield: %.1f uA\n"
+      (Distribution.budget_for_yield d ~yield:0.99 /. 1000.0)
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:"Leakage distribution quantiles and parametric yield vs a budget")
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg)
+
+(* ---------- sensitivity ---------- *)
+
+let sensitivity_cmd =
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let run n mix corr p char_file =
+    let histogram = parse_mix mix in
+    let corr = corr_of corr in
+    let chars = chars_of char_file in
+    let layout = Layout.square ~n () in
+    let spec =
+      {
+        Estimate.histogram;
+        n;
+        width = Layout.width layout;
+        height = Layout.height layout;
+      }
+    in
+    let report = Sensitivity.analyze ~chars ~corr ?p spec in
+    Format.printf "%a" Sensitivity.pp report
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"What-if report: how the leakage statistics respond to mix, die \
+             and gate-count changes")
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg)
+
+(* ---------- convert ---------- *)
+
+let convert_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "benchmark" ] ~docv:"NAME"
+          ~doc:"ISCAS85 benchmark to synthesize (c432 .. c7552).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "bench"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: bench or verilog.")
+  in
+  let run name output format =
+    let spec =
+      try Benchmarks.find name
+      with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+    in
+    let netlist = Benchmarks.netlist spec in
+    let text, gates =
+      match format with
+      | "bench" ->
+        let bench = Techmap.netlist_to_bench netlist in
+        (Bench_format.to_string bench, Bench_format.gate_count bench)
+      | "verilog" ->
+        (Verilog.to_string (Verilog.of_netlist netlist), Netlist.size netlist)
+      | f -> failwith (Printf.sprintf "unknown format %S" f)
+    in
+    let oc = open_out output in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s (%d gates, %s) to %s\n" spec.Benchmarks.name gates
+      format output
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Export a synthesized benchmark netlist to .bench or Verilog")
+    Term.(const run $ bench_arg $ out_arg $ format_arg)
+
+(* ---------- corners ---------- *)
+
+let corners_cmd =
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let run n mix corr p =
+    let histogram = parse_mix mix in
+    let corr = corr_of corr in
+    let layout = Layout.square ~n () in
+    let spec =
+      {
+        Estimate.histogram;
+        n;
+        width = Layout.width layout;
+        height = Layout.height layout;
+      }
+    in
+    let results =
+      Corners.analyze ?p ~param:Process_param.default_channel_length ~corr
+        ~spec ()
+    in
+    Format.printf "%a" Corners.pp results;
+    let w = Corners.worst results in
+    Format.printf "worst corner: %s at %.2f uA (mean + 3 sigma)@."
+      w.Corners.corner.Corners.name
+      (w.Corners.p3sigma /. 1000.0)
+  in
+  Cmd.v
+    (Cmd.info "corners"
+       ~doc:"Leakage statistics across process/temperature corners")
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg)
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let run n mix corr p char_file =
+    let histogram = parse_mix mix in
+    let corr = corr_of corr in
+    let chars = chars_of char_file in
+    let layout = Layout.square ~n () in
+    let ctx = Estimate.context ?p ~chars ~corr ~histogram () in
+    let prof =
+      Variance_profile.compute ~corr ~rgcorr:(Estimate.correlation ctx) ~n
+        ~width:(Layout.width layout) ~height:(Layout.height layout) ()
+    in
+    Format.printf "variance decomposition by pair separation:@.%a"
+      Variance_profile.pp prof;
+    Format.printf "half of the variance within %.1f um@."
+      (Variance_profile.radius_for_share prof ~share:0.5)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Decompose the leakage variance by gate-pair separation")
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg)
+
+(* ---------- map ---------- *)
+
+let map_cmd =
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let tiles_arg =
+    Arg.(value & opt int 12 & info [ "tiles" ] ~docv:"K" ~doc:"Tiles per axis.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 400 & info [ "samples" ] ~docv:"DIES" ~doc:"Sampled dies.")
+  in
+  let run n mix corr p char_file tiles samples =
+    let histogram = parse_mix mix in
+    let corr = corr_of corr in
+    let chars = chars_of char_file in
+    let layout = Layout.square ~n () in
+    let p =
+      match p with
+      | Some p -> p
+      | None ->
+        Signal_prob.maximizing_p chars ~weights:(Histogram.to_array histogram)
+    in
+    let rg = Random_gate.create ~chars ~histogram ~p () in
+    let map =
+      Leakage_map.compute ~tiles ~samples ~rg ~corr ~n
+        ~width:(Layout.width layout) ~height:(Layout.height layout) ()
+    in
+    print_string (Leakage_map.render map);
+    Printf.printf "hotspot ratio (peak tile / mean tile): %.3f over %d dies\n"
+      map.Leakage_map.hotspot_ratio map.Leakage_map.samples
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Spatial leakage map: per-tile statistics and the hotspot ratio")
+    Term.(
+      const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ tiles_arg
+      $ samples_arg)
+
+(* ---------- sleep ---------- *)
+
+let sleep_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "benchmark" ] ~docv:"NAME"
+          ~doc:"ISCAS85 benchmark to search (c432 .. c7552).")
+  in
+  let restarts_arg =
+    Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"K" ~doc:"Greedy restarts.")
+  in
+  let run name restarts char_file =
+    let spec =
+      try Benchmarks.find name
+      with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+    in
+    let chars = chars_of char_file in
+    let nl = Benchmarks.netlist spec in
+    let sim = Sleep_vector.compile ~chars nl in
+    let rng = Rng.create ~seed:11 () in
+    let r = Sleep_vector.search ~restarts ~rng sim in
+    Printf.printf "sleep vector for %s (%d control bits):\n" spec.Benchmarks.name
+      (Sleep_vector.num_controls sim);
+    Printf.printf "  random-vector mean leakage : %.1f nA\n" r.Sleep_vector.random_mean;
+    Printf.printf "  best vector leakage        : %.1f nA (%.1f%% lower)\n"
+      r.Sleep_vector.cost
+      (100.0 *. r.Sleep_vector.improvement);
+    Printf.printf "  cost evaluations           : %d\n" r.Sleep_vector.evaluations;
+    let bits =
+      String.concat ""
+        (List.map (fun b -> if b then "1" else "0")
+           (Array.to_list r.Sleep_vector.vector))
+    in
+    Printf.printf "  vector (PIs then flops)    : %s\n" bits
+  in
+  Cmd.v
+    (Cmd.info "sleep"
+       ~doc:"Search for the minimum-leakage standby vector of a benchmark")
+    Term.(const run $ bench_arg $ restarts_arg $ char_arg)
+
+(* ---------- validate ---------- *)
+
+let validate_cmd =
+  let run () =
+    let chars = Characterize.default_library () in
+    let corr = corr_of "spherical:120" in
+    let histogram =
+      parse_mix "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+    in
+    let rng = Rng.create ~seed:7 () in
+    let ctx = Estimate.context ~chars ~corr ~histogram () in
+    Printf.printf "validation: RG estimate vs exact pairwise on random circuits\n";
+    let ok = ref true in
+    List.iter
+      (fun n ->
+        let placed = Generator.random_placed ~histogram ~n ~rng () in
+        let tr =
+          Estimator_exact.estimate ~corr ~rgcorr:(Estimate.correlation ctx)
+            placed
+        in
+        let est =
+          Estimate.run ~method_:Estimate.Linear ctx (Estimate.spec_of_placed placed)
+        in
+        let err =
+          100.0
+          *. Float.abs
+               ((tr.Estimator_exact.std -. est.Estimate.std) /. est.Estimate.std)
+        in
+        let pass = err < 5.0 in
+        if not pass then ok := false;
+        Printf.printf "  n=%5d  true std %10.2f  RG std %10.2f  err %5.2f%%  %s\n"
+          n tr.Estimator_exact.std est.Estimate.std err
+          (if pass then "ok" else "FAIL"))
+      [ 400; 1600; 4900 ];
+    if !ok then Printf.printf "validation passed\n"
+    else begin
+      Printf.printf "validation FAILED\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Quick self-check of the estimator pipeline")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "rgleak" ~version:"1.0.0"
+      ~doc:
+        "Statistical full-chip leakage estimation with within-die correlation \
+         (Heloue, Azizi, Najm, DAC 2007)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cells_cmd; characterize_cmd; estimate_cmd; signoff_cmd; yield_cmd;
+            sensitivity_cmd; corners_cmd; profile_cmd; map_cmd; sleep_cmd;
+            convert_cmd; validate_cmd ]))

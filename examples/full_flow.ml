@@ -1,0 +1,107 @@
+(* The whole toolchain on one circuit, end to end:
+
+   .bench file -> parse -> technology map -> place -> extract ->
+   RG estimate (+ exact reference) -> distribution & yield ->
+   sleep vector -> export to Verilog.
+
+     dune exec examples/full_flow.exe [FILE.bench]
+
+   Without an argument it uses data/c17.bench if present, or an inline
+   copy of c17. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+
+let c17_inline =
+  {|# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+|}
+
+let () =
+  (* 1. read the netlist *)
+  let bench =
+    match Sys.argv with
+    | [| _; path |] -> Bench_format.parse_file path
+    | _ ->
+      if Sys.file_exists "data/c17.bench" then
+        Bench_format.parse_file "data/c17.bench"
+      else Bench_format.parse_string ~name:"c17" c17_inline
+  in
+  Format.printf "1. parsed %s: %d gates, %d inputs, %d outputs@."
+    bench.Bench_format.name
+    (Bench_format.gate_count bench)
+    (List.length bench.Bench_format.primary_inputs)
+    (List.length bench.Bench_format.primary_outputs);
+
+  (* 2. technology-map onto the 62-cell library *)
+  let netlist, report = Techmap.map bench in
+  Format.printf "2. mapped to %d library cells (%d native, %d decomposed)@."
+    (Netlist.size netlist) report.Techmap.native report.Techmap.decomposed;
+
+  (* 3. place on a die sized from cell area *)
+  let side = sqrt (Netlist.total_area netlist /. 0.7) in
+  let layout = Layout.of_dims ~n:(Netlist.size netlist) ~width:side ~height:side in
+  let rng = Rng.create ~seed:42 () in
+  let placed = Placer.place ~strategy:Placer.Random ~rng netlist layout in
+  Format.printf "3. placed on %.1f x %.1f um@." (Layout.width layout)
+    (Layout.height layout);
+
+  (* 4. process + characterized library, then estimate *)
+  let corr =
+    Corr_model.create
+      (Corr_model.Spherical { dmax = 120.0 })
+      Process_param.default_channel_length
+  in
+  let chars = Characterize.default_library () in
+  let estimate = Estimate.late ~chars ~corr ~with_vt:true placed in
+  Format.printf "4. RG estimate: %a@." Estimate.pp_result estimate;
+  let reference = Estimate.true_leakage ~chars ~corr placed in
+  Format.printf "   exact check: std %.4g (RG error %.2f%%)@."
+    reference.Estimate.std
+    (100.0
+    *. Float.abs
+         ((estimate.Estimate.std -. reference.Estimate.std)
+         /. reference.Estimate.std));
+
+  (* 5. distribution and yield *)
+  let d = Distribution.of_estimate estimate in
+  Format.printf "5. P99 leakage: %.4g nA; budget for 99.9%% yield: %.4g nA@."
+    (Distribution.quantile d 0.99)
+    (Distribution.budget_for_yield d ~yield:0.999);
+
+  (* 6. standby sleep vector *)
+  let sim = Sleep_vector.compile ~chars netlist in
+  let sv = Sleep_vector.search ~restarts:4 ~rng sim in
+  Format.printf "6. sleep vector: %.4g nA standby (%.1f%% below random parking)@."
+    sv.Sleep_vector.cost
+    (100.0 *. sv.Sleep_vector.improvement);
+
+  (* 7. export the mapped netlist as structural Verilog *)
+  let v = Verilog.to_string (Verilog.of_netlist netlist) in
+  Format.printf "7. Verilog export (%d lines), first instance:@."
+    (List.length (String.split_on_char '\n' v));
+  let first_instance =
+    List.find_opt
+      (fun line ->
+        let t = String.trim line in
+        String.length t > 2 && String.contains t '.' && String.contains t '(')
+      (String.split_on_char '\n' v)
+  in
+  match first_instance with
+  | Some line -> Format.printf "   %s@." (String.trim line)
+  | None -> ()

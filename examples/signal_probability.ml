@@ -1,0 +1,56 @@
+(* Signal-probability study (section 2.1.4 / Fig. 3): a single gate's
+   leakage can vary 10x or more across input states, but at the chip
+   level the state effects average out.  The paper's conservative policy
+   characterizes every state and picks the probability setting that
+   maximizes the design's mean leakage.
+
+     dune exec examples/signal_probability.exe *)
+
+open Rgleak_device
+open Rgleak_cells
+open Rgleak_circuit
+
+let () =
+  let env = Mosfet.default_env in
+  let chars = Characterize.default_library () in
+
+  (* Per-gate state spread: the motivation. *)
+  Format.printf "Per-gate input-state spread (nominal L):@.";
+  List.iter
+    (fun name ->
+      let cell = Library.find name in
+      let lo = ref infinity and hi = ref 0.0 in
+      Array.iter
+        (fun state ->
+          let i = Cell.leakage ~env cell state in
+          if i < !lo then lo := i;
+          if i > !hi then hi := i)
+        (Cell.states cell);
+      Format.printf "  %-10s %8.4f .. %8.4f nA  (%.0fx)@." name !lo !hi
+        (!hi /. !lo))
+    [ "NAND2_X1"; "NAND4_X1"; "NOR4_X1"; "AOI211_X1" ];
+
+  (* Chip-level flattening (Fig. 3). *)
+  let histogram =
+    Histogram.of_weights
+      [
+        ("INV_X1", 20.0); ("NAND2_X1", 18.0); ("NOR2_X1", 8.0);
+        ("NAND4_X1", 4.0); ("NOR4_X1", 4.0); ("XOR2_X1", 4.0);
+        ("DFF_X1", 10.0);
+      ]
+  in
+  let weights = Histogram.to_array histogram in
+  Format.printf "@.Chip-level mean leakage per gate vs signal probability:@.";
+  Array.iter
+    (fun (p, v) -> Format.printf "  p = %.2f  mean = %.4f nA/gate@." p v)
+    (Signal_prob.sweep ~points:11 chars ~weights);
+
+  let p_star = Signal_prob.maximizing_p chars ~weights in
+  let at p = Signal_prob.design_mean chars ~weights ~p in
+  Format.printf
+    "@.conservative setting: p* = %.2f (mean %.4f nA/gate; at p = 0.5 it@."
+    p_star (at p_star);
+  Format.printf
+    "would be %.4f nA/gate) - a %.1f%% margin instead of a 10x guess.@."
+    (at 0.5)
+    (100.0 *. ((at p_star /. at 0.5) -. 1.0))

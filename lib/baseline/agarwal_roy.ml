@@ -1,0 +1,103 @@
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+
+type result = {
+  mean : float;
+  std : float;
+  distribution : Distribution.t;
+  groups : int;
+  correlation_rms : float;
+}
+
+let analyze ?(levels = 5) ?p ~chars ~corr placed =
+  let netlist = placed.Placer.netlist in
+  let n = Netlist.size netlist in
+  if n = 0 then invalid_arg "Agarwal_roy.analyze: empty netlist";
+  let histogram = Histogram.of_netlist netlist in
+  let p =
+    match p with
+    | Some p -> p
+    | None ->
+      Signal_prob.maximizing_p chars ~weights:(Histogram.to_array histogram)
+  in
+  let layout = placed.Placer.layout in
+  let width = Layout.width layout and height = Layout.height layout in
+  let model = Quadtree_model.build ~levels ~corr ~width ~height () in
+  let param = chars.(0).Characterize.param in
+  let mu_l = param.Rgleak_process.Process_param.nominal in
+  let sigma_l2 = model.Quadtree_model.sigma_l *. model.Quadtree_model.sigma_l in
+  let cell_state_params =
+    Array.map
+      (fun (ch : Characterize.cell_char) ->
+        Array.map
+          (fun (sc : Characterize.state_char) ->
+            Mgf.centered sc.Characterize.fit ~mu:mu_l)
+          ch.Characterize.states)
+      chars
+  in
+  (* Group by (finest-level cell, library cell); gates in the same
+     finest cell share the whole quadtree path, so their deviations are
+     identical in this model.  Location key = finest cell index; its
+     center is representative for coarser-level lookups. *)
+  let finest = levels - 1 in
+  let k = 1 lsl finest in
+  let center cell =
+    let ix = cell mod k and iy = cell / k in
+    ( (float_of_int ix +. 0.5) *. (width /. float_of_int k),
+      (float_of_int iy +. 0.5) *. (height /. float_of_int k) )
+  in
+  let cov loc1 loc2 =
+    let x1, y1 = center loc1 and x2, y2 = center loc2 in
+    sigma_l2 *. Quadtree_model.correlation model ~x1 ~y1 ~x2 ~y2
+  in
+  let counts = Hashtbl.create 256 in
+  Array.iteri
+    (fun i inst ->
+      let x, y = Placer.location placed i in
+      let cell = Quadtree_model.cell_of model ~level:finest ~x ~y in
+      let key = (cell, inst.Netlist.cell_index) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    netlist.Netlist.instances;
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun (loc, cell_index) count ->
+      let ch = chars.(cell_index) in
+      let num_inputs = ch.Characterize.cell.Cell.num_inputs in
+      let probs = Signal_prob.state_probabilities ~num_inputs ~p in
+      let var_loc = cov loc loc in
+      Array.iteri
+        (fun state prob ->
+          if prob > 0.0 then begin
+            let k0, beta = cell_state_params.(cell_index).(state) in
+            groups :=
+              {
+                Lognormal_sum.weight = float_of_int count *. prob;
+                loc;
+                k0;
+                beta;
+                s2 = beta *. beta *. var_loc;
+              }
+              :: !groups
+          end)
+        probs)
+    counts;
+  let correction =
+    Lognormal_sum.diagonal_correction ~chars ~p ~mu_l
+      ~var_of_loc:(fun loc -> cov loc loc)
+      ~counts:
+        (Hashtbl.fold (fun (loc, c) count acc -> (loc, c, count) :: acc) counts [])
+  in
+  let mean, variance =
+    Lognormal_sum.sum_moments ~groups:(Array.of_list !groups) ~cov ~correction
+  in
+  let std = sqrt variance in
+  {
+    mean;
+    std;
+    distribution = Distribution.of_moments ~mean ~std ();
+    groups = Hashtbl.length counts;
+    correlation_rms =
+      Quadtree_model.correlation_error model corr ~samples:2000 ~seed:97;
+  }

@@ -1,0 +1,29 @@
+(** The Agarwal–Kang–Roy-style quadtree baseline (paper reference [4],
+    ICCAD 2005: "Accurate estimation and modeling of total chip leakage
+    considering inter- & intra-die process variations").
+
+    Same late-mode lognormal-sum structure as the grid/PCA baseline, but
+    with the hierarchical quadtree correlation model: location
+    covariances are the shared-level variances, so no covariance matrix
+    or eigendecomposition is needed — the trade is a piecewise-constant
+    (blocky) approximation of the true ρ(d).  Compared in experiment
+    B1 alongside {!Chang_sapatnekar}. *)
+
+type result = {
+  mean : float;
+  std : float;
+  distribution : Rgleak_core.Distribution.t;
+  groups : int;  (** (finest cell, cell type) groups formed *)
+  correlation_rms : float;
+      (** RMS error of the quadtree correlation vs the target ρ(d),
+          sampled over the die *)
+}
+
+val analyze :
+  ?levels:int ->
+  ?p:float ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  corr:Rgleak_process.Corr_model.t ->
+  Rgleak_circuit.Placer.placed ->
+  result
+(** Late-mode analysis with a [levels]-deep quadtree (default 5). *)

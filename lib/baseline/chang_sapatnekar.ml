@@ -1,0 +1,95 @@
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+
+type result = {
+  mean : float;
+  std : float;
+  distribution : Distribution.t;
+  groups : int;
+  components : int;
+}
+
+let analyze ?(grid = 8) ?(variance_fraction = 0.999) ?p ~chars ~corr placed =
+  let netlist = placed.Placer.netlist in
+  let n = Netlist.size netlist in
+  if n = 0 then invalid_arg "Chang_sapatnekar.analyze: empty netlist";
+  let histogram = Histogram.of_netlist netlist in
+  let p =
+    match p with
+    | Some p -> p
+    | None ->
+      Signal_prob.maximizing_p chars ~weights:(Histogram.to_array histogram)
+  in
+  let layout = placed.Placer.layout in
+  let model =
+    Grid_model.build ~grid ~variance_fraction ~corr
+      ~width:(Layout.width layout) ~height:(Layout.height layout) ()
+  in
+  let param = chars.(0).Characterize.param in
+  let mu_l = param.Rgleak_process.Process_param.nominal in
+  (* Per (cell, state): first-order lognormal parameters from the fitted
+     triplet, linearized at the nominal length (the C-S approximation:
+     the quadratic curvature of ln X in L is dropped). *)
+  let cell_state_params =
+    Array.map
+      (fun (ch : Characterize.cell_char) ->
+        Array.map
+          (fun (sc : Characterize.state_char) ->
+            Mgf.centered sc.Characterize.fit ~mu:mu_l)
+          ch.Characterize.states)
+      chars
+  in
+  (* Group gates by (region, cell); expand states inside. *)
+  let counts = Hashtbl.create 256 in
+  Array.iteri
+    (fun i inst ->
+      let x, y = Placer.location placed i in
+      let region = Grid_model.region_of_position model ~x ~y in
+      let key = (region, inst.Netlist.cell_index) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    netlist.Netlist.instances;
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun (region, cell_index) count ->
+      let ch = chars.(cell_index) in
+      let num_inputs = ch.Characterize.cell.Cell.num_inputs in
+      let probs = Signal_prob.state_probabilities ~num_inputs ~p in
+      let var_r = Grid_model.covariance model region region in
+      Array.iteri
+        (fun state prob ->
+          if prob > 0.0 then begin
+            let k0, beta = cell_state_params.(cell_index).(state) in
+            groups :=
+              {
+                Lognormal_sum.weight = float_of_int count *. prob;
+                loc = region;
+                k0;
+                beta;
+                s2 = beta *. beta *. var_r;
+              }
+              :: !groups
+          end)
+        probs)
+    counts;
+  let correction =
+    Lognormal_sum.diagonal_correction ~chars ~p ~mu_l
+      ~var_of_loc:(fun r -> Grid_model.covariance model r r)
+      ~counts:
+        (Hashtbl.fold (fun (r, c) count acc -> (r, c, count) :: acc) counts [])
+  in
+  let mean, variance =
+    Lognormal_sum.sum_moments
+      ~groups:(Array.of_list !groups)
+      ~cov:(Grid_model.covariance model)
+      ~correction
+  in
+  let std = sqrt variance in
+  {
+    mean;
+    std;
+    distribution = Distribution.of_moments ~mean ~std ();
+    groups = Hashtbl.length counts;
+    components = model.Grid_model.num_components;
+  }

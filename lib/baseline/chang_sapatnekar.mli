@@ -1,0 +1,38 @@
+(** The Chang–Sapatnekar-style full-chip leakage baseline (paper
+    reference [3]: "Full-chip analysis of leakage power under process
+    variations, including spatial correlations", DAC 2005).
+
+    The method the paper positions itself against: a {e late-mode}
+    analysis that walks the placed netlist.  Each gate's leakage is a
+    lognormal whose log is linear in its region's channel-length
+    deviation (first-order model — the quadratic term of the
+    [a·e^{bL+cL²}] law is dropped); region variables follow the
+    grid/PCA model; and the full-chip sum of correlated lognormals is
+    moment-matched to a lognormal (Wilkinson).  Gates are grouped by
+    (region, cell), so the pairwise covariance work is quadratic in the
+    number of groups — the netlist-level O(n²) the paper quotes is
+    avoided only by this coarsening.
+
+    Compared against the Random-Gate estimators and the exact pairwise
+    reference in experiment B1. *)
+
+type result = {
+  mean : float;
+  std : float;
+  distribution : Rgleak_core.Distribution.t;  (** Wilkinson lognormal *)
+  groups : int;  (** (region, cell) groups actually formed *)
+  components : int;  (** principal components retained *)
+}
+
+val analyze :
+  ?grid:int ->
+  ?variance_fraction:float ->
+  ?p:float ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  corr:Rgleak_process.Corr_model.t ->
+  Rgleak_circuit.Placer.placed ->
+  result
+(** Late-mode analysis of a placed design.  [p] is the signal
+    probability for the per-cell state weighting (default: the
+    conservative maximizing setting).  [grid] regions per axis
+    (default 8). *)

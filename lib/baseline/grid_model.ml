@@ -1,0 +1,66 @@
+open Rgleak_num
+open Rgleak_process
+
+type t = {
+  grid : int;
+  width : float;
+  height : float;
+  num_components : int;
+  weights : Matrix.t;
+  sigma_l : float;
+}
+
+let build ?(grid = 8) ?(variance_fraction = 0.999) ~corr ~width ~height () =
+  if grid < 1 then invalid_arg "Grid_model.build: need at least one region";
+  if width <= 0.0 || height <= 0.0 then
+    invalid_arg "Grid_model.build: dimensions must be positive";
+  let g2 = grid * grid in
+  let param = Corr_model.param corr in
+  let sigma_l = Process_param.sigma_total param in
+  let center r =
+    let ix = r mod grid and iy = r / grid in
+    ( (float_of_int ix +. 0.5) *. (width /. float_of_int grid),
+      (float_of_int iy +. 0.5) *. (height /. float_of_int grid) )
+  in
+  (* Total covariance (D2D + WID) between region deviations. *)
+  let cov =
+    Matrix.init ~rows:g2 ~cols:g2 (fun i j ->
+        if i = j then sigma_l *. sigma_l
+        else begin
+          let xi, yi = center i and xj, yj = center j in
+          let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
+          sigma_l *. sigma_l *. Corr_model.total corr d
+        end)
+  in
+  let decomp = Eigen.symmetric cov in
+  let k = Stdlib.max 1 (Eigen.principal_components ~variance_fraction decomp) in
+  let weights =
+    Matrix.init ~rows:g2 ~cols:k (fun r c ->
+        Matrix.get decomp.Eigen.eigenvectors r c
+        *. sqrt (Float.max 0.0 decomp.Eigen.eigenvalues.(c)))
+  in
+  { grid; width; height; num_components = k; weights; sigma_l }
+
+let num_regions t = t.grid * t.grid
+
+let region_of_position t ~x ~y =
+  let clamp v n = Stdlib.max 0 (Stdlib.min (n - 1) v) in
+  let ix = clamp (int_of_float (x /. (t.width /. float_of_int t.grid))) t.grid in
+  let iy = clamp (int_of_float (y /. (t.height /. float_of_int t.grid))) t.grid in
+  (iy * t.grid) + ix
+
+let covariance t r1 r2 =
+  let s = ref 0.0 in
+  for k = 0 to t.num_components - 1 do
+    s := !s +. (Matrix.get t.weights r1 k *. Matrix.get t.weights r2 k)
+  done;
+  !s
+
+let sample t rng =
+  let z = Array.init t.num_components (fun _ -> Rng.gaussian rng) in
+  Array.init (num_regions t) (fun r ->
+      let s = ref 0.0 in
+      for k = 0 to t.num_components - 1 do
+        s := !s +. (Matrix.get t.weights r k *. z.(k))
+      done;
+      !s)

@@ -1,0 +1,46 @@
+(** Gridded process-variation model with principal components — the
+    variable model of the Chang–Sapatnekar DAC'05 baseline ([3] in the
+    paper).
+
+    The die is divided into a g×g grid of regions; the within-die
+    channel-length deviation is constant inside a region and the region
+    variables are jointly normal with covariance from the spatial
+    correlation function evaluated between region centers (plus the
+    shared D2D component).  A principal-component decomposition turns
+    the correlated region variables into independent standard normals,
+    optionally truncated to the components that carry 99.9 % of the
+    variance. *)
+
+type t = private {
+  grid : int;  (** regions per axis *)
+  width : float;
+  height : float;
+  num_components : int;
+  weights : Rgleak_num.Matrix.t;
+      (** region (row) × component (col): δ_r = Σ_k weights(r,k)·z_k
+          with z independent standard normals *)
+  sigma_l : float;  (** total channel-length σ the model reproduces *)
+}
+
+val build :
+  ?grid:int ->
+  ?variance_fraction:float ->
+  corr:Rgleak_process.Corr_model.t ->
+  width:float ->
+  height:float ->
+  unit ->
+  t
+(** [grid] regions per axis (default 8); [variance_fraction] is the PCA
+    truncation level (default 0.999). *)
+
+val num_regions : t -> int
+
+val region_of_position : t -> x:float -> y:float -> int
+(** Region index of a die coordinate (clamped at the boundary). *)
+
+val covariance : t -> int -> int -> float
+(** Covariance of the channel-length deviations of two regions, as
+    represented by the (possibly truncated) components. *)
+
+val sample : t -> Rgleak_num.Rng.t -> float array
+(** One die's region deviations (for validation). *)

@@ -1,0 +1,68 @@
+open Rgleak_cells
+
+type group = {
+  weight : float;
+  loc : int;
+  k0 : float;
+  beta : float;
+  s2 : float;
+}
+
+let sum_moments ~groups ~cov ~correction =
+  let mean =
+    Array.fold_left
+      (fun acc g -> acc +. (g.weight *. exp (g.k0 +. (g.s2 /. 2.0))))
+      0.0 groups
+  in
+  let second = ref correction in
+  let ng = Array.length groups in
+  for a = 0 to ng - 1 do
+    let ga = groups.(a) in
+    for b = 0 to ng - 1 do
+      let gb = groups.(b) in
+      let c = ga.beta *. gb.beta *. cov ga.loc gb.loc in
+      second :=
+        !second
+        +. (ga.weight *. gb.weight
+           *. exp (ga.k0 +. gb.k0 +. (0.5 *. (ga.s2 +. gb.s2)) +. c))
+    done
+  done;
+  (mean, Float.max 0.0 (!second -. (mean *. mean)))
+
+let diagonal_correction ~chars ~p ~mu_l ~var_of_loc ~counts =
+  List.fold_left
+    (fun acc (loc, cell_index, count) ->
+      let ch = chars.(cell_index) in
+      let num_inputs = ch.Characterize.cell.Cell.num_inputs in
+      let probs = Signal_prob.state_probabilities ~num_inputs ~p in
+      let var_r = var_of_loc loc in
+      let params =
+        Array.map
+          (fun (sc : Characterize.state_char) ->
+            Mgf.centered sc.Characterize.fit ~mu:mu_l)
+          ch.Characterize.states
+      in
+      let wrong = ref 0.0 and right = ref 0.0 in
+      Array.iteri
+        (fun s ps ->
+          if ps > 0.0 then begin
+            let k0s, bs = params.(s) in
+            right :=
+              !right +. (ps *. exp ((2.0 *. k0s) +. (2.0 *. bs *. bs *. var_r)));
+            Array.iteri
+              (fun t pt ->
+                if pt > 0.0 then begin
+                  let k0t, bt = params.(t) in
+                  wrong :=
+                    !wrong
+                    +. (ps *. pt
+                       *. exp
+                            (k0s +. k0t
+                            +. (0.5 *. var_r *. ((bs *. bs) +. (bt *. bt)))
+                            +. (bs *. bt *. var_r)))
+                end)
+              probs
+          end)
+        probs;
+      acc +. (float_of_int count *. (!right -. !wrong)))
+    0.0 counts

@@ -1,0 +1,38 @@
+(** Wilkinson-style moments of a sum of correlated lognormals — the
+    summation engine shared by the grid/PCA and quadtree baselines.
+
+    Gates are grouped by (location key, cell, state); each group is a
+    lognormal [exp(k0 + beta·δ_loc)] with a fractional weight (gate
+    count × state probability).  The pair sum treats all weights as
+    independent draws, which double-counts a single gate's state mixture
+    as if two gates; callers supply the per-gate diagonal correction
+    computed by {!diagonal_correction}. *)
+
+type group = {
+  weight : float;
+  loc : int;  (** opaque location key; covariance comes from [cov] *)
+  k0 : float;
+  beta : float;
+  s2 : float;  (** Var(ln X) = beta²·Var(δ) *)
+}
+
+val sum_moments :
+  groups:group array ->
+  cov:(int -> int -> float) ->
+  correction:float ->
+  float * float
+(** (mean, variance) of the sum.  [cov loc1 loc2] is the covariance of
+    the location deviations; [correction] is added to the second
+    moment. *)
+
+val diagonal_correction :
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  p:float ->
+  mu_l:float ->
+  var_of_loc:(int -> float) ->
+  counts:(int * int * int) list ->
+  float
+(** The same-gate correction: for each (loc, cell_index, count) entry,
+    replaces the erroneous independent-states pair term with the true
+    per-gate second moment, both evaluated at the location's deviation
+    variance [var_of_loc loc]. *)

@@ -1,0 +1,67 @@
+open Rgleak_num
+open Rgleak_process
+
+type t = {
+  levels : int;
+  width : float;
+  height : float;
+  level_variance : float array;
+  sigma_l : float;
+}
+
+let build ?(levels = 5) ~corr ~width ~height () =
+  if levels < 1 then invalid_arg "Quadtree_model.build: need at least one level";
+  if width <= 0.0 || height <= 0.0 then
+    invalid_arg "Quadtree_model.build: dimensions must be positive";
+  let param = Corr_model.param corr in
+  let sigma_l = Process_param.sigma_total param in
+  let total = sigma_l *. sigma_l in
+  (* Coarse-to-fine calibration: the correlation of pairs that share
+     levels 0..l (but not l+1) is matched to the target at the
+     representative separation of level l+1 cells. *)
+  let side = Float.min width height in
+  let variances = Array.make levels 0.0 in
+  let assigned = ref 0.0 in
+  for l = 0 to levels - 2 do
+    let rep_distance = side /. (2.0 ** float_of_int (l + 1)) in
+    let target = total *. Corr_model.total corr rep_distance in
+    let v = Float.max 0.0 (target -. !assigned) in
+    variances.(l) <- v;
+    assigned := !assigned +. v
+  done;
+  variances.(levels - 1) <- Float.max 0.0 (total -. !assigned);
+  { levels; width; height; level_variance = variances; sigma_l }
+
+let cell_of t ~level ~x ~y =
+  if level < 0 || level >= t.levels then
+    invalid_arg "Quadtree_model.cell_of: level out of range";
+  let k = 1 lsl level in
+  let clamp v = Stdlib.max 0 (Stdlib.min (k - 1) v) in
+  let ix = clamp (int_of_float (x /. (t.width /. float_of_int k))) in
+  let iy = clamp (int_of_float (y /. (t.height /. float_of_int k))) in
+  (iy * k) + ix
+
+let correlation t ~x1 ~y1 ~x2 ~y2 =
+  let total = t.sigma_l *. t.sigma_l in
+  if total = 0.0 then 0.0
+  else begin
+    let shared = ref 0.0 in
+    for l = 0 to t.levels - 1 do
+      if cell_of t ~level:l ~x:x1 ~y:y1 = cell_of t ~level:l ~x:x2 ~y:y2 then
+        shared := !shared +. t.level_variance.(l)
+    done;
+    !shared /. total
+  end
+
+let correlation_error t corr ~samples ~seed =
+  let rng = Rng.create ~seed () in
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    let x1 = Rng.float rng t.width and y1 = Rng.float rng t.height in
+    let x2 = Rng.float rng t.width and y2 = Rng.float rng t.height in
+    let d = sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0)) in
+    let target = Corr_model.total corr d in
+    let model = correlation t ~x1 ~y1 ~x2 ~y2 in
+    acc := !acc +. ((model -. target) ** 2.0)
+  done;
+  sqrt (!acc /. float_of_int samples)

@@ -1,0 +1,113 @@
+open Rgleak_device
+
+type stage =
+  | Cmos of { pull_up : Network.t; pull_down : Network.t }
+  | Nmos_pass of { net : Network.t; active : int }
+
+type t = {
+  name : string;
+  num_inputs : int;
+  derive : bool array -> bool array;
+  stages : stage list;
+  nmos : Mosfet.params;
+  pmos : Mosfet.params;
+  area : float;
+}
+
+let num_states t = 1 lsl t.num_inputs
+
+let state_of_index t idx =
+  Array.init t.num_inputs (fun i -> (idx lsr i) land 1 = 1)
+
+let states t = Array.init (num_states t) (state_of_index t)
+
+let stage_device_count = function
+  | Cmos { pull_up; pull_down } ->
+    Network.device_count pull_up + Network.device_count pull_down
+  | Nmos_pass { net; _ } -> Network.device_count net
+
+let device_count t =
+  List.fold_left (fun acc s -> acc + stage_device_count s) 0 t.stages
+
+let stage_max_index = function
+  | Cmos { pull_up; pull_down } ->
+    let max_of net = List.fold_left Stdlib.max (-1) (Network.inputs net) in
+    Stdlib.max (max_of pull_up) (max_of pull_down)
+  | Nmos_pass { net; active } ->
+    Stdlib.max active (List.fold_left Stdlib.max (-1) (Network.inputs net))
+
+let make ~name ~num_inputs ~derive ~stages
+    ?(nmos = Mosfet.nmos ()) ?(pmos = Mosfet.pmos ()) () =
+  if num_inputs < 0 || num_inputs > 10 then
+    invalid_arg "Cell.make: unsupported input count";
+  if stages = [] then invalid_arg "Cell.make: a cell needs at least one stage";
+  let t = { name; num_inputs; derive; stages; nmos; pmos; area = 0.0 } in
+  let needed =
+    List.fold_left (fun acc s -> Stdlib.max acc (stage_max_index s)) (-1) stages
+  in
+  (* Every state must derive a node vector covering all referenced nodes. *)
+  Array.iter
+    (fun state ->
+      let nodes = derive state in
+      if Array.length nodes <= needed then
+        invalid_arg
+          (Printf.sprintf
+             "Cell.make(%s): derived node vector too short (%d nodes, index \
+              %d referenced)"
+             name (Array.length nodes) needed);
+      if Array.length nodes < num_inputs then
+        invalid_arg
+          (Printf.sprintf "Cell.make(%s): derive must keep the input bits" name))
+    (states t);
+  let area = 1.2 *. float_of_int (device_count t) in
+  { t with area }
+
+(* Device ordinals run pull-up first then pull-down within each Cmos
+   stage, stages in list order — the same order {!device_count}
+   traverses. *)
+let stage_leakage ~l_of ~offset ~env ~nmos ~pmos nodes = function
+  | Cmos { pull_up; pull_down } ->
+    let n_up = Network.device_count pull_up in
+    let up_l i = l_of (offset + i) in
+    let down_l i = l_of (offset + n_up + i) in
+    let up_on = Network.conducts ~kind:Mosfet.Pmos pull_up nodes in
+    let down_on = Network.conducts ~kind:Mosfet.Nmos pull_down nodes in
+    if up_on && down_on then
+      invalid_arg "Cell: contention (both networks conduct)"
+    else if up_on then
+      Network.leakage ~l_of:down_l ~env ~params:nmos pull_down nodes
+    else if down_on then
+      Network.leakage ~l_of:up_l ~env ~params:pmos pull_up nodes
+    else
+      (* Tri-stated stage: both networks block and both leak. *)
+      Network.leakage ~l_of:down_l ~env ~params:nmos pull_down nodes
+      +. Network.leakage ~l_of:up_l ~env ~params:pmos pull_up nodes
+  | Nmos_pass { net; active } ->
+    if not nodes.(active) then 0.0
+    else if Network.conducts ~kind:Mosfet.Nmos net nodes then 0.0
+    else Network.leakage ~l_of:(fun i -> l_of (offset + i)) ~env ~params:nmos net nodes
+
+let leakage ?(l_nm = 90.0) ?l_of_device ~env t state =
+  if Array.length state <> t.num_inputs then
+    invalid_arg "Cell.leakage: state vector length mismatch";
+  let l_of = match l_of_device with Some f -> f | None -> fun _ -> l_nm in
+  let nodes = t.derive state in
+  let total, _ =
+    List.fold_left
+      (fun (acc, offset) stage ->
+        ( acc
+          +. stage_leakage ~l_of ~offset ~env ~nmos:t.nmos ~pmos:t.pmos nodes
+               stage,
+          offset + stage_device_count stage ))
+      (0.0, 0) t.stages
+  in
+  total
+
+let max_stack_depth t =
+  let net_depth = Network.depth in
+  List.fold_left
+    (fun acc -> function
+      | Cmos { pull_up; pull_down } ->
+        Stdlib.max acc (Stdlib.max (net_depth pull_up) (net_depth pull_down))
+      | Nmos_pass { net; _ } -> Stdlib.max acc (net_depth net))
+    0 t.stages

@@ -1,0 +1,72 @@
+(** Standard-cell model for leakage analysis.
+
+    A cell is a list of stages.  Each CMOS stage has a PMOS pull-up and
+    an NMOS pull-down network whose devices are gated by entries of a
+    {e node vector}; the cell's [derive] function extends the external
+    state bits (inputs plus stored state for sequential cells) into that
+    node vector, assigning every internal node its static logic value.
+    Leakage of the cell in a state is the sum over stages of the current
+    through each blocking network (both networks, for stages that are
+    tri-stated in that state), mirroring the HSPICE DC measurements the
+    paper performs per input combination.
+
+    All transistors in a cell see the same channel length: within-cell
+    variations are fully correlated (§2.1.1). *)
+
+type stage =
+  | Cmos of { pull_up : Rgleak_device.Network.t; pull_down : Rgleak_device.Network.t }
+  | Nmos_pass of { net : Rgleak_device.Network.t; active : int }
+      (** A pass/access structure (e.g. SRAM access transistor) with the
+          full supply across it when node [active] is 1 and zero volts
+          otherwise; leaks only when blocking and active. *)
+
+type t = private {
+  name : string;
+  num_inputs : int;  (** external state bits: inputs + stored state *)
+  derive : bool array -> bool array;  (** inputs -> full node vector *)
+  stages : stage list;
+  nmos : Rgleak_device.Mosfet.params;
+  pmos : Rgleak_device.Mosfet.params;
+  area : float;  (** layout area in µm² (device-count heuristic) *)
+}
+
+val make :
+  name:string ->
+  num_inputs:int ->
+  derive:(bool array -> bool array) ->
+  stages:stage list ->
+  ?nmos:Rgleak_device.Mosfet.params ->
+  ?pmos:Rgleak_device.Mosfet.params ->
+  unit ->
+  t
+(** Builds a cell; validates that every network input index is covered
+    by the derived node vector on all 2^num_inputs states, and computes
+    the area heuristic.  Raises [Invalid_argument] on inconsistency. *)
+
+val num_states : t -> int
+(** [2 ^ num_inputs]. *)
+
+val state_of_index : t -> int -> bool array
+(** Bit [i] of the index becomes input [i] (LSB = input 0). *)
+
+val states : t -> bool array array
+(** All input states, in index order. *)
+
+val device_count : t -> int
+
+val leakage :
+  ?l_nm:float ->
+  ?l_of_device:(int -> float) ->
+  env:Rgleak_device.Mosfet.env ->
+  t ->
+  bool array ->
+  float
+(** Total subthreshold leakage (nA) of the cell in the given external
+    state at channel length [l_nm] (default nominal 90 nm), shared by
+    all devices — the paper's within-cell full-correlation assumption
+    (§2.1.1).  [l_of_device] instead assigns device [i] its own length
+    (ordinals: pull-up then pull-down per stage, stages in order); used
+    by the experiment that quantifies what that assumption is worth. *)
+
+val max_stack_depth : t -> int
+(** Deepest series stack across all stage networks (for reporting). *)

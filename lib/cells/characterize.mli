@@ -1,0 +1,71 @@
+(** Cell leakage pre-characterization.
+
+    For every cell and input state this produces (§2.1):
+    - a tabulation of the deterministic leakage-vs-L curve (the
+      "simulator" output; within a cell, L is fully correlated so each
+      state's leakage is a function of a single scalar),
+    - the analytical [(a, b, c)] fit of that curve and the resulting
+      closed-form statistics (the paper's analytical technique),
+    - reference statistics by Gauss–Legendre integration of the true
+      curve against the length density, and
+    - Monte-Carlo statistics (the paper's MC technique).
+
+    The analytical-vs-MC discrepancies reproduce the paper's §2.1.2
+    accuracy table (mean error < 2 %, σ error up to ≈ 10 %) and stem
+    from the curve not being exactly log-quadratic, not from the moment
+    derivation. *)
+
+type state_char = {
+  state_index : int;
+  table : Rgleak_num.Interp.t;  (** leakage (nA) vs channel length (nm) *)
+  fit : Mgf.triplet;
+  fit_rms_log : float;  (** RMS residual of the fit in ln-space *)
+  mu_analytic : float;
+  sigma_analytic : float;
+  mu_ref : float;
+  sigma_ref : float;
+  mu_mc : float;
+  sigma_mc : float;
+}
+
+type cell_char = {
+  cell : Cell.t;
+  param : Rgleak_process.Process_param.t;
+  states : state_char array;  (** indexed by state index *)
+}
+
+val characterize :
+  ?l_points:int ->
+  ?span_sigmas:float ->
+  ?mc_samples:int ->
+  ?env:Rgleak_device.Mosfet.env ->
+  param:Rgleak_process.Process_param.t ->
+  rng:Rgleak_num.Rng.t ->
+  Cell.t ->
+  cell_char
+(** Characterizes one cell.  The L grid covers
+    [nominal ± span_sigmas·σ_total] (default ±6σ) with [l_points]
+    points (default 97); [mc_samples] defaults to 20,000.  [env]
+    selects supply and temperature (default: 1 V, 300 K). *)
+
+val characterize_library :
+  ?l_points:int ->
+  ?span_sigmas:float ->
+  ?mc_samples:int ->
+  ?env:Rgleak_device.Mosfet.env ->
+  ?jobs:int ->
+  param:Rgleak_process.Process_param.t ->
+  seed:int ->
+  unit ->
+  cell_char array
+(** Characterizes all of {!Library.cells}.  Deterministic given [seed],
+    {e including} under [jobs] > 1, which fans the cells out over that
+    many domains (per-cell RNG streams are pre-derived in canonical
+    order). *)
+
+val default_library : unit -> cell_char array
+(** Library characterization under {!Rgleak_process.Process_param.default_channel_length}
+    with a fixed seed; computed once and memoized. *)
+
+val leakage_at : state_char -> float -> float
+(** Table lookup: leakage at a channel length. *)

@@ -1,0 +1,511 @@
+open Rgleak_device
+
+(* Node-vector conventions: indices 0..num_inputs-1 are the external
+   state bits; derive appends internal node values after them.  Each
+   builder documents its node map. *)
+
+let dev ?w_mult i = Network.device ?w_mult i
+let ser = Network.series
+let par = Network.parallel
+
+let inv_stage ?w_mult i = Cell.Cmos { pull_up = dev ?w_mult i; pull_down = dev ?w_mult i }
+
+let nand_stage ?w_mult idxs =
+  Cell.Cmos
+    {
+      pull_up = par (List.map (fun i -> dev ?w_mult i) idxs);
+      pull_down = ser (List.map (fun i -> dev ?w_mult i) idxs);
+    }
+
+let nor_stage ?w_mult idxs =
+  Cell.Cmos
+    {
+      pull_up = ser (List.map (fun i -> dev ?w_mult i) idxs);
+      pull_down = par (List.map (fun i -> dev ?w_mult i) idxs);
+    }
+
+(* Tri-state inverter: output = NOT input when enabled; en_n gates the
+   NMOS side (active high), en_p the PMOS side (active low). *)
+let tri_stage ?w_mult ~input ~en_n ~en_p () =
+  Cell.Cmos
+    {
+      pull_up = ser [ dev ?w_mult input; dev ?w_mult en_p ];
+      pull_down = ser [ dev ?w_mult input; dev ?w_mult en_n ];
+    }
+
+(* Inverting 2:1 mux: output = NOT (s ? b : a); [sb] is the inverted
+   select. *)
+let muxinv_stage ?w_mult ~a ~b ~s ~sb () =
+  Cell.Cmos
+    {
+      pull_up =
+        ser [ par [ dev ?w_mult a; dev ?w_mult sb ]; par [ dev ?w_mult b; dev ?w_mult s ] ];
+      pull_down =
+        par [ ser [ dev ?w_mult a; dev ?w_mult sb ]; ser [ dev ?w_mult b; dev ?w_mult s ] ];
+    }
+
+(* AOI21: output = NOT (a·b + c). *)
+let aoi21_stage ?w_mult (a, b, c) =
+  Cell.Cmos
+    {
+      pull_up = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c ];
+      pull_down = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c ];
+    }
+
+(* AOI22: output = NOT (a·b + c·d). *)
+let aoi22_stage ?w_mult (a, b, c, d) =
+  Cell.Cmos
+    {
+      pull_up = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; par [ dev ?w_mult c; dev ?w_mult d ] ];
+      pull_down = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; ser [ dev ?w_mult c; dev ?w_mult d ] ];
+    }
+
+(* OAI21: output = NOT ((a+b)·c). *)
+let oai21_stage ?w_mult (a, b, c) =
+  Cell.Cmos
+    {
+      pull_up = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c ];
+      pull_down = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c ];
+    }
+
+(* OAI22: output = NOT ((a+b)·(c+d)). *)
+let oai22_stage ?w_mult (a, b, c, d) =
+  Cell.Cmos
+    {
+      pull_up = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; ser [ dev ?w_mult c; dev ?w_mult d ] ];
+      pull_down = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; par [ dev ?w_mult c; dev ?w_mult d ] ];
+    }
+
+(* AOI211: output = NOT (a·b + c + d). *)
+let aoi211_stage ?w_mult (a, b, c, d) =
+  Cell.Cmos
+    {
+      pull_up = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c; dev ?w_mult d ];
+      pull_down = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c; dev ?w_mult d ];
+    }
+
+(* OAI211: output = NOT ((a+b)·c·d). *)
+let oai211_stage ?w_mult (a, b, c, d) =
+  Cell.Cmos
+    {
+      pull_up = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c; dev ?w_mult d ];
+      pull_down = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; dev ?w_mult c; dev ?w_mult d ];
+    }
+
+(* XOR2 over nodes [a; b; na; nb]: output = NOT (a·b + na·nb) = a XOR b. *)
+let xor_stage ?w_mult (a, b, na, nb) =
+  Cell.Cmos
+    {
+      pull_up = ser [ par [ dev ?w_mult a; dev ?w_mult b ]; par [ dev ?w_mult na; dev ?w_mult nb ] ];
+      pull_down = par [ ser [ dev ?w_mult a; dev ?w_mult b ]; ser [ dev ?w_mult na; dev ?w_mult nb ] ];
+    }
+
+(* XNOR2: output = NOT (a·nb + na·b) = NOT (a XOR b). *)
+let xnor_stage ?w_mult (a, b, na, nb) =
+  Cell.Cmos
+    {
+      pull_up = ser [ par [ dev ?w_mult a; dev ?w_mult nb ]; par [ dev ?w_mult na; dev ?w_mult b ] ];
+      pull_down = par [ ser [ dev ?w_mult a; dev ?w_mult nb ]; ser [ dev ?w_mult na; dev ?w_mult b ] ];
+    }
+
+let app nodes extra = Array.append nodes (Array.of_list extra)
+
+(* ---------- simple combinational builders ---------- *)
+
+let inv_cell name w =
+  Cell.make ~name ~num_inputs:1 ~derive:(fun s -> s)
+    ~stages:[ inv_stage ~w_mult:w 0 ] ()
+
+let buf_cell name w =
+  (* nodes: [a; na] *)
+  Cell.make ~name ~num_inputs:1
+    ~derive:(fun s -> app s [ not s.(0) ])
+    ~stages:[ inv_stage 0; inv_stage ~w_mult:w 1 ]
+    ()
+
+let clkbuf_cell name w =
+  (* nodes: [a; na]; two stages, first at half drive *)
+  Cell.make ~name ~num_inputs:1
+    ~derive:(fun s -> app s [ not s.(0) ])
+    ~stages:[ inv_stage ~w_mult:(Float.max 1.0 (w /. 2.0)) 0; inv_stage ~w_mult:(2.0 *. w) 1 ]
+    ()
+
+let nand_cell name n w =
+  let idxs = List.init n (fun i -> i) in
+  Cell.make ~name ~num_inputs:n ~derive:(fun s -> s)
+    ~stages:[ nand_stage ~w_mult:w idxs ] ()
+
+let nor_cell name n w =
+  let idxs = List.init n (fun i -> i) in
+  Cell.make ~name ~num_inputs:n ~derive:(fun s -> s)
+    ~stages:[ nor_stage ~w_mult:w idxs ] ()
+
+let and_cell name n w =
+  (* nodes: inputs @ [nand_out] *)
+  let idxs = List.init n (fun i -> i) in
+  Cell.make ~name ~num_inputs:n
+    ~derive:(fun s -> app s [ not (Array.for_all Fun.id s) ])
+    ~stages:[ nand_stage idxs; inv_stage ~w_mult:w n ]
+    ()
+
+let or_cell name n w =
+  let idxs = List.init n (fun i -> i) in
+  Cell.make ~name ~num_inputs:n
+    ~derive:(fun s -> app s [ not (Array.exists Fun.id s) ])
+    ~stages:[ nor_stage idxs; inv_stage ~w_mult:w n ]
+    ()
+
+let xor_derive s = app s [ not s.(0); not s.(1) ]
+
+let xor_cell name w =
+  (* nodes: [a; b; na; nb] *)
+  Cell.make ~name ~num_inputs:2 ~derive:xor_derive
+    ~stages:[ inv_stage 0; inv_stage 1; xor_stage ~w_mult:w (0, 1, 2, 3) ]
+    ()
+
+let xnor_cell name w =
+  Cell.make ~name ~num_inputs:2 ~derive:xor_derive
+    ~stages:[ inv_stage 0; inv_stage 1; xnor_stage ~w_mult:w (0, 1, 2, 3) ]
+    ()
+
+let complex_cell name n stage =
+  Cell.make ~name ~num_inputs:n ~derive:(fun s -> s) ~stages:[ stage ] ()
+
+let mux2_cell name w =
+  (* inputs a=0 b=1 s=2; nodes: [a; b; s; sb; m; out] with
+     m = NOT (s ? b : a) and out = NOT m *)
+  let derive s =
+    let sel = if s.(2) then s.(1) else s.(0) in
+    app s [ not s.(2); not sel; sel ]
+  in
+  Cell.make ~name ~num_inputs:3 ~derive
+    ~stages:
+      [ inv_stage 2; muxinv_stage ~a:0 ~b:1 ~s:2 ~sb:3 (); inv_stage ~w_mult:w 4 ]
+    ()
+
+let mux4_cell name =
+  (* inputs a b c d s0 s1 = 0..5; nodes: [...; s0b=6; s1b=7; m0b=8; m0=9;
+     m1b=10; m1=11; outb=12; out=13] *)
+  let derive s =
+    let m0 = if s.(4) then s.(1) else s.(0) in
+    let m1 = if s.(4) then s.(3) else s.(2) in
+    let out = if s.(5) then m1 else m0 in
+    app s [ not s.(4); not s.(5); not m0; m0; not m1; m1; not out; out ]
+  in
+  Cell.make ~name ~num_inputs:6 ~derive
+    ~stages:
+      [
+        inv_stage 4;
+        inv_stage 5;
+        muxinv_stage ~a:0 ~b:1 ~s:4 ~sb:6 ();
+        inv_stage 8;
+        muxinv_stage ~a:2 ~b:3 ~s:4 ~sb:6 ();
+        inv_stage 10;
+        muxinv_stage ~a:9 ~b:11 ~s:5 ~sb:7 ();
+        inv_stage 12;
+      ]
+    ()
+
+let nand2b_cell name =
+  (* output = NOT (NOT a · b); nodes: [a; b; na] *)
+  Cell.make ~name ~num_inputs:2
+    ~derive:(fun s -> app s [ not s.(0) ])
+    ~stages:[ inv_stage 0; nand_stage [ 2; 1 ] ]
+    ()
+
+let nor2b_cell name =
+  (* output = NOT (NOT a + b); nodes: [a; b; na] *)
+  Cell.make ~name ~num_inputs:2
+    ~derive:(fun s -> app s [ not s.(0) ])
+    ~stages:[ inv_stage 0; nor_stage [ 2; 1 ] ]
+    ()
+
+let tbuf_cell name w =
+  (* inputs a=0 en=1; nodes: [a; en; na; enb]; output floats when
+     disabled (both networks of the tri-state block and leak) *)
+  Cell.make ~name ~num_inputs:2
+    ~derive:(fun s -> app s [ not s.(0); not s.(1) ])
+    ~stages:[ inv_stage 0; inv_stage 1; tri_stage ~w_mult:w ~input:2 ~en_n:1 ~en_p:3 () ]
+    ()
+
+let ha_cell name w =
+  (* inputs a=0 b=1; nodes: [a; b; na=2; nb=3; s=4; nc=5; c=6] *)
+  let derive s =
+    let a = s.(0) and b = s.(1) in
+    app s [ not a; not b; a <> b; not (a && b); a && b ]
+  in
+  Cell.make ~name ~num_inputs:2 ~derive
+    ~stages:
+      [
+        inv_stage 0;
+        inv_stage 1;
+        xor_stage ~w_mult:w (0, 1, 2, 3);
+        nand_stage [ 0; 1 ];
+        inv_stage ~w_mult:w 5;
+      ]
+    ()
+
+(* Mirror full adder: carry-out gate is the self-dual majority, the sum
+   gate reuses the inverted carry.  Stack depth reaches 3. *)
+let fa_cell name w =
+  (* inputs a=0 b=1 ci=2; nodes: [a; b; ci; nco=3; co=4; ns=5; s=6] *)
+  let derive s =
+    let a = s.(0) and b = s.(1) and ci = s.(2) in
+    let maj = (a && b) || (ci && (a || b)) in
+    let xor3 = (a <> b) <> ci in
+    app s [ not maj; maj; not xor3; xor3 ]
+  in
+  let maj_topology =
+    par [ ser [ dev 0; dev 1 ]; ser [ dev 2; par [ dev 0; dev 1 ] ] ]
+  in
+  let sum_topology =
+    par [ ser [ dev 0; dev 1; dev 2 ]; ser [ dev 3; par [ dev 0; dev 1; dev 2 ] ] ]
+  in
+  Cell.make ~name ~num_inputs:3 ~derive
+    ~stages:
+      [
+        Cell.Cmos { pull_up = maj_topology; pull_down = maj_topology };
+        inv_stage ~w_mult:w 3;
+        Cell.Cmos { pull_up = sum_topology; pull_down = sum_topology };
+        inv_stage ~w_mult:w 5;
+      ]
+    ()
+
+(* ---------- sequential builders ---------- *)
+
+let dlatch_cell name ~transparent_high =
+  (* inputs d=0 ck=1 stored=2; nodes: [d; ck; stored; ckb=3; q=4; qb=5] *)
+  let derive s =
+    let pass = if transparent_high then s.(1) else not s.(1) in
+    let q = if pass then s.(0) else s.(2) in
+    app s [ not s.(1); q; not q ]
+  in
+  let en_n, en_p = if transparent_high then (1, 3) else (3, 1) in
+  Cell.make ~name ~num_inputs:3 ~derive
+    ~stages:
+      [
+        inv_stage 1;
+        tri_stage ~input:0 ~en_n ~en_p ();
+        inv_stage 5;
+        tri_stage ~input:4 ~en_n:en_p ~en_p:en_n ();
+      ]
+    ()
+
+(* Positive-edge master/slave DFF skeleton shared by the variants:
+   master transparent when ck = 0, slave when ck = 1.  Static node
+   values: ck=0 -> qm = d(master input), q = stored; ck=1 -> qm = stored,
+   q = stored. *)
+let dff_cell name w =
+  (* inputs d=0 ck=1 stored=2;
+     nodes: [d; ck; st; ckb=3; qm=4; qmb=5; q=6; qb=7] *)
+  let derive s =
+    let d = s.(0) and ck = s.(1) and st = s.(2) in
+    let qm = if ck then st else d in
+    app s [ not ck; qm; not qm; st; not st ]
+  in
+  Cell.make ~name ~num_inputs:3 ~derive
+    ~stages:
+      [
+        inv_stage 1;
+        tri_stage ~input:0 ~en_n:3 ~en_p:1 ();
+        inv_stage 5;
+        tri_stage ~input:4 ~en_n:1 ~en_p:3 ();
+        tri_stage ~input:4 ~en_n:1 ~en_p:3 ();
+        inv_stage 7;
+        tri_stage ~input:6 ~en_n:3 ~en_p:1 ();
+        inv_stage ~w_mult:w 7;
+      ]
+    ()
+
+let dffr_cell name =
+  (* inputs d=0 ck=1 r=2 stored=3;
+     nodes: [d; ck; r; st; ckb=4; qm=5; qmb=6; q=7; qb=8] *)
+  let derive s =
+    let d = s.(0) and ck = s.(1) and r = s.(2) and st = s.(3) in
+    let qm = if r then false else if ck then st else d in
+    let q = if r then false else st in
+    app s [ not ck; qm; not qm; q; not q ]
+  in
+  Cell.make ~name ~num_inputs:4 ~derive
+    ~stages:
+      [
+        inv_stage 1;
+        tri_stage ~input:0 ~en_n:4 ~en_p:1 ();
+        nor_stage [ 6; 2 ];
+        tri_stage ~input:5 ~en_n:1 ~en_p:4 ();
+        tri_stage ~input:5 ~en_n:1 ~en_p:4 ();
+        nor_stage [ 8; 2 ];
+        tri_stage ~input:7 ~en_n:4 ~en_p:1 ();
+        inv_stage ~w_mult:2.0 8;
+      ]
+    ()
+
+let dffs_cell name =
+  (* inputs d=0 ck=1 set=2 stored=3;
+     nodes: [d; ck; si; st; ckb=4; sib=5; qm=6; qmb=7; q=8; qb=9] *)
+  let derive s =
+    let d = s.(0) and ck = s.(1) and si = s.(2) and st = s.(3) in
+    let qm = if si then true else if ck then st else d in
+    let q = if si then true else st in
+    app s [ not ck; not si; qm; not qm; q; not q ]
+  in
+  Cell.make ~name ~num_inputs:4 ~derive
+    ~stages:
+      [
+        inv_stage 1;
+        inv_stage 2;
+        tri_stage ~input:0 ~en_n:4 ~en_p:1 ();
+        nand_stage [ 7; 5 ];
+        tri_stage ~input:6 ~en_n:1 ~en_p:4 ();
+        tri_stage ~input:6 ~en_n:1 ~en_p:4 ();
+        nand_stage [ 9; 5 ];
+        tri_stage ~input:8 ~en_n:4 ~en_p:1 ();
+        inv_stage ~w_mult:2.0 9;
+      ]
+    ()
+
+let dffrs_cell name =
+  (* inputs d=0 ck=1 r=2 set=3 stored=4 (reset dominant);
+     nodes: [d; ck; r; si; st; ckb=5; sib=6; qm=7; qmb=8; q=9; qb=10] *)
+  let derive s =
+    let d = s.(0) and ck = s.(1) and r = s.(2) and si = s.(3) and st = s.(4) in
+    let latch v = if r then false else if si then true else v in
+    let qm = latch (if ck then st else d) in
+    let q = latch st in
+    app s [ not ck; not si; qm; not qm; q; not q ]
+  in
+  Cell.make ~name ~num_inputs:5 ~derive
+    ~stages:
+      [
+        inv_stage 1;
+        inv_stage 3;
+        tri_stage ~input:0 ~en_n:5 ~en_p:1 ();
+        aoi21_stage (8, 6, 2);
+        tri_stage ~input:7 ~en_n:1 ~en_p:5 ();
+        tri_stage ~input:7 ~en_n:1 ~en_p:5 ();
+        aoi21_stage (10, 6, 2);
+        tri_stage ~input:9 ~en_n:5 ~en_p:1 ();
+        inv_stage ~w_mult:2.0 10;
+      ]
+    ()
+
+let sdff_cell name =
+  (* scan flop: inputs d=0 si=1 se=2 ck=3 stored=4;
+     nodes: [d; si; se; ck; st; seb=5; mb=6; dm=7; ckb=8; qm=9; qmb=10;
+     q=11; qb=12] *)
+  let derive s =
+    let d = s.(0) and si = s.(1) and se = s.(2) and ck = s.(3) and st = s.(4) in
+    let dm = if se then si else d in
+    let qm = if ck then st else dm in
+    app s [ not se; not dm; dm; not ck; qm; not qm; st; not st ]
+  in
+  Cell.make ~name ~num_inputs:5 ~derive
+    ~stages:
+      [
+        inv_stage 2;
+        muxinv_stage ~a:0 ~b:1 ~s:2 ~sb:5 ();
+        inv_stage 6;
+        inv_stage 3;
+        tri_stage ~input:7 ~en_n:8 ~en_p:3 ();
+        inv_stage 10;
+        tri_stage ~input:9 ~en_n:3 ~en_p:8 ();
+        tri_stage ~input:9 ~en_n:3 ~en_p:8 ();
+        inv_stage 12;
+        tri_stage ~input:11 ~en_n:8 ~en_p:3 ();
+        inv_stage ~w_mult:2.0 12;
+      ]
+    ()
+
+let sram_cell name =
+  (* input stored=0; nodes: [q; qb=1; wl=2 (held low)] *)
+  let derive s = app s [ not s.(0); false ] in
+  Cell.make ~name ~num_inputs:1 ~derive
+    ~stages:
+      [
+        inv_stage ~w_mult:0.6 0;
+        inv_stage ~w_mult:0.6 1;
+        Cell.Nmos_pass { net = dev ~w_mult:0.8 2; active = 1 };
+        Cell.Nmos_pass { net = dev ~w_mult:0.8 2; active = 0 };
+      ]
+    ()
+
+(* ---------- the library ---------- *)
+
+let cells =
+  [|
+    inv_cell "INV_X1" 1.0;
+    inv_cell "INV_X2" 2.0;
+    inv_cell "INV_X4" 4.0;
+    inv_cell "INV_X8" 8.0;
+    buf_cell "BUF_X1" 1.0;
+    buf_cell "BUF_X2" 2.0;
+    buf_cell "BUF_X4" 4.0;
+    clkbuf_cell "CLKBUF_X1" 1.0;
+    clkbuf_cell "CLKBUF_X2" 2.0;
+    clkbuf_cell "CLKBUF_X4" 4.0;
+    nand_cell "NAND2_X1" 2 1.0;
+    nand_cell "NAND2_X2" 2 2.0;
+    nand_cell "NAND3_X1" 3 1.0;
+    nand_cell "NAND3_X2" 3 2.0;
+    nand_cell "NAND4_X1" 4 1.0;
+    nor_cell "NOR2_X1" 2 1.0;
+    nor_cell "NOR2_X2" 2 2.0;
+    nor_cell "NOR3_X1" 3 1.0;
+    nor_cell "NOR3_X2" 3 2.0;
+    nor_cell "NOR4_X1" 4 1.0;
+    and_cell "AND2_X1" 2 1.0;
+    and_cell "AND2_X2" 2 2.0;
+    and_cell "AND3_X1" 3 1.0;
+    and_cell "AND4_X1" 4 1.0;
+    or_cell "OR2_X1" 2 1.0;
+    or_cell "OR2_X2" 2 2.0;
+    or_cell "OR3_X1" 3 1.0;
+    or_cell "OR4_X1" 4 1.0;
+    xor_cell "XOR2_X1" 1.0;
+    xor_cell "XOR2_X2" 2.0;
+    xnor_cell "XNOR2_X1" 1.0;
+    xnor_cell "XNOR2_X2" 2.0;
+    complex_cell "AOI21_X1" 3 (aoi21_stage (0, 1, 2));
+    complex_cell "AOI21_X2" 3 (aoi21_stage ~w_mult:2.0 (0, 1, 2));
+    complex_cell "AOI22_X1" 4 (aoi22_stage (0, 1, 2, 3));
+    complex_cell "AOI22_X2" 4 (aoi22_stage ~w_mult:2.0 (0, 1, 2, 3));
+    complex_cell "OAI21_X1" 3 (oai21_stage (0, 1, 2));
+    complex_cell "OAI21_X2" 3 (oai21_stage ~w_mult:2.0 (0, 1, 2));
+    complex_cell "OAI22_X1" 4 (oai22_stage (0, 1, 2, 3));
+    complex_cell "OAI22_X2" 4 (oai22_stage ~w_mult:2.0 (0, 1, 2, 3));
+    complex_cell "AOI211_X1" 4 (aoi211_stage (0, 1, 2, 3));
+    complex_cell "OAI211_X1" 4 (oai211_stage (0, 1, 2, 3));
+    mux2_cell "MUX2_X1" 1.0;
+    mux2_cell "MUX2_X2" 2.0;
+    mux4_cell "MUX4_X1";
+    nand2b_cell "NAND2B_X1";
+    nor2b_cell "NOR2B_X1";
+    tbuf_cell "TBUF_X1" 1.0;
+    tbuf_cell "TBUF_X2" 2.0;
+    ha_cell "HA_X1" 1.0;
+    ha_cell "HA_X2" 2.0;
+    fa_cell "FA_X1" 1.0;
+    fa_cell "FA_X2" 2.0;
+    dlatch_cell "DLATCH_X1" ~transparent_high:true;
+    dlatch_cell "DLATCHN_X1" ~transparent_high:false;
+    dff_cell "DFF_X1" 2.0;
+    dff_cell "DFF_X2" 4.0;
+    dffr_cell "DFFR_X1";
+    dffs_cell "DFFS_X1";
+    dffrs_cell "DFFRS_X1";
+    sdff_cell "SDFF_X1";
+    sram_cell "SRAM6T";
+  |]
+
+let size = Array.length cells
+
+let index_of name =
+  let rec go i =
+    if i >= size then raise Not_found
+    else if cells.(i).Cell.name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let find name = cells.(index_of name)
+let names () = Array.to_list (Array.map (fun c -> c.Cell.name) cells)

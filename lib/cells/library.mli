@@ -1,0 +1,25 @@
+(** The 62-cell standard-cell library.
+
+    A synthetic 90 nm-class library mirroring the composition the paper
+    uses (§2.1.1: 62 cells including the SRAM cell, various flip-flops
+    and a range of logic cells): inverters and buffers in several drive
+    strengths, NAND/NOR/AND/OR up to 4 inputs, XOR/XNOR, AOI/OAI complex
+    gates, multiplexers, adder cells, tri-state buffers, latches,
+    flip-flop variants (plain, resettable, settable, scan) and a 6T SRAM
+    bit cell.  Stack depths range from 1 to 4, which is what drives the
+    per-cell differences in leakage statistics. *)
+
+val cells : Cell.t array
+(** All 62 cells.  The array order is stable and is the canonical cell
+    index used by histograms and netlists. *)
+
+val size : int
+(** [Array.length cells] = 62. *)
+
+val find : string -> Cell.t
+(** Lookup by name; raises [Not_found]. *)
+
+val index_of : string -> int
+(** Canonical index of a named cell; raises [Not_found]. *)
+
+val names : unit -> string list

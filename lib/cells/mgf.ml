@@ -1,0 +1,76 @@
+type triplet = { a : float; b : float; c : float }
+
+exception Divergent
+
+let triplet ~a ~b ~c =
+  if a <= 0.0 then invalid_arg "Mgf.triplet: a must be positive";
+  { a; b; c }
+
+(* Centered parametrization: with L = mu + delta, delta ~ N(0, sigma²),
+   Y = ln X = k0 + beta*delta + c*delta² where k0 = ln a + b mu + c mu²
+   and beta = b + 2 c mu.  This form is exactly equivalent to the
+   paper's (K1, K2, K3) and handles c = 0 without a special case. *)
+let centered t ~mu =
+  let k0 = log t.a +. (t.b *. mu) +. (t.c *. mu *. mu) in
+  let beta = t.b +. (2.0 *. t.c *. mu) in
+  (k0, beta)
+
+let k_params t ~mu ~sigma =
+  let k1 = t.c *. sigma *. sigma in
+  let k2 =
+    if t.c = 0.0 then nan else (mu +. (t.b /. (2.0 *. t.c))) /. sigma
+  in
+  let k3 =
+    let k0, beta = centered t ~mu in
+    if t.c = 0.0 then k0 (* degenerate: Y = k0 + beta*delta *)
+    else k0 -. (beta *. beta /. (4.0 *. t.c))
+  in
+  (k1, k2, k3)
+
+let mgf_log t ~mu ~sigma tt =
+  let k0, beta = centered t ~mu in
+  let s2 = sigma *. sigma in
+  let q = 1.0 -. (2.0 *. tt *. t.c *. s2) in
+  if q <= 0.0 then raise Divergent;
+  exp ((tt *. k0) +. (tt *. tt *. beta *. beta *. s2 /. (2.0 *. q)))
+  /. sqrt q
+
+let mean t ~mu ~sigma = mgf_log t ~mu ~sigma 1.0
+
+let variance t ~mu ~sigma =
+  let m1 = mgf_log t ~mu ~sigma 1.0 in
+  let m2 = mgf_log t ~mu ~sigma 2.0 in
+  Float.max 0.0 (m2 -. (m1 *. m1))
+
+let std t ~mu ~sigma = sqrt (variance t ~mu ~sigma)
+
+(* E[X_m X_n] = E[exp(c0 + beta_m d1 + beta_n d2 + c_m d1² + c_n d2²)]
+   for (d1, d2) zero-mean bivariate normal; closed form via the 2x2
+   Gaussian quadratic-form MGF, expanded by hand for speed (this sits in
+   the inner loop of the correlation tabulation). *)
+let pair_product_mean tm tn ~mu ~sigma ~rho =
+  if not (rho >= -1.0 && rho <= 1.0) then
+    invalid_arg "Mgf.pair_product_mean: correlation out of range";
+  let k0m, bm = centered tm ~mu in
+  let k0n, bn = centered tn ~mu in
+  let s2 = sigma *. sigma in
+  let m11 = 1.0 -. (2.0 *. s2 *. tm.c) in
+  let m22 = 1.0 -. (2.0 *. s2 *. tn.c) in
+  let det = (m11 *. m22) -. (4.0 *. s2 *. s2 *. rho *. rho *. tm.c *. tn.c) in
+  if m11 <= 0.0 || m22 <= 0.0 || det <= 0.0 then raise Divergent;
+  let one_less = 1.0 -. (rho *. rho) in
+  let quad =
+    (bm *. bm *. (1.0 -. (2.0 *. s2 *. tn.c *. one_less)))
+    +. (2.0 *. rho *. bm *. bn)
+    +. (bn *. bn *. (1.0 -. (2.0 *. s2 *. tm.c *. one_less)))
+  in
+  exp (k0m +. k0n +. (s2 *. quad /. (2.0 *. det))) /. sqrt det
+
+let pair_covariance tm tn ~mu ~sigma ~rho =
+  pair_product_mean tm tn ~mu ~sigma ~rho
+  -. (mean tm ~mu ~sigma *. mean tn ~mu ~sigma)
+
+let pair_correlation tm tn ~mu ~sigma ~rho =
+  let sm = std tm ~mu ~sigma and sn = std tn ~mu ~sigma in
+  if sm = 0.0 || sn = 0.0 then 0.0
+  else pair_covariance tm tn ~mu ~sigma ~rho /. (sm *. sn)

@@ -1,0 +1,59 @@
+(** Closed-form leakage statistics from the fitted cell model.
+
+    Following Rao et al. (and §2.1.2 of the paper), a cell's leakage in
+    one input state is fitted to [X = a·exp(bL + cL²)] with [L ~ N(μ,σ²)].
+    With [Y = ln X], [Y = K₃ + K₁ (Z + K₂)²] for standard normal [Z]
+    (Eqs. 4–5), a scaled non-central χ², whose MGF gives the exact
+    moments of [X] (Eqs. 1–3).
+
+    Note: Eq. (3) in the paper prints the [(1 − 2K₁t)] factor with
+    exponent +½; the correct MGF has −½, which is what we implement (the
+    implementation is verified against Monte Carlo in the test suite).
+
+    The same machinery extends to a pair of gates whose channel lengths
+    are jointly normal with correlation ρ, giving the exact leakage
+    covariance and hence the f_{m,n}(ρ_L) mapping of §2.1.3. *)
+
+type triplet = { a : float; b : float; c : float }
+(** Fitted parameters of [X = a·exp(bL + cL²)]; [a > 0]. *)
+
+val triplet : a:float -> b:float -> c:float -> triplet
+
+exception Divergent
+(** Raised when a requested moment does not exist, i.e. [1 − 2tcσ² ≤ 0]. *)
+
+val centered : triplet -> mu:float -> float * float
+(** [(k₀, β)] of the centered form [Y = k₀ + β·δ + c·δ²] with
+    [δ = L − μ]; equivalent to (K₁,K₂,K₃) but defined for [c = 0] too.
+    Exposed for the correlation-tabulation hot path. *)
+
+val k_params : triplet -> mu:float -> sigma:float -> float * float * float
+(** [(K₁, K₂, K₃)] of Eqs. 4–5.  [K₂] is meaningful only for [c ≠ 0];
+    for [c = 0] it is returned as [nan] (the lognormal limit). *)
+
+val mgf_log : triplet -> mu:float -> sigma:float -> float -> float
+(** [mgf_log tr ~mu ~sigma t] is [M_Y(t) = E\[X^t\]].  Handles the
+    [c = 0] lognormal limit.  Raises {!Divergent} if the moment does not
+    exist. *)
+
+val mean : triplet -> mu:float -> sigma:float -> float
+(** [M_Y(1)] (Eq. 1). *)
+
+val variance : triplet -> mu:float -> sigma:float -> float
+(** [M_Y(2) − M_Y(1)²] (Eq. 2). *)
+
+val std : triplet -> mu:float -> sigma:float -> float
+
+val pair_product_mean :
+  triplet -> triplet -> mu:float -> sigma:float -> rho:float -> float
+(** [E\[X_m X_n\]] for two gates at locations whose channel lengths are
+    bivariate normal with common [μ, σ] and correlation [rho]. *)
+
+val pair_covariance :
+  triplet -> triplet -> mu:float -> sigma:float -> rho:float -> float
+(** Leakage covariance of the pair. *)
+
+val pair_correlation :
+  triplet -> triplet -> mu:float -> sigma:float -> rho:float -> float
+(** The f_{m,n} mapping: leakage correlation given channel-length
+    correlation [rho]. *)

@@ -1,0 +1,33 @@
+open Rgleak_num
+open Rgleak_process
+
+let analytic (sa : Characterize.state_char) (sb : Characterize.state_char)
+    ~param ~rho =
+  let mu = param.Process_param.nominal in
+  let sigma = Process_param.sigma_total param in
+  Mgf.pair_correlation sa.fit sb.fit ~mu ~sigma ~rho
+
+let monte_carlo (sa : Characterize.state_char) (sb : Characterize.state_char)
+    ~param ~rho ~samples ~rng =
+  if not (rho >= -1.0 && rho <= 1.0) then
+    invalid_arg "Pair_correlation.monte_carlo: correlation out of range";
+  let mu = param.Process_param.nominal in
+  let sigma = Process_param.sigma_total param in
+  let acc = Stats.Cov_acc.create () in
+  let mix = sqrt (1.0 -. (rho *. rho)) in
+  for _ = 1 to samples do
+    let z1 = Rng.gaussian rng in
+    let z2 = (rho *. z1) +. (mix *. Rng.gaussian rng) in
+    let l1 = mu +. (sigma *. z1) in
+    let l2 = mu +. (sigma *. z2) in
+    Stats.Cov_acc.add acc (Characterize.leakage_at sa l1) (Characterize.leakage_at sb l2)
+  done;
+  Stats.Cov_acc.correlation acc
+
+let curve ?(points = 21) ~f () =
+  Array.map (fun rho -> (rho, f ~rho)) (Vector.linspace 0.0 1.0 points)
+
+let max_identity_deviation curve =
+  Array.fold_left
+    (fun acc (rho, r) -> Float.max acc (Float.abs (r -. rho)))
+    0.0 curve

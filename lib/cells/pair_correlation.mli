@@ -1,0 +1,38 @@
+(** The leakage-correlation vs length-correlation mapping f_{m,n}
+    (§2.1.3, Fig. 2).
+
+    Two evaluation routes are provided: the exact analytical mapping
+    from the fitted (a,b,c) triplets, and a Monte-Carlo estimate that
+    samples correlated channel-length pairs and evaluates the tabulated
+    leakage curves — the same comparison the paper plots in Fig. 2.
+    Both show that leakage correlation tracks length correlation
+    closely (the basis for the §3.1.2 simplified assumption). *)
+
+val analytic :
+  Characterize.state_char -> Characterize.state_char ->
+  param:Rgleak_process.Process_param.t -> rho:float -> float
+(** Exact leakage correlation of two characterized (cell, state) pairs
+    given total channel-length correlation [rho]. *)
+
+val monte_carlo :
+  Characterize.state_char -> Characterize.state_char ->
+  param:Rgleak_process.Process_param.t ->
+  rho:float ->
+  samples:int ->
+  rng:Rgleak_num.Rng.t ->
+  float
+(** MC estimate of the same quantity: draws bivariate-normal length
+    pairs with total correlation [rho] and correlates the tabulated
+    leakages. *)
+
+val curve :
+  ?points:int ->
+  f:(rho:float -> float) ->
+  unit ->
+  (float * float) array
+(** [(ρ_L, f ρ_L)] samples over ρ_L in [\[0, 1\]] (default 21 points),
+    for plotting Fig. 2-style curves. *)
+
+val max_identity_deviation : (float * float) array -> float
+(** Largest |leakage correlation − length correlation| over a curve —
+    the distance from the y = x line in Fig. 2. *)

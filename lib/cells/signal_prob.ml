@@ -1,0 +1,57 @@
+let state_probability ~num_inputs ~p idx =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Signal_prob: p must be in [0,1]";
+  let prob = ref 1.0 in
+  for bit = 0 to num_inputs - 1 do
+    let one = (idx lsr bit) land 1 = 1 in
+    prob := !prob *. (if one then p else 1.0 -. p)
+  done;
+  !prob
+
+let state_probabilities ~num_inputs ~p =
+  Array.init (1 lsl num_inputs) (state_probability ~num_inputs ~p)
+
+type weighted = { p : float; mu : float; sigma_mixture : float }
+type stats_mode = Analytic | Reference
+
+let state_moments mode (sc : Characterize.state_char) =
+  match mode with
+  | Analytic -> (sc.mu_analytic, sc.sigma_analytic)
+  | Reference -> (sc.mu_ref, sc.sigma_ref)
+
+let weighted_stats ?(mode = Analytic) (char : Characterize.cell_char) ~p =
+  let num_inputs = char.cell.Cell.num_inputs in
+  let probs = state_probabilities ~num_inputs ~p in
+  let mu = ref 0.0 and second = ref 0.0 in
+  Array.iteri
+    (fun idx weight ->
+      let m, s = state_moments mode char.states.(idx) in
+      mu := !mu +. (weight *. m);
+      second := !second +. (weight *. ((s *. s) +. (m *. m))))
+    probs;
+  let var = Float.max 0.0 (!second -. (!mu *. !mu)) in
+  { p; mu = !mu; sigma_mixture = sqrt var }
+
+let design_mean ?(mode = Analytic) chars ~weights ~p =
+  if Array.length chars <> Array.length weights then
+    invalid_arg "Signal_prob.design_mean: weights length mismatch";
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i char ->
+      if weights.(i) > 0.0 then begin
+        let w = weighted_stats ~mode char ~p in
+        total := !total +. (weights.(i) *. w.mu)
+      end)
+    chars;
+  !total
+
+let sweep ?(mode = Analytic) ?(points = 101) chars ~weights =
+  Array.map
+    (fun p -> (p, design_mean ~mode chars ~weights ~p))
+    (Rgleak_num.Vector.linspace 0.0 1.0 points)
+
+let maximizing_p ?(mode = Analytic) ?(points = 101) chars ~weights =
+  let curve = sweep ~mode ~points chars ~weights in
+  let best = ref curve.(0) in
+  Array.iter (fun (p, v) -> if v > snd !best then best := (p, v)) curve;
+  fst !best

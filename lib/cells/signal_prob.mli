@@ -1,0 +1,49 @@
+(** Signal-probability weighting of per-state leakage (§2.1.4).
+
+    Inputs are assumed independent with a common probability [p] of
+    being logic 1; a state's probability is the product over bits.  The
+    per-cell leakage under this weighting is a mixture over states; for
+    large circuits the state randomness averages out (Fig. 3), and the
+    paper's conservative policy picks the [p] that maximizes the mean
+    leakage of the design's cell mix. *)
+
+val state_probability : num_inputs:int -> p:float -> int -> float
+(** Probability of the state with the given index. *)
+
+val state_probabilities : num_inputs:int -> p:float -> float array
+(** All state probabilities; sums to 1. *)
+
+type weighted = {
+  p : float;
+  mu : float;  (** mean leakage of the state mixture *)
+  sigma_mixture : float;
+      (** std of the mixture (state randomness + length variation):
+          sqrt(Σ P(s)(σ_s² + μ_s²) − μ²) *)
+}
+
+type stats_mode = Analytic | Reference
+(** Which per-state moments to weight: the (a,b,c)-fit closed forms, or
+    the quadrature reference (standing in for the paper's MC mode). *)
+
+val weighted_stats : ?mode:stats_mode -> Characterize.cell_char -> p:float -> weighted
+(** Mixture statistics of one cell at signal probability [p]. *)
+
+val design_mean :
+  ?mode:stats_mode -> Characterize.cell_char array -> weights:float array -> p:float -> float
+(** Mean leakage per gate of a design with the given cell-usage weights
+    at signal probability [p] (the quantity plotted in Fig. 3, divided
+    by the gate count). *)
+
+val sweep :
+  ?mode:stats_mode ->
+  ?points:int ->
+  Characterize.cell_char array ->
+  weights:float array ->
+  (float * float) array
+(** [(p, design_mean p)] over a grid of [points] (default 101) values of
+    [p] in [\[0, 1\]]. *)
+
+val maximizing_p :
+  ?mode:stats_mode -> ?points:int -> Characterize.cell_char array -> weights:float array -> float
+(** The signal probability that maximizes the design mean leakage — the
+    paper's conservative setting. *)

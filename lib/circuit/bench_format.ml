@@ -1,0 +1,189 @@
+type gate_type = And | Nand | Or | Nor | Xor | Xnor | Not | Buff | Dff
+
+type gate = { output : string; gate_type : gate_type; inputs : string list }
+
+type t = {
+  name : string;
+  primary_inputs : string list;
+  primary_outputs : string list;
+  gates : gate list;
+}
+
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+let gate_type_name = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buff -> "BUFF"
+  | Dff -> "DFF"
+
+let gate_type_of_string line s =
+  match String.uppercase_ascii s with
+  | "AND" -> And
+  | "NAND" -> Nand
+  | "OR" -> Or
+  | "NOR" -> Nor
+  | "XOR" -> Xor
+  | "XNOR" -> Xnor
+  | "NOT" -> Not
+  | "BUF" | "BUFF" -> Buff
+  | "DFF" -> Dff
+  | other -> fail line (Printf.sprintf "unknown gate type %S" other)
+
+let strip s = String.trim s
+
+(* "INPUT(3)" -> "3"; also tolerates spaces. *)
+let inside_parens ~line ~keyword s =
+  let s = strip s in
+  let klen = String.length keyword in
+  if String.length s < klen + 2 then fail line ("malformed " ^ keyword);
+  let rest = strip (String.sub s klen (String.length s - klen)) in
+  if String.length rest < 2 || rest.[0] <> '(' || rest.[String.length rest - 1] <> ')'
+  then fail line ("malformed " ^ keyword ^ " line");
+  strip (String.sub rest 1 (String.length rest - 2))
+
+let parse_gate_line ~line lhs rhs =
+  let output = strip lhs in
+  if output = "" then fail line "empty output net name";
+  let rhs = strip rhs in
+  match String.index_opt rhs '(' with
+  | None -> fail line "expected GATE(inputs)"
+  | Some open_paren ->
+    if rhs.[String.length rhs - 1] <> ')' then fail line "missing closing paren";
+    let gate_type =
+      gate_type_of_string line (strip (String.sub rhs 0 open_paren))
+    in
+    let args =
+      String.sub rhs (open_paren + 1) (String.length rhs - open_paren - 2)
+    in
+    let inputs =
+      String.split_on_char ',' args |> List.map strip
+      |> List.filter (fun s -> s <> "")
+    in
+    if inputs = [] then fail line "gate with no inputs";
+    { output; gate_type; inputs }
+
+let parse_string ?(name = "bench") text =
+  let primary_inputs = ref [] in
+  let primary_outputs = ref [] in
+  let gates = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      (* strip comments *)
+      let content =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let content = strip content in
+      if content <> "" then begin
+        let upper = String.uppercase_ascii content in
+        if String.length upper >= 5 && String.sub upper 0 5 = "INPUT" then
+          primary_inputs :=
+            inside_parens ~line ~keyword:"INPUT" content :: !primary_inputs
+        else if String.length upper >= 6 && String.sub upper 0 6 = "OUTPUT" then
+          primary_outputs :=
+            inside_parens ~line ~keyword:"OUTPUT" content :: !primary_outputs
+        else begin
+          match String.index_opt content '=' with
+          | None -> fail line "expected INPUT, OUTPUT or assignment"
+          | Some eq ->
+            let lhs = String.sub content 0 eq in
+            let rhs =
+              String.sub content (eq + 1) (String.length content - eq - 1)
+            in
+            gates := parse_gate_line ~line lhs rhs :: !gates
+        end
+      end)
+    lines;
+  {
+    name;
+    primary_inputs = List.rev !primary_inputs;
+    primary_outputs = List.rev !primary_outputs;
+    gates = List.rev !gates;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" t.name);
+  List.iter
+    (fun pi -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" pi))
+    t.primary_inputs;
+  List.iter
+    (fun po -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" po))
+    t.primary_outputs;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" g.output
+           (gate_type_name g.gate_type)
+           (String.concat ", " g.inputs)))
+    t.gates;
+  Buffer.contents buf
+
+let gate_count t = List.length t.gates
+
+let validate t =
+  let defined = Hashtbl.create 64 in
+  List.iter (fun pi -> Hashtbl.replace defined pi ()) t.primary_inputs;
+  let dup = ref None in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem defined g.output && !dup = None then
+        dup := Some g.output;
+      Hashtbl.replace defined g.output ())
+    t.gates;
+  match !dup with
+  | Some net -> Error (Printf.sprintf "net %s defined more than once" net)
+  | None ->
+    let missing = ref None in
+    List.iter
+      (fun g ->
+        List.iter
+          (fun i ->
+            if (not (Hashtbl.mem defined i)) && !missing = None then
+              missing := Some (g.output, i))
+          g.inputs)
+      t.gates;
+    (match !missing with
+    | Some (out, i) ->
+      Error (Printf.sprintf "gate %s reads undefined net %s" out i)
+    | None ->
+      let bad_arity = ref None in
+      List.iter
+        (fun g ->
+          let n = List.length g.inputs in
+          let ok =
+            match g.gate_type with
+            | Not | Buff | Dff -> n = 1
+            | And | Nand | Or | Nor | Xor | Xnor -> n >= 2
+          in
+          if (not ok) && !bad_arity = None then bad_arity := Some g.output)
+        t.gates;
+      (match !bad_arity with
+      | Some out -> Error (Printf.sprintf "gate %s has invalid fan-in" out)
+      | None ->
+        let po_missing =
+          List.find_opt (fun po -> not (Hashtbl.mem defined po)) t.primary_outputs
+        in
+        (match po_missing with
+        | Some po -> Error (Printf.sprintf "primary output %s is undefined" po)
+        | None -> Ok ())))

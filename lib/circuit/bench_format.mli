@@ -1,0 +1,55 @@
+(** Reader/writer for the ISCAS85/89 ".bench" netlist format.
+
+    The format the original benchmark suites are distributed in:
+
+    {v
+    # c17
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+    v}
+
+    Supported gate types: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUFF and
+    DFF, with arbitrary fan-in for the associative ones.  Parsing
+    produces a generic gate graph; {!Techmap} lowers it onto the
+    62-cell library.  The writer emits any {!Netlist.t} back out (using
+    the cell's logic family and fan-in), so generated circuits can be
+    exported to other tools. *)
+
+type gate_type =
+  | And | Nand | Or | Nor | Xor | Xnor | Not | Buff | Dff
+
+type gate = {
+  output : string;  (** net name *)
+  gate_type : gate_type;
+  inputs : string list;
+}
+
+type t = {
+  name : string;
+  primary_inputs : string list;
+  primary_outputs : string list;
+  gates : gate list;  (** in file order *)
+}
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> t
+(** Parses the text of a .bench file.  Raises {!Parse_error} with the
+    offending line number on malformed input. *)
+
+val parse_file : string -> t
+(** Parses a file; the circuit name defaults to the basename. *)
+
+val to_string : t -> string
+(** Canonical .bench text (INPUTs, OUTPUTs, then gates). *)
+
+val gate_type_name : gate_type -> string
+val gate_count : t -> int
+
+val validate : t -> (unit, string) Stdlib.result
+(** Structural checks: every gate input is a primary input or some
+    gate's output; no duplicate definitions; fan-in arity sane
+    (NOT/BUFF/DFF take exactly one input, others at least two). *)

@@ -1,0 +1,151 @@
+open Rgleak_num
+
+type spec = {
+  name : string;
+  gates : int;
+  description : string;
+  mix : (string * float) list;
+}
+
+(* Gate mixes follow the published functional descriptions: weights are
+   approximate fractions of the gate inventory by type family. *)
+let specs =
+  [|
+    {
+      name = "c432";
+      gates = 160;
+      description = "27-channel interrupt controller";
+      mix =
+        [
+          ("NAND2_X1", 30.0); ("NAND3_X1", 14.0); ("NAND4_X1", 5.0);
+          ("NOR2_X1", 10.0); ("INV_X1", 40.0); ("AND2_X1", 12.0);
+          ("XOR2_X1", 18.0); ("OR2_X1", 8.0); ("BUF_X1", 6.0);
+          ("AOI21_X1", 9.0); ("INV_X2", 8.0);
+        ];
+    };
+    {
+      name = "c499";
+      gates = 202;
+      description = "32-bit single-error-correcting circuit";
+      mix =
+        [
+          ("XOR2_X1", 104.0); ("AND2_X1", 40.0); ("NOR2_X1", 12.0);
+          ("INV_X1", 26.0); ("AND4_X1", 8.0); ("OR4_X1", 6.0);
+          ("BUF_X1", 6.0);
+        ];
+    };
+    {
+      name = "c880";
+      gates = 383;
+      description = "8-bit ALU";
+      mix =
+        [
+          ("NAND2_X1", 87.0); ("NAND3_X1", 25.0); ("NAND4_X1", 12.0);
+          ("AND2_X1", 50.0); ("OR2_X1", 29.0); ("NOR2_X1", 30.0);
+          ("INV_X1", 63.0); ("XOR2_X1", 18.0); ("BUF_X1", 26.0);
+          ("AOI21_X1", 15.0); ("OAI21_X1", 15.0); ("INV_X2", 13.0);
+        ];
+    };
+    {
+      name = "c1355";
+      gates = 546;
+      description = "32-bit SEC (c499 with XORs expanded to NANDs)";
+      mix =
+        [
+          ("NAND2_X1", 416.0); ("AND2_X1", 40.0); ("NOR2_X1", 12.0);
+          ("INV_X1", 40.0); ("AND4_X1", 8.0); ("OR4_X1", 6.0);
+          ("BUF_X1", 24.0);
+        ];
+    };
+    {
+      name = "c1908";
+      gates = 880;
+      description = "16-bit SEC/DED";
+      mix =
+        [
+          ("NAND2_X1", 320.0); ("XOR2_X1", 120.0); ("INV_X1", 277.0);
+          ("AND2_X1", 63.0); ("NOR2_X1", 40.0); ("BUF_X1", 42.0);
+          ("AOI21_X1", 10.0); ("NAND3_X1", 8.0);
+        ];
+    };
+    {
+      name = "c2670";
+      gates = 1193;
+      description = "12-bit ALU and controller";
+      mix =
+        [
+          ("NAND2_X1", 260.0); ("AND2_X1", 170.0); ("OR2_X1", 80.0);
+          ("NOR2_X1", 77.0); ("INV_X1", 321.0); ("BUF_X1", 130.0);
+          ("XOR2_X1", 40.0); ("NAND3_X1", 40.0); ("NAND4_X1", 15.0);
+          ("AOI22_X1", 20.0); ("OAI21_X1", 20.0); ("INV_X2", 20.0);
+        ];
+    };
+    {
+      name = "c3540";
+      gates = 1669;
+      description = "8-bit ALU with BCD arithmetic";
+      mix =
+        [
+          ("NAND2_X1", 400.0); ("AND2_X1", 220.0); ("OR2_X1", 90.0);
+          ("NOR2_X1", 160.0); ("INV_X1", 490.0); ("XOR2_X1", 60.0);
+          ("NAND3_X1", 80.0); ("AOI21_X1", 60.0); ("OAI21_X1", 40.0);
+          ("BUF_X1", 50.0); ("MUX2_X1", 19.0);
+        ];
+    };
+    {
+      name = "c5315";
+      gates = 2307;
+      description = "9-bit ALU";
+      mix =
+        [
+          ("NAND2_X1", 520.0); ("AND2_X1", 350.0); ("OR2_X1", 160.0);
+          ("NOR2_X1", 150.0); ("INV_X1", 581.0); ("BUF_X1", 150.0);
+          ("XOR2_X1", 82.0); ("NAND3_X1", 110.0); ("NAND4_X1", 44.0);
+          ("AOI21_X1", 70.0); ("OAI21_X1", 50.0); ("MUX2_X1", 40.0);
+        ];
+    };
+    {
+      name = "c6288";
+      gates = 2406;
+      description = "16x16 multiplier (carry-save array)";
+      mix =
+        [ ("NOR2_X1", 2128.0); ("AND2_X1", 256.0); ("INV_X1", 22.0) ];
+    };
+    {
+      name = "c7552";
+      gates = 3512;
+      description = "32-bit adder/comparator";
+      mix =
+        [
+          ("NAND2_X1", 800.0); ("AND2_X1", 540.0); ("OR2_X1", 240.0);
+          ("NOR2_X1", 240.0); ("INV_X1", 876.0); ("BUF_X1", 300.0);
+          ("XOR2_X1", 150.0); ("NAND3_X1", 150.0); ("AOI21_X1", 90.0);
+          ("OAI21_X1", 66.0); ("MUX2_X1", 40.0); ("INV_X2", 20.0);
+        ];
+    };
+  |]
+
+let table1_names =
+  [ "c499"; "c1355"; "c432"; "c1908"; "c880"; "c2670"; "c5315"; "c7552"; "c6288" ]
+
+let find name =
+  match Array.find_opt (fun s -> s.name = name) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let default_seed spec = 7919 + (Hashtbl.hash spec.name mod 100_000)
+
+let netlist ?seed spec =
+  let seed = match seed with Some s -> s | None -> default_seed spec in
+  let rng = Rng.create ~seed () in
+  let histogram = Histogram.of_weights spec.mix in
+  Generator.random_netlist ~name:spec.name ~histogram ~n:spec.gates ~rng ()
+
+let placed ?seed ?(utilization = 0.7) spec =
+  let seed = match seed with Some s -> s | None -> default_seed spec in
+  let rng = Rng.create ~seed () in
+  let nl = netlist ~seed spec in
+  let die_area = Netlist.total_area nl /. utilization in
+  let side = sqrt die_area in
+  let layout = Layout.of_dims ~n:(Netlist.size nl) ~width:side ~height:side in
+  Placer.place ~strategy:Random ~rng nl layout

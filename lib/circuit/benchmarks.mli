@@ -1,0 +1,32 @@
+(** ISCAS85-like benchmark circuits.
+
+    The original ISCAS85 netlists (and the paper's placements of them)
+    are not shipped here; instead each benchmark is synthesized with its
+    published gate count and a gate-type mix reflecting the circuit's
+    published structure (e.g. c499/c1355 are XOR-heavy error-correction
+    circuits, c6288 is a NOR/AND multiplier array).  The estimators only
+    consume gate types at die coordinates, so these stand-ins exercise
+    exactly the same code path as the real netlists; see DESIGN.md. *)
+
+type spec = {
+  name : string;
+  gates : int;  (** published ISCAS85 gate count *)
+  description : string;
+  mix : (string * float) list;  (** cell-usage weights *)
+}
+
+val specs : spec array
+(** All ten ISCAS85 circuits (c432 … c7552). *)
+
+val table1_names : string list
+(** The nine circuits of Table 1, in the paper's column order. *)
+
+val find : string -> spec
+
+val netlist : ?seed:int -> spec -> Netlist.t
+(** Deterministic synthesis of the benchmark (seed defaults to a hash of
+    the name). *)
+
+val placed : ?seed:int -> ?utilization:float -> spec -> Placer.placed
+(** Synthesized, then placed on a die sized from total cell area at the
+    given utilization (default 0.7). *)

@@ -1,0 +1,65 @@
+open Rgleak_num
+open Rgleak_cells
+
+(* Inverse-CDF draw from a histogram. *)
+let draw_type cdf rng =
+  let u = Rng.uniform rng in
+  let rec go i = if i >= Array.length cdf - 1 || u < cdf.(i) then i else go (i + 1) in
+  go 0
+
+let random_netlist ?(name = "random") ?(sampling = `Exact) ~histogram ~n ~rng () =
+  if n <= 0 then invalid_arg "Generator.random_netlist: need a positive size";
+  let types =
+    match sampling with
+    | `Exact ->
+      let counts = Histogram.counts_for histogram ~n in
+      let types = Array.make n 0 in
+      let pos = ref 0 in
+      Array.iteri
+        (fun cell_index count ->
+          for _ = 1 to count do
+            types.(!pos) <- cell_index;
+            incr pos
+          done)
+        counts;
+      assert (!pos = n);
+      Rng.shuffle rng types;
+      types
+    | `Multinomial ->
+      let probs = Histogram.to_array histogram in
+      let cdf = Array.make (Array.length probs) 0.0 in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i p ->
+          acc := !acc +. p;
+          cdf.(i) <- !acc)
+        probs;
+      Array.init n (fun _ -> draw_type cdf rng)
+  in
+  let num_primary_inputs = Stdlib.max 2 (n / 10) in
+  let instances =
+    Array.mapi
+      (fun i cell_index ->
+        let cell = Library.cells.(cell_index) in
+        let fanin_count = Stdlib.min cell.Cell.num_inputs 4 in
+        let fanin =
+          Array.init fanin_count (fun _ ->
+              (* Bias toward recent drivers (locality), fall back to a
+                 primary input for early gates. *)
+              if i = 0 || Rng.uniform rng < 0.15 then -1
+              else begin
+                let span = Stdlib.min i 64 in
+                i - 1 - Rng.int rng span
+              end)
+        in
+        { Netlist.id = i; cell_index; fanin })
+      types
+  in
+  Netlist.create ~name ~num_primary_inputs instances
+
+let random_placed ?name ?sampling ?site_w ?site_h ~histogram ~n ~rng () =
+  let netlist = random_netlist ?name ?sampling ~histogram ~n ~rng () in
+  let layout = Layout.square ?site_w ?site_h ~n () in
+  Placer.place ~strategy:Random ~rng netlist layout
+
+let fig6_sizes = [| 100; 225; 400; 900; 1600; 2500; 4900; 8100; 11236 |]

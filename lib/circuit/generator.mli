@@ -1,0 +1,36 @@
+(** Random circuit generation matching a prescribed cell-usage
+    histogram (§3.1.1's first validation experiment: "a large number of
+    circuits were randomly generated so as to match a frequency of cell
+    usage that was specified a priori"). *)
+
+val random_netlist :
+  ?name:string ->
+  ?sampling:[ `Exact | `Multinomial ] ->
+  histogram:Histogram.t ->
+  n:int ->
+  rng:Rgleak_num.Rng.t ->
+  unit ->
+  Netlist.t
+(** Generates a netlist of exactly [n] gates with random DAG
+    connectivity (each gate's fanins drawn from earlier gates or primary
+    inputs).  With [`Exact] (default) the cell counts match the
+    histogram under largest-remainder rounding; with [`Multinomial] each
+    gate's type is drawn i.i.d. from the histogram, so counts fluctuate
+    around the target as they would across real designs sharing a cell
+    mix (this is what the Fig. 6 convergence experiment uses). *)
+
+val random_placed :
+  ?name:string ->
+  ?sampling:[ `Exact | `Multinomial ] ->
+  ?site_w:float ->
+  ?site_h:float ->
+  histogram:Histogram.t ->
+  n:int ->
+  rng:Rgleak_num.Rng.t ->
+  unit ->
+  Placer.placed
+(** [random_netlist] placed randomly on a near-square array. *)
+
+val fig6_sizes : int array
+(** The square gate counts used for the Fig. 6 convergence sweep,
+    ending at the paper's 11,236 (= 106²). *)

@@ -1,0 +1,91 @@
+type t = {
+  cols : int;
+  full_rows : int;
+  partial : int;
+  site_w : float;
+  site_h : float;
+}
+
+let make ~cols ~n ~site_w ~site_h =
+  if n <= 0 then invalid_arg "Layout: need a positive site count";
+  if cols <= 0 then invalid_arg "Layout: need a positive column count";
+  if site_w <= 0.0 || site_h <= 0.0 then
+    invalid_arg "Layout: site pitch must be positive";
+  { cols; full_rows = n / cols; partial = n mod cols; site_w; site_h }
+
+let square ?(site_w = 4.0) ?(site_h = 4.0) ~n () =
+  let cols = Stdlib.max 1 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  make ~cols ~n ~site_w ~site_h
+
+let rows t = t.full_rows + if t.partial > 0 then 1 else 0
+
+let of_dims ~n ~width ~height =
+  if width <= 0.0 || height <= 0.0 then
+    invalid_arg "Layout.of_dims: dimensions must be positive";
+  let site_side = sqrt (width *. height /. float_of_int n) in
+  let cols = Stdlib.max 1 (int_of_float (Float.round (width /. site_side))) in
+  let t0 = make ~cols ~n ~site_w:1.0 ~site_h:1.0 in
+  let site_w = width /. float_of_int cols in
+  let site_h = height /. float_of_int (rows t0) in
+  make ~cols ~n ~site_w ~site_h
+
+let site_count t = (t.cols * t.full_rows) + t.partial
+let width t = float_of_int t.cols *. t.site_w
+let height t = float_of_int (rows t) *. t.site_h
+let area t = width t *. height t
+
+let position t idx =
+  if idx < 0 || idx >= site_count t then invalid_arg "Layout.position: out of range";
+  let row = idx / t.cols and col = idx mod t.cols in
+  ((float_of_int col +. 0.5) *. t.site_w, (float_of_int row +. 0.5) *. t.site_h)
+
+let positions t = Array.init (site_count t) (position t)
+
+let distance_of_offset t ~di ~dj =
+  let dx = float_of_int di *. t.site_w in
+  let dy = float_of_int dj *. t.site_h in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+(* Column-overlap count: #{c : 0 <= c < w_from, 0 <= c + di < w_to}. *)
+let col_overlap ~w_from ~w_to ~di =
+  let lo = Stdlib.max 0 (-di) in
+  let hi = Stdlib.min w_from (w_to - di) in
+  Stdlib.max 0 (hi - lo)
+
+let occurrences t ~di ~dj =
+  let k = t.full_rows and m = t.cols and r = t.partial in
+  if abs di >= m then 0
+  else begin
+    (* pairs with both endpoints in full rows *)
+    let full_full =
+      let row_pairs = Stdlib.max 0 (k - abs dj) in
+      row_pairs * col_overlap ~w_from:m ~w_to:m ~di
+    in
+    if r = 0 then full_full
+    else begin
+      (* partial row sits at row index k *)
+      let full_to_partial =
+        (* a in a full row, b = a + (di, dj) in the partial row:
+           a_row = k - dj must satisfy 0 <= a_row < k *)
+        if dj >= 1 && dj <= k then col_overlap ~w_from:m ~w_to:r ~di else 0
+      in
+      let partial_to_full =
+        if dj <= -1 && dj >= -k then col_overlap ~w_from:r ~w_to:m ~di else 0
+      in
+      let partial_partial =
+        if dj = 0 then col_overlap ~w_from:r ~w_to:r ~di else 0
+      in
+      full_full + full_to_partial + partial_to_full + partial_partial
+    end
+  end
+
+let check_occurrence_total t =
+  let n = site_count t in
+  let total = ref 0 in
+  let row_span = rows t in
+  for dj = -row_span to row_span do
+    for di = -t.cols to t.cols do
+      total := !total + occurrences t ~di ~dj
+    done
+  done;
+  !total = n * n

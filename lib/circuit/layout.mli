@@ -1,0 +1,53 @@
+(** Die geometry: the rectangular array of gate sites of §2.2.1 (Fig. 4).
+
+    Sites are filled row-major; the last row may be partially occupied
+    so that arbitrary gate counts are represented exactly.  The
+    occurrence count of a site-offset vector (Eq. 16, generalized to the
+    partial last row) is what makes the linear-time estimator exact. *)
+
+type t = private {
+  cols : int;  (** m: sites per full row *)
+  full_rows : int;  (** rows that are completely occupied *)
+  partial : int;  (** occupied sites in the last row (0 = none) *)
+  site_w : float;  (** ΔW in µm *)
+  site_h : float;  (** ΔH in µm *)
+}
+
+val square : ?site_w:float -> ?site_h:float -> n:int -> unit -> t
+(** Near-square array of [n] sites with the given site pitch (defaults
+    4 µm × 4 µm). *)
+
+val of_dims : n:int -> width:float -> height:float -> t
+(** Array of [n] sites filling a [width] × [height] µm die: the site
+    area is (width·height)/n and the column count is chosen to keep
+    sites near-square (§2.2.1: a site is the average cell area plus its
+    share of routing). *)
+
+val site_count : t -> int
+(** n = cols·full_rows + partial. *)
+
+val rows : t -> int
+(** Total rows including a partial one. *)
+
+val width : t -> float
+val height : t -> float
+val area : t -> float
+(** width · height — note for a partial last row this is the bounding
+    box of the occupied region. *)
+
+val position : t -> int -> float * float
+(** Center coordinates (µm) of site [idx] (row-major). *)
+
+val positions : t -> (float * float) array
+
+val distance_of_offset : t -> di:int -> dj:int -> float
+(** Center-to-center distance for a column offset [di] and row offset
+    [dj] (the d_ij of the paper). *)
+
+val occurrences : t -> di:int -> dj:int -> int
+(** Number of ordered occupied site pairs [(a, b)] with
+    [b − a = (di, dj)]; Eq. 16 when the array is full, exact closed form
+    including the partial row otherwise.  O(1). *)
+
+val check_occurrence_total : t -> bool
+(** Σ over all offsets of occurrences = n²; used by property tests. *)

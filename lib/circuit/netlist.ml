@@ -1,0 +1,43 @@
+open Rgleak_cells
+
+type instance = { id : int; cell_index : int; fanin : int array }
+
+type t = {
+  name : string;
+  num_primary_inputs : int;
+  instances : instance array;
+}
+
+let create ~name ~num_primary_inputs instances =
+  if num_primary_inputs < 0 then
+    invalid_arg "Netlist.create: negative primary input count";
+  Array.iteri
+    (fun i inst ->
+      if inst.id <> i then invalid_arg "Netlist.create: ids must be dense and ordered";
+      if inst.cell_index < 0 || inst.cell_index >= Library.size then
+        invalid_arg "Netlist.create: cell index out of range";
+      Array.iter
+        (fun f ->
+          if f >= i || f < -1 then
+            invalid_arg "Netlist.create: fanin must reference earlier instances")
+        inst.fanin)
+    instances;
+  { name; num_primary_inputs; instances }
+
+let size t = Array.length t.instances
+
+let cell_counts t =
+  let counts = Array.make Library.size 0 in
+  Array.iter
+    (fun inst -> counts.(inst.cell_index) <- counts.(inst.cell_index) + 1)
+    t.instances;
+  counts
+
+let total_area t =
+  Array.fold_left
+    (fun acc inst -> acc +. Library.cells.(inst.cell_index).Cell.area)
+    0.0 t.instances
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %d gates, %d primary inputs, %.1f um^2" t.name
+    (size t) t.num_primary_inputs (total_area t)

@@ -1,0 +1,30 @@
+(** Gate-level netlists.
+
+    Leakage estimation needs only the gate types; connectivity (a DAG of
+    driver indices) is carried so generated circuits are structurally
+    plausible and so late-mode extraction has something to extract from. *)
+
+type instance = {
+  id : int;
+  cell_index : int;  (** index into {!Rgleak_cells.Library.cells} *)
+  fanin : int array;  (** ids of driving instances (primary inputs = -1) *)
+}
+
+type t = {
+  name : string;
+  num_primary_inputs : int;
+  instances : instance array;
+}
+
+val create : name:string -> num_primary_inputs:int -> instance array -> t
+(** Validates ids are dense 0..n-1 in order and fanins reference only
+    earlier instances or primary inputs (-1). *)
+
+val size : t -> int
+val cell_counts : t -> int array
+(** Gate count per library cell index. *)
+
+val total_area : t -> float
+(** Sum of instance cell areas (µm²). *)
+
+val pp_summary : Format.formatter -> t -> unit

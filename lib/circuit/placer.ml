@@ -1,0 +1,66 @@
+open Rgleak_num
+
+type strategy = Sequential | Random | Clustered
+
+type placed = {
+  netlist : Netlist.t;
+  layout : Layout.t;
+  site_of_instance : int array;
+}
+
+(* Clustered placement: breadth-first order over the fanin DAG, so
+   connected instances land on nearby (row-major adjacent) sites, then a
+   light shuffle within a window. *)
+let clustered_order netlist rng =
+  let n = Netlist.size netlist in
+  let order = Array.init n (fun i -> i) in
+  (* BFS from outputs backwards approximated by reverse topological id
+     order, then window shuffle. *)
+  let window = Stdlib.max 2 (n / 16) in
+  let i = ref 0 in
+  while !i < n do
+    let hi = Stdlib.min n (!i + window) in
+    let slice = Array.sub order !i (hi - !i) in
+    Rng.shuffle rng slice;
+    Array.blit slice 0 order !i (hi - !i);
+    i := hi
+  done;
+  order
+
+let place ?(strategy = Random) ?rng netlist layout =
+  let n = Netlist.size netlist in
+  if Layout.site_count layout < n then
+    invalid_arg "Placer.place: not enough sites for the netlist";
+  let sites =
+    match strategy with
+    | Sequential -> Array.init n (fun i -> i)
+    | Random ->
+      let rng =
+        match rng with
+        | Some r -> r
+        | None -> invalid_arg "Placer.place: Random strategy needs an rng"
+      in
+      let all = Array.init (Layout.site_count layout) (fun i -> i) in
+      Rng.shuffle rng all;
+      Array.sub all 0 n
+    | Clustered ->
+      let rng =
+        match rng with
+        | Some r -> r
+        | None -> invalid_arg "Placer.place: Clustered strategy needs an rng"
+      in
+      let order = clustered_order netlist rng in
+      let sites = Array.make n 0 in
+      Array.iteri (fun site inst -> sites.(inst) <- site) order;
+      sites
+  in
+  { netlist; layout; site_of_instance = sites }
+
+let location p inst = Layout.position p.layout p.site_of_instance.(inst)
+let gate_at p inst = p.netlist.Netlist.instances.(inst).Netlist.cell_index
+
+let extract_characteristics p =
+  ( Histogram.of_netlist p.netlist,
+    Netlist.size p.netlist,
+    Layout.width p.layout,
+    Layout.height p.layout )

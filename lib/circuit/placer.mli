@@ -1,0 +1,35 @@
+(** Placement: assignment of netlist instances to layout sites.
+
+    The estimators only consume gate types at coordinates, so placement
+    here is a site permutation.  [Random] placement models the paper's
+    randomly generated placed circuits; [Sequential] is a degenerate
+    row-major order kept for deterministic tests; [Clustered] biases
+    connected instances toward nearby sites for a touch of realism. *)
+
+type strategy = Sequential | Random | Clustered
+
+type placed = {
+  netlist : Netlist.t;
+  layout : Layout.t;
+  site_of_instance : int array;  (** instance id -> site index *)
+}
+
+val place :
+  ?strategy:strategy ->
+  ?rng:Rgleak_num.Rng.t ->
+  Netlist.t ->
+  Layout.t ->
+  placed
+(** Places every instance on a distinct site.  Raises
+    [Invalid_argument] when the layout has fewer sites than the netlist
+    has instances.  [Random] and [Clustered] require [rng]. *)
+
+val location : placed -> int -> float * float
+(** Coordinates (µm) of an instance. *)
+
+val gate_at : placed -> int -> int
+(** Cell index of an instance (convenience passthrough). *)
+
+val extract_characteristics : placed -> Histogram.t * int * float * float
+(** Late-mode extraction: (histogram, gate count, die width, die height)
+    — exactly the high-level characteristics the RG model consumes. *)

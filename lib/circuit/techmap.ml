@@ -1,0 +1,321 @@
+open Rgleak_cells
+
+type report = { native : int; decomposed : int; added : int }
+
+(* Library cell choices per logic family and fan-in, with an optional
+   higher-drive variant. *)
+let pick ~drive x2 x1 =
+  match drive with
+  | `X2 -> (try Library.index_of x2 with Not_found -> Library.index_of x1)
+  | `X1 -> Library.index_of x1
+
+let cell_for ~drive (gt : Bench_format.gate_type) ~fan_in =
+  match (gt, fan_in) with
+  | Bench_format.Not, _ -> Some (pick ~drive "INV_X2" "INV_X1")
+  | Bench_format.Buff, _ -> Some (pick ~drive "BUF_X2" "BUF_X1")
+  | Bench_format.Dff, _ -> Some (pick ~drive "DFF_X2" "DFF_X1")
+  | Bench_format.And, 2 -> Some (pick ~drive "AND2_X2" "AND2_X1")
+  | Bench_format.And, 3 -> Some (Library.index_of "AND3_X1")
+  | Bench_format.And, 4 -> Some (Library.index_of "AND4_X1")
+  | Bench_format.Nand, 2 -> Some (pick ~drive "NAND2_X2" "NAND2_X1")
+  | Bench_format.Nand, 3 -> Some (pick ~drive "NAND3_X2" "NAND3_X1")
+  | Bench_format.Nand, 4 -> Some (Library.index_of "NAND4_X1")
+  | Bench_format.Or, 2 -> Some (pick ~drive "OR2_X2" "OR2_X1")
+  | Bench_format.Or, 3 -> Some (Library.index_of "OR3_X1")
+  | Bench_format.Or, 4 -> Some (Library.index_of "OR4_X1")
+  | Bench_format.Nor, 2 -> Some (pick ~drive "NOR2_X2" "NOR2_X1")
+  | Bench_format.Nor, 3 -> Some (pick ~drive "NOR3_X2" "NOR3_X1")
+  | Bench_format.Nor, 4 -> Some (Library.index_of "NOR4_X1")
+  | Bench_format.Xor, 2 -> Some (pick ~drive "XOR2_X2" "XOR2_X1")
+  | Bench_format.Xnor, 2 -> Some (pick ~drive "XNOR2_X2" "XNOR2_X1")
+  | ( ( Bench_format.And | Bench_format.Nand | Bench_format.Or
+      | Bench_format.Nor | Bench_format.Xor | Bench_format.Xnor ),
+      _ ) ->
+    None (* needs decomposition *)
+
+(* Emission context: an append-only instance list with net resolution.
+   Sequential loops through DFFs are cut: a reference to a net that is
+   not yet emitted resolves to a primary input (-1). *)
+type ctx = {
+  mutable rev_instances : Netlist.instance list;
+  mutable next_id : int;
+  net_ids : (string, int) Hashtbl.t;
+}
+
+let resolve ctx net =
+  match Hashtbl.find_opt ctx.net_ids net with Some id -> id | None -> -1
+
+let emit ctx ~cell_index ~fanin =
+  let id = ctx.next_id in
+  ctx.next_id <- id + 1;
+  ctx.rev_instances <-
+    { Netlist.id; cell_index; fanin = Array.of_list fanin } :: ctx.rev_instances;
+  id
+
+(* Balanced reduction of [ids] (already-emitted driver ids) with AND/OR
+   gates of fan-in up to 4; returns the final driver id. *)
+let rec reduce_tree ctx ~drive ~family ids =
+  match ids with
+  | [] -> invalid_arg "Techmap: empty reduction"
+  | [ x ] -> x
+  | ids when List.length ids <= 4 ->
+    let cell =
+      match cell_for ~drive family ~fan_in:(List.length ids) with
+      | Some c -> c
+      | None -> assert false
+    in
+    emit ctx ~cell_index:cell ~fanin:ids
+  | ids ->
+    (* group into chunks of 4 and recurse *)
+    let rec chunk acc current count = function
+      | [] ->
+        let acc = if current = [] then acc else List.rev current :: acc in
+        List.rev acc
+      | x :: rest ->
+        if count = 4 then chunk (List.rev current :: acc) [ x ] 1 rest
+        else chunk acc (x :: current) (count + 1) rest
+    in
+    let groups = chunk [] [] 0 ids in
+    let reduced = List.map (fun g -> reduce_tree ctx ~drive ~family g) groups in
+    reduce_tree ctx ~drive ~family reduced
+
+(* XOR/XNOR chains: parity is associative; complement only at the end. *)
+let xor_chain ctx ~drive ~complement ids =
+  let xor2 = match cell_for ~drive Bench_format.Xor ~fan_in:2 with
+    | Some c -> c | None -> assert false
+  in
+  let xnor2 = match cell_for ~drive Bench_format.Xnor ~fan_in:2 with
+    | Some c -> c | None -> assert false
+  in
+  let rec go = function
+    | [] -> invalid_arg "Techmap: empty xor chain"
+    | [ x ] -> x
+    | [ a; b ] ->
+      emit ctx ~cell_index:(if complement then xnor2 else xor2) ~fanin:[ a; b ]
+    | a :: b :: rest ->
+      let ab = emit ctx ~cell_index:xor2 ~fanin:[ a; b ] in
+      go (ab :: rest)
+  in
+  go ids
+
+let map ?(drive = `X1) (bench : Bench_format.t) =
+  (match Bench_format.validate bench with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Techmap.map: invalid circuit: " ^ msg));
+  let ctx = { rev_instances = []; next_id = 0; net_ids = Hashtbl.create 64 } in
+  let native = ref 0 and decomposed = ref 0 and added = ref 0 in
+  (* Topological order over combinational edges; DFF outputs are
+     sources (their input edge is a sequential cut). *)
+  let gates = Array.of_list bench.Bench_format.gates in
+  let gate_of_net = Hashtbl.create 64 in
+  Array.iteri
+    (fun i g -> Hashtbl.replace gate_of_net g.Bench_format.output i)
+    gates;
+  let emitted = Array.make (Array.length gates) false in
+  let on_stack = Array.make (Array.length gates) false in
+  let rec visit i =
+    if not emitted.(i) then begin
+      if on_stack.(i) then
+        invalid_arg "Techmap.map: combinational cycle in circuit";
+      on_stack.(i) <- true;
+      let g = gates.(i) in
+      (* DFF inputs are sequential: do not recurse through them *)
+      (if g.Bench_format.gate_type <> Bench_format.Dff then
+         List.iter
+           (fun net ->
+             match Hashtbl.find_opt gate_of_net net with
+             | Some j -> visit j
+             | None -> ())
+           g.Bench_format.inputs);
+      on_stack.(i) <- false;
+      if not emitted.(i) then begin
+        emitted.(i) <- true;
+        let fan_in = List.length g.Bench_format.inputs in
+        let driver_ids = List.map (resolve ctx) g.Bench_format.inputs in
+        let out_id =
+          match cell_for ~drive g.Bench_format.gate_type ~fan_in with
+          | Some cell ->
+            incr native;
+            emit ctx ~cell_index:cell ~fanin:driver_ids
+          | None ->
+            incr decomposed;
+            let before = ctx.next_id in
+            let out =
+              match g.Bench_format.gate_type with
+              | Bench_format.And ->
+                reduce_tree ctx ~drive ~family:Bench_format.And driver_ids
+              | Bench_format.Or ->
+                reduce_tree ctx ~drive ~family:Bench_format.Or driver_ids
+              | Bench_format.Nand ->
+                (* reduce all but the last group with ANDs, finish NAND *)
+                let rec split_last k acc = function
+                  | [] -> (List.rev acc, [])
+                  | rest when List.length rest <= k -> (List.rev acc, rest)
+                  | x :: rest -> split_last k (x :: acc) rest
+                in
+                let head, tail = split_last 3 [] driver_ids in
+                let head_ids =
+                  (* reduce the head into at most 1 signal *)
+                  if head = [] then []
+                  else [ reduce_tree ctx ~drive ~family:Bench_format.And head ]
+                in
+                let final = head_ids @ tail in
+                let cell =
+                  match
+                    cell_for ~drive Bench_format.Nand ~fan_in:(List.length final)
+                  with
+                  | Some c -> c
+                  | None -> assert false
+                in
+                emit ctx ~cell_index:cell ~fanin:final
+              | Bench_format.Nor ->
+                let rec split_last k acc = function
+                  | [] -> (List.rev acc, [])
+                  | rest when List.length rest <= k -> (List.rev acc, rest)
+                  | x :: rest -> split_last k (x :: acc) rest
+                in
+                let head, tail = split_last 3 [] driver_ids in
+                let head_ids =
+                  if head = [] then []
+                  else [ reduce_tree ctx ~drive ~family:Bench_format.Or head ]
+                in
+                let final = head_ids @ tail in
+                let cell =
+                  match
+                    cell_for ~drive Bench_format.Nor ~fan_in:(List.length final)
+                  with
+                  | Some c -> c
+                  | None -> assert false
+                in
+                emit ctx ~cell_index:cell ~fanin:final
+              | Bench_format.Xor -> xor_chain ctx ~drive ~complement:false driver_ids
+              | Bench_format.Xnor -> xor_chain ctx ~drive ~complement:true driver_ids
+              | Bench_format.Not | Bench_format.Buff | Bench_format.Dff ->
+                assert false
+            in
+            added := !added + (ctx.next_id - before - 1);
+            out
+        in
+        Hashtbl.replace ctx.net_ids g.Bench_format.output out_id
+      end
+    end
+  in
+  for i = 0 to Array.length gates - 1 do
+    visit i
+  done;
+  let instances = Array.of_list (List.rev ctx.rev_instances) in
+  let netlist =
+    Netlist.create ~name:bench.Bench_format.name
+      ~num_primary_inputs:(List.length bench.Bench_format.primary_inputs)
+      instances
+  in
+  (netlist, { native = !native; decomposed = !decomposed; added = !added })
+
+(* ---------- export ---------- *)
+
+let bench_family_of_cell name =
+  let starts prefix =
+    String.length name >= String.length prefix
+    && String.sub name 0 (String.length prefix) = prefix
+  in
+  if starts "INV" then Some (Bench_format.Not, 1)
+  else if starts "BUF" || starts "CLKBUF" || starts "TBUF" then
+    Some (Bench_format.Buff, 1)
+  else if starts "NAND2B" then Some (Bench_format.Nand, 2)
+  else if starts "NOR2B" then Some (Bench_format.Nor, 2)
+  else if starts "NAND2" then Some (Bench_format.Nand, 2)
+  else if starts "NAND3" then Some (Bench_format.Nand, 3)
+  else if starts "NAND4" then Some (Bench_format.Nand, 4)
+  else if starts "NOR2" then Some (Bench_format.Nor, 2)
+  else if starts "NOR3" then Some (Bench_format.Nor, 3)
+  else if starts "NOR4" then Some (Bench_format.Nor, 4)
+  else if starts "AND2" then Some (Bench_format.And, 2)
+  else if starts "AND3" then Some (Bench_format.And, 3)
+  else if starts "AND4" then Some (Bench_format.And, 4)
+  else if starts "OR2" then Some (Bench_format.Or, 2)
+  else if starts "OR3" then Some (Bench_format.Or, 3)
+  else if starts "OR4" then Some (Bench_format.Or, 4)
+  else if starts "XOR2" then Some (Bench_format.Xor, 2)
+  else if starts "XNOR2" then Some (Bench_format.Xnor, 2)
+  else if starts "AOI21" then Some (Bench_format.Nor, 3)
+  else if starts "AOI22" then Some (Bench_format.Nor, 4)
+  else if starts "AOI211" then Some (Bench_format.Nor, 4)
+  else if starts "OAI21" then Some (Bench_format.Nand, 3)
+  else if starts "OAI22" then Some (Bench_format.Nand, 4)
+  else if starts "OAI211" then Some (Bench_format.Nand, 4)
+  else if starts "MUX2" then Some (Bench_format.And, 3)
+  else if starts "MUX4" then Some (Bench_format.And, 6)
+  else if starts "HA" then Some (Bench_format.Xor, 2)
+  else if starts "FA" then Some (Bench_format.Xor, 3)
+  else if starts "DFF" || starts "SDFF" || starts "DLATCH" then
+    Some (Bench_format.Dff, 1)
+  else None
+
+let family_of_cell cell_index =
+  bench_family_of_cell Library.cells.(cell_index).Cell.name
+
+let netlist_to_bench (netlist : Netlist.t) =
+  let n = Netlist.size netlist in
+  let num_pi = Stdlib.max 1 netlist.Netlist.num_primary_inputs in
+  let pi_name k = Printf.sprintf "pi%d" k in
+  let net_name id = Printf.sprintf "n%d" id in
+  let gates =
+    Array.to_list
+      (Array.map
+         (fun inst ->
+           let cell = Library.cells.(inst.Netlist.cell_index) in
+           let family =
+             match bench_family_of_cell cell.Cell.name with
+             | Some f -> f
+             | None ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Techmap.netlist_to_bench: cell %s has no .bench \
+                     projection"
+                    cell.Cell.name)
+           in
+           let gate_type, arity = family in
+           let fanin = Array.to_list inst.Netlist.fanin in
+           let resolved =
+             List.mapi
+               (fun port driver ->
+                 if driver >= 0 then net_name driver
+                 else pi_name ((inst.Netlist.id + port) mod num_pi))
+               fanin
+           in
+           (* pad or trim to the family arity *)
+           let rec take k = function
+             | [] -> []
+             | _ when k = 0 -> []
+             | x :: rest -> x :: take (k - 1) rest
+           in
+           let padded =
+             let have = List.length resolved in
+             if have >= arity then take arity resolved
+             else
+               resolved
+               @ List.init (arity - have) (fun k ->
+                     pi_name ((inst.Netlist.id + have + k) mod num_pi))
+           in
+           { Bench_format.output = net_name inst.Netlist.id;
+             gate_type;
+             inputs = padded })
+         netlist.Netlist.instances)
+  in
+  (* primary outputs: nets that drive nothing *)
+  let driven = Array.make n false in
+  Array.iter
+    (fun inst ->
+      Array.iter (fun f -> if f >= 0 then driven.(f) <- true) inst.Netlist.fanin)
+    netlist.Netlist.instances;
+  let primary_outputs =
+    List.filter_map
+      (fun id -> if driven.(id) then None else Some (net_name id))
+      (List.init n Fun.id)
+  in
+  {
+    Bench_format.name = netlist.Netlist.name;
+    primary_inputs = List.init num_pi pi_name;
+    primary_outputs;
+    gates;
+  }

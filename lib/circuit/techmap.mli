@@ -1,0 +1,36 @@
+(** Technology mapping: lowering a generic .bench gate graph onto the
+    62-cell library.
+
+    Gates with library-native arity map directly (NAND3 → NAND3_X1,
+    XOR2 → XOR2_X1, NOT → INV_X1, DFF → DFF_X1, …).  Wider associative
+    gates are decomposed into balanced trees of library gates — e.g. a
+    5-input AND becomes AND4 feeding AND2 — and wide XOR/XNOR into
+    XOR2/XNOR2 chains, preserving the function.  The result is a
+    {!Netlist.t} ready for placement and estimation, so real ISCAS85
+    .bench files drop straight into the late-mode flow. *)
+
+type report = {
+  native : int;  (** gates mapped one-to-one *)
+  decomposed : int;  (** source gates that required a tree *)
+  added : int;  (** extra library cells introduced by decomposition *)
+}
+
+val map : ?drive:[ `X1 | `X2 ] -> Bench_format.t -> Netlist.t * report
+(** Maps a parsed .bench circuit; [drive] picks the drive variant where
+    the library offers one (default [`X1]).  Raises [Invalid_argument]
+    if the circuit fails {!Bench_format.validate}. *)
+
+val family_of_cell : int -> (Bench_format.gate_type * int) option
+(** Logic family and natural fan-in of a library cell (by canonical
+    index): the projection used both by the exporter and by netlist
+    logic simulation.  [None] for cells with no gate-level equivalent
+    (SRAM6T). *)
+
+val netlist_to_bench : Netlist.t -> Bench_format.t
+(** Exports a library netlist back to .bench gate types (drive variants
+    collapse onto their logic family; cells without a .bench equivalent
+    — complex AOI/OAI, MUX, adders, SRAM — are exported as their
+    NAND/NOR/NOT decompositions' nearest family and noted by name in a
+    comment-safe manner: the mapping is positional, good enough for
+    interchange of generated circuits).  Raises [Invalid_argument] for
+    cells that have no reasonable .bench projection (SRAM6T). *)

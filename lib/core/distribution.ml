@@ -1,0 +1,56 @@
+open Rgleak_num
+
+type shape = Normal | Lognormal
+
+type t = {
+  mean : float;
+  std : float;
+  shape : shape;
+  mu_ln : float;
+  sigma_ln : float;
+}
+
+let of_moments ?(shape = Lognormal) ~mean ~std () =
+  if mean <= 0.0 then invalid_arg "Distribution.of_moments: mean must be positive";
+  if std < 0.0 then invalid_arg "Distribution.of_moments: std must be non-negative";
+  match shape with
+  | Normal -> { mean; std; shape; mu_ln = nan; sigma_ln = nan }
+  | Lognormal ->
+    (* Wilkinson: match E[X] and Var[X] of a lognormal. *)
+    let cv2 = std *. std /. (mean *. mean) in
+    let sigma_ln2 = log (1.0 +. cv2) in
+    let mu_ln = log mean -. (0.5 *. sigma_ln2) in
+    { mean; std; shape; mu_ln; sigma_ln = sqrt sigma_ln2 }
+
+let of_estimate ?shape (r : Estimate.result) =
+  of_moments ?shape ~mean:r.Estimate.mean ~std:r.Estimate.std ()
+
+let quantile t p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Distribution.quantile: probability must be in (0,1)";
+  match t.shape with
+  | Normal -> t.mean +. (t.std *. Special.normal_quantile p)
+  | Lognormal -> exp (t.mu_ln +. (t.sigma_ln *. Special.normal_quantile p))
+
+let cdf t x =
+  match t.shape with
+  | Normal -> Special.normal_cdf ((x -. t.mean) /. Float.max t.std 1e-300)
+  | Lognormal ->
+    if x <= 0.0 then 0.0
+    else Special.normal_cdf ((log x -. t.mu_ln) /. Float.max t.sigma_ln 1e-300)
+
+let pdf t x =
+  match t.shape with
+  | Normal -> Special.normal_pdf ((x -. t.mean) /. t.std) /. t.std
+  | Lognormal ->
+    if x <= 0.0 then 0.0
+    else
+      Special.normal_pdf ((log x -. t.mu_ln) /. t.sigma_ln)
+      /. (x *. t.sigma_ln)
+
+let yield t ~budget = cdf t budget
+let budget_for_yield t ~yield = quantile t yield
+
+let pp fmt t =
+  let shape = match t.shape with Normal -> "normal" | Lognormal -> "lognormal" in
+  Format.fprintf fmt "%s(mean=%.4g, std=%.4g)" shape t.mean t.std

@@ -1,0 +1,41 @@
+(** Full-chip leakage distribution and yield analysis.
+
+    The paper delivers the mean and variance of total leakage; a
+    downstream user usually wants quantiles ("what leakage do 99 % of
+    dies stay under?") and yield against a budget.  Because the
+    die-to-die component multiplies every device's leakage by a shared
+    lognormal-ish factor, the total is right-skewed; a lognormal matched
+    to the estimated (mean, σ) — Wilkinson moment matching — captures
+    that skew, while the normal approximation is kept for comparison.
+    Both are validated against brute-force Monte Carlo in the test
+    suite. *)
+
+type shape = Normal | Lognormal
+
+type t = private {
+  mean : float;
+  std : float;
+  shape : shape;
+  mu_ln : float;  (** lognormal log-mean (nan for [Normal]) *)
+  sigma_ln : float;  (** lognormal log-std (nan for [Normal]) *)
+}
+
+val of_moments : ?shape:shape -> mean:float -> std:float -> unit -> t
+(** Matches the distribution to the estimated moments.  Default shape is
+    [Lognormal].  Requires positive mean and non-negative std. *)
+
+val of_estimate : ?shape:shape -> Estimate.result -> t
+
+val quantile : t -> float -> float
+(** Leakage value not exceeded with the given probability (in (0,1)). *)
+
+val cdf : t -> float -> float
+val pdf : t -> float -> float
+
+val yield : t -> budget:float -> float
+(** Fraction of dies with leakage at or below [budget]. *)
+
+val budget_for_yield : t -> yield:float -> float
+(** Smallest leakage budget achieving the target yield. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+open Rgleak_process
+open Rgleak_circuit
+
+type result = { mean : float; variance : float; std : float }
+
+let estimate ?(distance_points = 512) ~corr ~rgcorr placed =
+  let netlist = placed.Placer.netlist in
+  let layout = placed.Placer.layout in
+  let n = Netlist.size netlist in
+  if n = 0 then invalid_arg "Estimator_exact: empty netlist";
+  let rg = Rg_correlation.rg rgcorr in
+  (* Dense type indices for the cells actually present. *)
+  let used =
+    Array.of_list
+      (List.sort_uniq compare
+         (Array.to_list
+            (Array.map
+               (fun inst -> inst.Netlist.cell_index)
+               netlist.Netlist.instances)))
+  in
+  Array.iter
+    (fun ci ->
+      if not (Rg_correlation.in_support rgcorr ci) then
+        invalid_arg "Estimator_exact: netlist cell outside RG support")
+    used;
+  let nu = Array.length used in
+  let dense = Array.make Rgleak_cells.Library.size (-1) in
+  Array.iteri (fun d ci -> dense.(ci) <- d) used;
+  (* Distance-indexed covariance tables: cov_d.(ti*nu+tj).(k) is the
+     covariance at distance k*dstep. *)
+  let dmax =
+    let w = Layout.width layout and h = Layout.height layout in
+    sqrt ((w *. w) +. (h *. h)) +. 1e-9
+  in
+  let dstep = dmax /. float_of_int (distance_points - 1) in
+  let cov_d =
+    Array.init (nu * nu) (fun idx ->
+        let ti = idx / nu and tj = idx mod nu in
+        Array.init distance_points (fun k ->
+            let d = float_of_int k *. dstep in
+            let rho_l = Corr_model.total corr d in
+            Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(ti)
+              ~cj:used.(tj) ~rho_l))
+  in
+  (* Instance data flattened for the O(n²) loop. *)
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let types = Array.make n 0 in
+  let mean = ref 0.0 and variance = ref 0.0 in
+  Array.iteri
+    (fun i inst ->
+      let x, y = Placer.location placed i in
+      xs.(i) <- x;
+      ys.(i) <- y;
+      types.(i) <- dense.(inst.Netlist.cell_index);
+      mean := !mean +. Random_gate.mean_of_cell rg inst.Netlist.cell_index;
+      variance :=
+        !variance +. Random_gate.mixture_variance_of_cell rg inst.Netlist.cell_index)
+    netlist.Netlist.instances;
+  let inv_dstep = 1.0 /. dstep in
+  let acc = ref 0.0 in
+  for a = 0 to n - 1 do
+    let xa = xs.(a) and ya = ys.(a) in
+    let ta = types.(a) in
+    let row = ta * nu in
+    for b = a + 1 to n - 1 do
+      let dx = xs.(b) -. xa and dy = ys.(b) -. ya in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      let table = cov_d.(row + types.(b)) in
+      let pos = d *. inv_dstep in
+      let k = int_of_float pos in
+      let k = if k >= distance_points - 1 then distance_points - 2 else k in
+      let frac = pos -. float_of_int k in
+      acc := !acc +. table.(k) +. (frac *. (table.(k + 1) -. table.(k)))
+    done
+  done;
+  let variance = !variance +. (2.0 *. !acc) in
+  { mean = !mean; variance; std = sqrt (Float.max 0.0 variance) }

@@ -1,0 +1,21 @@
+(** The O(n²) "true leakage" of a specific placed design (§3: the
+    pairwise-covariance sum used as the reference everywhere in the
+    paper).
+
+    Mean: Σ_a μ_{type(a)}.  Variance: Σ_a Var_mix(type(a)) +
+    Σ_{a≠b} Cov_{type(a),type(b)}(ρ_L(d_ab)), with the per-cell-pair
+    covariances from {!Rg_correlation} and the length correlation from
+    the process model.  Distances are bucketed into a fine uniform table
+    once per call so the inner loop is pure float arithmetic. *)
+
+type result = { mean : float; variance : float; std : float }
+
+val estimate :
+  ?distance_points:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  Rgleak_circuit.Placer.placed ->
+  result
+(** [distance_points] (default 512) controls the resolution of the
+    distance → covariance tables (per cell pair).  All cells used by the
+    netlist must be in the correlation structure's support. *)

@@ -1,0 +1,87 @@
+open Rgleak_num
+open Rgleak_process
+
+type result = { mean : float; variance : float; std : float }
+
+let check_inputs ~n ~width ~height =
+  if n <= 0 then invalid_arg "Estimator_integral: need a positive gate count";
+  if width <= 0.0 || height <= 0.0 then
+    invalid_arg "Estimator_integral: dimensions must be positive"
+
+let mean_of rgcorr n =
+  float_of_int n *. (Rg_correlation.rg rgcorr).Random_gate.mu
+
+let rect_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
+  check_inputs ~n ~width ~height;
+  let nf = float_of_int n in
+  let area = width *. height in
+  let integrand x y =
+    let d = sqrt ((x *. x) +. (y *. y)) in
+    let rho_l = Corr_model.total corr d in
+    (width -. x) *. (height -. y) *. Rg_correlation.f rgcorr ~rho_l
+  in
+  let integral =
+    Quadrature.gauss_legendre_2d ~order integrand ~x_lo:0.0 ~x_hi:width
+      ~y_lo:0.0 ~y_hi:height
+  in
+  let variance = 4.0 *. nf *. nf /. (area *. area) *. integral in
+  { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
+
+let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
+  check_inputs ~n ~width ~height;
+  let nf = float_of_int n in
+  let area = width *. height in
+  (* Eq. 21: integrate over theta in [0, pi/2], r in [0, D(theta)] with
+     D(theta) the distance to the rectangle boundary. *)
+  let integral =
+    Quadrature.gauss_legendre ~order
+      (fun theta ->
+        let c = cos theta and s = sin theta in
+        let d_theta =
+          Float.min
+            (if c > 1e-12 then width /. c else infinity)
+            (if s > 1e-12 then height /. s else infinity)
+        in
+        Quadrature.gauss_legendre ~order
+          (fun r ->
+            let rho_l = Corr_model.total corr r in
+            (width -. (r *. c)) *. (height -. (r *. s))
+            *. Rg_correlation.f rgcorr ~rho_l *. r)
+          ~lo:0.0 ~hi:d_theta)
+      ~lo:0.0 ~hi:(Float.pi /. 2.0)
+  in
+  let variance = 4.0 *. nf *. nf /. (area *. area) *. integral in
+  { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
+
+let polar_applicable ~corr ~width ~height =
+  match Corr_model.wid_dmax corr with
+  | None -> false
+  | Some dmax -> dmax < Float.min width height
+
+let polar ?(order = 128) ~corr ~rgcorr ~n ~width ~height () =
+  check_inputs ~n ~width ~height;
+  let dmax =
+    match Corr_model.wid_dmax corr with
+    | Some d when d < Float.min width height -> d
+    | Some _ | None ->
+      invalid_arg
+        "Estimator_integral.polar: WID correlation must vanish within the die"
+  in
+  let nf = float_of_int n in
+  let area = width *. height in
+  (* Constant (die-to-die) part: beyond dmax the total correlation sits
+     at the floor rho_C, contributing exactly F(rho_C) per site pair. *)
+  let f_floor = Rg_correlation.f rgcorr ~rho_l:(Corr_model.floor corr) in
+  let g r =
+    (0.5 *. r *. r) -. ((width +. height) *. r)
+    +. (Float.pi /. 2.0 *. width *. height)
+  in
+  let integrand r =
+    let rho_l = Corr_model.total corr r in
+    (Rg_correlation.f rgcorr ~rho_l -. f_floor) *. r *. g r
+  in
+  let radial = Quadrature.gauss_legendre ~order integrand ~lo:0.0 ~hi:dmax in
+  let variance =
+    (4.0 *. nf *. nf /. (area *. area) *. radial) +. (nf *. nf *. f_floor)
+  in
+  { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }

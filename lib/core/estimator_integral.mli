@@ -1,0 +1,58 @@
+(** The O(1) constant-time RG estimators (§3.2).
+
+    [rect_2d] evaluates Eq. 20: a two-dimensional quadrature of
+    [(W−x)(H−y)·F(ρ_L(√(x²+y²)))] over the quarter plane of offsets.
+
+    [polar] evaluates Eqs. 24–26: when the within-die correlation
+    reaches zero at D_max < min(W, H), the angular integral is the
+    closed form [g(r) = 0.5 r² − (W+H) r + (π/2) W H] and only a single
+    radial integral remains.  Die-to-die variation makes the correlation
+    approach a non-zero floor; its covariance contribution is the exact
+    constant term [n²·F(ρ_C)] (Eq. 26). *)
+
+type result = { mean : float; variance : float; std : float }
+
+val rect_2d :
+  ?order:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  result
+(** Gauss–Legendre tensor quadrature of Eq. 20 ([order] points per axis,
+    default 96). *)
+
+val polar_2d :
+  ?order:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  result
+(** Eq. 21: the exact polar-coordinate mapping of Eq. 20 with the
+    angular bound [D(θ) = min(W/cosθ, H/sinθ)].  Always applicable
+    (unlike {!polar}); numerically it must agree with {!rect_2d}, which
+    the test suite checks — it exists because the paper derives it as
+    the stepping stone to the single integral. *)
+
+val polar_applicable :
+  corr:Rgleak_process.Corr_model.t -> width:float -> height:float -> bool
+(** True when the WID correlation has a finite zero-crossing below
+    min(width, height). *)
+
+val polar :
+  ?order:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  result
+(** Single radial Gauss–Legendre integral (Eqs. 25–26, [order] default
+    128).  Raises [Invalid_argument] when not applicable; check
+    {!polar_applicable}. *)

@@ -1,0 +1,29 @@
+open Rgleak_process
+open Rgleak_circuit
+
+type result = { mean : float; variance : float; std : float }
+
+let estimate ~corr ~rgcorr ~layout () =
+  let rg = Rg_correlation.rg rgcorr in
+  let n = Layout.site_count layout in
+  let nf = float_of_int n in
+  let mean = nf *. rg.Random_gate.mu in
+  (* Diagonal offset (0,0): n self-pairs, each contributing the full RG
+     variance (Eq. 11, same-location branch). *)
+  let variance = ref (nf *. rg.Random_gate.variance) in
+  let rows = Layout.rows layout in
+  let cols = layout.Layout.cols in
+  for dj = -(rows - 1) to rows - 1 do
+    for di = -(cols - 1) to cols - 1 do
+      if not (di = 0 && dj = 0) then begin
+        let occ = Layout.occurrences layout ~di ~dj in
+        if occ > 0 then begin
+          let d = Layout.distance_of_offset layout ~di ~dj in
+          let rho_l = Corr_model.total corr d in
+          variance :=
+            !variance +. (float_of_int occ *. Rg_correlation.f rgcorr ~rho_l)
+        end
+      end
+    done
+  done;
+  { mean; variance = !variance; std = sqrt (Float.max 0.0 !variance) }

@@ -1,0 +1,18 @@
+(** The O(n) linear-time RG estimator (§3.1, Eqs. 16–17).
+
+    The O(n²) double sum over site pairs collapses to a sum over the
+    distinct offset vectors of the rectangular array, each weighted by
+    its occurrence count.  With the generalized occurrence count of
+    {!Rgleak_circuit.Layout.occurrences} the transformation stays exact
+    for arbitrary gate counts (partial last row). *)
+
+type result = { mean : float; variance : float; std : float }
+
+val estimate :
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  layout:Rgleak_circuit.Layout.t ->
+  unit ->
+  result
+(** Mean is n·μ_{X_I} (Eq. 13); variance is Eq. 17 with the diagonal
+    offset contributing n·σ²_{X_I} (Eq. 11). *)

@@ -1,0 +1,109 @@
+open Rgleak_num
+open Rgleak_process
+
+type t = {
+  nx : int;
+  ny : int;
+  tile_w : float;
+  tile_h : float;
+  mean : float array;
+  p95 : float array;
+  hotspot_ratio : float;
+  samples : int;
+}
+
+let compute ?(tiles = 12) ?(samples = 400) ?(seed = 20_26) ~rg ~corr ~n ~width
+    ~height () =
+  if tiles < 2 then invalid_arg "Leakage_map.compute: need at least 2x2 tiles";
+  if samples < 10 then invalid_arg "Leakage_map.compute: need at least 10 samples";
+  if n <= 0 then invalid_arg "Leakage_map.compute: positive gate count";
+  if not (Corr_model.psd_in_2d corr) then
+    invalid_arg
+      "Leakage_map.compute: correlation family must be positive definite in \
+       2-D (see Corr_model.psd_in_2d)";
+  let nx = tiles and ny = tiles in
+  let tile_w = width /. float_of_int nx in
+  let tile_h = height /. float_of_int ny in
+  let gates_per_tile = float_of_int n /. float_of_int (nx * ny) in
+  (* Conditional per-gate leakage at a given local channel length. *)
+  let mu_l = rg.Random_gate.mu_l and sigma_l = rg.Random_gate.sigma_l in
+  let curve =
+    Interp.of_fun
+      (fun l ->
+        Array.fold_left
+          (fun acc (c : Random_gate.component) ->
+            let tr = c.Random_gate.triplet in
+            acc
+            +. (c.Random_gate.weight *. tr.Rgleak_cells.Mgf.a
+               *. exp ((tr.Rgleak_cells.Mgf.b *. l)
+                       +. (tr.Rgleak_cells.Mgf.c *. l *. l))))
+          0.0 rg.Random_gate.components)
+      ~lo:(mu_l -. (6.5 *. sigma_l))
+      ~hi:(mu_l +. (6.5 *. sigma_l))
+      ~n:257
+  in
+  let centers =
+    Array.init (nx * ny) (fun idx ->
+        let ix = idx mod nx and iy = idx / nx in
+        {
+          Variation.x = (float_of_int ix +. 0.5) *. tile_w;
+          y = (float_of_int iy +. 0.5) *. tile_h;
+        })
+  in
+  let sampler = Variation.prepare corr centers in
+  let rng = Rng.create ~seed () in
+  let accs = Array.init (nx * ny) (fun _ -> Stats.Acc.create ()) in
+  let per_tile_samples = Array.make_matrix (nx * ny) samples 0.0 in
+  let ratio_acc = Stats.Acc.create () in
+  for s = 0 to samples - 1 do
+    let field = Variation.sample sampler rng in
+    let max_tile = ref 0.0 and sum_tile = ref 0.0 in
+    Array.iteri
+      (fun idx l ->
+        let tile_leak = gates_per_tile *. Interp.eval curve l in
+        Stats.Acc.add accs.(idx) tile_leak;
+        per_tile_samples.(idx).(s) <- tile_leak;
+        if tile_leak > !max_tile then max_tile := tile_leak;
+        sum_tile := !sum_tile +. tile_leak)
+      field;
+    Stats.Acc.add ratio_acc (!max_tile /. (!sum_tile /. float_of_int (nx * ny)))
+  done;
+  {
+    nx;
+    ny;
+    tile_w;
+    tile_h;
+    mean = Array.map Stats.Acc.mean accs;
+    p95 = Array.map (fun row -> Stats.percentile row 95.0) per_tile_samples;
+    hotspot_ratio = Stats.Acc.mean ratio_acc;
+    samples;
+  }
+
+let tile t ~ix ~iy =
+  if ix < 0 || ix >= t.nx || iy < 0 || iy >= t.ny then
+    invalid_arg "Leakage_map.tile: out of range";
+  let idx = (iy * t.nx) + ix in
+  (t.mean.(idx), t.p95.(idx))
+
+let total_mean t = Array.fold_left ( +. ) 0.0 t.mean
+
+let render t =
+  let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  let lo = Array.fold_left Float.min infinity t.p95 in
+  let hi = Array.fold_left Float.max neg_infinity t.p95 in
+  let buf = Buffer.create ((t.nx + 1) * t.ny) in
+  Buffer.add_string buf
+    (Printf.sprintf "per-tile p95 leakage, %.4g .. %.4g nA ('%c' low, '%c' high)\n"
+       lo hi shades.(0) shades.(9));
+  for iy = t.ny - 1 downto 0 do
+    for ix = 0 to t.nx - 1 do
+      let v = t.p95.((iy * t.nx) + ix) in
+      let level =
+        if hi = lo then 0
+        else Stdlib.min 9 (int_of_float ((v -. lo) /. (hi -. lo) *. 9.999))
+      in
+      Buffer.add_char buf shades.(level)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

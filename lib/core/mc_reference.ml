@@ -1,0 +1,72 @@
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+
+type t = {
+  sampler : Variation.sampler;
+  p : float;
+  n : int;
+  (* per gate: the characterized states of its cell *)
+  gate_states : Characterize.state_char array array;
+  gate_inputs : int array;
+}
+
+let prepare ~chars ~corr ~p placed =
+  let netlist = placed.Placer.netlist in
+  let n = Netlist.size netlist in
+  let locations =
+    Array.init n (fun i ->
+        let x, y = Placer.location placed i in
+        { Variation.x; y })
+  in
+  let sampler = Variation.prepare corr locations in
+  let gate_states =
+    Array.map
+      (fun inst -> chars.(inst.Netlist.cell_index).Characterize.states)
+      netlist.Netlist.instances
+  in
+  let gate_inputs =
+    Array.map
+      (fun inst ->
+        chars.(inst.Netlist.cell_index).Characterize.cell.Cell.num_inputs)
+      netlist.Netlist.instances
+  in
+  { sampler; p; n; gate_states; gate_inputs }
+
+let gate_count t = t.n
+
+let draw_state t rng gate =
+  let bits = t.gate_inputs.(gate) in
+  let idx = ref 0 in
+  for b = 0 to bits - 1 do
+    if Rng.uniform rng < t.p then idx := !idx lor (1 lsl b)
+  done;
+  !idx
+
+let total_with_states t lengths state_of_gate =
+  let total = ref 0.0 in
+  for g = 0 to t.n - 1 do
+    let sc = t.gate_states.(g).(state_of_gate g) in
+    total := !total +. Characterize.leakage_at sc lengths.(g)
+  done;
+  !total
+
+let sample t rng =
+  let lengths = Variation.sample t.sampler rng in
+  total_with_states t lengths (draw_state t rng)
+
+let sample_many t rng ~count = Array.init count (fun _ -> sample t rng)
+
+let moments t rng ~count =
+  let acc = Stats.Acc.create () in
+  for _ = 1 to count do
+    Stats.Acc.add acc (sample t rng)
+  done;
+  (Stats.Acc.mean acc, Stats.Acc.std acc)
+
+let fixed_state_sample t rng ~state_seed =
+  let state_rng = Rng.create ~seed:state_seed () in
+  let states = Array.init t.n (fun g -> draw_state t state_rng g) in
+  let lengths = Variation.sample t.sampler rng in
+  total_with_states t lengths (fun g -> states.(g))

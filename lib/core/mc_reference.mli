@@ -1,0 +1,41 @@
+(** Brute-force Monte-Carlo simulation of full-chip leakage.
+
+    Ground truth beneath the analytical estimators: each sample draws a
+    complete die — one D2D offset, a spatially correlated WID
+    channel-length field over the actual gate locations (via a Cholesky
+    factor of the WID correlation matrix), and an input state per gate
+    from the signal probabilities — and sums the per-gate leakage from
+    the characterization tables.
+
+    Preparation costs O(n³) for the factorization, so this is meant for
+    validation-scale designs (a few thousand gates); the analytical
+    estimators are the product, this is the oracle they are tested
+    against. *)
+
+type t
+(** A prepared sampler for one placed design. *)
+
+val prepare :
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  corr:Rgleak_process.Corr_model.t ->
+  p:float ->
+  Rgleak_circuit.Placer.placed ->
+  t
+(** Builds the correlated-field sampler for the design's gate locations.
+    [p] is the signal probability used to draw input states. *)
+
+val gate_count : t -> int
+
+val sample : t -> Rgleak_num.Rng.t -> float
+(** One die's total leakage (nA). *)
+
+val sample_many : t -> Rgleak_num.Rng.t -> count:int -> float array
+(** [count] independent dies. *)
+
+val moments : t -> Rgleak_num.Rng.t -> count:int -> float * float
+(** (mean, std) over [count] sampled dies. *)
+
+val fixed_state_sample : t -> Rgleak_num.Rng.t -> state_seed:int -> float
+(** Like {!sample} but with the per-gate input states frozen by
+    [state_seed] while the process variations vary — used to separate
+    state randomness from process randomness in tests. *)

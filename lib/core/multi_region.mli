@@ -1,0 +1,66 @@
+(** Hierarchical (multi-region) full-chip estimation — an extension of
+    the paper's single homogeneous RG array.
+
+    Real floorplans are not homogeneous: a cache macro, a datapath block
+    and a control block have different cell mixes and densities.  Each
+    region gets its own Random Gate; the total variance is
+
+    [Σ_i var_i + Σ_{i≠j} cross_ij]
+
+    where [var_i] is the paper's within-region integral (Eq. 20 applied
+    to the region's rectangle) and the cross term integrates the
+    cross-RG covariance over the two rectangles.  For rectangles the
+    double area integral reduces to a 2-D integral over offset vectors
+    weighted by the interval-overlap kernel, evaluated with
+    Gauss–Legendre — still O(1) per region pair.
+
+    A partition of a die into regions with identical mixes reproduces
+    the single-region estimate (verified in the test suite). *)
+
+type region = {
+  label : string;
+  histogram : Rgleak_circuit.Histogram.t;
+  n : int;  (** gates in this region *)
+  x : float;  (** lower-left corner, µm *)
+  y : float;
+  width : float;
+  height : float;
+}
+
+val region :
+  ?label:string ->
+  histogram:Rgleak_circuit.Histogram.t ->
+  n:int ->
+  x:float -> y:float -> width:float -> height:float ->
+  unit ->
+  region
+(** Constructor with validation (positive dimensions and count). *)
+
+val overlap_area : region -> region -> float
+(** Intersection area of the two rectangles (for the disjointness
+    check). *)
+
+type result = {
+  mean : float;
+  variance : float;
+  std : float;
+  region_means : (string * float) array;
+  cross_share : float;
+      (** fraction of the total variance carried by cross-region
+          covariance — how wrong a regions-are-independent assumption
+          would be *)
+}
+
+val estimate :
+  ?mode:Random_gate.mode ->
+  ?mapping:Rg_correlation.mapping ->
+  ?p:float ->
+  ?order:int ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  corr:Rgleak_process.Corr_model.t ->
+  region list ->
+  result
+(** Estimates the whole die.  [p] defaults to each region's own
+    conservative maximum-leakage setting; [order] is the quadrature
+    order per axis (default 64).  Raises [Invalid_argument] on
+    overlapping regions or an empty list. *)

@@ -1,0 +1,91 @@
+open Rgleak_cells
+open Rgleak_circuit
+
+type mode = Analytic | Reference
+
+type component = {
+  cell_index : int;
+  state_index : int;
+  weight : float;
+  mu : float;
+  sigma : float;
+  triplet : Mgf.triplet;
+}
+
+type t = {
+  components : component array;
+  mode : mode;
+  mu_l : float;
+  sigma_l : float;
+  mu : float;
+  second_moment : float;
+  variance : float;
+  cell_mu : float array;
+  cell_mixture_variance : float array;
+}
+
+let state_moments mode (sc : Characterize.state_char) =
+  match mode with
+  | Analytic -> (sc.mu_analytic, sc.sigma_analytic)
+  | Reference -> (sc.mu_ref, sc.sigma_ref)
+
+let create ?(mode = Analytic) ~chars ~histogram ~p () =
+  if Array.length chars <> Library.size then
+    invalid_arg "Random_gate.create: expected a full-library characterization";
+  let param = chars.(0).Characterize.param in
+  let mu_l = param.Rgleak_process.Process_param.nominal in
+  let sigma_l = Rgleak_process.Process_param.sigma_total param in
+  let components = ref [] in
+  let cell_mu = Array.make Library.size 0.0 in
+  let cell_mixture_variance = Array.make Library.size 0.0 in
+  let mu = ref 0.0 and second = ref 0.0 in
+  Array.iteri
+    (fun cell_index (ch : Characterize.cell_char) ->
+      let num_inputs = ch.Characterize.cell.Cell.num_inputs in
+      let probs = Signal_prob.state_probabilities ~num_inputs ~p in
+      let alpha = Histogram.frequency histogram cell_index in
+      (* Per-cell state mixture (always computed: the exact estimator
+         needs it for cells in a netlist even if alpha would round to 0
+         in another histogram). *)
+      let cmu = ref 0.0 and csecond = ref 0.0 in
+      Array.iteri
+        (fun state_index prob ->
+          let m, s = state_moments mode ch.Characterize.states.(state_index) in
+          cmu := !cmu +. (prob *. m);
+          csecond := !csecond +. (prob *. ((s *. s) +. (m *. m)));
+          if alpha > 0.0 && prob > 0.0 then begin
+            let weight = alpha *. prob in
+            components :=
+              {
+                cell_index;
+                state_index;
+                weight;
+                mu = m;
+                sigma = s;
+                triplet = ch.Characterize.states.(state_index).Characterize.fit;
+              }
+              :: !components;
+            mu := !mu +. (weight *. m);
+            second := !second +. (weight *. ((s *. s) +. (m *. m)))
+          end)
+        probs;
+      cell_mu.(cell_index) <- !cmu;
+      cell_mixture_variance.(cell_index) <-
+        Float.max 0.0 (!csecond -. (!cmu *. !cmu)))
+    chars;
+  {
+    components = Array.of_list (List.rev !components);
+    mode;
+    mu_l;
+    sigma_l;
+    mu = !mu;
+    second_moment = !second;
+    variance = Float.max 0.0 (!second -. (!mu *. !mu));
+    cell_mu;
+    cell_mixture_variance;
+  }
+
+let sigma t = sqrt t.variance
+let num_components t = Array.length t.components
+let mean_of_cell t i = t.cell_mu.(i)
+let mixture_variance_of_cell t i = t.cell_mixture_variance.(i)

@@ -1,0 +1,62 @@
+(** The Random Gate (RG) of §2.2.2.
+
+    A RG is a random variable over gate {e types} whose distribution is
+    the design's cell-usage histogram; its leakage [X_I] lives on the
+    product of the type space and the process space.  Because every cell
+    is characterized per input state, we expand the type space to
+    (cell, input state) pairs with weights α_i·P(state | signal
+    probability): a gate type in a fixed state has a clean fitted
+    [a·e^{bL+cL²}] leakage law, so Eqs. 7–11 apply directly with the
+    expanded weights.
+
+    [mu] is Eq. 7, [second_moment] Eq. 8, and [variance] their
+    difference; the variance includes the gate-{e type} randomness (the
+    diagonal term of Eq. 11). *)
+
+type mode = Analytic | Reference
+(** Which per-state cell moments feed the model: the (a,b,c) closed
+    forms, or the quadrature reference standing in for MC mode. *)
+
+type component = {
+  cell_index : int;
+  state_index : int;
+  weight : float;  (** α_cell · P(state) *)
+  mu : float;
+  sigma : float;
+  triplet : Rgleak_cells.Mgf.triplet;
+}
+
+type t = private {
+  components : component array;  (** only non-zero-weight entries *)
+  mode : mode;
+  mu_l : float;  (** channel length mean *)
+  sigma_l : float;  (** channel length total std *)
+  mu : float;
+  second_moment : float;
+  variance : float;
+  cell_mu : float array;  (** per-library-cell state-weighted mean *)
+  cell_mixture_variance : float array;  (** per-library-cell mixture variance *)
+}
+
+val create :
+  ?mode:mode ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  histogram:Rgleak_circuit.Histogram.t ->
+  p:float ->
+  unit ->
+  t
+(** Builds the RG for a cell mix at signal probability [p].  [chars]
+    must be a characterization of the full library (canonical order). *)
+
+val sigma : t -> float
+val num_components : t -> int
+
+val mean_of_cell : t -> int -> float
+(** State-weighted mean leakage of one library cell under this RG's
+    signal probability (Σ_s P(s) μ_{cell,s}); 0 for cells outside the
+    histogram support is NOT implied — the value is defined for any
+    cell index present in the characterization. *)
+
+val mixture_variance_of_cell : t -> int -> float
+(** State-mixture variance of one cell (used as the diagonal term of
+    the exact pairwise estimator). *)

@@ -1,0 +1,261 @@
+open Rgleak_cells
+open Rgleak_process
+
+type mapping = Exact | Simplified
+
+type t = {
+  mapping : mapping;
+  rg : Random_gate.t;
+  points : int;
+  step : float;
+  f_table : float array;
+  (* dense support-cell indexing for the pair tables *)
+  support_index : int array; (* library cell index -> dense index or -1 *)
+  support_cells : int array;
+  pair_tables : float array array; (* [si * ns + sj] -> cov per grid point *)
+  sigma_bar : float;
+}
+
+(* Per-(cell,state) data needed to evaluate pairwise covariances. *)
+type comp = {
+  weight_in_cell : float; (* P(state) *)
+  alpha_weight : float; (* alpha_cell * P(state) *)
+  k0 : float;
+  beta : float;
+  c : float;
+  mu : float;
+  sigma : float;
+}
+
+let uniform_eval ~step ~table rho =
+  let points = Array.length table in
+  let pos = rho /. step in
+  let i = int_of_float (Float.floor pos) in
+  if i < 0 then table.(0)
+  else if i >= points - 1 then table.(points - 1)
+  else begin
+    let frac = pos -. float_of_int i in
+    table.(i) +. (frac *. (table.(i + 1) -. table.(i)))
+  end
+
+(* Exact pairwise product mean, specialized from Mgf.pair_product_mean
+   to precomputed centered parameters (hot loop of the tabulation). *)
+let product_mean ~s2 ~rho a b =
+  let m11 = 1.0 -. (2.0 *. s2 *. a.c) in
+  let m22 = 1.0 -. (2.0 *. s2 *. b.c) in
+  let det = (m11 *. m22) -. (4.0 *. s2 *. s2 *. rho *. rho *. a.c *. b.c) in
+  if m11 <= 0.0 || m22 <= 0.0 || det <= 0.0 then raise Mgf.Divergent;
+  let one_less = 1.0 -. (rho *. rho) in
+  let quad =
+    (a.beta *. a.beta *. (1.0 -. (2.0 *. s2 *. b.c *. one_less)))
+    +. (2.0 *. rho *. a.beta *. b.beta)
+    +. (b.beta *. b.beta *. (1.0 -. (2.0 *. s2 *. a.c *. one_less)))
+  in
+  exp (a.k0 +. b.k0 +. (s2 *. quad /. (2.0 *. det))) /. sqrt det
+
+let pair_cov ~mapping ~s2 ~rho a b =
+  match mapping with
+  | Simplified -> rho *. a.sigma *. b.sigma
+  | Exact -> product_mean ~s2 ~rho a b -. (a.mu *. b.mu)
+
+let create ?(mapping = Exact) ?(points = 65) ~chars ~rg ~p () =
+  if points < 2 then invalid_arg "Rg_correlation.create: need >= 2 grid points";
+  let param = chars.(0).Characterize.param in
+  let mu_l = param.Process_param.nominal in
+  let sigma_l = Process_param.sigma_total param in
+  let s2 = sigma_l *. sigma_l in
+  let step = 1.0 /. float_of_int (points - 1) in
+  (* Support cells in canonical order. *)
+  let support_cells =
+    Array.of_list
+      (List.sort_uniq compare
+         (Array.to_list
+            (Array.map
+               (fun (c : Random_gate.component) -> c.Random_gate.cell_index)
+               rg.Random_gate.components)))
+  in
+  let ns = Array.length support_cells in
+  let support_index = Array.make Library.size (-1) in
+  Array.iteri (fun dense ci -> support_index.(ci) <- dense) support_cells;
+  (* Per support cell: the component list with state probabilities. *)
+  let moments mode (sc : Characterize.state_char) =
+    match (mode : Random_gate.mode) with
+    | Analytic ->
+      (sc.Characterize.mu_analytic, sc.Characterize.sigma_analytic)
+    | Reference -> (sc.Characterize.mu_ref, sc.Characterize.sigma_ref)
+  in
+  let comps_of_cell ci =
+    let ch = chars.(ci) in
+    let num_inputs = ch.Characterize.cell.Cell.num_inputs in
+    let probs = Signal_prob.state_probabilities ~num_inputs ~p in
+    let alpha = rg.Random_gate.components
+                |> Array.to_list
+                |> List.fold_left
+                     (fun acc (c : Random_gate.component) ->
+                       if c.Random_gate.cell_index = ci then
+                         acc +. c.Random_gate.weight
+                       else acc)
+                     0.0
+    in
+    let comps =
+      Array.to_list probs
+      |> List.mapi (fun state_index prob ->
+             if prob <= 0.0 then None
+             else begin
+               let sc = ch.Characterize.states.(state_index) in
+               let k0, beta = Mgf.centered sc.Characterize.fit ~mu:mu_l in
+               let mu, sigma = moments rg.Random_gate.mode sc in
+               Some
+                 {
+                   weight_in_cell = prob;
+                   alpha_weight = alpha *. prob;
+                   k0;
+                   beta;
+                   c = sc.Characterize.fit.Mgf.c;
+                   mu;
+                   sigma;
+                 }
+             end)
+      |> List.filter_map Fun.id
+    in
+    Array.of_list comps
+  in
+  let cell_comps = Array.map comps_of_cell support_cells in
+  (* Pair tables: state-probability-weighted covariance per cell pair. *)
+  let pair_tables =
+    Array.init (ns * ns) (fun idx ->
+        let si = idx / ns and sj = idx mod ns in
+        if sj < si then [||] (* filled from the symmetric entry below *)
+        else begin
+          let ca = cell_comps.(si) and cb = cell_comps.(sj) in
+          Array.init points (fun k ->
+              let rho = float_of_int k *. step in
+              let acc = ref 0.0 in
+              Array.iter
+                (fun a ->
+                  Array.iter
+                    (fun b ->
+                      acc :=
+                        !acc
+                        +. (a.weight_in_cell *. b.weight_in_cell
+                           *. pair_cov ~mapping ~s2 ~rho a b))
+                    cb)
+                ca;
+              !acc)
+        end)
+  in
+  for si = 0 to ns - 1 do
+    for sj = 0 to si - 1 do
+      pair_tables.((si * ns) + sj) <- pair_tables.((sj * ns) + si)
+    done
+  done;
+  (* F table: alpha-weighted aggregate over support cell pairs. *)
+  let alphas =
+    Array.map
+      (fun comps -> Array.fold_left (fun acc c -> acc +. c.alpha_weight) 0.0 comps)
+      cell_comps
+  in
+  let f_table =
+    Array.init points (fun k ->
+        let acc = ref 0.0 in
+        for si = 0 to ns - 1 do
+          for sj = 0 to ns - 1 do
+            acc :=
+              !acc
+              +. (alphas.(si) *. alphas.(sj) *. pair_tables.((si * ns) + sj).(k))
+          done
+        done;
+        !acc)
+  in
+  let sigma_bar =
+    Array.fold_left
+      (fun acc comps ->
+        Array.fold_left (fun acc c -> acc +. (c.alpha_weight *. c.sigma)) acc comps)
+      0.0 cell_comps
+  in
+  {
+    mapping;
+    rg;
+    points;
+    step;
+    f_table;
+    support_index;
+    support_cells;
+    pair_tables;
+    sigma_bar;
+  }
+
+let mapping t = t.mapping
+let rg t = t.rg
+
+let f t ~rho_l =
+  if not (rho_l >= 0.0 && rho_l <= 1.0) then
+    invalid_arg "Rg_correlation.f: rho out of [0,1]";
+  uniform_eval ~step:t.step ~table:t.f_table rho_l
+
+let rho_rg t ~rho_l =
+  let v = t.rg.Random_gate.variance in
+  if v = 0.0 then 0.0 else f t ~rho_l /. v
+
+let in_support t ci =
+  ci >= 0 && ci < Array.length t.support_index && t.support_index.(ci) >= 0
+
+let cell_pair_covariance t ~ci ~cj ~rho_l =
+  let ns = Array.length t.support_cells in
+  let si = t.support_index.(ci) and sj = t.support_index.(cj) in
+  if si < 0 || sj < 0 then
+    invalid_arg "Rg_correlation.cell_pair_covariance: cell outside support";
+  uniform_eval ~step:t.step ~table:t.pair_tables.((si * ns) + sj) rho_l
+
+let sigma_bar t = t.sigma_bar
+
+type cross = { cross_step : float; cross_table : float array }
+
+(* A Random_gate.component carries everything the pairwise covariance
+   needs: weight = alpha * P(state), moments and the fitted triplet. *)
+let comp_of_component mu_l (c : Random_gate.component) =
+  let k0, beta = Mgf.centered c.Random_gate.triplet ~mu:mu_l in
+  {
+    weight_in_cell = 0.0;
+    alpha_weight = c.Random_gate.weight;
+    k0;
+    beta;
+    c = c.Random_gate.triplet.Mgf.c;
+    mu = c.Random_gate.mu;
+    sigma = c.Random_gate.sigma;
+  }
+
+let create_cross ?(mapping = Exact) ?(points = 65) ~rg_a ~rg_b () =
+  if
+    rg_a.Random_gate.mu_l <> rg_b.Random_gate.mu_l
+    || rg_a.Random_gate.sigma_l <> rg_b.Random_gate.sigma_l
+  then
+    invalid_arg
+      "Rg_correlation.create_cross: RGs built on different length statistics";
+  let mu_l = rg_a.Random_gate.mu_l in
+  let s2 = rg_a.Random_gate.sigma_l *. rg_a.Random_gate.sigma_l in
+  let comps_a = Array.map (comp_of_component mu_l) rg_a.Random_gate.components in
+  let comps_b = Array.map (comp_of_component mu_l) rg_b.Random_gate.components in
+  let step = 1.0 /. float_of_int (points - 1) in
+  let cross_table =
+    Array.init points (fun k ->
+        let rho = float_of_int k *. step in
+        let acc = ref 0.0 in
+        Array.iter
+          (fun a ->
+            Array.iter
+              (fun b ->
+                acc :=
+                  !acc
+                  +. (a.alpha_weight *. b.alpha_weight
+                     *. pair_cov ~mapping ~s2 ~rho a b))
+              comps_b)
+          comps_a;
+        !acc)
+  in
+  { cross_step = step; cross_table }
+
+let f_cross t ~rho_l =
+  if not (rho_l >= 0.0 && rho_l <= 1.0) then
+    invalid_arg "Rg_correlation.f_cross: rho out of [0,1]";
+  uniform_eval ~step:t.cross_step ~table:t.cross_table rho_l

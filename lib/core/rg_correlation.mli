@@ -1,0 +1,76 @@
+(** The RG leakage covariance structure (Eqs. 9–11).
+
+    For two random gates at distinct locations whose channel lengths
+    have total correlation ρ_L, the covariance is
+
+    [F(ρ_L) = Σ_m Σ_n w_m w_n σ_m σ_n f_{m,n}(ρ_L)]   (Eq. 10)
+
+    over the expanded (cell, state) type space.  Two mappings f_{m,n}
+    are supported: [Exact] uses the closed-form pairwise-lognormal
+    covariance from the fitted triplets (§2.1.3), and [Simplified]
+    applies the §3.1.2 assumption ρ_{m,n} = ρ_L (the only option in MC
+    characterization mode, where no triplets exist).
+
+    Everything is tabulated once on a uniform ρ grid; evaluation inside
+    the estimators is a constant-time interpolation.  Per-library-cell
+    pair covariances (state-probability weighted) are also tabulated for
+    the exact O(n²) estimator. *)
+
+type mapping = Exact | Simplified
+
+type t
+
+val create :
+  ?mapping:mapping ->
+  ?points:int ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  rg:Random_gate.t ->
+  p:float ->
+  unit ->
+  t
+(** Tabulates F and the per-cell-pair covariances over [points] (default
+    65) correlation values in [\[0, 1\]].  Pair tables cover only the
+    histogram's support cells.  [p] must match the signal probability
+    the RG was built with. *)
+
+val mapping : t -> mapping
+val rg : t -> Random_gate.t
+
+val f : t -> rho_l:float -> float
+(** Covariance between two RG leakages at distinct sites whose length
+    correlation is [rho_l] (the off-diagonal branch of Eq. 11). *)
+
+val rho_rg : t -> rho_l:float -> float
+(** RG leakage correlation: [f / σ²_{X_I}] (used in Eqs. 15–17). *)
+
+val cell_pair_covariance : t -> ci:int -> cj:int -> rho_l:float -> float
+(** State-weighted leakage covariance of two library cells (by canonical
+    index) at the given length correlation.  Raises [Invalid_argument]
+    for cells outside the histogram support. *)
+
+val in_support : t -> int -> bool
+
+val sigma_bar : t -> float
+(** Σ w_m σ_m — the aggregate used by the simplified mapping. *)
+
+(** {2 Cross-RG covariance}
+
+    For hierarchical (multi-region) estimation: the covariance between
+    the leakages of two {e different} random gates — e.g. one per die
+    region, each with its own cell mix — at locations with length
+    correlation ρ_L.  Same Eq. 10 structure with the two weight sets. *)
+
+type cross
+
+val create_cross :
+  ?mapping:mapping ->
+  ?points:int ->
+  rg_a:Random_gate.t ->
+  rg_b:Random_gate.t ->
+  unit ->
+  cross
+(** Both RGs must come from the same characterization (same length
+    statistics); this is checked. *)
+
+val f_cross : cross -> rho_l:float -> float
+(** Covariance of the two RG leakages at length correlation [rho_l]. *)

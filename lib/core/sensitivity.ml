@@ -1,0 +1,135 @@
+open Rgleak_cells
+open Rgleak_circuit
+
+type cell_sensitivity = {
+  cell_index : int;
+  cell_name : string;
+  alpha : float;
+  mean_share : float;
+  d_mean_d_alpha : float;
+  d_std_d_alpha : float;
+}
+
+type report = {
+  mean : float;
+  std : float;
+  cells : cell_sensitivity array;
+  d_mean_d_n : float;
+  d_std_d_n : float;
+  die_upsize_std_ratio : float;
+}
+
+(* Histogram with mass epsilon shifted toward cell i (all entries scaled
+   by (1-eps), cell i gets +eps), staying normalized. *)
+let shifted histogram ~cell ~epsilon =
+  let a = Histogram.to_array histogram in
+  let shifted =
+    Array.mapi
+      (fun j w ->
+        let base = w *. (1.0 -. epsilon) in
+        if j = cell then base +. epsilon else base)
+      a
+  in
+  Histogram.of_weights
+    (List.filteri
+       (fun _ (_, w) -> w > 0.0)
+       (List.mapi (fun j w -> (Library.cells.(j).Cell.name, w)) (Array.to_list shifted)))
+
+let estimate_of ~chars ~corr ?p (spec : Estimate.spec) =
+  Estimate.early ?p ~method_:Estimate.Integral_2d ~chars ~corr spec
+
+let analyze ?(epsilon = 0.01) ~chars ~corr ?p (spec : Estimate.spec) =
+  if not (epsilon > 0.0 && epsilon < 0.5) then
+    invalid_arg "Sensitivity.analyze: epsilon out of range";
+  let base = estimate_of ~chars ~corr ?p spec in
+  (* fix the signal probability so mix perturbations do not re-run the
+     argmax search with a different outcome *)
+  let p =
+    match p with
+    | Some p -> p
+    | None ->
+      Signal_prob.maximizing_p chars
+        ~weights:(Histogram.to_array spec.Estimate.histogram)
+  in
+  let support = Histogram.support spec.Estimate.histogram in
+  let nf = float_of_int spec.Estimate.n in
+  let cells =
+    List.map
+      (fun cell ->
+        let run direction =
+          let histogram =
+            shifted spec.Estimate.histogram ~cell ~epsilon:(direction *. epsilon)
+          in
+          estimate_of ~chars ~corr ~p { spec with Estimate.histogram }
+        in
+        let plus = run 1.0 in
+        (* a symmetric step would de-normalize for negative direction;
+           use the one-sided difference against the base instead *)
+        let d_mean = (plus.Estimate.mean -. base.Estimate.mean) /. epsilon in
+        let d_std = (plus.Estimate.std -. base.Estimate.std) /. epsilon in
+        let alpha = Histogram.frequency spec.Estimate.histogram cell in
+        let rg =
+          Random_gate.create ~chars ~histogram:spec.Estimate.histogram ~p ()
+        in
+        let mean_share =
+          if base.Estimate.mean = 0.0 then 0.0
+          else alpha *. Random_gate.mean_of_cell rg cell *. nf /. base.Estimate.mean
+        in
+        {
+          cell_index = cell;
+          cell_name = Library.cells.(cell).Cell.name;
+          alpha;
+          mean_share;
+          d_mean_d_alpha = d_mean;
+          d_std_d_alpha = d_std;
+        })
+      support
+    |> List.sort (fun a b ->
+           compare (Float.abs b.d_std_d_alpha) (Float.abs a.d_std_d_alpha))
+    |> Array.of_list
+  in
+  (* gate-count sensitivity at constant density: grow the die with n *)
+  let n_step = Stdlib.max 1 (spec.Estimate.n / 50) in
+  let grow =
+    let scale =
+      sqrt (float_of_int (spec.Estimate.n + n_step) /. float_of_int spec.Estimate.n)
+    in
+    estimate_of ~chars ~corr ~p
+      {
+        spec with
+        Estimate.n = spec.Estimate.n + n_step;
+        width = spec.Estimate.width *. scale;
+        height = spec.Estimate.height *. scale;
+      }
+  in
+  let d_mean_d_n = (grow.Estimate.mean -. base.Estimate.mean) /. float_of_int n_step in
+  let d_std_d_n = (grow.Estimate.std -. base.Estimate.std) /. float_of_int n_step in
+  let upsized =
+    estimate_of ~chars ~corr ~p
+      {
+        spec with
+        Estimate.width = spec.Estimate.width *. 1.1;
+        height = spec.Estimate.height *. 1.1;
+      }
+  in
+  {
+    mean = base.Estimate.mean;
+    std = base.Estimate.std;
+    cells;
+    d_mean_d_n;
+    d_std_d_n;
+    die_upsize_std_ratio = upsized.Estimate.std /. base.Estimate.std;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "mean %.4g nA, std %.4g nA@." r.mean r.std;
+  Format.fprintf fmt "%-12s %7s %9s %14s %14s@." "cell" "alpha" "share"
+    "d mean/d a" "d std/d a";
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt "%-12s %7.3f %8.1f%% %14.4g %14.4g@." c.cell_name
+        c.alpha (100.0 *. c.mean_share) c.d_mean_d_alpha c.d_std_d_alpha)
+    r.cells;
+  Format.fprintf fmt
+    "per gate: d mean = %.4g, d std = %.4g; 1.1x die upsizing scales std by %.4f@."
+    r.d_mean_d_n r.d_std_d_n r.die_upsize_std_ratio

@@ -1,0 +1,45 @@
+(** What-if sensitivity analysis for design planning.
+
+    Early-mode estimation exists to steer decisions; this module
+    quantifies how the leakage statistics move when the decisions move:
+    shifting the cell mix toward or away from a cell (with the histogram
+    renormalized), scaling the die, or growing the gate count.  Mix
+    sensitivities are computed by symmetric finite differences on the
+    constant-time estimator, so a full report costs a few milliseconds;
+    the mean sensitivities additionally satisfy the closed-form identity
+    [∂mean/∂α_i = n·(μ_i − μ̄)] (verified in the test suite). *)
+
+type cell_sensitivity = {
+  cell_index : int;
+  cell_name : string;
+  alpha : float;  (** current histogram frequency *)
+  mean_share : float;  (** fraction of the chip mean due to this cell *)
+  d_mean_d_alpha : float;
+      (** nA change of the chip mean per unit of renormalized frequency
+          shifted toward this cell *)
+  d_std_d_alpha : float;  (** same, for the chip standard deviation *)
+}
+
+type report = {
+  mean : float;
+  std : float;
+  cells : cell_sensitivity array;  (** support cells, largest |d_std| first *)
+  d_mean_d_n : float;  (** per added gate (die grown to keep density) *)
+  d_std_d_n : float;
+  die_upsize_std_ratio : float;
+      (** σ(1.1× linear die scale, same n) / σ — spreading the same
+          design decorrelates it *)
+}
+
+val analyze :
+  ?epsilon:float ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  corr:Rgleak_process.Corr_model.t ->
+  ?p:float ->
+  Estimate.spec ->
+  report
+(** [epsilon] is the finite-difference step on histogram frequencies
+    (default 0.01). *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable table. *)

@@ -1,0 +1,180 @@
+open Rgleak_num
+open Rgleak_cells
+open Rgleak_circuit
+
+(* Per-instance compiled form: the logic family for output evaluation,
+   the fan-in drivers (instance id or -1 = primary input), the
+   control-bit slots feeding it, and the per-state mean leakage. *)
+type inst = {
+  family : Bench_format.gate_type;
+  fanin : int array;  (** driver instance ids; -1 entries use pi_slots *)
+  pi_slots : int array;  (** control index per fanin position with driver -1 *)
+  dff_slot : int;  (** control index of the stored bit; -1 for combinational *)
+  num_inputs : int;  (** external state bits of the library cell *)
+  state_mu : float array;  (** mean leakage per state index *)
+}
+
+type t = {
+  instances : inst array;
+  num_controls : int;
+}
+
+let compile ~chars (netlist : Netlist.t) =
+  let n = Netlist.size netlist in
+  let next_control = ref netlist.Netlist.num_primary_inputs in
+  let fresh_dff_slot () =
+    let s = !next_control in
+    incr next_control;
+    s
+  in
+  (* primary-input slots are assigned deterministically per (instance,
+     port), matching the exporter's convention *)
+  let num_pi = Stdlib.max 1 netlist.Netlist.num_primary_inputs in
+  let instances =
+    Array.map
+      (fun instn ->
+        let cell_index = instn.Netlist.cell_index in
+        let family =
+          match Techmap.family_of_cell cell_index with
+          | Some (f, _) -> f
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Sleep_vector.compile: cell %s has no gate-level model"
+                 Library.cells.(cell_index).Cell.name)
+        in
+        let fanin = instn.Netlist.fanin in
+        let pi_slots =
+          Array.mapi
+            (fun port driver ->
+              if driver >= 0 then -1
+              else (instn.Netlist.id + port) mod num_pi)
+            fanin
+        in
+        let dff_slot =
+          if family = Bench_format.Dff then fresh_dff_slot () else -1
+        in
+        let ch = chars.(cell_index) in
+        {
+          family;
+          fanin;
+          pi_slots;
+          dff_slot;
+          num_inputs = ch.Characterize.cell.Cell.num_inputs;
+          state_mu =
+            Array.map
+              (fun (sc : Characterize.state_char) -> sc.Characterize.mu_analytic)
+              ch.Characterize.states;
+        })
+      netlist.Netlist.instances
+  in
+  ignore n;
+  { instances; num_controls = !next_control }
+
+let num_controls t = t.num_controls
+
+let eval_family family (bits : bool list) =
+  match (family : Bench_format.gate_type) with
+  | Bench_format.And -> List.for_all Fun.id bits
+  | Bench_format.Nand -> not (List.for_all Fun.id bits)
+  | Bench_format.Or -> List.exists Fun.id bits
+  | Bench_format.Nor -> not (List.exists Fun.id bits)
+  | Bench_format.Xor -> List.fold_left ( <> ) false bits
+  | Bench_format.Xnor -> not (List.fold_left ( <> ) false bits)
+  | Bench_format.Not -> not (match bits with b :: _ -> b | [] -> false)
+  | Bench_format.Buff -> ( match bits with b :: _ -> b | [] -> false)
+  | Bench_format.Dff -> false (* replaced by the stored bit *)
+
+let cost t vector =
+  if Array.length vector <> t.num_controls then
+    invalid_arg "Sleep_vector.cost: vector length mismatch";
+  let n = Array.length t.instances in
+  let outputs = Array.make n false in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let inst = t.instances.(i) in
+    let in_bits =
+      Array.to_list
+        (Array.mapi
+           (fun port driver ->
+             if driver >= 0 then outputs.(driver)
+             else vector.(inst.pi_slots.(port)))
+           inst.fanin)
+    in
+    (* the cell's external state: fanin bits first, then for flops the
+       parked clock (low) and the stored bit; remaining bits low *)
+    let state_bits = Array.make inst.num_inputs false in
+    List.iteri
+      (fun k b -> if k < inst.num_inputs then state_bits.(k) <- b)
+      in_bits;
+    if inst.dff_slot >= 0 && inst.num_inputs >= 3 then begin
+      state_bits.(1) <- false (* clock *);
+      state_bits.(2) <- vector.(inst.dff_slot)
+    end;
+    let state_index = ref 0 in
+    Array.iteri
+      (fun b v -> if v then state_index := !state_index lor (1 lsl b))
+      state_bits;
+    total := !total +. inst.state_mu.(!state_index);
+    outputs.(i) <-
+      (if inst.dff_slot >= 0 then vector.(inst.dff_slot)
+       else eval_family inst.family in_bits)
+  done;
+  !total
+
+let random_vector t rng =
+  Array.init t.num_controls (fun _ -> Rng.uniform rng < 0.5)
+
+let random_cost_stats t rng ~samples =
+  let acc = Stats.Acc.create () in
+  for _ = 1 to samples do
+    Stats.Acc.add acc (cost t (random_vector t rng))
+  done;
+  (Stats.Acc.min acc, Stats.Acc.mean acc, Stats.Acc.max acc)
+
+type search_result = {
+  vector : bool array;
+  cost : float;
+  random_mean : float;
+  improvement : float;
+  evaluations : int;
+}
+
+let search ?(restarts = 8) ?(samples = 200) ~rng t =
+  if t.num_controls = 0 then invalid_arg "Sleep_vector.search: nothing to control";
+  let _, random_mean, _ = random_cost_stats t rng ~samples in
+  let evaluations = ref samples in
+  let best_vector = ref (random_vector t rng) in
+  let best_cost = ref (cost t !best_vector) in
+  incr evaluations;
+  for _ = 1 to restarts do
+    let v = random_vector t rng in
+    let c = ref (cost t v) in
+    incr evaluations;
+    (* greedy single-bit descent to a local optimum *)
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      for b = 0 to t.num_controls - 1 do
+        v.(b) <- not v.(b);
+        let c' = cost t v in
+        incr evaluations;
+        if c' < !c then begin
+          c := c';
+          improved := true
+        end
+        else v.(b) <- not v.(b)
+      done
+    done;
+    if !c < !best_cost then begin
+      best_cost := !c;
+      best_vector := Array.copy v
+    end
+  done;
+  {
+    vector = !best_vector;
+    cost = !best_cost;
+    random_mean;
+    improvement = 1.0 -. (!best_cost /. random_mean);
+    evaluations = !evaluations;
+  }

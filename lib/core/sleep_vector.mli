@@ -1,0 +1,51 @@
+(** Minimum-leakage (sleep) vector search.
+
+    §2.1.4 shows per-gate leakage varying 10×+ with input state while
+    the chip-level effect of {e random} inputs averages out.  The flip
+    side is a classic standby-power technique: when a block is idle, its
+    inputs (and flop states) can be {e chosen}, and a good choice parks
+    every gate in a low-leakage state — e.g. exploiting the stack effect
+    of all-off NAND pulldowns.  Finding the optimum is NP-hard; this
+    module does the standard randomized greedy: random restarts, then
+    hill-climbing over single-bit flips.
+
+    The netlist's logic is simulated through each cell's gate-family
+    projection ({!Rgleak_circuit.Techmap.family_of_cell}); flip-flops
+    contribute their stored bit as a controllable input (clock parked
+    low), so the sleep vector covers primary inputs plus flop states.
+    The cost of a vector is the sum of the per-gate mean leakages of the
+    resulting states, from the characterization tables. *)
+
+type t
+(** A compiled simulation/cost model for one netlist. *)
+
+val compile :
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  Rgleak_circuit.Netlist.t ->
+  t
+(** Raises [Invalid_argument] if the netlist uses a cell with no
+    gate-level equivalent (SRAM6T). *)
+
+val num_controls : t -> int
+(** Bits in the sleep vector: primary inputs + flip-flop states. *)
+
+val cost : t -> bool array -> float
+(** Expected leakage (nA) with the block parked at this vector. *)
+
+val random_cost_stats :
+  t -> Rgleak_num.Rng.t -> samples:int -> float * float * float
+(** (min, mean, max) cost over random vectors — the baseline a search
+    improves upon. *)
+
+type search_result = {
+  vector : bool array;
+  cost : float;
+  random_mean : float;  (** mean cost of random vectors, for contrast *)
+  improvement : float;  (** 1 − cost/random_mean *)
+  evaluations : int;
+}
+
+val search :
+  ?restarts:int -> ?samples:int -> rng:Rgleak_num.Rng.t -> t -> search_result
+(** Greedy descent with [restarts] random starting vectors (default 8);
+    [samples] random vectors for the baseline statistics (default 200). *)

@@ -1,0 +1,73 @@
+open Rgleak_num
+open Rgleak_process
+
+type t = {
+  radii : float array;
+  cumulative_share : float array;
+  diagonal_share : float;
+  total_variance : float;
+}
+
+(* Angular kernel of the radial Eq. 20 form, valid for any r up to the
+   die diagonal because the (W - r cos t)(H - r sin t) factors clamp at
+   zero where the offset leaves the rectangle. *)
+let angular_kernel ~width ~height r =
+  Quadrature.gauss_legendre ~order:64
+    (fun theta ->
+      Float.max 0.0 (width -. (r *. cos theta))
+      *. Float.max 0.0 (height -. (r *. sin theta)))
+    ~lo:0.0 ~hi:(Float.pi /. 2.0)
+
+let compute ?(points = 64) ~corr ~rgcorr ~n ~width ~height () =
+  if points < 2 then invalid_arg "Variance_profile.compute: need >= 2 points";
+  if n <= 0 then invalid_arg "Variance_profile.compute: positive gate count";
+  let nf = float_of_int n in
+  let area = width *. height in
+  let diag = sqrt ((width *. width) +. (height *. height)) in
+  let rg = Rg_correlation.rg rgcorr in
+  let diagonal = nf *. rg.Random_gate.variance in
+  let scale = 4.0 *. nf *. nf /. (area *. area) in
+  let radial r =
+    Rg_correlation.f rgcorr ~rho_l:(Corr_model.total corr r)
+    *. r
+    *. angular_kernel ~width ~height r
+  in
+  (* cumulative integral over [0, diag] on a fine partition; each
+     segment integrated with a fixed GL rule *)
+  let radii = Array.init points (fun i -> float_of_int (i + 1) /. float_of_int points *. diag) in
+  let cumulative = Array.make points 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i r_hi ->
+      let r_lo = if i = 0 then 0.0 else radii.(i - 1) in
+      acc := !acc +. Quadrature.gauss_legendre ~order:16 radial ~lo:r_lo ~hi:r_hi;
+      cumulative.(i) <- diagonal +. (scale *. !acc))
+    radii;
+  let total_variance = cumulative.(points - 1) in
+  {
+    radii;
+    cumulative_share = Array.map (fun v -> v /. total_variance) cumulative;
+    diagonal_share = diagonal /. total_variance;
+    total_variance;
+  }
+
+let radius_for_share t ~share =
+  if not (share >= 0.0 && share <= 1.0) then
+    invalid_arg "Variance_profile.radius_for_share: share out of [0,1]";
+  let rec go i =
+    if i >= Array.length t.radii - 1 then t.radii.(Array.length t.radii - 1)
+    else if t.cumulative_share.(i) >= share then t.radii.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "diagonal (same-gate) share: %.2f%%@."
+    (100.0 *. t.diagonal_share);
+  Format.fprintf fmt "%10s %10s@." "radius um" "cum share";
+  let points = Array.length t.radii in
+  for k = 1 to 10 do
+    let i = Stdlib.min (points - 1) ((k * points / 10) - 1) in
+    Format.fprintf fmt "%10.1f %9.2f%%@." t.radii.(i)
+      (100.0 *. t.cumulative_share.(i))
+  done

@@ -1,0 +1,40 @@
+(** Decomposition of the chip-leakage variance by pair separation.
+
+    Answers "where does the σ come from?": the cumulative share of the
+    total variance contributed by gate pairs closer than a radius r,
+    plus the same-gate (diagonal) share.  Useful to judge how far the
+    within-die correlation actually reaches into the variance — e.g.
+    whether a guard-banded block placement could decorrelate anything —
+    and to see the D2D floor as the residual share at the largest
+    separations.
+
+    Computed from the radial form of Eq. 20: the angular kernel
+    [∫ max(0, W − r·cosθ)·max(0, H − r·sinθ) dθ] is evaluated
+    numerically so the profile is valid beyond min(W, H), all the way to
+    the die diagonal. *)
+
+type t = private {
+  radii : float array;  (** µm, increasing, last = die diagonal *)
+  cumulative_share : float array;
+      (** share of total variance from the diagonal plus pairs at
+          distance ≤ radii.(i); ends at 1 *)
+  diagonal_share : float;  (** same-gate share (the n·σ²_{X_I} term) *)
+  total_variance : float;
+}
+
+val compute :
+  ?points:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  t
+(** [points] radii (default 64) spaced over (0, diagonal]. *)
+
+val radius_for_share : t -> share:float -> float
+(** Smallest tabulated radius whose cumulative share reaches [share]. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact table at decile radii. *)

@@ -1,0 +1,33 @@
+open Rgleak_device
+open Rgleak_process
+
+let default_sigma_vt = Process_param.default_vt_rdf_sigma
+
+let q_of ?(env = Mosfet.default_env) ?(n_swing = 1.4) () =
+  n_swing *. env.Mosfet.v_thermal
+
+let mean_factor ?(sigma_vt = default_sigma_vt) ?env ?n_swing () =
+  let q = q_of ?env ?n_swing () in
+  exp (sigma_vt *. sigma_vt /. (2.0 *. q *. q))
+
+let per_gate_variance_multiplier ?(sigma_vt = default_sigma_vt) ?env ?n_swing () =
+  let q = q_of ?env ?n_swing () in
+  let s2q2 = sigma_vt *. sigma_vt /. (q *. q) in
+  exp s2q2 *. (exp s2q2 -. 1.0)
+
+let chip_variance_from_vt ~rg ~n ?(sigma_vt = default_sigma_vt) () =
+  let mult = per_gate_variance_multiplier ~sigma_vt () in
+  (* E over the RG type distribution of the squared per-gate mean. *)
+  let second_mu =
+    Array.fold_left
+      (fun acc (c : Random_gate.component) ->
+        acc +. (c.Random_gate.weight *. c.Random_gate.mu *. c.Random_gate.mu))
+      0.0 rg.Random_gate.components
+  in
+  float_of_int n *. second_mu *. mult
+
+let variance_ratio ~rg ~rgcorr ~corr ~layout ?(sigma_vt = default_sigma_vt) () =
+  let n = Rgleak_circuit.Layout.site_count layout in
+  let vt_var = chip_variance_from_vt ~rg ~n ~sigma_vt () in
+  let l_var = (Estimator_linear.estimate ~corr ~rgcorr ~layout ()).Estimator_linear.variance in
+  if l_var = 0.0 then infinity else vt_var /. l_var

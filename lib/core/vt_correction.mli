@@ -1,0 +1,36 @@
+(** Threshold-voltage random-dopant effects (§2.1).
+
+    Per-device V_t fluctuations are independent across the die, so for
+    full-chip statistics they matter for the {e mean} (a multiplicative
+    lognormal factor) but their contribution to the {e variance} scales
+    as n·σ² against the n²·σ² of correlated length variation, and
+    becomes negligible for large chips.  This module provides the mean
+    multiplier the paper applies and the variance-ratio analysis behind
+    experiment E9. *)
+
+val mean_factor :
+  ?sigma_vt:float -> ?env:Rgleak_device.Mosfet.env -> ?n_swing:float -> unit -> float
+(** [E\[exp(−δ/(n·v_T))\] = exp(σ_vt² / (2 (n·v_T)²))] — the factor by
+    which random-dopant fluctuations inflate the mean leakage (the
+    lognormal mean term of Rao/Helms).  Defaults: σ_vt = 25 mV,
+    n = 1.4, v_T at 300 K. *)
+
+val per_gate_variance_multiplier :
+  ?sigma_vt:float -> ?env:Rgleak_device.Mosfet.env -> ?n_swing:float -> unit -> float
+(** Variance of the per-gate lognormal V_t factor,
+    [e^{σ²/q²}(e^{σ²/q²} − 1)] with [q = n·v_T]; independent across
+    gates. *)
+
+val chip_variance_from_vt :
+  rg:Random_gate.t -> n:int -> ?sigma_vt:float -> unit -> float
+(** n · E\[μ_gate²\] · Var(factor): the total chip-leakage variance
+    contributed by independent V_t variation. *)
+
+val variance_ratio :
+  rg:Random_gate.t -> rgcorr:Rg_correlation.t ->
+  corr:Rgleak_process.Corr_model.t ->
+  layout:Rgleak_circuit.Layout.t ->
+  ?sigma_vt:float -> unit -> float
+(** Ratio of the V_t-driven chip variance to the correlated-L-driven
+    chip variance for a given die; the paper's claim is that this
+    vanishes as n grows. *)

@@ -1,0 +1,63 @@
+(** Subthreshold MOSFET leakage model.
+
+    A BSIM-flavoured analytic model standing in for the commercial 90 nm
+    SPICE models of the paper:
+
+    [I = I0 · (W/L) · exp((V_gs − V_th(L) + η·V_ds) / (n·v_T)) · (1 − exp(−V_ds / v_T))]
+
+    with threshold roll-off [V_th(L) = V_th0 − A·exp(−L/ℓ)].  The
+    exponential dependence of leakage on channel length — the property
+    the paper's [a·e^{bL+cL²}] fit captures — comes from the roll-off
+    term.  Voltages are in volts, channel lengths in nanometres,
+    currents in nanoamperes. *)
+
+type kind = Nmos | Pmos
+
+type env = {
+  vdd : float;  (** supply voltage (V) *)
+  v_thermal : float;  (** kT/q (V) *)
+  temp_k : float;  (** junction temperature (K) *)
+}
+
+type params = {
+  kind : kind;
+  i0 : float;  (** leakage prefactor (nA) for W/L = 1 at V_gs = V_th *)
+  vth0 : float;  (** long-channel threshold magnitude (V) *)
+  roll_amp : float;  (** V_th roll-off amplitude A (V) *)
+  roll_length : float;  (** roll-off characteristic length ℓ (nm) *)
+  n_swing : float;  (** subthreshold slope ideality factor n *)
+  dibl : float;  (** DIBL coefficient η (V/V) *)
+  w_nm : float;  (** device width (nm) *)
+}
+
+val default_env : env
+(** 90 nm-class: V_dd = 1.0 V, 300 K. *)
+
+val env_at : ?vdd:float -> temp_k:float -> unit -> env
+(** Environment at a junction temperature: the thermal voltage scales
+    with T, and {!subthreshold_current} additionally lowers V_th by
+    0.8 mV/K above 300 K — the two effects that make subthreshold
+    leakage grow steeply with temperature. *)
+
+val vth_temp_coeff : float
+(** dV_th/dT magnitude (V/K) applied by the model. *)
+
+val nmos : ?w_mult:float -> unit -> params
+(** Reference NMOS device; [w_mult] scales the default 200 nm width. *)
+
+val pmos : ?w_mult:float -> unit -> params
+(** Reference PMOS device (wider, lower mobility prefactor). *)
+
+val vth : params -> l_nm:float -> float
+(** Threshold voltage magnitude at the given channel length. *)
+
+val subthreshold_current :
+  ?dvt:float -> env -> params -> vgs:float -> vds:float -> l_nm:float -> float
+(** Subthreshold current (nA) for NMOS conventions: [vgs]/[vds] relative
+    to source, both typically ≥ −V_dd; [dvt] is an additive threshold
+    shift (random-dopant component).  For PMOS pass source-referred
+    magnitudes ([vsg], [vsd]); the model is symmetric. *)
+
+val off_current_floor : float
+(** Numerical floor (nA) below which network currents are clamped, to
+    keep root-finding well-behaved. *)

@@ -1,0 +1,134 @@
+open Rgleak_num
+
+type t =
+  | Device of { input : int; w_mult : float }
+  | Series of t list
+  | Parallel of t list
+
+exception Conducting
+
+let device ?(w_mult = 1.0) input =
+  if input < 0 then invalid_arg "Network.device: negative input index";
+  if w_mult <= 0.0 then invalid_arg "Network.device: width must be positive";
+  Device { input; w_mult }
+
+let series = function
+  | [] -> invalid_arg "Network.series: empty list"
+  | [ x ] -> x
+  | xs -> Series xs
+
+let parallel = function
+  | [] -> invalid_arg "Network.parallel: empty list"
+  | [ x ] -> x
+  | xs -> Parallel xs
+
+let rec fold_devices f acc = function
+  | Device d -> f acc d.input d.w_mult
+  | Series xs | Parallel xs -> List.fold_left (fold_devices f) acc xs
+
+let inputs net =
+  fold_devices (fun acc i _ -> i :: acc) [] net
+  |> List.sort_uniq compare
+
+let rec depth = function
+  | Device _ -> 1
+  | Series xs -> List.fold_left (fun acc x -> acc + depth x) 0 xs
+  | Parallel xs -> List.fold_left (fun acc x -> Stdlib.max acc (depth x)) 0 xs
+
+let device_count net = fold_devices (fun acc _ _ -> acc + 1) 0 net
+
+(* Reduced network for a fixed input state: ON devices disappear as
+   shorts, OFF devices remain.  Each surviving device carries its width
+   multiplier and its own channel length (device ordinals are assigned
+   in traversal order before reduction, so per-device length vectors
+   stay aligned whatever the state). *)
+type reduced = Short | Blocking of rnet
+and rnet = Rdev of float * float | Rser of rnet list | Rpar of rnet list
+
+let device_on ~kind ~value =
+  match (kind : Mosfet.kind) with Nmos -> value | Pmos -> not value
+
+let reduce ~kind ~l_of state net =
+  let ordinal = ref (-1) in
+  let rec go = function
+    | Device { input; w_mult } ->
+      incr ordinal;
+      if input >= Array.length state then
+        invalid_arg "Network: input index beyond state vector";
+      if device_on ~kind ~value:state.(input) then Short
+      else Blocking (Rdev (w_mult, l_of !ordinal))
+    | Series xs ->
+      let parts =
+        List.filter_map
+          (fun x -> match go x with Short -> None | Blocking r -> Some r)
+          xs
+      in
+      begin match parts with
+      | [] -> Short
+      | [ r ] -> Blocking r
+      | rs -> Blocking (Rser rs)
+      end
+    | Parallel xs ->
+      let reduced = List.map go xs in
+      if List.exists (fun r -> r = Short) reduced then Short
+      else begin
+        let parts =
+          List.map (function Short -> assert false | Blocking r -> r) reduced
+        in
+        match parts with [ r ] -> Blocking r | rs -> Blocking (Rpar rs)
+      end
+  in
+  go net
+
+let conducts ~kind net state =
+  reduce ~kind ~l_of:(fun _ -> 90.0) state net = Short
+
+(* Current through an OFF device between nodes at [hi] >= [lo].  The
+   gate sits at the off level (0 for NMOS, vdd for PMOS); the source is
+   the node nearer ground for NMOS and nearer vdd for PMOS, which is
+   what produces the stack effect as internal nodes move. *)
+let dev_current env (params : Mosfet.params) ~l_nm ~w_mult ~hi ~lo =
+  let vgs =
+    match params.Mosfet.kind with
+    | Nmos -> -.lo
+    | Pmos -> hi -. env.Mosfet.vdd
+  in
+  let i =
+    Mosfet.subthreshold_current env params ~vgs ~vds:(hi -. lo) ~l_nm
+  in
+  Float.max (i *. w_mult) 0.0
+
+let rec current env params rnet ~hi ~lo =
+  if hi <= lo then 0.0
+  else
+    match rnet with
+    | Rdev (w, l_nm) -> dev_current env params ~l_nm ~w_mult:w ~hi ~lo
+    | Rpar xs ->
+      List.fold_left (fun acc x -> acc +. current env params x ~hi ~lo) 0.0 xs
+    | Rser [] -> invalid_arg "Network: empty series"
+    | Rser [ x ] -> current env params x ~hi ~lo
+    | Rser (x :: rest) ->
+      (* Continuity at the internal node v: the current entering from
+         above equals the current leaving below.  The difference is
+         monotone decreasing in v, so Brent converges unconditionally. *)
+      let rest_net = match rest with [ r ] -> r | rs -> Rser rs in
+      let f v =
+        current env params x ~hi ~lo:v
+        -. current env params rest_net ~hi:v ~lo
+      in
+      let v =
+        try Rootfind.brent ~tol:1e-11 f ~lo ~hi
+        with Rootfind.No_bracket ->
+          (* Degenerate: both sides carry (numerically) zero current. *)
+          0.5 *. (hi +. lo)
+      in
+      current env params x ~hi ~lo:v
+
+let leakage ?(l_nm = 90.0) ?l_of ~env ~params net state =
+  let l_of = match l_of with Some f -> f | None -> fun _ -> l_nm in
+  match reduce ~kind:params.Mosfet.kind ~l_of state net with
+  | Short -> raise Conducting
+  | Blocking rnet ->
+    Float.max
+      (current env params rnet ~hi:env.Mosfet.vdd ~lo:0.0)
+      Mosfet.off_current_floor

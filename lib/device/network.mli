@@ -1,0 +1,56 @@
+(** Series/parallel pull networks and their leakage under a given input
+    state.
+
+    A CMOS cell is a PMOS pull-up network and an NMOS pull-down network.
+    For a given input state exactly one network conducts; the leakage of
+    the cell is the subthreshold current through the *blocking* network,
+    which exhibits the stack effect: series OFF devices raise internal
+    node voltages and suppress current super-linearly.  Internal node
+    voltages are found by enforcing current continuity with Brent's
+    method (nested for stacks deeper than two). *)
+
+type t =
+  | Device of { input : int; w_mult : float }
+      (** A transistor gated by input [input] (index into the state
+          vector); [w_mult] scales the reference width. *)
+  | Series of t list
+  | Parallel of t list
+
+val device : ?w_mult:float -> int -> t
+val series : t list -> t
+val parallel : t list -> t
+
+val inputs : t -> int list
+(** Sorted, de-duplicated input indices used by the network. *)
+
+val depth : t -> int
+(** Maximum series stack depth. *)
+
+val device_count : t -> int
+
+val conducts : kind:Mosfet.kind -> t -> bool array -> bool
+(** [conducts ~kind net state] is true when the network forms a fully-on
+    path for the given input state ([state.(i)] is the logic value of
+    input [i]).  An NMOS device conducts when its input is 1, a PMOS
+    device when it is 0. *)
+
+val leakage :
+  ?l_nm:float ->
+  ?l_of:(int -> float) ->
+  env:Mosfet.env ->
+  params:Mosfet.params ->
+  t ->
+  bool array ->
+  float
+(** Subthreshold current (nA) through the network when it does not
+    conduct, with the full supply across it.  ON devices are treated as
+    ideal shorts; OFF devices leak per {!Mosfet.subthreshold_current}.
+    Raises {!Conducting} if the network is on for this state — callers
+    must query {!conducts} first.  [l_nm] defaults to the nominal 90 nm
+    and is shared by every device (within-cell variations are fully
+    correlated, §2.1.1); pass [l_of] to give device [i] (in traversal
+    order, the {!inputs}/{!device_count} order) its own channel length —
+    used to ablate the full-correlation assumption. *)
+
+exception Conducting
+(** Raised by {!leakage} when the network is on for the given state. *)

@@ -1,0 +1,100 @@
+exception Not_positive_definite of int
+
+let decompose_inner ~on_bad_pivot a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Cholesky: matrix must be square";
+  let l = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (Matrix.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        match on_bad_pivot with
+        | None ->
+          if !s <= 0.0 then raise (Not_positive_definite i);
+          Matrix.set l i i (sqrt !s)
+        | Some tol ->
+          (* A pivot slightly below zero is numerical semi-definiteness;
+             one substantially below zero means the matrix is indefinite
+             and no Cholesky-like factor exists — refuse rather than
+             silently produce an inflated factor. *)
+          if !s < -.(1e6 *. tol) then raise (Not_positive_definite i);
+          if !s > tol then Matrix.set l i i (sqrt !s)
+          else Matrix.set l i i 0.0
+      end
+      else begin
+        let ljj = Matrix.get l j j in
+        (* A zero pivot in semidefinite mode means the row is linearly
+           dependent; its off-diagonal contribution is zero. *)
+        Matrix.set l i j (if ljj = 0.0 then 0.0 else !s /. ljj)
+      end
+    done;
+    (* Row-norm invariant: (L Lᵀ)ᵢᵢ must reproduce aᵢᵢ.  Indefinite
+       inputs in tolerant mode inflate rows through tiny pivots; catch
+       that here instead of returning a corrupt factor. *)
+    (match on_bad_pivot with
+    | None -> ()
+    | Some _ ->
+      let row_norm2 = ref 0.0 in
+      for k = 0 to i do
+        row_norm2 := !row_norm2 +. (Matrix.get l i k *. Matrix.get l i k)
+      done;
+      let aii = Matrix.get a i i in
+      if !row_norm2 > (aii *. 1.000001) +. 1e-6 then
+        raise (Not_positive_definite i))
+  done;
+  l
+
+let decompose a = decompose_inner ~on_bad_pivot:None a
+
+let decompose_semidefinite ?(jitter = 1e-10) a =
+  let n = Matrix.rows a in
+  let max_diag = ref 0.0 in
+  for i = 0 to n - 1 do
+    max_diag := Float.max !max_diag (Float.abs (Matrix.get a i i))
+  done;
+  let tol = jitter *. Float.max !max_diag 1.0 in
+  decompose_inner ~on_bad_pivot:(Some tol) a
+
+let solve l b =
+  let n = Matrix.rows l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  (* Forward substitution: l y = b. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Matrix.get l i k *. y.(k))
+    done;
+    y.(i) <- !s /. Matrix.get l i i
+  done;
+  (* Back substitution: lᵀ x = y. *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Matrix.get l k i *. x.(k))
+    done;
+    x.(i) <- !s /. Matrix.get l i i
+  done;
+  x
+
+let sample l rng =
+  let n = Matrix.rows l in
+  let z = Array.init n (fun _ -> Rng.gaussian rng) in
+  Array.init n (fun i ->
+      let s = ref 0.0 in
+      for k = 0 to i do
+        s := !s +. (Matrix.get l i k *. z.(k))
+      done;
+      !s)
+
+let log_det l =
+  let n = Matrix.rows l in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. log (Matrix.get l i i)
+  done;
+  2.0 *. !s

@@ -1,0 +1,30 @@
+(** Cholesky factorization of symmetric positive-(semi)definite matrices,
+    used to sample correlated Gaussian fields and to solve the normal
+    equations of least-squares fits. *)
+
+exception Not_positive_definite of int
+(** Raised with the offending pivot index when the matrix is not
+    numerically positive definite. *)
+
+val decompose : Matrix.t -> Matrix.t
+(** [decompose a] returns the lower-triangular [l] with [l * lᵀ = a].
+    Raises [Not_positive_definite] if a pivot is non-positive. *)
+
+val decompose_semidefinite : ?jitter:float -> Matrix.t -> Matrix.t
+(** Like [decompose] but tolerant of semi-definite inputs (as arise from
+    perfectly correlated spatial fields): non-positive pivots within
+    [jitter] (default 1e-10 relative to the largest diagonal entry) give
+    a zero row.  Genuinely indefinite inputs (pivots far below zero, or
+    rows whose norm would exceed the original diagonal) still raise
+    [Not_positive_definite] — e.g. a triangular correlation function
+    evaluated on a dense 2-D grid, which is not a valid covariance. *)
+
+val solve : Matrix.t -> Vector.t -> Vector.t
+(** [solve l b] solves [l lᵀ x = b] given the factor [l]. *)
+
+val sample : Matrix.t -> Rng.t -> Vector.t
+(** [sample l rng] draws a zero-mean Gaussian vector with covariance
+    [l lᵀ] (one standard normal per component, transformed by [l]). *)
+
+val log_det : Matrix.t -> float
+(** Log-determinant of [l lᵀ] given the factor [l]. *)

@@ -1,0 +1,98 @@
+type decomposition = { eigenvalues : float array; eigenvectors : Matrix.t }
+
+let symmetric ?(max_sweeps = 64) ?(tol = 1e-9) a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Eigen.symmetric: matrix must be square";
+  if not (Matrix.is_symmetric ~tol:(tol *. 100.0) a) then
+    invalid_arg "Eigen.symmetric: matrix must be symmetric";
+  (* Work on a mutable copy; accumulate rotations into v. *)
+  let m = Matrix.to_arrays a in
+  let v = Matrix.to_arrays (Matrix.identity n) in
+  let off_norm () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (m.(i).(j) *. m.(i).(j))
+      done
+    done;
+    sqrt !s
+  in
+  let scale =
+    let s = ref 1e-300 in
+    for i = 0 to n - 1 do
+      s := Float.max !s (Float.abs m.(i).(i))
+    done;
+    !s
+  in
+  let sweeps = ref 0 in
+  while off_norm () > 1e-12 *. scale *. float_of_int n && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = m.(p).(q) in
+        if Float.abs apq > 1e-300 then begin
+          let app = m.(p).(p) and aqq = m.(q).(q) in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if theta >= 0.0 then 1.0 else -1.0 in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* rotate rows/columns p and q *)
+          for k = 0 to n - 1 do
+            let akp = m.(k).(p) and akq = m.(k).(q) in
+            m.(k).(p) <- (c *. akp) -. (s *. akq);
+            m.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = m.(p).(k) and aqk = m.(q).(k) in
+            m.(p).(k) <- (c *. apk) -. (s *. aqk);
+            m.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  if !sweeps >= max_sweeps && off_norm () > 1e-8 *. scale *. float_of_int n then
+    failwith "Eigen.symmetric: Jacobi did not converge";
+  (* sort descending by eigenvalue *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare m.(j).(j) m.(i).(i)) order;
+  let eigenvalues = Array.map (fun i -> m.(i).(i)) order in
+  let eigenvectors =
+    Matrix.init ~rows:n ~cols:n (fun r c -> v.(r).(order.(c)))
+  in
+  { eigenvalues; eigenvectors }
+
+let reconstruct d =
+  let n = Array.length d.eigenvalues in
+  let lambda =
+    Matrix.init ~rows:n ~cols:n (fun i j ->
+        if i = j then d.eigenvalues.(i) else 0.0)
+  in
+  Matrix.mul d.eigenvectors (Matrix.mul lambda (Matrix.transpose d.eigenvectors))
+
+let principal_components ?(variance_fraction = 0.999) d =
+  if not (variance_fraction > 0.0 && variance_fraction <= 1.0) then
+    invalid_arg "Eigen.principal_components: fraction out of (0,1]";
+  let total =
+    Array.fold_left (fun acc l -> if l > 0.0 then acc +. l else acc) 0.0
+      d.eigenvalues
+  in
+  if total = 0.0 then 0
+  else begin
+    let rec go i acc =
+      if i >= Array.length d.eigenvalues || d.eigenvalues.(i) <= 0.0 then i
+      else begin
+        let acc = acc +. d.eigenvalues.(i) in
+        if acc >= variance_fraction *. total then i + 1 else go (i + 1) acc
+      end
+    in
+    go 0 0.0
+  end

@@ -1,0 +1,30 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Needed for the principal-component decomposition of gridded
+    process-variation covariance matrices (the Chang–Sapatnekar baseline
+    models channel length over die regions as a linear combination of
+    independent principal components).  Jacobi is slow for very large
+    matrices but unconditionally robust and accurate for the few-hundred
+    dimensional covariance matrices that arise here. *)
+
+type decomposition = {
+  eigenvalues : float array;  (** descending order *)
+  eigenvectors : Matrix.t;
+      (** column [j] is the unit eigenvector of [eigenvalues.(j)] *)
+}
+
+val symmetric : ?max_sweeps:int -> ?tol:float -> Matrix.t -> decomposition
+(** Decomposes a symmetric matrix ([a = V diag(λ) Vᵀ]).  Raises
+    [Invalid_argument] on non-square or (beyond [tol], default 1e-9
+    relative) non-symmetric input; fails with [Failure] if the
+    off-diagonal mass has not vanished after [max_sweeps] (default 64)
+    sweeps, which does not happen for symmetric input in practice. *)
+
+val reconstruct : decomposition -> Matrix.t
+(** [V diag(λ) Vᵀ], for testing. *)
+
+val principal_components :
+  ?variance_fraction:float -> decomposition -> int
+(** Number of leading components needed to capture the given fraction
+    (default 0.999) of the total variance (sum of positive
+    eigenvalues). *)

@@ -1,0 +1,41 @@
+type t = { xs : float array; ys : float array }
+
+let of_points points =
+  if Array.length points < 2 then
+    invalid_arg "Interp.of_points: need at least two points";
+  let sorted = Array.copy points in
+  Array.sort (fun (x1, _) (x2, _) -> compare x1 x2) sorted;
+  Array.iteri
+    (fun i (x, _) ->
+      if i > 0 && x = fst sorted.(i - 1) then
+        invalid_arg "Interp.of_points: duplicate abscissa")
+    sorted;
+  { xs = Array.map fst sorted; ys = Array.map snd sorted }
+
+let of_fun f ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Interp.of_fun: need at least two points";
+  let xs = Vector.linspace lo hi n in
+  of_points (Array.map (fun x -> (x, f x)) xs)
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    (* Binary search for the segment containing x. *)
+    let rec search lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.xs.(mid) <= x then search mid hi else search lo mid
+      end
+    in
+    let i = search 0 (n - 1) in
+    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+    let frac = (x -. x0) /. (x1 -. x0) in
+    t.ys.(i) +. (frac *. (t.ys.(i + 1) -. t.ys.(i)))
+  end
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+let size t = Array.length t.xs
+let to_points t = Array.mapi (fun i x -> (x, t.ys.(i))) t.xs

@@ -1,0 +1,24 @@
+(** Piecewise-linear interpolation over tabulated functions.
+
+    Used to tabulate the random-gate correlation map [F(ρ_L)] once and
+    evaluate it cheaply inside the estimators. *)
+
+type t
+(** An immutable interpolation table over strictly increasing abscissae. *)
+
+val of_points : (float * float) array -> t
+(** Builds a table from (x, y) points; sorts by x and requires all x to
+    be distinct. *)
+
+val of_fun : (float -> float) -> lo:float -> hi:float -> n:int -> t
+(** Tabulates [f] at [n] evenly spaced points on [\[lo, hi\]] ([n >= 2]). *)
+
+val eval : t -> float -> float
+(** Linear interpolation; clamps outside the tabulated range. *)
+
+val domain : t -> float * float
+val size : t -> int
+
+val to_points : t -> (float * float) array
+(** The tabulated (x, y) pairs in ascending x order (fresh array);
+    [of_points (to_points t)] reproduces [t]. *)

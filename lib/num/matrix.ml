@@ -1,0 +1,115 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1.0 else 0.0)
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.get: index out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.set: index out of bounds";
+  m.data.((i * m.cols) + j) <- v
+
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          m.data.((i * b.cols) + j) <-
+            m.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  m
+
+let mul_vec m x =
+  if m.cols <> Array.length x then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        s := !s +. (m.data.((i * m.cols) + j) *. x.(j))
+      done;
+      !s)
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix: shape mismatch";
+  { a with data = Array.mapi (fun i x -> f x b.data.(i)) a.data }
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let scale alpha m = { m with data = Array.map (fun x -> alpha *. x) m.data }
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then create ~rows:0 ~cols:0
+  else begin
+    let cols = Array.length a.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> cols then
+          invalid_arg "Matrix.of_arrays: ragged rows")
+      a;
+    init ~rows ~cols (fun i j -> a.(i).(j))
+  end
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let is_symmetric ?(tol = 1e-12) m =
+  m.rows = m.cols
+  &&
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j -. get m j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.max_abs_diff: shape mismatch";
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i))))
+    a.data;
+  !m
+
+let check_2x2 m =
+  if m.rows <> 2 || m.cols <> 2 then invalid_arg "Matrix: expected 2x2"
+
+let det2 m =
+  check_2x2 m;
+  (get m 0 0 *. get m 1 1) -. (get m 0 1 *. get m 1 0)
+
+let inv2 m =
+  check_2x2 m;
+  let d = det2 m in
+  if Float.abs d < 1e-300 then invalid_arg "Matrix.inv2: singular matrix";
+  of_arrays
+    [| [| get m 1 1 /. d; -.get m 0 1 /. d |];
+       [| -.get m 1 0 /. d; get m 0 0 /. d |] |]

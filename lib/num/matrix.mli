@@ -1,0 +1,30 @@
+(** Dense row-major float matrices. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vector.t -> Vector.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val of_arrays : float array array -> t
+val to_arrays : t -> float array array
+val is_symmetric : ?tol:float -> t -> bool
+val max_abs_diff : t -> t -> float
+
+val det2 : t -> float
+(** Determinant of a 2x2 matrix; raises on other shapes. *)
+
+val inv2 : t -> t
+(** Inverse of a 2x2 matrix; raises on other shapes or a singular input. *)

@@ -1,0 +1,84 @@
+let eval coeffs x =
+  let n = Array.length coeffs in
+  let rec horner i acc = if i < 0 then acc else horner (i - 1) ((acc *. x) +. coeffs.(i)) in
+  if n = 0 then 0.0 else horner (n - 2) coeffs.(n - 1)
+
+(* Fit in a centered/scaled coordinate u = (x - mu)/s for conditioning,
+   then expand the polynomial back to the x coordinate. *)
+let fit ?(degree = 2) xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Polyfit.fit: length mismatch";
+  if n <= degree then invalid_arg "Polyfit.fit: need more points than degree";
+  let mu = Stats.mean xs in
+  let s =
+    let sd = Stats.std xs in
+    if sd > 0.0 then sd else 1.0
+  in
+  let us = Array.map (fun x -> (x -. mu) /. s) xs in
+  let m = degree + 1 in
+  (* Normal equations: (VᵀV) c = Vᵀ y with Vandermonde V in u. *)
+  let ata = Matrix.create ~rows:m ~cols:m in
+  let aty = Array.make m 0.0 in
+  let pow = Array.make ((2 * degree) + 1) 0.0 in
+  Array.iteri
+    (fun idx u ->
+      let p = ref 1.0 in
+      for k = 0 to 2 * degree do
+        pow.(k) <- pow.(k) +. !p;
+        p := !p *. u
+      done;
+      let p = ref 1.0 in
+      for k = 0 to degree do
+        aty.(k) <- aty.(k) +. (!p *. ys.(idx));
+        p := !p *. u
+      done)
+    us;
+  for i = 0 to degree do
+    for j = 0 to degree do
+      Matrix.set ata i j pow.(i + j)
+    done
+  done;
+  let l = Cholesky.decompose ata in
+  let cu = Cholesky.solve l aty in
+  (* Expand p(u) = sum cu_k ((x-mu)/s)^k into coefficients of x via
+     binomial expansion. *)
+  let cx = Array.make m 0.0 in
+  let binom = Array.make_matrix m m 0.0 in
+  for i = 0 to degree do
+    binom.(i).(0) <- 1.0;
+    for j = 1 to i do
+      binom.(i).(j) <- binom.(i - 1).(j - 1) +. binom.(i - 1).(j)
+    done
+  done;
+  for k = 0 to degree do
+    (* cu_k * (x - mu)^k / s^k *)
+    let scale = cu.(k) /. (s ** float_of_int k) in
+    for j = 0 to k do
+      let term =
+        scale *. binom.(k).(j) *. ((-.mu) ** float_of_int (k - j))
+      in
+      cx.(j) <- cx.(j) +. term
+    done
+  done;
+  cx
+
+let fit_log_quadratic ~ls ~currents =
+  Array.iter
+    (fun x ->
+      if x <= 0.0 then
+        invalid_arg "Polyfit.fit_log_quadratic: currents must be positive")
+    currents;
+  let ys = Array.map log currents in
+  let c = fit ~degree:2 ls ys in
+  (exp c.(0), c.(1), c.(2))
+
+let rms_residual ~coeffs ~xs ~ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Polyfit.rms_residual: empty sample";
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let r = eval coeffs x -. ys.(i) in
+      s := !s +. (r *. r))
+    xs;
+  sqrt (!s /. float_of_int n)

@@ -1,0 +1,22 @@
+(** Least-squares polynomial regression.
+
+    The paper's analytical cell model fits [ln X] to a quadratic in the
+    channel length [L] (Rao et al.'s form [X = a·exp(bL + cL²)]); this
+    module provides that fit. *)
+
+val fit : ?degree:int -> float array -> float array -> float array
+(** [fit ~degree xs ys] returns coefficients [c] of the least-squares
+    polynomial [c.(0) + c.(1) x + ... + c.(degree) x^degree].  The normal
+    equations are solved by Cholesky after centering and scaling [xs]
+    for conditioning.  Requires [Array.length xs > degree]. *)
+
+val eval : float array -> float -> float
+(** Horner evaluation of a coefficient array (lowest degree first). *)
+
+val fit_log_quadratic : ls:float array -> currents:float array -> float * float * float
+(** [fit_log_quadratic ~ls ~currents] fits [ln currents] to
+    [ln a + b·L + c·L²] and returns [(a, b, c)].  All currents must be
+    positive. *)
+
+val rms_residual : coeffs:float array -> xs:float array -> ys:float array -> float
+(** Root-mean-square residual of a fit, for quality reporting. *)

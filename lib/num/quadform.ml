@@ -1,0 +1,34 @@
+exception Divergent
+
+(* Whitening route: with sigma = L Lᵀ and u = Lᵀ b, the expectation is
+   det(I − 2 LᵀAL)^{-1/2} · exp(c + ½ uᵀ (I − 2 LᵀAL)^{-1} u),
+   and I − 2 LᵀAL is symmetric, so its positive definiteness (= existence
+   of the expectation) is exactly what Cholesky tests. *)
+let expectation_exp ~sigma ~a ~b ~c =
+  let n = Matrix.rows sigma in
+  if Matrix.cols sigma <> n || Matrix.rows a <> n || Matrix.cols a <> n then
+    invalid_arg "Quadform.expectation_exp: dimension mismatch";
+  if Array.length b <> n then
+    invalid_arg "Quadform.expectation_exp: vector dimension mismatch";
+  let l = Cholesky.decompose_semidefinite sigma in
+  let lt = Matrix.transpose l in
+  let bmat = Matrix.mul lt (Matrix.mul a l) in
+  let m = Matrix.sub (Matrix.identity n) (Matrix.scale 2.0 bmat) in
+  let factor =
+    try Cholesky.decompose m
+    with Cholesky.Not_positive_definite _ -> raise Divergent
+  in
+  let u = Matrix.mul_vec lt b in
+  let minv_u = Cholesky.solve factor u in
+  let quad = 0.5 *. Vector.dot u minv_u in
+  exp (c +. quad -. (0.5 *. Cholesky.log_det factor))
+
+let expectation_exp_1d ~sigma2 ~a ~b ~c =
+  let denom = 1.0 -. (2.0 *. a *. sigma2) in
+  if denom <= 0.0 then raise Divergent;
+  exp (c +. (b *. b *. sigma2 /. (2.0 *. denom))) /. sqrt denom
+
+let expectation_exp_2d ~var1 ~var2 ~cov ~a11 ~a22 ~a12 ~b1 ~b2 ~c =
+  let sigma = Matrix.of_arrays [| [| var1; cov |]; [| cov; var2 |] |] in
+  let a = Matrix.of_arrays [| [| a11; a12 |]; [| a12; a22 |] |] in
+  expectation_exp ~sigma ~a ~b:[| b1; b2 |] ~c

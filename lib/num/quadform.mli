@@ -1,0 +1,33 @@
+(** Expectations of exponentials of Gaussian quadratic forms.
+
+    For [z ~ N(0, sigma)] (n-dimensional) and the scalar
+    [q(z) = zᵀ a z + bᵀ z + c], computes [E\[exp q(z)\]] in closed form:
+
+    [E = det(I − 2 sigma a)^{-1/2} · exp(c + ½ bᵀ (I − 2 sigma a)^{-1} sigma b)]
+
+    This is the engine behind both the single-cell non-central-χ² MGF
+    (Eqs. 1–5 of the paper) and the exact pairwise leakage-correlation
+    mapping f_{m,n}(ρ_L) of §2.1.3. *)
+
+exception Divergent
+(** Raised when [I − 2 sigma a] is not positive definite, i.e. the
+    expectation does not exist. *)
+
+val expectation_exp :
+  sigma:Matrix.t -> a:Matrix.t -> b:Vector.t -> c:float -> float
+(** General n-dimensional case; [sigma] must be symmetric positive
+    semi-definite, [a] symmetric.  Raises [Divergent] when the integral
+    diverges. *)
+
+val expectation_exp_1d : sigma2:float -> a:float -> b:float -> c:float -> float
+(** Scalar specialization for [z ~ N(0, sigma2)]:
+    [E\[exp (a z² + b z + c)\]]. *)
+
+val expectation_exp_2d :
+  var1:float -> var2:float -> cov:float ->
+  a11:float -> a22:float -> a12:float ->
+  b1:float -> b2:float -> c:float ->
+  float
+(** Bivariate specialization with covariance matrix
+    [\[\[var1, cov\]; \[cov, var2\]\]] and quadratic form
+    [a11 z1² + a22 z2² + 2 a12 z1 z2 + b1 z1 + b2 z2 + c]. *)

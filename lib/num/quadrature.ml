@@ -1,0 +1,160 @@
+(* Legendre polynomial value and derivative at x, by upward recurrence. *)
+let legendre_p_dp n x =
+  let rec go k pk pk1 =
+    (* pk = P_k(x), pk1 = P_{k-1}(x) *)
+    if k = n then (pk, pk1)
+    else begin
+      let kf = float_of_int k in
+      let pk2 = (((2.0 *. kf) +. 1.0) *. x *. pk -. (kf *. pk1)) /. (kf +. 1.0) in
+      go (k + 1) pk2 pk
+    end
+  in
+  let pn, pn1 = go 1 x 1.0 in
+  let dp = float_of_int n *. ((x *. pn) -. pn1) /. ((x *. x) -. 1.0) in
+  (pn, dp)
+
+let compute_nodes n =
+  if n < 1 then invalid_arg "Quadrature: order must be >= 1";
+  if n = 1 then [| (0.0, 2.0) |]
+  else
+    Array.init n (fun i ->
+        (* Tricomi initial guess, then Newton iterations. *)
+        let guess =
+          cos (Float.pi *. (float_of_int i +. 0.75) /. (float_of_int n +. 0.5))
+        in
+        let rec newton x iter =
+          let p, dp = legendre_p_dp n x in
+          let x' = x -. (p /. dp) in
+          if Float.abs (x' -. x) < 1e-15 || iter > 100 then x' else newton x' (iter + 1)
+        in
+        let x = newton guess 0 in
+        let _, dp = legendre_p_dp n x in
+        let w = 2.0 /. ((1.0 -. (x *. x)) *. dp *. dp) in
+        (x, w))
+
+let table : (int, (float * float) array) Hashtbl.t = Hashtbl.create 8
+
+let gauss_legendre_nodes n =
+  match Hashtbl.find_opt table n with
+  | Some nodes -> nodes
+  | None ->
+    let nodes = compute_nodes n in
+    Hashtbl.add table n nodes;
+    nodes
+
+let gauss_legendre ?(order = 64) f ~lo ~hi =
+  let nodes = gauss_legendre_nodes order in
+  let half = 0.5 *. (hi -. lo) in
+  let mid = 0.5 *. (hi +. lo) in
+  let s = ref 0.0 in
+  Array.iter (fun (x, w) -> s := !s +. (w *. f (mid +. (half *. x)))) nodes;
+  half *. !s
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 40) f ~lo ~hi =
+  let simpson a fa b fb fm = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+  let rec go a fa b fb m fm whole eps depth =
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson a fa m fm flm in
+    let right = simpson m fm b fb frm in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || Float.abs delta <= 15.0 *. eps then
+      left +. right +. (delta /. 15.0)
+    else
+      go a fa m fm lm flm left (eps /. 2.0) (depth + 1)
+      +. go m fm b fb rm frm right (eps /. 2.0) (depth + 1)
+  in
+  if lo = hi then 0.0
+  else begin
+    let fa = f lo and fb = f hi in
+    let m = 0.5 *. (lo +. hi) in
+    let fm = f m in
+    go lo fa hi fb m fm (simpson lo fa hi fb fm) tol 0
+  end
+
+let gauss_legendre_2d ?(order = 64) f ~x_lo ~x_hi ~y_lo ~y_hi =
+  let nodes = gauss_legendre_nodes order in
+  let half_x = 0.5 *. (x_hi -. x_lo) and mid_x = 0.5 *. (x_hi +. x_lo) in
+  let half_y = 0.5 *. (y_hi -. y_lo) and mid_y = 0.5 *. (y_hi +. y_lo) in
+  let s = ref 0.0 in
+  Array.iter
+    (fun (xi, wx) ->
+      let x = mid_x +. (half_x *. xi) in
+      let row = ref 0.0 in
+      Array.iter
+        (fun (yi, wy) -> row := !row +. (wy *. f x (mid_y +. (half_y *. yi))))
+        nodes;
+      s := !s +. (wx *. !row))
+    nodes;
+  half_x *. half_y *. !s
+
+let trapezoid f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Quadrature.trapezoid: need at least one panel";
+  let h = (hi -. lo) /. float_of_int n in
+  let s = ref (0.5 *. (f lo +. f hi)) in
+  for i = 1 to n - 1 do
+    s := !s +. f (lo +. (float_of_int i *. h))
+  done;
+  h *. !s
+
+(* Gauss-Hermite nodes by Newton iteration on the orthonormal Hermite
+   recurrence (Numerical Recipes "gauher" scheme, which avoids factorial
+   overflow at high order). *)
+let compute_hermite_nodes n =
+  if n < 1 then invalid_arg "Quadrature: order must be >= 1";
+  let pim4 = Float.pi ** (-0.25) in
+  let nodes = Array.make n (0.0, 0.0) in
+  let m = (n + 1) / 2 in
+  let z = ref 0.0 in
+  for i = 0 to m - 1 do
+    (* initial guesses for the roots, largest first *)
+    (if i = 0 then
+       z :=
+         sqrt (float_of_int ((2 * n) + 1))
+         -. (1.85575 *. (float_of_int ((2 * n) + 1) ** (-0.16667)))
+     else if i = 1 then z := !z -. (1.14 *. (float_of_int n ** 0.426) /. !z)
+     else if i = 2 then z := (1.86 *. !z) -. (0.86 *. fst nodes.(0))
+     else if i = 3 then z := (1.91 *. !z) -. (0.91 *. fst nodes.(1))
+     else z := (2.0 *. !z) -. fst nodes.(i - 2));
+    let pp = ref 0.0 in
+    (try
+       for _ = 1 to 100 do
+         let p1 = ref pim4 and p2 = ref 0.0 in
+         for j = 1 to n do
+           let p3 = !p2 in
+           p2 := !p1;
+           let jf = float_of_int j in
+           p1 :=
+             (!z *. sqrt (2.0 /. jf) *. !p2)
+             -. (sqrt ((jf -. 1.0) /. jf) *. p3)
+         done;
+         pp := sqrt (2.0 *. float_of_int n) *. !p2;
+         let z1 = !z in
+         z := z1 -. (!p1 /. !pp);
+         if Float.abs (!z -. z1) <= 1e-15 then raise Exit
+       done
+     with Exit -> ());
+    let w = 2.0 /. (!pp *. !pp) in
+    nodes.(i) <- (!z, w);
+    nodes.(n - 1 - i) <- (-. !z, w)
+  done;
+  nodes
+
+let hermite_table : (int, (float * float) array) Hashtbl.t = Hashtbl.create 8
+
+let gauss_hermite_nodes n =
+  match Hashtbl.find_opt hermite_table n with
+  | Some nodes -> nodes
+  | None ->
+    let nodes = compute_hermite_nodes n in
+    Hashtbl.add hermite_table n nodes;
+    nodes
+
+let normal_expectation ?(order = 64) f ~mu ~sigma =
+  let nodes = gauss_hermite_nodes order in
+  let inv_sqrt_pi = 1.0 /. sqrt Float.pi in
+  let s = ref 0.0 in
+  Array.iter
+    (fun (x, w) -> s := !s +. (w *. f (mu +. (sigma *. sqrt 2.0 *. x))))
+    nodes;
+  inv_sqrt_pi *. !s

@@ -1,0 +1,42 @@
+(** Numerical integration.
+
+    Gauss–Legendre rules are precomputed by Newton iteration on the
+    Legendre polynomials, so any order is available without tables.
+    These routines are the engine of the paper's constant-time
+    estimator (Eqs. 20 and 25/26). *)
+
+val gauss_legendre_nodes : int -> (float * float) array
+(** [gauss_legendre_nodes n] returns the [n] (node, weight) pairs on
+    [\[-1, 1\]]. Results are memoized per order. *)
+
+val gauss_legendre : ?order:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Fixed-order (default 64) Gauss–Legendre integral of [f] on
+    [\[lo, hi\]]. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Adaptive Simpson integration with absolute tolerance [tol]
+    (default 1e-10) and recursion cap [max_depth] (default 40). *)
+
+val gauss_legendre_2d :
+  ?order:int ->
+  (float -> float -> float) ->
+  x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float ->
+  float
+(** Tensor-product Gauss–Legendre rule for 2-D integrals on a rectangle
+    (default order 64 per axis). *)
+
+val trapezoid : (float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite trapezoid with [n] panels, used as an independent
+    cross-check in tests. *)
+
+val gauss_hermite_nodes : int -> (float * float) array
+(** [n] (node, weight) pairs for the weight [exp(−x²)] on the real line
+    (physicists' convention): [∫ e^{−x²} f(x) dx ≈ Σ wᵢ f(xᵢ)].
+    Memoized per order. *)
+
+val normal_expectation :
+  ?order:int -> (float -> float) -> mu:float -> sigma:float -> float
+(** [E\[f(X)\]] for [X ~ N(mu, sigma²)] by Gauss–Hermite quadrature
+    (default order 64) — the natural rule for the moment integrals of
+    the characterization step. *)

@@ -1,0 +1,105 @@
+exception No_bracket
+
+let check_bracket flo fhi = if flo *. fhi > 0.0 then raise No_bracket
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    check_bracket flo fhi;
+    let rec go lo flo hi iter =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo < tol || iter >= max_iter then mid
+      else begin
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if flo *. fmid < 0.0 then go lo flo mid (iter + 1)
+        else go mid fmid hi (iter + 1)
+      end
+    in
+    go lo flo hi 0
+  end
+
+(* Brent's method following the classical Brent (1973) formulation. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f lo) and fb = ref (f hi) in
+  if !fa = 0.0 then lo
+  else if !fb = 0.0 then hi
+  else begin
+    check_bracket !fa !fb;
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let result = ref nan in
+    (try
+       for _ = 1 to max_iter do
+         if Float.abs (!b -. !a) < tol || !fb = 0.0 then begin
+           result := !b;
+           raise Exit
+         end;
+         let s =
+           if !fa <> !fc && !fb <> !fc then
+             (* inverse quadratic interpolation *)
+             (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+             +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+             +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+           else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+         in
+         let cond1 =
+           let lo' = ((3.0 *. !a) +. !b) /. 4.0 in
+           let mn = Float.min lo' !b and mx = Float.max lo' !b in
+           s < mn || s > mx
+         in
+         let cond2 = !mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0 in
+         let cond3 = (not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0 in
+         let cond4 = !mflag && Float.abs (!b -. !c) < tol in
+         let cond5 = (not !mflag) && Float.abs (!c -. !d) < tol in
+         let s =
+           if cond1 || cond2 || cond3 || cond4 || cond5 then begin
+             mflag := true;
+             0.5 *. (!a +. !b)
+           end
+           else begin
+             mflag := false;
+             s
+           end
+         in
+         let fs = f s in
+         d := !c;
+         c := !b;
+         fc := !fb;
+         if !fa *. fs < 0.0 then begin
+           b := s;
+           fb := fs
+         end
+         else begin
+           a := s;
+           fa := fs
+         end;
+         if Float.abs !fa < Float.abs !fb then begin
+           let t = !a in a := !b; b := t;
+           let t = !fa in fa := !fb; fb := t
+         end
+       done;
+       result := !b
+     with Exit -> ());
+    !result
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let rec go x iter =
+    if iter >= max_iter then failwith "Rootfind.newton: no convergence";
+    let fx = f x in
+    if Float.abs fx < tol then x
+    else begin
+      let dfx = df x in
+      if dfx = 0.0 then failwith "Rootfind.newton: zero derivative";
+      go (x -. (fx /. dfx)) (iter + 1)
+    end
+  in
+  go x0 0

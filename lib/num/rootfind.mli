@@ -1,0 +1,23 @@
+(** Scalar root finding, used by the transistor-stack solver to find
+    intermediate node voltages. *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Bisection on [\[lo, hi\]]; requires [f lo] and [f hi] to have opposite
+    signs (raises [No_bracket] otherwise).  [tol] (default 1e-12) bounds
+    the interval width at exit. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Brent's method: inverse quadratic interpolation with bisection
+    safeguards.  Same bracketing contract as [bisect], typically an
+    order of magnitude fewer function evaluations. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> float
+(** Newton–Raphson from [x0]; falls back on raising [Failure] if it
+    does not converge in [max_iter] (default 100) steps. *)

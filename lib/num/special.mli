@@ -1,0 +1,21 @@
+(** Special functions for Gaussian statistics. *)
+
+val erf : float -> float
+(** Error function, accurate to about 1.2e-7 (Abramowitz–Stegun 7.1.26
+    refined with one Newton step against [erfc]). *)
+
+val erfc : float -> float
+(** Complementary error function, non-underflowing for large arguments. *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val normal_pdf : float -> float
+(** Standard normal density. *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF (Acklam's rational approximation with a
+    Halley refinement step); raises [Invalid_argument] outside (0, 1). *)
+
+val log_sum_exp : float array -> float
+(** Numerically stable [log (sum_i exp a_i)]. *)

@@ -1,0 +1,111 @@
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let std t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+module Cov_acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean_x : float;
+    mutable mean_y : float;
+    mutable c : float;
+    mutable m2x : float;
+    mutable m2y : float;
+  }
+
+  let create () = { n = 0; mean_x = 0.0; mean_y = 0.0; c = 0.0; m2x = 0.0; m2y = 0.0 }
+
+  let add t x y =
+    t.n <- t.n + 1;
+    let nf = float_of_int t.n in
+    let dx = x -. t.mean_x in
+    t.mean_x <- t.mean_x +. (dx /. nf);
+    t.m2x <- t.m2x +. (dx *. (x -. t.mean_x));
+    let dy = y -. t.mean_y in
+    t.mean_y <- t.mean_y +. (dy /. nf);
+    t.m2y <- t.m2y +. (dy *. (y -. t.mean_y));
+    t.c <- t.c +. (dx *. (y -. t.mean_y))
+
+  let count t = t.n
+  let covariance t = if t.n < 2 then 0.0 else t.c /. float_of_int (t.n - 1)
+
+  let correlation t =
+    if t.n < 2 then 0.0
+    else begin
+      let denom = sqrt (t.m2x *. t.m2y) in
+      if denom = 0.0 then 0.0 else t.c /. denom
+    end
+end
+
+let fold_acc xs =
+  let acc = Acc.create () in
+  Array.iter (Acc.add acc) xs;
+  acc
+
+let mean xs = Acc.mean (fold_acc xs)
+let variance xs = Acc.variance (fold_acc xs)
+let std xs = Acc.std (fold_acc xs)
+
+let fold_cov xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats: paired arrays must have equal length";
+  let acc = Cov_acc.create () in
+  Array.iteri (fun i x -> Cov_acc.add acc x ys.(i)) xs;
+  acc
+
+let covariance xs ys = Cov_acc.covariance (fold_cov xs ys)
+let correlation xs ys = Cov_acc.correlation (fold_cov xs ys)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Stats.percentile: p must be in [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let histogram xs ~bins =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then invalid_arg "Stats.histogram: empty sample";
+  let lo = Array.fold_left Float.min infinity xs in
+  let hi = Array.fold_left Float.max neg_infinity xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let bin_of x =
+    let b = int_of_float ((x -. lo) /. width) in
+    Stdlib.min (Stdlib.max b 0) (bins - 1)
+  in
+  Array.iter (fun x -> counts.(bin_of x) <- counts.(bin_of x) + 1) xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let relative_error ~actual ~reference =
+  if reference = 0.0 then invalid_arg "Stats.relative_error: zero reference";
+  (actual -. reference) /. reference

@@ -1,0 +1,50 @@
+(** Descriptive statistics.
+
+    [Acc] is a single-pass Welford accumulator for mean/variance; the
+    array-based functions below are conveniences for data already in
+    memory.  All variances are the unbiased sample variance unless
+    stated otherwise. *)
+
+module Acc : sig
+  type t
+  (** Mutable running accumulator. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Unbiased sample variance; 0 when fewer than two samples. *)
+
+  val std : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+module Cov_acc : sig
+  type t
+  (** Running accumulator for the covariance of a paired sample. *)
+
+  val create : unit -> t
+  val add : t -> float -> float -> unit
+  val count : t -> int
+  val covariance : t -> float
+  val correlation : t -> float
+  (** Pearson correlation; 0 if either marginal variance is 0. *)
+end
+
+val mean : float array -> float
+val variance : float array -> float
+val std : float array -> float
+val covariance : float array -> float array -> float
+val correlation : float array -> float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Does not modify [xs]. *)
+
+val histogram : float array -> bins:int -> (float * int) array
+(** Equal-width histogram; each entry is (bin lower edge, count). *)
+
+val relative_error : actual:float -> reference:float -> float
+(** [(actual - reference) / reference]; raises if [reference] is 0. *)

@@ -1,0 +1,50 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+
+let check_same_dim x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Vector: dimension mismatch"
+
+let dot x y =
+  check_same_dim x y;
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (dot x x)
+
+let add x y =
+  check_same_dim x y;
+  Array.mapi (fun i xi -> xi +. y.(i)) x
+
+let sub x y =
+  check_same_dim x y;
+  Array.mapi (fun i xi -> xi -. y.(i)) x
+
+let scale alpha x = Array.map (fun xi -> alpha *. xi) x
+
+let axpy ~alpha x y =
+  check_same_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let max_abs_diff x y =
+  check_same_dim x y;
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  done;
+  !m
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Vector.linspace: need at least two points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i ->
+      if i = n - 1 then hi else lo +. (float_of_int i *. step))

@@ -1,0 +1,26 @@
+(** Dense float vectors (thin wrappers over [float array]). *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val copy : t -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] performs [y <- alpha*x + y] in place. *)
+
+val max_abs_diff : t -> t -> float
+(** Infinity-norm distance, for test tolerances. *)
+
+val linspace : float -> float -> int -> t
+(** [linspace lo hi n] is [n] evenly spaced points from [lo] to [hi]
+    inclusive; [n >= 2]. *)

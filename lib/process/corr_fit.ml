@@ -1,0 +1,172 @@
+open Rgleak_num
+
+type sample = { distance : float; correlation : float; weight : float }
+
+let empirical ~values ~locations ?(bins = 24) () =
+  let dies = Array.length values in
+  if dies < 3 then invalid_arg "Corr_fit.empirical: need at least 3 dies";
+  let sites = Array.length locations in
+  Array.iter
+    (fun row ->
+      if Array.length row <> sites then
+        invalid_arg "Corr_fit.empirical: ragged measurement matrix")
+    values;
+  let dmax = ref 0.0 in
+  for i = 0 to sites - 1 do
+    for j = i + 1 to sites - 1 do
+      dmax := Float.max !dmax (Variation.distance locations.(i) locations.(j))
+    done
+  done;
+  let width = !dmax /. float_of_int bins in
+  let sums = Array.make bins 0.0 and counts = Array.make bins 0 in
+  let mids = Array.init bins (fun b -> (float_of_int b +. 0.5) *. width) in
+  for i = 0 to sites - 1 do
+    for j = i + 1 to sites - 1 do
+      let acc = Stats.Cov_acc.create () in
+      for die = 0 to dies - 1 do
+        Stats.Cov_acc.add acc values.(die).(i) values.(die).(j)
+      done;
+      let d = Variation.distance locations.(i) locations.(j) in
+      let b = Stdlib.min (bins - 1) (int_of_float (d /. width)) in
+      sums.(b) <- sums.(b) +. Stats.Cov_acc.correlation acc;
+      counts.(b) <- counts.(b) + 1
+    done
+  done;
+  Array.to_list mids
+  |> List.mapi (fun b mid ->
+         if counts.(b) = 0 then None
+         else
+           Some
+             {
+               distance = mid;
+               correlation = sums.(b) /. float_of_int counts.(b);
+               weight = float_of_int counts.(b);
+             })
+  |> List.filter_map Fun.id |> Array.of_list
+
+type family = Fit_exponential | Fit_gaussian | Fit_linear | Fit_spherical
+
+let family_name = function
+  | Fit_exponential -> "exponential"
+  | Fit_gaussian -> "gaussian"
+  | Fit_linear -> "linear"
+  | Fit_spherical -> "spherical"
+
+type result = {
+  model : Corr_model.t;
+  family : family;
+  scale : float;
+  floor : float;
+  rss : float;
+}
+
+let wid_shape family ~scale d =
+  let d = Float.abs d in
+  match family with
+  | Fit_exponential -> exp (-.d /. scale)
+  | Fit_gaussian -> exp (-.(d /. scale) *. (d /. scale))
+  | Fit_linear -> Float.max 0.0 (1.0 -. (d /. scale))
+  | Fit_spherical ->
+    if d >= scale then 0.0
+    else begin
+      let r = d /. scale in
+      1.0 -. (1.5 *. r) +. (0.5 *. r *. r *. r)
+    end
+
+let rss_of family ~scale ~floor samples =
+  Array.fold_left
+    (fun acc s ->
+      let model = floor +. ((1.0 -. floor) *. wid_shape family ~scale s.distance) in
+      let r = model -. s.correlation in
+      acc +. (s.weight *. r *. r))
+    0.0 samples
+
+(* Golden-section minimization of a unimodal-ish 1-D objective. *)
+let golden f ~lo ~hi =
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let c = ref (hi -. (phi *. (hi -. lo))) in
+  let d = ref (lo +. (phi *. (hi -. lo))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let iter = ref 0 in
+  while !b -. !a > 1e-6 *. (1.0 +. Float.abs !b) && !iter < 200 do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end;
+    incr iter
+  done;
+  0.5 *. (!a +. !b)
+
+let fit_family ~sigma_total family samples =
+  if Array.length samples < 3 then
+    invalid_arg "Corr_fit.fit_family: need at least 3 samples";
+  if sigma_total <= 0.0 then
+    invalid_arg "Corr_fit.fit_family: sigma_total must be positive";
+  let dmax =
+    Array.fold_left (fun acc s -> Float.max acc s.distance) 0.0 samples
+  in
+  let best = ref (nan, nan, infinity) in
+  (* coarse grid over the floor, golden-section over the scale *)
+  for k = 0 to 38 do
+    let floor = float_of_int k /. 40.0 in
+    let scale =
+      golden (fun s -> rss_of family ~scale:s ~floor samples)
+        ~lo:(dmax /. 50.0) ~hi:(4.0 *. dmax)
+    in
+    let rss = rss_of family ~scale ~floor samples in
+    let _, _, best_rss = !best in
+    if rss < best_rss then best := (floor, scale, rss)
+  done;
+  (* refine the floor by golden-section around the best grid point *)
+  let floor0, _, _ = !best in
+  let floor =
+    golden
+      (fun fl ->
+        let scale =
+          golden (fun s -> rss_of family ~scale:s ~floor:fl samples)
+            ~lo:(dmax /. 50.0) ~hi:(4.0 *. dmax)
+        in
+        rss_of family ~scale ~floor:fl samples)
+      ~lo:(Float.max 0.0 (floor0 -. 0.05))
+      ~hi:(Float.min 0.975 (floor0 +. 0.05))
+  in
+  let scale =
+    golden (fun s -> rss_of family ~scale:s ~floor samples)
+      ~lo:(dmax /. 50.0) ~hi:(4.0 *. dmax)
+  in
+  let rss = rss_of family ~scale ~floor samples in
+  let sigma_d2d = sigma_total *. sqrt floor in
+  let sigma_wid = sigma_total *. sqrt (1.0 -. floor) in
+  let param =
+    Process_param.make ~name:"extracted" ~nominal:1.0 ~sigma_d2d ~sigma_wid
+  in
+  let fam =
+    match family with
+    | Fit_exponential -> Corr_model.Exponential { range = scale }
+    | Fit_gaussian -> Corr_model.Gaussian { range = scale }
+    | Fit_linear -> Corr_model.Linear { dmax = scale }
+    | Fit_spherical -> Corr_model.Spherical { dmax = scale }
+  in
+  { model = Corr_model.create fam param; family; scale; floor; rss }
+
+let all_families = [ Fit_exponential; Fit_gaussian; Fit_linear; Fit_spherical ]
+
+let fit ?(families = all_families) ~sigma_total samples =
+  List.map (fun fam -> fit_family ~sigma_total fam samples) families
+  |> List.sort (fun a b -> compare a.rss b.rss)
+
+let best ?families ~sigma_total samples =
+  match fit ?families ~sigma_total samples with
+  | [] -> invalid_arg "Corr_fit.best: no families requested"
+  | r :: _ -> r

@@ -1,0 +1,50 @@
+(** Robust extraction of the spatial correlation function from
+    measurements (the substrate the paper cites as Xiong–Zolotov–He,
+    ISPD 2006).
+
+    Test structures (or here: sampled dies) give noisy correlation
+    estimates at a set of distances; raw estimates need not form a valid
+    correlation function.  Extraction fits a parametric family — which
+    is valid by construction — estimating both the die-to-die floor ρ_C
+    and the within-die scale, and reports the residual so families can
+    be compared. *)
+
+type sample = { distance : float; correlation : float; weight : float }
+(** One measured point; [weight] is typically the pair count behind the
+    estimate. *)
+
+val empirical :
+  values:float array array ->
+  locations:Variation.location array ->
+  ?bins:int ->
+  unit ->
+  sample array
+(** Builds distance-binned correlation estimates from repeated field
+    measurements: [values.(die).(site)] is the parameter at a site on a
+    die.  Pairwise Pearson correlations across dies are averaged within
+    [bins] (default 24) equal-width distance bins. *)
+
+type family = Fit_exponential | Fit_gaussian | Fit_linear | Fit_spherical
+
+val family_name : family -> string
+
+type result = {
+  model : Corr_model.t;  (** the fitted, valid correlation model *)
+  family : family;
+  scale : float;  (** fitted range/dmax in µm *)
+  floor : float;  (** fitted ρ_C *)
+  rss : float;  (** weighted residual sum of squares *)
+}
+
+val fit_family :
+  sigma_total:float -> family -> sample array -> result
+(** Fits floor and scale for one family by grid + golden-section search;
+    [sigma_total] is the parameter's known total std (from marginals),
+    used to build the returned model's D2D/WID split. *)
+
+val fit : ?families:family list -> sigma_total:float -> sample array -> result list
+(** Fits every family (default: all four) and returns results sorted by
+    residual, best first. *)
+
+val best : ?families:family list -> sigma_total:float -> sample array -> result
+(** Head of {!fit}. *)

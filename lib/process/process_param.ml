@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  nominal : float;
+  sigma_d2d : float;
+  sigma_wid : float;
+}
+
+let make ~name ~nominal ~sigma_d2d ~sigma_wid =
+  if nominal <= 0.0 then invalid_arg "Process_param.make: nominal must be positive";
+  if sigma_d2d < 0.0 || sigma_wid < 0.0 then
+    invalid_arg "Process_param.make: sigmas must be non-negative";
+  { name; nominal; sigma_d2d; sigma_wid }
+
+let variance_total t = (t.sigma_d2d *. t.sigma_d2d) +. (t.sigma_wid *. t.sigma_wid)
+let sigma_total t = sqrt (variance_total t)
+
+let d2d_fraction t =
+  let v = variance_total t in
+  if v = 0.0 then 0.0 else t.sigma_d2d *. t.sigma_d2d /. v
+
+let default_channel_length =
+  make ~name:"channel-length" ~nominal:90.0 ~sigma_d2d:3.0 ~sigma_wid:3.0
+
+let default_vt_rdf_sigma = 0.025
+
+let pp fmt t =
+  Format.fprintf fmt "%s: nominal=%g sigma_d2d=%g sigma_wid=%g (total %g)"
+    t.name t.nominal t.sigma_d2d t.sigma_wid (sigma_total t)

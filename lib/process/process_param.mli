@@ -1,0 +1,39 @@
+(** Process-parameter variation description.
+
+    Following §2 of the paper, each parameter has a die-to-die (D2D)
+    component shared by all devices on a die and a within-die (WID)
+    component that varies across the die with spatial correlation; the
+    two are independent, so [sigma² = sigma_d2d² + sigma_wid²].
+
+    Units: channel length in nanometres, voltages in volts, distances
+    across the die in micrometres. *)
+
+type t = {
+  name : string;
+  nominal : float;  (** mean value of the parameter *)
+  sigma_d2d : float;  (** standard deviation of the D2D component *)
+  sigma_wid : float;  (** standard deviation of the WID component *)
+}
+
+val make : name:string -> nominal:float -> sigma_d2d:float -> sigma_wid:float -> t
+(** Constructor with validation (non-negative sigmas, positive nominal). *)
+
+val sigma_total : t -> float
+(** [sqrt (sigma_d2d² + sigma_wid²)]. *)
+
+val variance_total : t -> float
+
+val d2d_fraction : t -> float
+(** Fraction of the total variance carried by the D2D component; this is
+    the correlation floor ρ_C of Eq. 26. *)
+
+val default_channel_length : t
+(** Synthetic 90 nm-class calibration: nominal L = 90 nm,
+    sigma_d2d = 3 nm, sigma_wid = 3 nm (±3σ ≈ ±14%). *)
+
+val default_vt_rdf_sigma : float
+(** Standard deviation (V) of the purely random threshold-voltage
+    component due to dopant fluctuations (25 mV), independent across
+    devices per Keshavarzi et al. *)
+
+val pp : Format.formatter -> t -> unit

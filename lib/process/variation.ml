@@ -1,0 +1,52 @@
+open Rgleak_num
+
+type location = { x : float; y : float }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+type sampler = {
+  model : Corr_model.t;
+  factor : Matrix.t; (* Cholesky factor of the WID correlation matrix *)
+  n : int;
+}
+
+let prepare model locations =
+  let n = Array.length locations in
+  let corr =
+    Matrix.init ~rows:n ~cols:n (fun i j ->
+        if i = j then 1.0
+        else Corr_model.wid model (distance locations.(i) locations.(j)))
+  in
+  let factor =
+    try Cholesky.decompose_semidefinite corr
+    with Cholesky.Not_positive_definite _ ->
+      invalid_arg
+        "Variation.prepare: the WID correlation matrix is indefinite on \
+         these locations; use a family that is positive definite in 2-D \
+         (Exponential, Gaussian or Spherical -- see Corr_model.psd_in_2d)"
+  in
+  { model; factor; n }
+
+let sample t rng =
+  let p = Corr_model.param t.model in
+  let d2d = Rng.gaussian rng *. p.Process_param.sigma_d2d in
+  let wid = Cholesky.sample t.factor rng in
+  Array.init t.n (fun i ->
+      p.Process_param.nominal +. d2d +. (p.Process_param.sigma_wid *. wid.(i)))
+
+let sample_pair model ~rho_wid rng =
+  if not (rho_wid >= -1.0 && rho_wid <= 1.0) then
+    invalid_arg "Variation.sample_pair: correlation out of range";
+  let p = Corr_model.param model in
+  let d2d = Rng.gaussian rng *. p.Process_param.sigma_d2d in
+  let z1 = Rng.gaussian rng in
+  let z2 = Rng.gaussian rng in
+  let w1 = z1 in
+  let w2 = (rho_wid *. z1) +. (sqrt (1.0 -. (rho_wid *. rho_wid)) *. z2) in
+  let v1 = p.Process_param.nominal +. d2d +. (p.Process_param.sigma_wid *. w1) in
+  let v2 = p.Process_param.nominal +. d2d +. (p.Process_param.sigma_wid *. w2) in
+  (v1, v2)
+
+let locations_count t = t.n

@@ -1,0 +1,32 @@
+(** Monte-Carlo sampling of per-die parameter realizations.
+
+    A die instance consists of one shared D2D offset plus a spatially
+    correlated WID field evaluated at the requested locations (sampled
+    through a Cholesky factor of the WID correlation matrix).  This is
+    the ground-truth generator used to validate the analytical
+    estimators. *)
+
+type location = { x : float; y : float }
+(** A die coordinate in micrometres. *)
+
+val distance : location -> location -> float
+
+type sampler
+(** A prepared sampler for a fixed set of locations (factorization is
+    done once at construction). *)
+
+val prepare : Corr_model.t -> location array -> sampler
+(** Builds the WID correlation matrix for the locations and factors it.
+    Cost O(n³); intended for validation-scale location sets. *)
+
+val sample : sampler -> Rgleak_num.Rng.t -> float array
+(** Draws one die: returns the parameter value at each location
+    (nominal + shared D2D offset + correlated WID deviation). *)
+
+val sample_pair :
+  Corr_model.t -> rho_wid:float -> Rgleak_num.Rng.t -> float * float
+(** Draws the parameter at two locations whose WID correlation is
+    [rho_wid] directly (no matrix build); used by the Fig. 2 experiment
+    which sweeps correlation rather than distance. *)
+
+val locations_count : sampler -> int

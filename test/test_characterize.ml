@@ -1,0 +1,130 @@
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Testutil
+
+let param = Process_param.default_channel_length
+
+(* One shared characterization of a few representative cells, built at a
+   reduced grid for test speed. *)
+let char_of name =
+  let rng = Rng.create ~seed:55 () in
+  Characterize.characterize ~l_points:65 ~mc_samples:30_000 ~param ~rng
+    (Library.find name)
+
+let inv_char = lazy (char_of "INV_X1")
+let nand_char = lazy (char_of "NAND2_X1")
+let nor3_char = lazy (char_of "NOR3_X1")
+
+let test_state_count () =
+  let ch = Lazy.force nand_char in
+  check_close "NAND2 has 4 characterized states" 4.0
+    (float_of_int (Array.length ch.Characterize.states))
+
+let test_table_matches_simulator () =
+  let ch = Lazy.force inv_char in
+  let env = Rgleak_device.Mosfet.default_env in
+  let cell = ch.Characterize.cell in
+  List.iter
+    (fun l ->
+      let direct = Cell.leakage ~l_nm:l ~env cell [| false |] in
+      let table = Characterize.leakage_at ch.Characterize.states.(0) l in
+      check_rel ~tol:5e-3
+        (Printf.sprintf "table vs simulator at L=%g" l)
+        direct table)
+    [ 80.0; 85.0; 90.0; 95.0; 100.0 ]
+
+let test_fit_quality () =
+  Array.iter
+    (fun (sc : Characterize.state_char) ->
+      check_true "fit rms (log space) below 5%" (sc.Characterize.fit_rms_log < 0.05))
+    (Lazy.force nand_char).Characterize.states
+
+let test_fit_signs () =
+  (* leakage decreases with L: b + 2cL < 0 over the fit range *)
+  Array.iter
+    (fun (sc : Characterize.state_char) ->
+      let tr = sc.Characterize.fit in
+      let slope l = tr.Mgf.b +. (2.0 *. tr.Mgf.c *. l) in
+      check_true "log-leakage slope negative at nominal" (slope 90.0 < 0.0))
+    (Lazy.force nor3_char).Characterize.states
+
+let test_analytic_close_to_reference () =
+  (* the paper's 2.1.2 result: mean within ~2%, std within ~10% *)
+  List.iter
+    (fun ch ->
+      Array.iter
+        (fun (sc : Characterize.state_char) ->
+          let merr =
+            Float.abs ((sc.Characterize.mu_analytic -. sc.Characterize.mu_ref)
+                       /. sc.Characterize.mu_ref)
+          in
+          let serr =
+            Float.abs
+              ((sc.Characterize.sigma_analytic -. sc.Characterize.sigma_ref)
+              /. sc.Characterize.sigma_ref)
+          in
+          check_true "mean error under 2%" (merr < 0.02);
+          check_true "std error under 10%" (serr < 0.10))
+        ch.Characterize.states)
+    [ Lazy.force inv_char; Lazy.force nand_char; Lazy.force nor3_char ]
+
+let test_mc_close_to_reference () =
+  (* MC is an estimator of the quadrature reference *)
+  Array.iter
+    (fun (sc : Characterize.state_char) ->
+      check_rel ~tol:0.02 "MC mean vs quadrature" sc.Characterize.mu_ref
+        sc.Characterize.mu_mc;
+      check_rel ~tol:0.05 "MC std vs quadrature" sc.Characterize.sigma_ref
+        sc.Characterize.sigma_mc)
+    (Lazy.force inv_char).Characterize.states
+
+let test_determinism () =
+  let a = char_of "NOR2_X1" and b = char_of "NOR2_X1" in
+  Array.iteri
+    (fun i (sa : Characterize.state_char) ->
+      let sb = b.Characterize.states.(i) in
+      check_close "same seed, same MC mean" sa.Characterize.mu_mc
+        sb.Characterize.mu_mc)
+    a.Characterize.states
+
+let test_positive_moments () =
+  Array.iter
+    (fun (sc : Characterize.state_char) ->
+      check_true "positive analytic mean" (sc.Characterize.mu_analytic > 0.0);
+      check_true "positive analytic std" (sc.Characterize.sigma_analytic > 0.0);
+      check_true "positive mc mean" (sc.Characterize.mu_mc > 0.0))
+    (Lazy.force nand_char).Characterize.states
+
+let test_default_library_cached () =
+  let t0 = Unix.gettimeofday () in
+  let a = Characterize.default_library () in
+  let _ = Unix.gettimeofday () in
+  let b = Characterize.default_library () in
+  let t2 = Unix.gettimeofday () in
+  check_true "memoized result is the same array" (a == b);
+  check_true "second call instantaneous" (t2 -. t0 < 60.0);
+  check_close "full library characterized" 62.0 (float_of_int (Array.length a))
+
+let test_grid_validation () =
+  let rng = Rng.create ~seed:1 () in
+  Alcotest.check_raises "too few grid points"
+    (Invalid_argument "Characterize: need at least 8 grid points") (fun () ->
+      ignore
+        (Characterize.characterize ~l_points:4 ~param ~rng (Library.find "INV_X1")))
+
+let suite =
+  ( "characterize",
+    [
+      case "state count" test_state_count;
+      case "table matches simulator" test_table_matches_simulator;
+      case "fit quality" test_fit_quality;
+      case "fit slope sign" test_fit_signs;
+      case "analytic vs reference accuracy (paper 2.1.2)"
+        test_analytic_close_to_reference;
+      case "mc vs reference" test_mc_close_to_reference;
+      case "determinism" test_determinism;
+      case "positive moments" test_positive_moments;
+      slow_case "default library memoization" test_default_library_cached;
+      case "grid validation" test_grid_validation;
+    ] )

@@ -1,0 +1,423 @@
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let param = Process_param.default_channel_length
+
+(* Shared reduced-cost characterization over the full library. *)
+let chars =
+  lazy
+    (let rng = Rng.create ~seed:88 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:49 ~mc_samples:1000 ~param
+           ~rng:(Rng.split rng) cell)
+       Library.cells)
+
+let corr_linear = Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param
+
+let hist_small =
+  lazy
+    (Histogram.of_weights
+       [ ("NAND2_X1", 3.0); ("INV_X1", 2.0); ("NOR2_X1", 1.0); ("DFF_X1", 1.0) ])
+
+let rg_small ?(p = 0.5) () =
+  Random_gate.create ~chars:(Lazy.force chars) ~histogram:(Lazy.force hist_small)
+    ~p ()
+
+(* ---- random gate (Eqs. 6-8) ---- *)
+
+let test_rg_weights_sum () =
+  let rg = rg_small () in
+  let total =
+    Array.fold_left
+      (fun acc (c : Random_gate.component) -> acc +. c.Random_gate.weight)
+      0.0 rg.Random_gate.components
+  in
+  check_close ~tol:1e-9 "expanded weights sum to 1" 1.0 total
+
+let test_rg_mean_hand_computed () =
+  (* Eq. 7 against a hand-computed weighting on a 2-cell histogram *)
+  let chars = Lazy.force chars in
+  let h = Histogram.of_weights [ ("INV_X1", 1.0); ("NAND2_X1", 3.0) ] in
+  let rg = Random_gate.create ~chars ~histogram:h ~p:0.5 () in
+  let inv = chars.(Library.index_of "INV_X1") in
+  let nand = chars.(Library.index_of "NAND2_X1") in
+  let mu_inv =
+    0.5 *. (inv.Characterize.states.(0).Characterize.mu_analytic
+            +. inv.Characterize.states.(1).Characterize.mu_analytic)
+  in
+  let mu_nand =
+    Array.fold_left
+      (fun acc (sc : Characterize.state_char) ->
+        acc +. (0.25 *. sc.Characterize.mu_analytic))
+      0.0 nand.Characterize.states
+  in
+  check_rel ~tol:1e-9 "Eq. 7 mean" ((0.25 *. mu_inv) +. (0.75 *. mu_nand))
+    rg.Random_gate.mu
+
+let test_rg_second_moment () =
+  (* Eq. 8: E[X^2] >= mu^2 always, and variance consistent *)
+  let rg = rg_small () in
+  check_true "second moment dominates mean squared"
+    (rg.Random_gate.second_moment >= rg.Random_gate.mu *. rg.Random_gate.mu);
+  check_rel ~tol:1e-12 "variance identity"
+    (rg.Random_gate.second_moment -. (rg.Random_gate.mu *. rg.Random_gate.mu))
+    rg.Random_gate.variance
+
+let test_rg_variance_exceeds_type_mixture () =
+  (* mixing distinct cell types adds variance: RG variance must exceed
+     the weighted within-type variance *)
+  let rg = rg_small () in
+  let within =
+    Array.fold_left
+      (fun acc (c : Random_gate.component) ->
+        acc +. (c.Random_gate.weight *. c.Random_gate.sigma *. c.Random_gate.sigma))
+      0.0 rg.Random_gate.components
+  in
+  check_true "type randomness adds variance" (rg.Random_gate.variance >= within -. 1e-9)
+
+let test_rg_full_library_check () =
+  let rg =
+    Random_gate.create ~chars:(Lazy.force chars) ~histogram:(Histogram.uniform ())
+      ~p:0.5 ()
+  in
+  check_true "positive mean" (rg.Random_gate.mu > 0.0);
+  check_true "many expanded components" (Random_gate.num_components rg > 200)
+
+let test_rg_requires_full_library () =
+  Alcotest.check_raises "partial characterization rejected"
+    (Invalid_argument "Random_gate.create: expected a full-library characterization")
+    (fun () ->
+      ignore
+        (Random_gate.create
+           ~chars:(Array.sub (Lazy.force chars) 0 3)
+           ~histogram:(Lazy.force hist_small) ~p:0.5 ()))
+
+(* ---- correlation structure (Eqs. 9-11) ---- *)
+
+let rgcorr_small ?mapping () =
+  let rg = rg_small () in
+  Rg_correlation.create ?mapping ~chars:(Lazy.force chars) ~rg ~p:0.5 ()
+
+let test_f_endpoints () =
+  let rc = rgcorr_small () in
+  check_close ~tol:1e-6 "F(0) = 0 (independent lengths)" 0.0
+    (Rg_correlation.f rc ~rho_l:0.0 /. (Rg_correlation.rg rc).Random_gate.variance);
+  let f1 = Rg_correlation.f rc ~rho_l:1.0 in
+  check_true "F(1) positive" (f1 > 0.0);
+  check_true "F(1) below total variance (type randomness excluded)"
+    (f1 <= (Rg_correlation.rg rc).Random_gate.variance +. 1e-9)
+
+let test_f_monotone () =
+  let rc = rgcorr_small () in
+  let prev = ref neg_infinity in
+  for k = 0 to 20 do
+    let rho = float_of_int k /. 20.0 in
+    let f = Rg_correlation.f rc ~rho_l:rho in
+    check_true "F monotone in rho" (f >= !prev -. 1e-12);
+    prev := f
+  done
+
+let test_simplified_vs_exact_close () =
+  (* the paper's 3.1.2 check: the simplified mapping changes the chip
+     standard deviation by only a few percent (pointwise F differences
+     at low rho are larger but carry little weight) *)
+  let exact = rgcorr_small ~mapping:Rg_correlation.Exact () in
+  let simpl = rgcorr_small ~mapping:Rg_correlation.Simplified () in
+  let layout = Layout.square ~n:900 () in
+  let std_of rgcorr =
+    (Estimator_linear.estimate ~corr:corr_linear ~rgcorr ~layout ())
+      .Estimator_linear.std
+  in
+  check_rel ~tol:0.05 "chip std with simplified mapping (< 2.8% in paper)"
+    (std_of exact) (std_of simpl);
+  (* pointwise the two mappings stay in the same ballpark *)
+  List.iter
+    (fun rho ->
+      let fe = Rg_correlation.f exact ~rho_l:rho in
+      let fs = Rg_correlation.f simpl ~rho_l:rho in
+      check_rel ~tol:0.15
+        (Printf.sprintf "pointwise F at rho %.2f" rho)
+        fe fs)
+    [ 0.3; 0.5; 0.7; 0.9 ]
+
+let test_simplified_is_linear () =
+  let simpl = rgcorr_small ~mapping:Rg_correlation.Simplified () in
+  let f_half = Rg_correlation.f simpl ~rho_l:0.5 in
+  let f_one = Rg_correlation.f simpl ~rho_l:1.0 in
+  check_rel ~tol:1e-9 "simplified F linear in rho" (0.5 *. f_one) f_half;
+  let sb = Rg_correlation.sigma_bar simpl in
+  check_rel ~tol:1e-9 "simplified F(1) = sigma_bar^2" (sb *. sb) f_one
+
+let test_cell_pair_covariance_support () =
+  let rc = rgcorr_small () in
+  let i_inv = Library.index_of "INV_X1" in
+  let i_and3 = Library.index_of "AND3_X1" in
+  check_true "support includes histogram cells" (Rg_correlation.in_support rc i_inv);
+  check_true "non-histogram cells outside support"
+    (not (Rg_correlation.in_support rc i_and3));
+  Alcotest.check_raises "outside support raises"
+    (Invalid_argument "Rg_correlation.cell_pair_covariance: cell outside support")
+    (fun () ->
+      ignore (Rg_correlation.cell_pair_covariance rc ~ci:i_and3 ~cj:i_inv ~rho_l:0.5))
+
+let test_f_aggregates_pairs () =
+  (* F(rho) must equal the alpha-weighted sum of cell-pair covariances *)
+  let rc = rgcorr_small () in
+  let h = Lazy.force hist_small in
+  let cells = Histogram.support h in
+  let rho = 0.6 in
+  let agg = ref 0.0 in
+  List.iter
+    (fun ci ->
+      List.iter
+        (fun cj ->
+          agg :=
+            !agg
+            +. (Histogram.frequency h ci *. Histogram.frequency h cj
+               *. Rg_correlation.cell_pair_covariance rc ~ci ~cj ~rho_l:rho))
+        cells)
+    cells;
+  check_rel ~tol:1e-9 "F equals weighted pair sum" !agg
+    (Rg_correlation.f rc ~rho_l:rho)
+
+(* ---- estimators ---- *)
+
+let make_placed ~n ~seed =
+  let rng = Rng.create ~seed () in
+  Generator.random_placed ~histogram:(Lazy.force hist_small) ~n ~rng ()
+
+let ctx () =
+  Estimate.context ~p:0.5 ~chars:(Lazy.force chars) ~corr:corr_linear
+    ~histogram:(Lazy.force hist_small) ()
+
+let test_linear_matches_bruteforce_sum () =
+  (* Eq. 17 must reproduce the naive double sum over sites exactly *)
+  let c = ctx () in
+  let rgcorr = Estimate.correlation c in
+  let rg = Estimate.random_gate c in
+  let layout = Layout.square ~n:37 () in
+  let r = Estimator_linear.estimate ~corr:corr_linear ~rgcorr ~layout () in
+  (* naive O(n^2) over sites with the same RG quantities *)
+  let n = Layout.site_count layout in
+  let brute = ref 0.0 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a = b then brute := !brute +. rg.Random_gate.variance
+      else begin
+        let xa, ya = Layout.position layout a in
+        let xb, yb = Layout.position layout b in
+        let d = sqrt (((xa -. xb) ** 2.0) +. ((ya -. yb) ** 2.0)) in
+        let rho_l = Corr_model.total corr_linear d in
+        brute := !brute +. Rg_correlation.f rgcorr ~rho_l
+      end
+    done
+  done;
+  check_rel ~tol:1e-9 "Eq 17 equals brute-force site sum" !brute
+    r.Estimator_linear.variance;
+  check_rel ~tol:1e-12 "Eq 13 mean" (float_of_int n *. rg.Random_gate.mu)
+    r.Estimator_linear.mean
+
+let test_integral_close_to_linear_large_n () =
+  (* Fig. 7: integral converges to the linear sum as n grows *)
+  let c = ctx () in
+  let rgcorr = Estimate.correlation c in
+  let err_at n =
+    let layout = Layout.square ~n () in
+    let lin = Estimator_linear.estimate ~corr:corr_linear ~rgcorr ~layout () in
+    let integ =
+      Estimator_integral.rect_2d ~corr:corr_linear ~rgcorr ~n
+        ~width:(Layout.width layout) ~height:(Layout.height layout) ()
+    in
+    Float.abs
+      ((sqrt integ.Estimator_integral.variance
+       -. sqrt lin.Estimator_linear.variance)
+      /. sqrt lin.Estimator_linear.variance)
+  in
+  let e_small = err_at 100 in
+  let e_large = err_at 4900 in
+  check_true "error shrinks with n" (e_large < e_small);
+  check_true "large-n error below 1%" (e_large < 0.01)
+
+let test_polar_matches_rect () =
+  (* when applicable, the polar single integral equals the 2-D one *)
+  let c = ctx () in
+  let rgcorr = Estimate.correlation c in
+  let n = 4900 in
+  let layout = Layout.square ~n () in
+  let w = Layout.width layout and h = Layout.height layout in
+  check_true "polar applicable for this die"
+    (Estimator_integral.polar_applicable ~corr:corr_linear ~width:w ~height:h);
+  let r2 = Estimator_integral.rect_2d ~corr:corr_linear ~rgcorr ~n ~width:w ~height:h () in
+  let rp = Estimator_integral.polar ~corr:corr_linear ~rgcorr ~n ~width:w ~height:h () in
+  check_rel ~tol:2e-3 "polar equals rectangular"
+    (sqrt r2.Estimator_integral.variance)
+    (sqrt rp.Estimator_integral.variance)
+
+let test_polar_2d_matches_rect () =
+  (* Eq. 21 is an exact mapping of Eq. 20; the two quadratures agree *)
+  let c = ctx () in
+  let rgcorr = Estimate.correlation c in
+  List.iter
+    (fun (n, w, h) ->
+      let r2 =
+        Estimator_integral.rect_2d ~corr:corr_linear ~rgcorr ~n ~width:w
+          ~height:h ()
+      in
+      let rp =
+        Estimator_integral.polar_2d ~corr:corr_linear ~rgcorr ~n ~width:w
+          ~height:h ()
+      in
+      check_rel ~tol:2e-3
+        (Printf.sprintf "Eq 21 vs Eq 20 at n=%d %gx%g" n w h)
+        (sqrt r2.Estimator_integral.variance)
+        (sqrt rp.Estimator_integral.variance))
+    [ (400, 80.0, 80.0); (2500, 200.0, 50.0); (10_000, 400.0, 400.0) ]
+
+let test_finite_size_bound () =
+  check_rel ~tol:1e-9 "2% at ten thousand gates" 0.02
+    (Estimate.finite_size_error_bound ~n:10_000);
+  check_true "monotone decreasing"
+    (Estimate.finite_size_error_bound ~n:100_000
+    < Estimate.finite_size_error_bound ~n:10_000);
+  check_in_range "covers the measured Fig 6 band at 11236 gates" ~lo:0.015
+    ~hi:0.05
+    (Estimate.finite_size_error_bound ~n:11_236);
+  check_true "invalid n rejected"
+    (try
+       ignore (Estimate.finite_size_error_bound ~n:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_polar_rejects_wide_correlation () =
+  let c = ctx () in
+  let rgcorr = Estimate.correlation c in
+  let expo = Corr_model.create (Corr_model.Exponential { range = 100.0 }) param in
+  check_true "exponential never admissible"
+    (not (Estimator_integral.polar_applicable ~corr:expo ~width:1000.0 ~height:1000.0));
+  check_true "polar raises when inapplicable"
+    (try
+       ignore
+         (Estimator_integral.polar ~corr:expo ~rgcorr ~n:100 ~width:1000.0
+            ~height:1000.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_exact_vs_rg_small_circuit () =
+  (* Fig. 6 in miniature: a specific random circuit's true leakage is
+     close to the RG estimate, within a finite-size tolerance *)
+  let c = ctx () in
+  let placed = make_placed ~n:400 ~seed:21 in
+  let tr = Estimator_exact.estimate ~corr:corr_linear ~rgcorr:(Estimate.correlation c) placed in
+  let spec = Estimate.spec_of_placed placed in
+  let rg_est = Estimate.run ~method_:Estimate.Linear c spec in
+  check_rel ~tol:0.02 "means agree" rg_est.Estimate.mean tr.Estimator_exact.mean;
+  check_rel ~tol:0.10 "stds agree within finite-size error"
+    rg_est.Estimate.std tr.Estimator_exact.std
+
+let test_exact_convergence_with_n () =
+  (* the paper's thesis: the RG error shrinks as circuits grow *)
+  let c = ctx () in
+  let err_at ~n ~seed =
+    let placed = make_placed ~n ~seed in
+    let tr = Estimator_exact.estimate ~corr:corr_linear ~rgcorr:(Estimate.correlation c) placed in
+    let rg_est = Estimate.run ~method_:Estimate.Linear c (Estimate.spec_of_placed placed) in
+    Float.abs ((tr.Estimator_exact.std -. rg_est.Estimate.std) /. rg_est.Estimate.std)
+  in
+  let small = err_at ~n:64 ~seed:31 in
+  let large = err_at ~n:1600 ~seed:32 in
+  check_true "relative std error shrinks with circuit size" (large < small)
+
+let test_estimate_api () =
+  let c = ctx () in
+  let spec =
+    { Estimate.histogram = Lazy.force hist_small; n = 900; width = 120.0; height = 120.0 }
+  in
+  let r = Estimate.run c spec in
+  check_true "auto picks linear for small n"
+    (r.Estimate.method_used = "linear (Eq. 17)");
+  let big = { spec with Estimate.n = 250_000; width = 2000.0; height = 2000.0 } in
+  let rb = Estimate.run c big in
+  check_true "auto picks an integral for large n"
+    (rb.Estimate.method_used <> "linear (Eq. 17)");
+  check_true "positive estimates" (r.Estimate.mean > 0.0 && r.Estimate.std > 0.0)
+
+let test_estimate_histogram_guard () =
+  let c = ctx () in
+  let spec =
+    { Estimate.histogram = Histogram.uniform (); n = 100; width = 40.0; height = 40.0 }
+  in
+  check_true "mismatched histogram rejected"
+    (try
+       ignore (Estimate.run c spec);
+       false
+     with Invalid_argument _ -> true)
+
+let test_vt_factors () =
+  let f = Vt_correction.mean_factor () in
+  check_true "mean factor above 1" (f > 1.0);
+  check_true "mean factor modest" (f < 2.0);
+  let v = Vt_correction.per_gate_variance_multiplier () in
+  check_true "variance multiplier positive" (v > 0.0);
+  (* larger sigma_vt, larger factor *)
+  check_true "factor monotone in sigma"
+    (Vt_correction.mean_factor ~sigma_vt:0.05 () > f)
+
+let test_vt_ratio_shrinks () =
+  let c = ctx () in
+  let rg = Estimate.random_gate c in
+  let rgcorr = Estimate.correlation c in
+  let ratio n =
+    Vt_correction.variance_ratio ~rg ~rgcorr ~corr:corr_linear
+      ~layout:(Layout.square ~n ()) ()
+  in
+  let r100 = ratio 100 and r10000 = ratio 10_000 in
+  check_true "Vt variance share vanishes with n" (r10000 < r100);
+  check_true "Vt share negligible at 10k gates" (r10000 < 0.05)
+
+let test_with_vt_applies_factor () =
+  let c = ctx () in
+  let spec =
+    { Estimate.histogram = Lazy.force hist_small; n = 400; width = 80.0; height = 80.0 }
+  in
+  let base = Estimate.run c spec in
+  let vt = Estimate.run ~with_vt:true c spec in
+  check_rel ~tol:1e-12 "vt factor applied to mean"
+    (base.Estimate.mean *. base.Estimate.vt_mean_factor)
+    vt.Estimate.mean
+
+let suite =
+  ( "core",
+    [
+      case "rg weights sum to 1" test_rg_weights_sum;
+      case "rg mean (Eq. 7)" test_rg_mean_hand_computed;
+      case "rg second moment (Eq. 8)" test_rg_second_moment;
+      case "rg type-mixture variance" test_rg_variance_exceeds_type_mixture;
+      case "rg over full library" test_rg_full_library_check;
+      case "rg library check" test_rg_requires_full_library;
+      case "F endpoints" test_f_endpoints;
+      case "F monotone" test_f_monotone;
+      case "simplified vs exact mapping (3.1.2)" test_simplified_vs_exact_close;
+      case "simplified mapping is linear" test_simplified_is_linear;
+      case "pair covariance support" test_cell_pair_covariance_support;
+      case "F aggregates cell pairs (Eq. 10)" test_f_aggregates_pairs;
+      slow_case "Eq. 17 equals brute force" test_linear_matches_bruteforce_sum;
+      slow_case "integral converges to linear (Fig. 7)"
+        test_integral_close_to_linear_large_n;
+      slow_case "polar equals rectangular" test_polar_matches_rect;
+      slow_case "Eq 21 equals Eq 20" test_polar_2d_matches_rect;
+      case "finite-size error bound" test_finite_size_bound;
+      case "polar applicability" test_polar_rejects_wide_correlation;
+      slow_case "true leakage vs RG estimate" test_exact_vs_rg_small_circuit;
+      slow_case "convergence with circuit size (Fig. 6)"
+        test_exact_convergence_with_n;
+      case "estimate API method selection" test_estimate_api;
+      case "estimate histogram guard" test_estimate_histogram_guard;
+      case "vt correction factors" test_vt_factors;
+      slow_case "vt variance ratio shrinks (E9)" test_vt_ratio_shrinks;
+      case "with_vt applies the factor" test_with_vt_applies_factor;
+    ] )

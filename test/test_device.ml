@@ -1,0 +1,189 @@
+open Rgleak_device
+open Testutil
+
+let env = Mosfet.default_env
+let n = Mosfet.nmos ()
+let p = Mosfet.pmos ()
+
+let test_vth_rolloff () =
+  (* threshold decreases as channel shortens *)
+  check_true "short channel has lower Vth"
+    (Mosfet.vth n ~l_nm:75.0 < Mosfet.vth n ~l_nm:90.0);
+  check_true "long channel approaches Vth0"
+    (Mosfet.vth n ~l_nm:400.0 > Mosfet.vth n ~l_nm:90.0);
+  check_in_range "Vth at nominal is plausible" ~lo:0.15 ~hi:0.40
+    (Mosfet.vth n ~l_nm:90.0);
+  Alcotest.check_raises "non-positive L rejected"
+    (Invalid_argument "Mosfet.vth: channel length must be positive") (fun () ->
+      ignore (Mosfet.vth n ~l_nm:0.0))
+
+let test_current_monotone_vgs =
+  qcheck ~count:200 "current increases with vgs"
+    QCheck2.Gen.(
+      QCheck2.Gen.pair (float_range (-0.5) 0.2) (float_range 0.01 0.19))
+    (fun (vgs, dv) ->
+      let i1 = Mosfet.subthreshold_current env n ~vgs ~vds:1.0 ~l_nm:90.0 in
+      let i2 = Mosfet.subthreshold_current env n ~vgs:(vgs +. dv) ~vds:1.0 ~l_nm:90.0 in
+      i2 > i1)
+
+let test_current_monotone_length =
+  qcheck ~count:200 "current decreases with channel length"
+    QCheck2.Gen.(QCheck2.Gen.pair (float_range 70.0 110.0) (float_range 1.0 10.0))
+    (fun (l, dl) ->
+      let i1 = Mosfet.subthreshold_current env n ~vgs:0.0 ~vds:1.0 ~l_nm:l in
+      let i2 = Mosfet.subthreshold_current env n ~vgs:0.0 ~vds:1.0 ~l_nm:(l +. dl) in
+      i2 < i1)
+
+let test_current_vds_zero () =
+  check_close "no current at vds = 0" 0.0
+    (Mosfet.subthreshold_current env n ~vgs:0.0 ~vds:0.0 ~l_nm:90.0);
+  check_close "no reverse conduction modeled" 0.0
+    (Mosfet.subthreshold_current env n ~vgs:0.0 ~vds:(-0.5) ~l_nm:90.0)
+
+let test_dvt_shift () =
+  let base = Mosfet.subthreshold_current env n ~vgs:0.0 ~vds:1.0 ~l_nm:90.0 in
+  let shifted = Mosfet.subthreshold_current ~dvt:0.05 env n ~vgs:0.0 ~vds:1.0 ~l_nm:90.0 in
+  (* +50mV Vt should cut leakage by about exp(0.05/(1.4*0.0259)) ~ 3.97 *)
+  check_rel ~tol:1e-6 "dvt factor" (exp (0.05 /. (1.4 *. 0.0259))) (base /. shifted)
+
+let test_exponential_slope () =
+  (* subthreshold swing: decade per n*vt*ln10 volts of vgs *)
+  let i1 = Mosfet.subthreshold_current env n ~vgs:0.0 ~vds:1.0 ~l_nm:90.0 in
+  let swing = n.Mosfet.n_swing *. env.Mosfet.v_thermal *. log 10.0 in
+  let i2 = Mosfet.subthreshold_current env n ~vgs:(-.swing) ~vds:1.0 ~l_nm:90.0 in
+  check_rel ~tol:1e-9 "one decade per swing" 10.0 (i1 /. i2)
+
+(* ---- networks ---- *)
+
+let dev = Network.device
+let state_all_off k = Array.make k false
+
+let stack k = Network.series (List.init k (fun i -> dev i))
+
+let test_stack_effect_ordering () =
+  let leak k =
+    Network.leakage ~env ~params:n (stack k) (state_all_off k)
+  in
+  let i1 = leak 1 and i2 = leak 2 and i3 = leak 3 and i4 = leak 4 in
+  check_true "2-stack below single" (i2 < i1);
+  check_true "3-stack below 2-stack" (i3 < i2);
+  check_true "4-stack below 3-stack" (i4 < i3);
+  check_in_range "2-stack suppression factor" ~lo:4.0 ~hi:20.0 (i1 /. i2)
+
+let test_stack_partial_on () =
+  (* one ON transistor in a 2-stack shorts it back to a single device *)
+  let net = stack 2 in
+  let both_off = Network.leakage ~env ~params:n net [| false; false |] in
+  let one_on = Network.leakage ~env ~params:n net [| true; false |] in
+  let single = Network.leakage ~env ~params:n (dev 0) [| false |] in
+  check_rel ~tol:1e-9 "shorted stack equals single" single one_on;
+  check_true "partial-on leaks more than all-off" (one_on > both_off)
+
+let test_parallel_adds () =
+  let par = Network.parallel [ dev 0; dev 1 ] in
+  let both = Network.leakage ~env ~params:n par [| false; false |] in
+  let single = Network.leakage ~env ~params:n (dev 0) [| false |] in
+  check_rel ~tol:1e-9 "parallel doubles leakage" (2.0 *. single) both
+
+let test_conducting_raises () =
+  check_true "conducting network raises"
+    (try
+       ignore (Network.leakage ~env ~params:n (dev 0) [| true |]);
+       false
+     with Network.Conducting -> true)
+
+let test_conducts_logic () =
+  let nand_pd = Network.series [ dev 0; dev 1 ] in
+  check_true "series conducts when all on"
+    (Network.conducts ~kind:Mosfet.Nmos nand_pd [| true; true |]);
+  check_true "series blocked by one off"
+    (not (Network.conducts ~kind:Mosfet.Nmos nand_pd [| true; false |]));
+  let nand_pu = Network.parallel [ dev 0; dev 1 ] in
+  check_true "pmos parallel conducts when one low"
+    (Network.conducts ~kind:Mosfet.Pmos nand_pu [| true; false |]);
+  check_true "pmos parallel blocked when all high"
+    (not (Network.conducts ~kind:Mosfet.Pmos nand_pu [| true; true |]))
+
+let test_width_scaling () =
+  let i1 = Network.leakage ~env ~params:n (dev 0) [| false |] in
+  let i2 = Network.leakage ~env ~params:n (dev ~w_mult:2.0 0) [| false |] in
+  check_rel ~tol:1e-9 "leakage proportional to width" 2.0 (i2 /. i1)
+
+let test_pmos_network () =
+  (* a PMOS pull-up blocked high: full vdd across it *)
+  let i = Network.leakage ~env ~params:p (dev 0) [| true |] in
+  check_true "pmos leaks when off" (i > 0.0);
+  let i2 = Network.leakage ~env ~params:p (Network.series [ dev 0; dev 1 ]) [| true; true |] in
+  check_true "pmos stack effect" (i2 < i)
+
+let test_stack_internal_consistency () =
+  (* current through a 2-stack must be less than through either device
+     alone with full vdd, and more than a device with zero vds *)
+  let i2 = Network.leakage ~env ~params:n (stack 2) [| false; false |] in
+  let single = Network.leakage ~env ~params:n (dev 0) [| false |] in
+  check_true "stack below single" (i2 < single);
+  check_true "stack strictly positive" (i2 > 0.0)
+
+let test_depth_and_counts () =
+  let net =
+    Network.parallel [ Network.series [ dev 0; dev 1; dev 2 ]; dev 3 ]
+  in
+  check_close "depth" 3.0 (float_of_int (Network.depth net));
+  check_close "device count" 4.0 (float_of_int (Network.device_count net));
+  check_true "inputs sorted" (Network.inputs net = [ 0; 1; 2; 3 ])
+
+let test_mixed_series_parallel () =
+  (* series [dev; parallel [dev; dev]] all off: must solve and be below
+     a single device *)
+  let net = Network.series [ dev 0; Network.parallel [ dev 1; dev 2 ] ] in
+  let i = Network.leakage ~env ~params:n net (state_all_off 3) in
+  let single = Network.leakage ~env ~params:n (dev 0) [| false |] in
+  check_true "mixed network below single" (i < single);
+  check_true "mixed network positive" (i > 0.0);
+  (* the parallel pair leaks more than a single bottom device would, so
+     the mixed stack should leak a bit more than a plain 2-stack *)
+  let plain2 = Network.leakage ~env ~params:n (stack 2) [| false; false |] in
+  check_true "parallel bottom raises stack leakage" (i > plain2)
+
+let test_leakage_monotone_in_vdd =
+  qcheck ~count:50 "network leakage increases with supply"
+    QCheck2.Gen.(QCheck2.Gen.pair (float_range 0.7 1.1) (float_range 0.02 0.15))
+    (fun (vdd, dv) ->
+      let at vdd =
+        Network.leakage
+          ~env:(Mosfet.env_at ~vdd ~temp_k:300.0 ())
+          ~params:n (stack 2) [| false; false |]
+      in
+      at (vdd +. dv) > at vdd)
+
+let test_stack_bounded_by_weakest_device () =
+  (* series current cannot exceed what any single member would carry
+     with the full supply across it *)
+  let i2 = Network.leakage ~env ~params:n (stack 2) [| false; false |] in
+  let i3 = Network.leakage ~env ~params:n (stack 3) [| false; false; false |] in
+  let single = Network.leakage ~env ~params:n (dev 0) [| false |] in
+  check_true "2-stack bounded" (i2 <= single);
+  check_true "3-stack bounded" (i3 <= i2)
+
+let suite =
+  ( "device",
+    [
+      case "vth roll-off" test_vth_rolloff;
+      test_current_monotone_vgs;
+      test_current_monotone_length;
+      case "vds edge cases" test_current_vds_zero;
+      case "dvt shift" test_dvt_shift;
+      case "subthreshold swing" test_exponential_slope;
+      case "stack effect ordering" test_stack_effect_ordering;
+      case "partially-on stack" test_stack_partial_on;
+      case "parallel addition" test_parallel_adds;
+      case "conducting raises" test_conducting_raises;
+      case "conducts logic" test_conducts_logic;
+      case "width scaling" test_width_scaling;
+      case "pmos networks" test_pmos_network;
+      case "stack consistency" test_stack_internal_consistency;
+      case "depth and counts" test_depth_and_counts;
+      case "mixed series-parallel" test_mixed_series_parallel;
+      test_leakage_monotone_in_vdd;
+      case "stack bounded by weakest" test_stack_bounded_by_weakest_device;
+    ] )

@@ -1,0 +1,200 @@
+(* Edge cases and error paths across the libraries: input validation,
+   degenerate sizes, and pretty-printer smoke tests. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let param = Process_param.default_channel_length
+let corr = Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param
+
+let small_chars =
+  lazy
+    (let rng = Rng.create ~seed:2222 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:17 ~mc_samples:50 ~param
+           ~rng:(Rng.split rng) cell)
+       Library.cells)
+
+let expect_invalid name f =
+  check_true name
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- numerics ---- *)
+
+let test_quadrature_low_orders () =
+  (* order 1 (midpoint-like) integrates linear functions exactly *)
+  check_rel ~tol:1e-12 "order 1 on linear" 4.0
+    (Quadrature.gauss_legendre ~order:1 (fun x -> 2.0 *. x) ~lo:0.0 ~hi:2.0);
+  check_rel ~tol:1e-12 "order 2 on cubic" 4.0
+    (Quadrature.gauss_legendre ~order:2 (fun x -> x ** 3.0) ~lo:0.0 ~hi:2.0)
+
+let test_matrix_symmetry_predicate () =
+  check_true "symmetric detected"
+    (Matrix.is_symmetric (Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 3.0 |] |]));
+  check_true "asymmetric detected"
+    (not
+       (Matrix.is_symmetric
+          (Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 0.0; 3.0 |] |])));
+  check_true "non-square not symmetric"
+    (not (Matrix.is_symmetric (Matrix.create ~rows:2 ~cols:3)))
+
+let test_vector_edges () =
+  expect_invalid "dot dimension mismatch" (fun () ->
+      Vector.dot [| 1.0 |] [| 1.0; 2.0 |]);
+  let y = [| 1.0 |] in
+  Vector.axpy ~alpha:0.0 [| 5.0 |] y;
+  check_close "axpy with zero alpha" 1.0 y.(0)
+
+let test_interp_two_points () =
+  let t = Interp.of_points [| (0.0, 1.0); (1.0, 3.0) |] in
+  check_close ~tol:1e-12 "minimal table interpolates" 2.0 (Interp.eval t 0.5);
+  check_true "to_points roundtrip" (Interp.to_points t = [| (0.0, 1.0); (1.0, 3.0) |])
+
+(* ---- circuit ---- *)
+
+let test_histogram_errors () =
+  expect_invalid "of_counts wrong length" (fun () -> Histogram.of_counts [| 1; 2 |]);
+  expect_invalid "of_weights all zero" (fun () ->
+      Histogram.of_weights [ ("INV_X1", 0.0) ]);
+  expect_invalid "negative weight" (fun () ->
+      Histogram.of_weights [ ("INV_X1", -1.0) ])
+
+let test_generator_errors () =
+  let h = Histogram.of_weights [ ("INV_X1", 1.0) ] in
+  let rng = Rng.create ~seed:1 () in
+  expect_invalid "non-positive size" (fun () ->
+      Generator.random_netlist ~histogram:h ~n:0 ~rng ())
+
+let test_layout_single_site () =
+  let l = Layout.square ~n:1 () in
+  check_close "one site" 1.0 (float_of_int (Layout.site_count l));
+  check_close "occ(0,0) = 1" 1.0 (float_of_int (Layout.occurrences l ~di:0 ~dj:0));
+  check_close "occ(1,0) = 0" 0.0 (float_of_int (Layout.occurrences l ~di:1 ~dj:0));
+  check_true "totals hold for n=1" (Layout.check_occurrence_total l)
+
+let test_single_gate_estimate () =
+  (* the whole pipeline must survive n = 1 *)
+  let chars = Lazy.force small_chars in
+  let h = Histogram.of_weights [ ("INV_X1", 1.0) ] in
+  let spec = { Estimate.histogram = h; n = 1; width = 4.0; height = 4.0 } in
+  let r = Estimate.early ~p:0.5 ~method_:Estimate.Linear ~chars ~corr spec in
+  let inv = chars.(Library.index_of "INV_X1") in
+  let mu =
+    0.5
+    *. (inv.Characterize.states.(0).Characterize.mu_analytic
+       +. inv.Characterize.states.(1).Characterize.mu_analytic)
+  in
+  check_rel ~tol:1e-9 "single-gate mean is the cell mean" mu r.Estimate.mean;
+  check_true "single-gate sigma positive" (r.Estimate.std > 0.0)
+
+(* ---- core ---- *)
+
+let test_cross_rg_validation () =
+  let chars = Lazy.force small_chars in
+  let h = Histogram.of_weights [ ("INV_X1", 1.0) ] in
+  let rg_a = Random_gate.create ~chars ~histogram:h ~p:0.5 () in
+  (* different length statistics *)
+  let other_param =
+    Process_param.make ~name:"other" ~nominal:65.0 ~sigma_d2d:2.0 ~sigma_wid:2.0
+  in
+  let rng = Rng.create ~seed:9 () in
+  let other_chars =
+    Array.map
+      (fun cell ->
+        Characterize.characterize ~l_points:9 ~mc_samples:20 ~param:other_param
+          ~rng:(Rng.split rng) cell)
+      Library.cells
+  in
+  let rg_b = Random_gate.create ~chars:other_chars ~histogram:h ~p:0.5 () in
+  expect_invalid "cross-RG with mismatched length stats" (fun () ->
+      Rg_correlation.create_cross ~rg_a ~rg_b ())
+
+let test_estimator_validation () =
+  let chars = Lazy.force small_chars in
+  let h = Histogram.of_weights [ ("INV_X1", 1.0) ] in
+  let ctx = Estimate.context ~p:0.5 ~chars ~corr ~histogram:h () in
+  expect_invalid "non-positive gate count" (fun () ->
+      Estimate.run ctx { Estimate.histogram = h; n = 0; width = 1.0; height = 1.0 });
+  expect_invalid "integral with bad dims" (fun () ->
+      Estimator_integral.rect_2d ~corr ~rgcorr:(Estimate.correlation ctx) ~n:10
+        ~width:0.0 ~height:1.0 ())
+
+let test_distribution_validation () =
+  expect_invalid "non-positive mean" (fun () ->
+      Distribution.of_moments ~mean:0.0 ~std:1.0 ());
+  expect_invalid "negative std" (fun () ->
+      Distribution.of_moments ~mean:1.0 ~std:(-1.0) ());
+  let d = Distribution.of_moments ~mean:10.0 ~std:0.0 () in
+  check_close ~tol:1e-9 "zero-spread cdf step" 1.0 (Distribution.cdf d 11.0);
+  expect_invalid "quantile at 0" (fun () -> Distribution.quantile d 0.0)
+
+let test_map_tile_bounds () =
+  let chars = Lazy.force small_chars in
+  let h = Histogram.of_weights [ ("INV_X1", 1.0) ] in
+  let rg = Random_gate.create ~chars ~histogram:h ~p:0.5 () in
+  let map =
+    Leakage_map.compute ~tiles:3 ~samples:20 ~rg ~corr ~n:90 ~width:40.0
+      ~height:40.0 ()
+  in
+  expect_invalid "tile out of range" (fun () -> Leakage_map.tile map ~ix:3 ~iy:0)
+
+(* ---- printers (smoke) ---- *)
+
+let test_pretty_printers () =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let chars = Lazy.force small_chars in
+  let h = Histogram.of_weights [ ("INV_X1", 1.0); ("NAND2_X1", 1.0) ] in
+  let spec = { Estimate.histogram = h; n = 100; width = 40.0; height = 40.0 } in
+  let r = Estimate.early ~p:0.5 ~method_:Estimate.Linear ~chars ~corr spec in
+  Estimate.pp_result fmt r;
+  Format.fprintf fmt "@.";
+  Process_param.pp fmt param;
+  Format.fprintf fmt "@.";
+  Corr_model.pp fmt corr;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  check_true "printers produced text" (String.length s > 40);
+  check_true "result mentions the method"
+    (let rec contains i =
+       i + 6 <= String.length s && (String.sub s i 6 = "linear" || contains (i + 1))
+     in
+     contains 0)
+
+let test_netlist_pp () =
+  let h = Histogram.of_weights [ ("INV_X1", 1.0) ] in
+  let rng = Rng.create ~seed:2 () in
+  let nl = Generator.random_netlist ~histogram:h ~n:10 ~rng () in
+  let s = Format.asprintf "%a" Netlist.pp_summary nl in
+  check_true "netlist summary mentions gate count"
+    (let rec contains i =
+       i + 2 <= String.length s && (String.sub s i 2 = "10" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  ( "edge_cases",
+    [
+      case "low-order quadrature" test_quadrature_low_orders;
+      case "matrix symmetry predicate" test_matrix_symmetry_predicate;
+      case "vector edges" test_vector_edges;
+      case "two-point interpolation" test_interp_two_points;
+      case "histogram errors" test_histogram_errors;
+      case "generator errors" test_generator_errors;
+      case "single-site layout" test_layout_single_site;
+      case "single-gate estimate" test_single_gate_estimate;
+      case "cross-RG validation" test_cross_rg_validation;
+      case "estimator validation" test_estimator_validation;
+      case "distribution validation" test_distribution_validation;
+      case "map tile bounds" test_map_tile_bounds;
+      case "pretty printers" test_pretty_printers;
+      case "netlist summary" test_netlist_pp;
+    ] )

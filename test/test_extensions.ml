@@ -1,0 +1,407 @@
+(* Tests for the production extensions: Gauss-Hermite quadrature,
+   temperature-dependent device model, the Monte-Carlo reference
+   simulator, the leakage distribution / yield module, multi-region
+   estimation and spatial-correlation extraction. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_device
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let param = Process_param.default_channel_length
+let corr_linear = Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param
+
+let chars =
+  lazy
+    (let rng = Rng.create ~seed:99 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:49 ~mc_samples:500 ~param
+           ~rng:(Rng.split rng) cell)
+       Library.cells)
+
+let hist =
+  lazy
+    (Histogram.of_weights
+       [ ("INV_X1", 20.0); ("NAND2_X1", 18.0); ("NOR2_X1", 8.0); ("DFF_X1", 9.0) ])
+
+(* ---- Gauss-Hermite ---- *)
+
+let test_gh_moments () =
+  let e f = Quadrature.normal_expectation f ~mu:0.0 ~sigma:1.0 in
+  check_close ~tol:1e-12 "E[Z] = 0" 0.0 (e Fun.id);
+  check_rel ~tol:1e-12 "E[Z^2] = 1" 1.0 (e (fun z -> z *. z));
+  check_rel ~tol:1e-12 "E[Z^4] = 3" 3.0 (e (fun z -> z ** 4.0));
+  check_rel ~tol:1e-12 "E[e^Z] = e^1/2" (exp 0.5) (e exp)
+
+let test_gh_weights () =
+  List.iter
+    (fun n ->
+      let nodes = Quadrature.gauss_hermite_nodes n in
+      let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 nodes in
+      (* integral of e^{-x^2} over the line is sqrt(pi) *)
+      check_rel ~tol:1e-10
+        (Printf.sprintf "order %d weights sum to sqrt(pi)" n)
+        (sqrt Float.pi) total;
+      Array.iter (fun (_, w) -> check_true "positive weight" (w > 0.0)) nodes)
+    [ 1; 2; 5; 16; 64 ]
+
+let test_gh_matches_gl =
+  qcheck ~count:100 "GH normal expectation matches GL on [mu±8s]"
+    QCheck2.Gen.(QCheck2.Gen.pair (float_range (-0.1) (-0.01)) (float_range 1.0 5.0))
+    (fun (b, sigma) ->
+      let mu = 90.0 in
+      let f l = exp (b *. l) in
+      let gh = Quadrature.normal_expectation ~order:64 f ~mu ~sigma in
+      let pdf l =
+        let z = (l -. mu) /. sigma in
+        exp (-0.5 *. z *. z) /. (sigma *. sqrt (2.0 *. Float.pi))
+      in
+      let gl =
+        Quadrature.gauss_legendre ~order:96
+          (fun l -> f l *. pdf l)
+          ~lo:(mu -. (8.0 *. sigma))
+          ~hi:(mu +. (8.0 *. sigma))
+      in
+      Float.abs (gh -. gl) < 1e-8 *. gh)
+
+(* ---- temperature ---- *)
+
+let test_env_at () =
+  let hot = Mosfet.env_at ~temp_k:358.0 () in
+  check_rel ~tol:1e-9 "thermal voltage scales with T" (0.0259 /. 300.0 *. 358.0)
+    hot.Mosfet.v_thermal;
+  check_close "default is 300K" 300.0 Mosfet.default_env.Mosfet.temp_k;
+  Alcotest.check_raises "non-positive temperature"
+    (Invalid_argument "Mosfet.env_at: temperature must be positive") (fun () ->
+      ignore (Mosfet.env_at ~temp_k:0.0 ()))
+
+let test_leakage_grows_with_temperature () =
+  let nand = Library.find "NAND2_X1" in
+  let leak temp_k =
+    Cell.leakage ~env:(Mosfet.env_at ~temp_k ()) nand [| false; false |]
+  in
+  let cold = leak 298.0 and warm = leak 348.0 and hot = leak 398.0 in
+  check_true "monotone in T" (cold < warm && warm < hot);
+  check_in_range "25C -> 125C growth plausible" ~lo:2.0 ~hi:100.0 (hot /. cold)
+
+let test_characterize_at_temperature () =
+  let rng = Rng.create ~seed:303 () in
+  let hot =
+    Characterize.characterize ~l_points:33 ~mc_samples:500
+      ~env:(Mosfet.env_at ~temp_k:398.0 ())
+      ~param ~rng (Library.find "INV_X1")
+  in
+  let cold = (Lazy.force chars).(Library.index_of "INV_X1") in
+  check_true "hot characterization has larger mean"
+    (hot.Characterize.states.(0).Characterize.mu_analytic
+    > cold.Characterize.states.(0).Characterize.mu_analytic)
+
+(* ---- MC reference simulator ---- *)
+
+let small_placed =
+  lazy
+    (let rng = Rng.create ~seed:404 () in
+     Generator.random_placed ~histogram:(Lazy.force hist) ~n:300 ~rng ())
+
+let test_mc_reference_matches_exact () =
+  let placed = Lazy.force small_placed in
+  let chars = Lazy.force chars in
+  let mc = Mc_reference.prepare ~chars ~corr:corr_linear ~p:0.5 placed in
+  check_close "gate count" 300.0 (float_of_int (Mc_reference.gate_count mc));
+  let rng = Rng.create ~seed:405 () in
+  let mean_mc, std_mc = Mc_reference.moments mc rng ~count:3000 in
+  let ctx =
+    Estimate.context ~p:0.5 ~chars ~corr:corr_linear
+      ~histogram:(Histogram.of_netlist placed.Placer.netlist) ()
+  in
+  let tr =
+    Estimator_exact.estimate ~corr:corr_linear
+      ~rgcorr:(Estimate.correlation ctx) placed
+  in
+  check_rel ~tol:0.02 "MC mean vs exact pairwise" tr.Estimator_exact.mean mean_mc;
+  check_rel ~tol:0.07 "MC std vs exact pairwise" tr.Estimator_exact.std std_mc
+
+let test_mc_reference_determinism () =
+  let placed = Lazy.force small_placed in
+  let mc =
+    Mc_reference.prepare ~chars:(Lazy.force chars) ~corr:corr_linear ~p:0.5
+      placed
+  in
+  let a = Mc_reference.sample mc (Rng.create ~seed:1 ()) in
+  let b = Mc_reference.sample mc (Rng.create ~seed:1 ()) in
+  check_close "same seed, same sample" a b
+
+let test_fixed_state_isolates_process_noise () =
+  let placed = Lazy.force small_placed in
+  let mc =
+    Mc_reference.prepare ~chars:(Lazy.force chars) ~corr:corr_linear ~p:0.5
+      placed
+  in
+  (* with frozen states, variance across dies comes only from process
+     variation, so it must be below the full variance *)
+  let rng1 = Rng.create ~seed:11 () and rng2 = Rng.create ~seed:11 () in
+  let acc_fixed = Stats.Acc.create () and acc_full = Stats.Acc.create () in
+  for _ = 1 to 1500 do
+    Stats.Acc.add acc_fixed (Mc_reference.fixed_state_sample mc rng1 ~state_seed:77);
+    Stats.Acc.add acc_full (Mc_reference.sample mc rng2)
+  done;
+  (* one frozen state assignment can sit above or below the average,
+     but at chip scale the state-randomness share is small, so the two
+     variances must be comparable *)
+  let ratio = Stats.Acc.variance acc_fixed /. Stats.Acc.variance acc_full in
+  check_in_range "fixed-state variance comparable to full" ~lo:0.6 ~hi:1.4 ratio
+
+(* ---- distribution / yield ---- *)
+
+let test_distribution_moment_matching =
+  qcheck ~count:200 "lognormal moment matching round-trips"
+    QCheck2.Gen.(QCheck2.Gen.pair (float_range 10.0 1e6) (float_range 0.0 0.8))
+    (fun (mean, cv) ->
+      let std = cv *. mean in
+      let d = Distribution.of_moments ~mean ~std () in
+      (* recompute mean/var of the fitted lognormal *)
+      let m = exp (d.Distribution.mu_ln +. (d.Distribution.sigma_ln ** 2.0 /. 2.0)) in
+      let v =
+        (exp (d.Distribution.sigma_ln ** 2.0) -. 1.0)
+        *. exp ((2.0 *. d.Distribution.mu_ln) +. (d.Distribution.sigma_ln ** 2.0))
+      in
+      Float.abs (m -. mean) < 1e-9 *. mean
+      && Float.abs (sqrt v -. std) < 1e-9 *. Float.max std 1e-12)
+
+let test_distribution_quantiles () =
+  let d = Distribution.of_moments ~mean:1000.0 ~std:250.0 () in
+  check_rel ~tol:1e-7 "median is exp(mu_ln)" (exp d.Distribution.mu_ln)
+    (Distribution.quantile d 0.5);
+  check_true "lognormal median below mean"
+    (Distribution.quantile d 0.5 < 1000.0);
+  let q99 = Distribution.quantile d 0.99 in
+  check_rel ~tol:1e-9 "cdf/quantile roundtrip" 0.99 (Distribution.cdf d q99);
+  let dn = Distribution.of_moments ~shape:Distribution.Normal ~mean:1000.0 ~std:250.0 () in
+  check_rel ~tol:1e-7 "normal median is the mean" 1000.0 (Distribution.quantile dn 0.5);
+  check_true "lognormal right tail heavier than normal"
+    (Distribution.quantile d 0.999 > Distribution.quantile dn 0.999)
+
+let test_yield_semantics () =
+  let d = Distribution.of_moments ~mean:1000.0 ~std:250.0 () in
+  let y1 = Distribution.yield d ~budget:800.0 in
+  let y2 = Distribution.yield d ~budget:1200.0 in
+  check_true "yield monotone in budget" (y2 > y1);
+  check_rel ~tol:1e-9 "budget_for_yield inverts yield" 0.9
+    (Distribution.yield d ~budget:(Distribution.budget_for_yield d ~yield:0.9));
+  check_close "yield at zero budget" 0.0 (Distribution.yield d ~budget:0.0)
+
+let test_distribution_vs_mc () =
+  (* the lognormal fitted to the analytical moments should track the MC
+     distribution of a real design, including the upper quantiles *)
+  let placed = Lazy.force small_placed in
+  let chars = Lazy.force chars in
+  let ctx =
+    Estimate.context ~p:0.5 ~chars ~corr:corr_linear
+      ~histogram:(Histogram.of_netlist placed.Placer.netlist) ()
+  in
+  let tr =
+    Estimator_exact.estimate ~corr:corr_linear
+      ~rgcorr:(Estimate.correlation ctx) placed
+  in
+  let d =
+    Distribution.of_moments ~mean:tr.Estimator_exact.mean
+      ~std:tr.Estimator_exact.std ()
+  in
+  let mc = Mc_reference.prepare ~chars ~corr:corr_linear ~p:0.5 placed in
+  let samples = Mc_reference.sample_many mc (Rng.create ~seed:500 ()) ~count:4000 in
+  List.iter
+    (fun q ->
+      let analytic = Distribution.quantile d q in
+      let empirical = Stats.percentile samples (100.0 *. q) in
+      check_rel ~tol:0.08
+        (Printf.sprintf "quantile %.2f vs MC" q)
+        empirical analytic)
+    [ 0.25; 0.5; 0.75; 0.95 ]
+
+(* ---- multi-region ---- *)
+
+let test_multi_region_partition_consistency () =
+  let chars = Lazy.force chars in
+  let h = Lazy.force hist in
+  let single =
+    Estimate.early ~p:0.5 ~method_:Estimate.Integral_2d ~chars ~corr:corr_linear
+      { Estimate.histogram = h; n = 6400; width = 320.0; height = 320.0 }
+  in
+  let half ~label ~x =
+    Multi_region.region ~label ~histogram:h ~n:3200 ~x ~y:0.0 ~width:160.0
+      ~height:320.0 ()
+  in
+  let multi =
+    Multi_region.estimate ~p:0.5 ~chars ~corr:corr_linear
+      [ half ~label:"left" ~x:0.0; half ~label:"right" ~x:160.0 ]
+  in
+  check_rel ~tol:1e-3 "partitioned std equals whole-die std"
+    single.Estimate.std multi.Multi_region.std;
+  check_rel ~tol:1e-9 "partitioned mean equals whole-die mean"
+    single.Estimate.mean multi.Multi_region.mean;
+  check_in_range "cross share in (0,1)" ~lo:0.01 ~hi:0.99
+    multi.Multi_region.cross_share
+
+let test_multi_region_overlap_rejected () =
+  let h = Lazy.force hist in
+  let r1 = Multi_region.region ~histogram:h ~n:100 ~x:0.0 ~y:0.0 ~width:100.0 ~height:100.0 () in
+  let r2 = Multi_region.region ~histogram:h ~n:100 ~x:50.0 ~y:50.0 ~width:100.0 ~height:100.0 () in
+  check_true "overlapping regions rejected"
+    (try
+       ignore (Multi_region.estimate ~chars:(Lazy.force chars) ~corr:corr_linear [ r1; r2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_multi_region_far_apart_wid_only () =
+  (* without D2D, regions beyond the correlation range are independent:
+     cross share ~ 0 and the variance is the sum of the parts *)
+  let chars = Lazy.force chars in
+  let h = Lazy.force hist in
+  let wid_param =
+    Process_param.make ~name:"wid" ~nominal:90.0 ~sigma_d2d:0.0
+      ~sigma_wid:(Process_param.sigma_total param)
+  in
+  let corr = Corr_model.create (Corr_model.Linear { dmax = 50.0 }) wid_param in
+  let r ~label ~x =
+    Multi_region.region ~label ~histogram:h ~n:1000 ~x ~y:0.0 ~width:100.0
+      ~height:100.0 ()
+  in
+  let multi =
+    Multi_region.estimate ~p:0.5 ~chars ~corr
+      [ r ~label:"a" ~x:0.0; r ~label:"b" ~x:5000.0 ]
+  in
+  check_in_range "cross share vanishes" ~lo:(-1e-6) ~hi:1e-6
+    multi.Multi_region.cross_share
+
+let test_multi_region_heterogeneous () =
+  let chars = Lazy.force chars in
+  let logic = Lazy.force hist in
+  let sram = Histogram.of_weights [ ("SRAM6T", 1.0) ] in
+  let r1 =
+    Multi_region.region ~label:"sram" ~histogram:sram ~n:20_000 ~x:0.0 ~y:0.0
+      ~width:150.0 ~height:150.0 ()
+  in
+  let r2 =
+    Multi_region.region ~label:"logic" ~histogram:logic ~n:4000 ~x:150.0 ~y:0.0
+      ~width:150.0 ~height:150.0 ()
+  in
+  let r = Multi_region.estimate ~chars ~corr:corr_linear [ r1; r2 ] in
+  check_true "positive estimate" (r.Multi_region.mean > 0.0 && r.Multi_region.std > 0.0);
+  check_close "two region means reported" 2.0
+    (float_of_int (Array.length r.Multi_region.region_means));
+  let total_of_regions =
+    Array.fold_left (fun acc (_, m) -> acc +. m) 0.0 r.Multi_region.region_means
+  in
+  check_rel ~tol:1e-9 "mean is the sum of region means" total_of_regions
+    r.Multi_region.mean
+
+(* ---- correlation extraction ---- *)
+
+let test_corr_fit_noiseless_roundtrip () =
+  (* samples generated directly from a known model must be recovered *)
+  let truth = Corr_model.create (Corr_model.Linear { dmax = 150.0 }) param in
+  let samples =
+    Array.map
+      (fun d ->
+        { Corr_fit.distance = d; correlation = Corr_model.total truth d; weight = 1.0 })
+      (Vector.linspace 5.0 400.0 40)
+  in
+  let r =
+    Corr_fit.fit_family ~sigma_total:(Process_param.sigma_total param)
+      Corr_fit.Fit_linear samples
+  in
+  check_rel ~tol:0.02 "recovered dmax" 150.0 r.Corr_fit.scale;
+  check_close ~tol:0.01 "recovered floor" 0.5 r.Corr_fit.floor;
+  check_true "tiny residual" (r.Corr_fit.rss < 1e-4)
+
+let test_corr_fit_family_selection () =
+  let truth = Corr_model.create (Corr_model.Gaussian { range = 100.0 }) param in
+  let samples =
+    Array.map
+      (fun d ->
+        { Corr_fit.distance = d; correlation = Corr_model.total truth d; weight = 1.0 })
+      (Vector.linspace 5.0 400.0 40)
+  in
+  let results = Corr_fit.fit ~sigma_total:(Process_param.sigma_total param) samples in
+  (match results with
+  | best :: _ ->
+    check_true "gaussian family wins on gaussian data"
+      (best.Corr_fit.family = Corr_fit.Fit_gaussian)
+  | [] -> Alcotest.fail "no fit results");
+  (* results sorted by residual *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Corr_fit.rss <= b.Corr_fit.rss && sorted rest
+    | _ -> true
+  in
+  check_true "results sorted by rss" (sorted results)
+
+let test_corr_fit_from_sampled_dies () =
+  (* end-to-end: sample dies from a known model, build empirical
+     correlations, extract, compare chip-sigma impact *)
+  let truth = Corr_model.create (Corr_model.Spherical { dmax = 100.0 }) param in
+  let rng = Rng.create ~seed:606 () in
+  let locations =
+    Array.init 64 (fun i ->
+        { Variation.x = float_of_int (i mod 8) *. 25.0;
+          y = float_of_int (i / 8) *. 25.0 })
+  in
+  let sampler = Variation.prepare truth locations in
+  let values = Array.init 400 (fun _ -> Variation.sample sampler rng) in
+  let samples = Corr_fit.empirical ~values ~locations ~bins:16 () in
+  check_true "empirical produced samples" (Array.length samples > 5);
+  let r =
+    Corr_fit.best ~sigma_total:(Process_param.sigma_total param) samples
+  in
+  check_in_range "extracted floor near 0.5" ~lo:0.35 ~hi:0.65 r.Corr_fit.floor;
+  (* the extracted model must predict nearly the same chip sigma *)
+  let chars = Lazy.force chars in
+  let h = Lazy.force hist in
+  let layout = Layout.square ~n:900 () in
+  let std_of corr =
+    let ctx = Estimate.context ~p:0.5 ~chars ~corr ~histogram:h () in
+    (Estimator_linear.estimate ~corr ~rgcorr:(Estimate.correlation ctx) ~layout ())
+      .Estimator_linear.std
+  in
+  check_rel ~tol:0.10 "chip sigma with extracted vs true model"
+    (std_of truth) (std_of r.Corr_fit.model)
+
+let test_corr_fit_validation () =
+  check_true "too few samples rejected"
+    (try
+       ignore
+         (Corr_fit.fit_family ~sigma_total:1.0 Corr_fit.Fit_linear
+            [| { Corr_fit.distance = 1.0; correlation = 0.9; weight = 1.0 } |]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "extensions",
+    [
+      case "gauss-hermite moments" test_gh_moments;
+      case "gauss-hermite weights" test_gh_weights;
+      test_gh_matches_gl;
+      case "temperature environment" test_env_at;
+      case "leakage grows with temperature" test_leakage_grows_with_temperature;
+      case "characterize at temperature" test_characterize_at_temperature;
+      slow_case "mc reference vs exact estimator" test_mc_reference_matches_exact;
+      case "mc reference determinism" test_mc_reference_determinism;
+      slow_case "fixed-state sampling" test_fixed_state_isolates_process_noise;
+      test_distribution_moment_matching;
+      case "distribution quantiles" test_distribution_quantiles;
+      case "yield semantics" test_yield_semantics;
+      slow_case "distribution vs monte carlo" test_distribution_vs_mc;
+      slow_case "multi-region partition consistency"
+        test_multi_region_partition_consistency;
+      case "multi-region overlap rejected" test_multi_region_overlap_rejected;
+      slow_case "multi-region independence at distance"
+        test_multi_region_far_apart_wid_only;
+      case "multi-region heterogeneous" test_multi_region_heterogeneous;
+      case "correlation fit roundtrip" test_corr_fit_noiseless_roundtrip;
+      case "correlation family selection" test_corr_fit_family_selection;
+      slow_case "correlation extraction from dies" test_corr_fit_from_sampled_dies;
+      case "correlation fit validation" test_corr_fit_validation;
+    ] )

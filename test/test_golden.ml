@@ -1,0 +1,81 @@
+(* Golden regression tests: every path here is deterministic (fixed
+   seeds, fixed characterization settings), so the exact values below
+   must be stable across refactorings.  A failure means numerical
+   behaviour changed — intentionally or not — and EXPERIMENTS.md needs
+   re-measuring if it was intentional. *)
+
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let chars = lazy (Characterize.default_library ())
+let param = Process_param.default_channel_length
+let corr = lazy (Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param)
+
+let hist =
+  lazy
+    (Histogram.of_weights
+       [ ("INV_X1", 20.0); ("NAND2_X1", 18.0); ("NOR2_X1", 8.0); ("DFF_X1", 9.0) ])
+
+let test_cell_stats () =
+  let sc = (Lazy.force chars).(Library.index_of "NAND2_X1").Characterize.states.(0) in
+  check_rel ~tol:1e-6 "NAND2 state-0 analytic mean" 0.1732180321
+    sc.Characterize.mu_analytic;
+  check_rel ~tol:1e-6 "NAND2 state-0 analytic std" 0.06613326441
+    sc.Characterize.sigma_analytic;
+  check_rel ~tol:1e-6 "NAND2 state-0 fitted b" (-0.335614906) sc.Characterize.fit.Mgf.b;
+  check_rel ~tol:1e-6 "NAND2 state-0 fitted c" 0.001421124909 sc.Characterize.fit.Mgf.c
+
+let test_linear_estimate () =
+  let spec =
+    { Estimate.histogram = Lazy.force hist; n = 900; width = 120.0; height = 120.0 }
+  in
+  let r =
+    Estimate.early ~p:0.5 ~method_:Estimate.Linear ~chars:(Lazy.force chars)
+      ~corr:(Lazy.force corr) spec
+  in
+  check_rel ~tol:1e-6 "golden linear mean" 2158.029676 r.Estimate.mean;
+  check_rel ~tol:1e-6 "golden linear std" 633.6915121 r.Estimate.std
+
+let test_integral_estimate () =
+  let spec =
+    { Estimate.histogram = Lazy.force hist; n = 900; width = 120.0; height = 120.0 }
+  in
+  let r =
+    Estimate.early ~p:0.5 ~method_:Estimate.Integral_2d ~chars:(Lazy.force chars)
+      ~corr:(Lazy.force corr) spec
+  in
+  check_rel ~tol:1e-6 "golden 2-D integral std" 625.4400336 r.Estimate.std
+
+let test_c432_true_leakage () =
+  let placed = Benchmarks.placed (Benchmarks.find "c432") in
+  let tr =
+    Estimate.true_leakage ~chars:(Lazy.force chars) ~corr:(Lazy.force corr) placed
+  in
+  check_rel ~tol:1e-6 "golden c432 true mean" 256.5925014 tr.Estimate.mean;
+  check_rel ~tol:1e-6 "golden c432 true std" 88.52415622 tr.Estimate.std
+
+let test_signal_probability () =
+  let weights = Histogram.to_array (Lazy.force hist) in
+  check_rel ~tol:1e-9 "golden p*" 0.51
+    (Signal_prob.maximizing_p (Lazy.force chars) ~weights);
+  check_rel ~tol:1e-6 "golden per-gate mean at p = 0.5" 2.397810752
+    (Signal_prob.design_mean (Lazy.force chars) ~weights ~p:0.5)
+
+let test_vt_factor () =
+  check_rel ~tol:1e-9 "golden Vt mean factor"
+    (exp (0.025 *. 0.025 /. (2.0 *. ((1.4 *. 0.0259) ** 2.0))))
+    (Vt_correction.mean_factor ())
+
+let suite =
+  ( "golden",
+    [
+      slow_case "cell statistics" test_cell_stats;
+      slow_case "linear estimate" test_linear_estimate;
+      slow_case "integral estimate" test_integral_estimate;
+      slow_case "c432 true leakage" test_c432_true_leakage;
+      slow_case "signal probability" test_signal_probability;
+      case "vt factor" test_vt_factor;
+    ] )

@@ -1,0 +1,66 @@
+open Rgleak_num
+open Testutil
+
+let test_exact_at_nodes () =
+  let t = Interp.of_points [| (0.0, 1.0); (1.0, 3.0); (2.0, 2.0) |] in
+  check_close ~tol:1e-15 "node 0" 1.0 (Interp.eval t 0.0);
+  check_close ~tol:1e-15 "node 1" 3.0 (Interp.eval t 1.0);
+  check_close ~tol:1e-15 "node 2" 2.0 (Interp.eval t 2.0)
+
+let test_midpoints () =
+  let t = Interp.of_points [| (0.0, 0.0); (2.0, 4.0) |] in
+  check_close ~tol:1e-15 "midpoint" 2.0 (Interp.eval t 1.0);
+  check_close ~tol:1e-15 "quarter" 1.0 (Interp.eval t 0.5)
+
+let test_clamping () =
+  let t = Interp.of_points [| (0.0, 1.0); (1.0, 2.0) |] in
+  check_close ~tol:1e-15 "clamp below" 1.0 (Interp.eval t (-5.0));
+  check_close ~tol:1e-15 "clamp above" 2.0 (Interp.eval t 10.0)
+
+let test_unsorted_input () =
+  let t = Interp.of_points [| (2.0, 20.0); (0.0, 0.0); (1.0, 10.0) |] in
+  check_close ~tol:1e-15 "sorted internally" 5.0 (Interp.eval t 0.5)
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "duplicate abscissa"
+    (Invalid_argument "Interp.of_points: duplicate abscissa") (fun () ->
+      ignore (Interp.of_points [| (1.0, 1.0); (1.0, 2.0) |]))
+
+let test_of_fun () =
+  let t = Interp.of_fun (fun x -> x *. x) ~lo:0.0 ~hi:2.0 ~n:201 in
+  check_close ~tol:1e-4 "fine tabulation of x^2" 1.0 (Interp.eval t 1.0);
+  check_close ~tol:1e-4 "off-node" 2.25 (Interp.eval t 1.5);
+  let lo, hi = Interp.domain t in
+  check_close "domain lo" 0.0 lo;
+  check_close "domain hi" 2.0 hi;
+  check_close "size" 201.0 (float_of_int (Interp.size t))
+
+let test_linear_exact =
+  qcheck ~count:200 "linear functions reproduced exactly"
+    QCheck2.Gen.(
+      tup3 (float_range (-5.0) 5.0) (float_range (-5.0) 5.0)
+        (float_range (-0.99) 0.99))
+    (fun (a, b, x) ->
+      let t = Interp.of_fun (fun u -> a +. (b *. u)) ~lo:(-1.0) ~hi:1.0 ~n:17 in
+      Float.abs (Interp.eval t x -. (a +. (b *. x))) < 1e-9)
+
+let test_monotone_lookup =
+  qcheck ~count:200 "evaluation between bracketing node values"
+    QCheck2.Gen.(float_range 0.0 0.999)
+    (fun x ->
+      let t = Interp.of_fun exp ~lo:0.0 ~hi:1.0 ~n:11 in
+      let v = Interp.eval t x in
+      v >= 1.0 -. 1e-12 && v <= exp 1.0 +. 1e-12)
+
+let suite =
+  ( "interp",
+    [
+      case "exact at nodes" test_exact_at_nodes;
+      case "midpoints" test_midpoints;
+      case "clamping" test_clamping;
+      case "unsorted input" test_unsorted_input;
+      case "duplicate rejected" test_duplicate_rejected;
+      case "tabulated function" test_of_fun;
+      test_linear_exact;
+      test_monotone_lookup;
+    ] )

@@ -1,0 +1,154 @@
+open Rgleak_num
+open Testutil
+
+let test_vector_ops () =
+  let x = [| 1.0; 2.0; 3.0 |] and y = [| 4.0; 5.0; 6.0 |] in
+  check_close ~tol:1e-12 "dot" 32.0 (Vector.dot x y);
+  check_close ~tol:1e-12 "norm" (sqrt 14.0) (Vector.norm2 x);
+  check_close ~tol:1e-12 "add" 9.0 (Vector.add x y).(2);
+  check_close ~tol:1e-12 "sub" (-3.0) (Vector.sub x y).(0);
+  check_close ~tol:1e-12 "scale" 6.0 (Vector.scale 2.0 x).(2);
+  let y' = Vector.copy y in
+  Vector.axpy ~alpha:2.0 x y';
+  check_close ~tol:1e-12 "axpy" 12.0 y'.(2)
+
+let test_linspace () =
+  let v = Vector.linspace 0.0 1.0 5 in
+  check_close ~tol:1e-15 "first" 0.0 v.(0);
+  check_close ~tol:1e-15 "last exactly hi" 1.0 v.(4);
+  check_close ~tol:1e-15 "step" 0.25 v.(1);
+  Alcotest.check_raises "linspace needs 2 points"
+    (Invalid_argument "Vector.linspace: need at least two points") (fun () ->
+      ignore (Vector.linspace 0.0 1.0 1))
+
+let test_matrix_mul () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Matrix.mul a b in
+  check_close ~tol:1e-12 "mul 00" 19.0 (Matrix.get c 0 0);
+  check_close ~tol:1e-12 "mul 01" 22.0 (Matrix.get c 0 1);
+  check_close ~tol:1e-12 "mul 10" 43.0 (Matrix.get c 1 0);
+  check_close ~tol:1e-12 "mul 11" 50.0 (Matrix.get c 1 1)
+
+let test_matrix_identity =
+  qcheck ~count:100 "A * I = A"
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (list_size (int_range 1 6) (float_range (-10.0) 10.0)))
+    (fun rows ->
+      match rows with
+      | [] -> true
+      | first :: _ ->
+        let cols = List.length first in
+        if cols = 0 || List.exists (fun r -> List.length r <> cols) rows then
+          true (* skip ragged *)
+        else begin
+          let a =
+            Matrix.of_arrays
+              (Array.of_list (List.map Array.of_list rows))
+          in
+          let prod = Matrix.mul a (Matrix.identity cols) in
+          Matrix.max_abs_diff a prod < 1e-12
+        end)
+
+let test_transpose () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let at = Matrix.transpose a in
+  check_close "t rows" 3.0 (float_of_int (Matrix.rows at));
+  check_close "t cols" 2.0 (float_of_int (Matrix.cols at));
+  check_close ~tol:1e-12 "t value" 6.0 (Matrix.get at 2 1)
+
+let test_mul_vec () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Matrix.mul_vec a [| 1.0; 1.0 |] in
+  check_close ~tol:1e-12 "mul_vec 0" 3.0 y.(0);
+  check_close ~tol:1e-12 "mul_vec 1" 7.0 y.(1)
+
+let test_det_inv_2x2 () =
+  let a = Matrix.of_arrays [| [| 3.0; 1.0 |]; [| 2.0; 4.0 |] |] in
+  check_close ~tol:1e-12 "det" 10.0 (Matrix.det2 a);
+  let inv = Matrix.inv2 a in
+  let prod = Matrix.mul a inv in
+  check_true "A * A^-1 = I"
+    (Matrix.max_abs_diff prod (Matrix.identity 2) < 1e-12)
+
+(* Random SPD matrix: A = B Bᵀ + eps I. *)
+let gen_spd =
+  QCheck2.Gen.(
+    int_range 1 8 >>= fun n ->
+    list_repeat (n * n) (float_range (-2.0) 2.0) >|= fun entries ->
+    let b =
+      Matrix.init ~rows:n ~cols:n (fun i j -> List.nth entries ((i * n) + j))
+    in
+    let a = Matrix.mul b (Matrix.transpose b) in
+    Matrix.add a (Matrix.scale 0.1 (Matrix.identity n)))
+
+let test_cholesky_roundtrip =
+  qcheck ~count:100 "L Lᵀ reconstructs SPD matrix" gen_spd (fun a ->
+      let l = Cholesky.decompose a in
+      let recon = Matrix.mul l (Matrix.transpose l) in
+      Matrix.max_abs_diff a recon < 1e-8)
+
+let test_cholesky_solve =
+  qcheck ~count:100 "solve satisfies A x = b" gen_spd (fun a ->
+      let n = Matrix.rows a in
+      let b = Array.init n (fun i -> float_of_int (i + 1)) in
+      let l = Cholesky.decompose a in
+      let x = Cholesky.solve l b in
+      let ax = Matrix.mul_vec a x in
+      Vector.max_abs_diff ax b < 1e-6)
+
+let test_cholesky_rejects_indefinite () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  check_true "indefinite raises"
+    (try
+       ignore (Cholesky.decompose a);
+       false
+     with Cholesky.Not_positive_definite _ -> true)
+
+let test_cholesky_semidefinite () =
+  (* perfectly correlated 2x2: rank 1 *)
+  let a = Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let l = Cholesky.decompose_semidefinite a in
+  let recon = Matrix.mul l (Matrix.transpose l) in
+  check_true "semidefinite factor reconstructs" (Matrix.max_abs_diff a recon < 1e-8)
+
+let test_cholesky_sample_covariance () =
+  (* sample from a known 2x2 covariance and verify empirically *)
+  let cov = Matrix.of_arrays [| [| 2.0; 0.6 |]; [| 0.6; 1.0 |] |] in
+  let l = Cholesky.decompose cov in
+  let rng = Rng.create ~seed:21 () in
+  let acc = Stats.Cov_acc.create () in
+  let acc1 = Stats.Acc.create () and acc2 = Stats.Acc.create () in
+  for _ = 1 to 100_000 do
+    let z = Cholesky.sample l rng in
+    Stats.Cov_acc.add acc z.(0) z.(1);
+    Stats.Acc.add acc1 z.(0);
+    Stats.Acc.add acc2 z.(1)
+  done;
+  check_rel ~tol:0.03 "sampled var 1" 2.0 (Stats.Acc.variance acc1);
+  check_rel ~tol:0.03 "sampled var 2" 1.0 (Stats.Acc.variance acc2);
+  check_rel ~tol:0.05 "sampled cov" 0.6 (Stats.Cov_acc.covariance acc)
+
+let test_log_det () =
+  let a = Matrix.of_arrays [| [| 4.0; 0.0 |]; [| 0.0; 9.0 |] |] in
+  let l = Cholesky.decompose a in
+  check_close ~tol:1e-12 "log det" (log 36.0) (Cholesky.log_det l)
+
+let suite =
+  ( "linalg",
+    [
+      case "vector ops" test_vector_ops;
+      case "linspace" test_linspace;
+      case "matrix multiply" test_matrix_mul;
+      test_matrix_identity;
+      case "transpose" test_transpose;
+      case "matrix-vector" test_mul_vec;
+      case "2x2 det and inverse" test_det_inv_2x2;
+      test_cholesky_roundtrip;
+      test_cholesky_solve;
+      case "cholesky rejects indefinite" test_cholesky_rejects_indefinite;
+      case "cholesky semidefinite" test_cholesky_semidefinite;
+      case "cholesky sampling covariance" test_cholesky_sample_covariance;
+      case "log determinant" test_log_det;
+    ] )

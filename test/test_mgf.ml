@@ -1,0 +1,162 @@
+open Rgleak_num
+open Rgleak_cells
+open Testutil
+
+(* A representative fitted triplet (NAND-like): decreasing, mildly
+   convex leakage-vs-L in log space. *)
+let tr = Mgf.triplet ~a:2000.0 ~b:(-0.09) ~c:0.0002
+let mu = 90.0
+let sigma = 4.24
+
+let mc_moments ?(samples = 400_000) t ~seed =
+  let rng = Rng.create ~seed () in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to samples do
+    let l = Rng.gaussian_mu_sigma rng ~mu ~sigma in
+    Stats.Acc.add acc (t.Mgf.a *. exp ((t.Mgf.b *. l) +. (t.Mgf.c *. l *. l)))
+  done;
+  (Stats.Acc.mean acc, Stats.Acc.std acc)
+
+let test_mean_vs_mc () =
+  let m_mc, _ = mc_moments tr ~seed:101 in
+  check_rel ~tol:0.01 "closed-form mean vs MC" m_mc (Mgf.mean tr ~mu ~sigma)
+
+let test_std_vs_mc () =
+  let _, s_mc = mc_moments tr ~seed:102 in
+  check_rel ~tol:0.02 "closed-form std vs MC" s_mc (Mgf.std tr ~mu ~sigma)
+
+let test_lognormal_limit () =
+  (* c = 0: X is lognormal with ln X ~ N(ln a + b mu, b^2 sigma^2) *)
+  let t0 = Mgf.triplet ~a:100.0 ~b:(-0.08) ~c:0.0 in
+  let m = log 100.0 -. (0.08 *. mu) in
+  let s = 0.08 *. sigma in
+  check_rel ~tol:1e-12 "lognormal mean" (exp (m +. (s *. s /. 2.0)))
+    (Mgf.mean t0 ~mu ~sigma);
+  let var = (exp (s *. s) -. 1.0) *. exp ((2.0 *. m) +. (s *. s)) in
+  check_rel ~tol:1e-12 "lognormal variance" var (Mgf.variance t0 ~mu ~sigma)
+
+let test_k_params_paper_form () =
+  (* K1 = c sigma^2, K2 = (mu + b/(2c))/sigma, K3 = ln a - b^2/(4c);
+     and M_Y(t) from (K1,K2,K3) must equal the centered implementation *)
+  let k1, k2, k3 = Mgf.k_params tr ~mu ~sigma in
+  check_rel ~tol:1e-12 "K1" (tr.Mgf.c *. sigma *. sigma) k1;
+  check_rel ~tol:1e-12 "K2" ((mu +. (tr.Mgf.b /. (2.0 *. tr.Mgf.c))) /. sigma) k2;
+  check_rel ~tol:1e-9 "K3"
+    (log tr.Mgf.a -. (tr.Mgf.b *. tr.Mgf.b /. (4.0 *. tr.Mgf.c)))
+    k3;
+  let paper_mgf t =
+    (* Eq. 3 with the corrected -1/2 exponent *)
+    exp ((k1 *. k2 *. k2 *. t /. (1.0 -. (2.0 *. k1 *. t))) +. (k3 *. t))
+    /. sqrt (1.0 -. (2.0 *. k1 *. t))
+  in
+  check_rel ~tol:1e-9 "M_Y(1) matches Eq. 3 (corrected)" (paper_mgf 1.0)
+    (Mgf.mgf_log tr ~mu ~sigma 1.0);
+  check_rel ~tol:1e-9 "M_Y(2) matches Eq. 3 (corrected)" (paper_mgf 2.0)
+    (Mgf.mgf_log tr ~mu ~sigma 2.0)
+
+let test_divergence () =
+  (* strongly convex curvature: second moment diverges *)
+  let bad = Mgf.triplet ~a:1.0 ~b:0.0 ~c:0.02 in
+  (* 2 * t * c * sigma^2 = 2*2*0.02*17.98 = 1.44 > 1 at t = 2 *)
+  check_true "divergent second moment detected"
+    (try
+       ignore (Mgf.variance bad ~mu ~sigma);
+       false
+     with Mgf.Divergent -> true)
+
+let test_triplet_validation () =
+  Alcotest.check_raises "non-positive a rejected"
+    (Invalid_argument "Mgf.triplet: a must be positive") (fun () ->
+      ignore (Mgf.triplet ~a:0.0 ~b:1.0 ~c:0.0))
+
+let tr2 = Mgf.triplet ~a:500.0 ~b:(-0.11) ~c:0.0004
+
+let test_pair_rho_zero () =
+  check_close ~tol:1e-9 "independent gates have zero covariance" 0.0
+    (Mgf.pair_covariance tr tr2 ~mu ~sigma ~rho:0.0 /. 1e3)
+
+let test_pair_rho_one_same_gate () =
+  (* identical gates at rho = 1: covariance = variance *)
+  check_rel ~tol:1e-9 "cov at rho 1 equals variance"
+    (Mgf.variance tr ~mu ~sigma)
+    (Mgf.pair_covariance tr tr ~mu ~sigma ~rho:1.0)
+
+let test_pair_symmetry =
+  qcheck ~count:200 "pair covariance is symmetric"
+    QCheck2.Gen.(float_range 0.0 1.0)
+    (fun rho ->
+      let c1 = Mgf.pair_covariance tr tr2 ~mu ~sigma ~rho in
+      let c2 = Mgf.pair_covariance tr2 tr ~mu ~sigma ~rho in
+      Float.abs (c1 -. c2) < 1e-9 *. Float.max 1.0 (Float.abs c1))
+
+let test_pair_monotone_in_rho () =
+  (* both gates leak more at short L, so covariance grows with rho *)
+  let prev = ref neg_infinity in
+  for k = 0 to 10 do
+    let rho = float_of_int k /. 10.0 in
+    let c = Mgf.pair_covariance tr tr2 ~mu ~sigma ~rho in
+    check_true "covariance increases with rho" (c > !prev);
+    prev := c
+  done
+
+let test_pair_correlation_bounds =
+  qcheck ~count:200 "leakage correlation within [0, 1]"
+    QCheck2.Gen.(float_range 0.0 1.0)
+    (fun rho ->
+      let r = Mgf.pair_correlation tr tr2 ~mu ~sigma ~rho in
+      r >= -1e-9 && r <= 1.0 +. 1e-9)
+
+let test_pair_correlation_near_identity () =
+  (* the Fig. 2 observation: f_{m,n} hugs the y = x line *)
+  List.iter
+    (fun rho ->
+      let r = Mgf.pair_correlation tr tr2 ~mu ~sigma ~rho in
+      check_in_range
+        (Printf.sprintf "f(%.1f) near identity" rho)
+        ~lo:(rho -. 0.08) ~hi:(rho +. 0.02) r)
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let test_pair_vs_mc () =
+  let rho = 0.6 in
+  let analytic = Mgf.pair_covariance tr tr2 ~mu ~sigma ~rho in
+  let rng = Rng.create ~seed:103 () in
+  let acc = Stats.Cov_acc.create () in
+  for _ = 1 to 400_000 do
+    let z1 = Rng.gaussian rng in
+    let z2 = (rho *. z1) +. (sqrt (1.0 -. (rho *. rho)) *. Rng.gaussian rng) in
+    let l1 = mu +. (sigma *. z1) and l2 = mu +. (sigma *. z2) in
+    let x1 = tr.Mgf.a *. exp ((tr.Mgf.b *. l1) +. (tr.Mgf.c *. l1 *. l1)) in
+    let x2 = tr2.Mgf.a *. exp ((tr2.Mgf.b *. l2) +. (tr2.Mgf.c *. l2 *. l2)) in
+    Stats.Cov_acc.add acc x1 x2
+  done;
+  check_rel ~tol:0.03 "pair covariance vs MC" (Stats.Cov_acc.covariance acc)
+    analytic
+
+let test_centered_consistency =
+  qcheck ~count:200 "centered form reproduces ln X"
+    QCheck2.Gen.(float_range 70.0 110.0)
+    (fun l ->
+      let k0, beta = Mgf.centered tr ~mu in
+      let delta = l -. mu in
+      let direct = log tr.Mgf.a +. (tr.Mgf.b *. l) +. (tr.Mgf.c *. l *. l) in
+      let via = k0 +. (beta *. delta) +. (tr.Mgf.c *. delta *. delta) in
+      Float.abs (direct -. via) < 1e-9)
+
+let suite =
+  ( "mgf",
+    [
+      case "mean vs monte carlo" test_mean_vs_mc;
+      case "std vs monte carlo" test_std_vs_mc;
+      case "lognormal limit (c = 0)" test_lognormal_limit;
+      case "paper K-parameters and Eq. 3" test_k_params_paper_form;
+      case "divergence detection" test_divergence;
+      case "triplet validation" test_triplet_validation;
+      case "zero rho, zero covariance" test_pair_rho_zero;
+      case "rho 1 gives variance" test_pair_rho_one_same_gate;
+      test_pair_symmetry;
+      case "covariance monotone in rho" test_pair_monotone_in_rho;
+      test_pair_correlation_bounds;
+      case "correlation near identity (Fig 2)" test_pair_correlation_near_identity;
+      case "pair covariance vs MC" test_pair_vs_mc;
+      test_centered_consistency;
+    ] )

@@ -1,0 +1,95 @@
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Testutil
+
+let param = Process_param.default_channel_length
+
+let sc_of name state =
+  let rng = Rng.create ~seed:77 () in
+  let ch =
+    Characterize.characterize ~l_points:65 ~mc_samples:1000 ~param ~rng
+      (Library.find name)
+  in
+  ch.Characterize.states.(state)
+
+let nand_off = lazy (sc_of "NAND2_X1" 0)
+let nor_off = lazy (sc_of "NOR3_X1" 0)
+let inv_off = lazy (sc_of "INV_X1" 0)
+
+let test_endpoints () =
+  let a = Lazy.force nand_off and b = Lazy.force nor_off in
+  check_close ~tol:1e-9 "analytic f(0) = 0" 0.0
+    (Pair_correlation.analytic a b ~param ~rho:0.0);
+  check_in_range "analytic f(1) near 1" ~lo:0.97 ~hi:1.0
+    (Pair_correlation.analytic a b ~param ~rho:1.0)
+
+let test_same_gate_rho_one () =
+  let a = Lazy.force inv_off in
+  check_close ~tol:1e-9 "same gate at rho 1 fully correlated" 1.0
+    (Pair_correlation.analytic a a ~param ~rho:1.0)
+
+let test_monotone =
+  qcheck ~count:100 "f increases with rho"
+    QCheck2.Gen.(QCheck2.Gen.pair (float_range 0.0 0.9) (float_range 0.01 0.1))
+    (fun (rho, d) ->
+      let a = Lazy.force nand_off and b = Lazy.force nor_off in
+      let f1 = Pair_correlation.analytic a b ~param ~rho in
+      let f2 = Pair_correlation.analytic a b ~param ~rho:(Float.min 1.0 (rho +. d)) in
+      f2 >= f1 -. 1e-12)
+
+let test_near_identity () =
+  (* Fig. 2 and the 3.1.2 simplified assumption: f hugs y = x *)
+  let a = Lazy.force nand_off and b = Lazy.force nor_off in
+  let curve =
+    Pair_correlation.curve ~points:11
+      ~f:(fun ~rho -> Pair_correlation.analytic a b ~param ~rho)
+      ()
+  in
+  check_true "max deviation from identity below 0.08"
+    (Pair_correlation.max_identity_deviation curve < 0.08)
+
+let test_mc_matches_analytic () =
+  let a = Lazy.force nand_off and b = Lazy.force nor_off in
+  let rng = Rng.create ~seed:78 () in
+  List.iter
+    (fun rho ->
+      let an = Pair_correlation.analytic a b ~param ~rho in
+      let mc =
+        Pair_correlation.monte_carlo a b ~param ~rho ~samples:60_000 ~rng
+      in
+      check_close ~tol:0.03
+        (Printf.sprintf "MC vs analytic at rho %.2f" rho)
+        an mc)
+    [ 0.2; 0.5; 0.8 ]
+
+let test_mc_range_validation () =
+  let a = Lazy.force nand_off in
+  let rng = Rng.create ~seed:79 () in
+  Alcotest.check_raises "rho out of range"
+    (Invalid_argument "Pair_correlation.monte_carlo: correlation out of range")
+    (fun () ->
+      ignore (Pair_correlation.monte_carlo a a ~param ~rho:1.5 ~samples:10 ~rng))
+
+let test_curve_shape () =
+  let a = Lazy.force inv_off in
+  let curve =
+    Pair_correlation.curve ~points:5
+      ~f:(fun ~rho -> Pair_correlation.analytic a a ~param ~rho)
+      ()
+  in
+  check_close "curve length" 5.0 (float_of_int (Array.length curve));
+  check_close ~tol:1e-12 "first abscissa" 0.0 (fst curve.(0));
+  check_close ~tol:1e-12 "last abscissa" 1.0 (fst curve.(4))
+
+let suite =
+  ( "pair_correlation",
+    [
+      case "endpoints" test_endpoints;
+      case "same gate at rho one" test_same_gate_rho_one;
+      test_monotone;
+      case "near identity (Fig 2)" test_near_identity;
+      case "monte carlo matches analytic" test_mc_matches_analytic;
+      case "mc input validation" test_mc_range_validation;
+      case "curve helper" test_curve_shape;
+    ] )

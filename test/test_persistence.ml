@@ -1,0 +1,211 @@
+(* Tests for characterization persistence (Char_io) and the what-if
+   sensitivity report. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let param = Process_param.default_channel_length
+
+let small_chars =
+  lazy
+    (let rng = Rng.create ~seed:121 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:33 ~mc_samples:200 ~param
+           ~rng:(Rng.split rng) cell)
+       Library.cells)
+
+(* ---- char_io ---- *)
+
+let states_equal (a : Characterize.state_char) (b : Characterize.state_char) =
+  a.Characterize.state_index = b.Characterize.state_index
+  && Float.abs (a.Characterize.mu_analytic -. b.Characterize.mu_analytic) < 1e-12
+  && Float.abs (a.Characterize.sigma_analytic -. b.Characterize.sigma_analytic) < 1e-12
+  && Float.abs (a.Characterize.mu_mc -. b.Characterize.mu_mc) < 1e-12
+  && Float.abs (a.Characterize.fit.Mgf.a -. b.Characterize.fit.Mgf.a) < 1e-12
+  && Float.abs (a.Characterize.fit.Mgf.b -. b.Characterize.fit.Mgf.b) < 1e-15
+  && Float.abs (a.Characterize.fit.Mgf.c -. b.Characterize.fit.Mgf.c) < 1e-18
+  && Interp.size a.Characterize.table = Interp.size b.Characterize.table
+
+let test_string_roundtrip () =
+  let chars = Lazy.force small_chars in
+  let restored = Char_io.of_string (Char_io.to_string chars) in
+  check_close "cell count preserved"
+    (float_of_int (Array.length chars))
+    (float_of_int (Array.length restored));
+  Array.iteri
+    (fun i (ch : Characterize.cell_char) ->
+      let rh = restored.(i) in
+      check_true "cell identity"
+        (ch.Characterize.cell.Cell.name = rh.Characterize.cell.Cell.name);
+      Array.iteri
+        (fun s sc ->
+          check_true
+            (Printf.sprintf "%s state %d roundtrips"
+               ch.Characterize.cell.Cell.name s)
+            (states_equal sc rh.Characterize.states.(s)))
+        ch.Characterize.states)
+    chars
+
+let test_tables_roundtrip_numerically () =
+  let chars = Lazy.force small_chars in
+  let restored = Char_io.of_string (Char_io.to_string chars) in
+  let sc = chars.(Library.index_of "NAND2_X1").Characterize.states.(0) in
+  let rc = restored.(Library.index_of "NAND2_X1").Characterize.states.(0) in
+  List.iter
+    (fun l ->
+      check_close ~tol:1e-12
+        (Printf.sprintf "table value at %g" l)
+        (Characterize.leakage_at sc l)
+        (Characterize.leakage_at rc l))
+    [ 75.0; 82.5; 90.0; 97.5; 105.0 ]
+
+let test_param_roundtrip () =
+  let chars = Lazy.force small_chars in
+  let restored = Char_io.of_string (Char_io.to_string chars) in
+  let p = restored.(0).Characterize.param in
+  check_close ~tol:1e-12 "nominal" 90.0 p.Process_param.nominal;
+  check_close ~tol:1e-12 "sigma split" 3.0 p.Process_param.sigma_d2d
+
+let test_file_roundtrip () =
+  let chars = Lazy.force small_chars in
+  let path = Filename.temp_file "rgleak_char" ".txt" in
+  Char_io.save ~path chars;
+  let restored = Char_io.load ~path in
+  Sys.remove path;
+  check_close "file roundtrip cell count"
+    (float_of_int (Array.length chars))
+    (float_of_int (Array.length restored))
+
+let test_format_errors () =
+  let expect_error text =
+    try
+      ignore (Char_io.of_string text);
+      false
+    with Char_io.Format_error _ -> true
+  in
+  check_true "empty input rejected" (expect_error "");
+  check_true "bad magic rejected" (expect_error "hello 1\n");
+  check_true "bad version rejected"
+    (expect_error "rgleak-characterization 99\nparam L 90 3 3\nend\n");
+  check_true "unknown cell rejected"
+    (expect_error
+       "rgleak-characterization 1\nparam L 90 3 3\ncell NOPE_X7 2\nend\n");
+  check_true "truncated input rejected"
+    (expect_error "rgleak-characterization 1\nparam L 90 3 3\ncell INV_X1 2\n")
+
+let test_loaded_chars_estimate_identically () =
+  let chars = Lazy.force small_chars in
+  let restored = Char_io.of_string (Char_io.to_string chars) in
+  let corr = Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param in
+  let hist = Histogram.of_weights [ ("INV_X1", 2.0); ("NAND2_X1", 3.0) ] in
+  let spec = { Estimate.histogram = hist; n = 400; width = 80.0; height = 80.0 } in
+  let a = Estimate.early ~p:0.5 ~chars ~corr spec in
+  let b = Estimate.early ~p:0.5 ~chars:restored ~corr spec in
+  check_close ~tol:1e-9 "identical mean" a.Estimate.mean b.Estimate.mean;
+  check_close ~tol:1e-9 "identical std" a.Estimate.std b.Estimate.std
+
+(* ---- sensitivity ---- *)
+
+let corr = Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param
+
+let spec =
+  lazy
+    {
+      Estimate.histogram =
+        Histogram.of_weights
+          [ ("INV_X1", 20.0); ("NAND2_X1", 18.0); ("NOR2_X1", 8.0); ("DFF_X1", 9.0) ];
+      n = 2500;
+      width = 200.0;
+      height = 200.0;
+    }
+
+let report =
+  lazy (Sensitivity.analyze ~chars:(Lazy.force small_chars) ~corr ~p:0.5 (Lazy.force spec))
+
+let test_report_shape () =
+  let r = Lazy.force report in
+  check_close "one entry per support cell" 4.0
+    (float_of_int (Array.length r.Sensitivity.cells));
+  check_true "positive base stats" (r.Sensitivity.mean > 0.0 && r.Sensitivity.std > 0.0);
+  let shares =
+    Array.fold_left
+      (fun acc c -> acc +. c.Sensitivity.mean_share)
+      0.0 r.Sensitivity.cells
+  in
+  check_rel ~tol:1e-6 "mean shares sum to 1" 1.0 shares
+
+let test_mean_gradient_identity () =
+  (* the finite-difference mean gradient must match n (mu_i - mu_bar) *)
+  let r = Lazy.force report in
+  let chars = Lazy.force small_chars in
+  let s = Lazy.force spec in
+  let rg =
+    Random_gate.create ~chars ~histogram:s.Estimate.histogram ~p:0.5 ()
+  in
+  let nf = float_of_int s.Estimate.n in
+  Array.iter
+    (fun c ->
+      let analytic =
+        nf *. (Random_gate.mean_of_cell rg c.Sensitivity.cell_index -. rg.Random_gate.mu)
+      in
+      check_rel ~tol:0.02
+        (Printf.sprintf "mean gradient for %s" c.Sensitivity.cell_name)
+        analytic c.Sensitivity.d_mean_d_alpha)
+    r.Sensitivity.cells
+
+let test_gradient_signs () =
+  (* DFF leaks far more than NAND2: shifting mix toward DFF must raise
+     the mean, toward NAND2 must lower it *)
+  let r = Lazy.force report in
+  let find name =
+    match
+      Array.find_opt (fun c -> c.Sensitivity.cell_name = name) r.Sensitivity.cells
+    with
+    | Some c -> c
+    | None -> Alcotest.failf "cell %s missing from report" name
+  in
+  check_true "toward DFF raises mean" ((find "DFF_X1").Sensitivity.d_mean_d_alpha > 0.0);
+  check_true "toward NAND2 lowers mean"
+    ((find "NAND2_X1").Sensitivity.d_mean_d_alpha < 0.0)
+
+let test_die_upsize_reduces_sigma () =
+  let r = Lazy.force report in
+  check_in_range "upsizing decorrelates" ~lo:0.5 ~hi:1.0
+    r.Sensitivity.die_upsize_std_ratio
+
+let test_growth_sensitivities () =
+  let r = Lazy.force report in
+  check_true "adding gates adds mean" (r.Sensitivity.d_mean_d_n > 0.0);
+  check_true "adding gates adds spread" (r.Sensitivity.d_std_d_n > 0.0)
+
+let test_epsilon_validation () =
+  check_true "bad epsilon rejected"
+    (try
+       ignore
+         (Sensitivity.analyze ~epsilon:0.9 ~chars:(Lazy.force small_chars)
+            ~corr ~p:0.5 (Lazy.force spec));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "persistence",
+    [
+      case "char_io string roundtrip" test_string_roundtrip;
+      case "char_io tables numeric" test_tables_roundtrip_numerically;
+      case "char_io param" test_param_roundtrip;
+      case "char_io file roundtrip" test_file_roundtrip;
+      case "char_io format errors" test_format_errors;
+      case "loaded characterization estimates identically"
+        test_loaded_chars_estimate_identically;
+      slow_case "sensitivity report shape" test_report_shape;
+      slow_case "mean gradient identity" test_mean_gradient_identity;
+      slow_case "gradient signs" test_gradient_signs;
+      slow_case "die upsizing" test_die_upsize_reduces_sigma;
+      slow_case "growth sensitivities" test_growth_sensitivities;
+      case "epsilon validation" test_epsilon_validation;
+    ] )

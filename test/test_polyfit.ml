@@ -1,0 +1,92 @@
+open Rgleak_num
+open Testutil
+
+let test_eval () =
+  check_close ~tol:1e-12 "constant" 3.0 (Polyfit.eval [| 3.0 |] 7.0);
+  check_close ~tol:1e-12 "linear" 9.0 (Polyfit.eval [| 1.0; 2.0 |] 4.0);
+  check_close ~tol:1e-12 "quadratic" 14.0 (Polyfit.eval [| 2.0; 1.0; 1.0 |] (-4.0));
+  check_close ~tol:1e-12 "empty" 0.0 (Polyfit.eval [||] 1.0)
+
+let test_exact_recovery =
+  qcheck ~count:200 "fit recovers exact quadratics"
+    QCheck2.Gen.(
+      tup3 (float_range (-5.0) 5.0) (float_range (-5.0) 5.0)
+        (float_range (-5.0) 5.0))
+    (fun (c0, c1, c2) ->
+      let xs = Vector.linspace (-2.0) 3.0 25 in
+      let ys = Array.map (fun x -> c0 +. (c1 *. x) +. (c2 *. x *. x)) xs in
+      let c = Polyfit.fit ~degree:2 xs ys in
+      Float.abs (c.(0) -. c0) < 1e-7
+      && Float.abs (c.(1) -. c1) < 1e-7
+      && Float.abs (c.(2) -. c2) < 1e-7)
+
+let test_overdetermined_least_squares () =
+  (* y = x with one outlier; least squares line must sit between *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 0.0; 1.0; 2.0; 3.0; 8.0 |] in
+  let c = Polyfit.fit ~degree:1 xs ys in
+  check_true "slope pulled above 1" (c.(1) > 1.0);
+  check_true "slope below outlier slope" (c.(1) < 2.0)
+
+let test_ill_conditioned_offsets () =
+  (* fitting around L = 90 nm: raw normal equations on x^4 terms would
+     lose precision; centering must keep this accurate *)
+  let xs = Vector.linspace 60.0 120.0 31 in
+  let ys = Array.map (fun x -> 5.0 -. (0.08 *. x) +. (0.0013 *. x *. x)) xs in
+  let c = Polyfit.fit ~degree:2 xs ys in
+  check_rel ~tol:1e-6 "offset c0" 5.0 c.(0);
+  check_rel ~tol:1e-6 "offset c1" (-0.08) c.(1);
+  check_rel ~tol:1e-6 "offset c2" 0.0013 c.(2)
+
+let test_degenerate_inputs () =
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Polyfit.fit: need more points than degree") (fun () ->
+      ignore (Polyfit.fit ~degree:2 [| 1.0; 2.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Polyfit.fit: length mismatch") (fun () ->
+      ignore (Polyfit.fit ~degree:1 [| 1.0; 2.0; 3.0 |] [| 1.0; 2.0 |]))
+
+let test_log_quadratic_roundtrip =
+  qcheck ~count:200 "fit_log_quadratic recovers (a, b, c)"
+    QCheck2.Gen.(
+      tup3 (float_range (-25.0) (-5.0)) (float_range (-0.2) (-0.01))
+        (float_range 0.0 0.002))
+    (fun (ln_a, b, c) ->
+      let a = exp ln_a in
+      let ls = Vector.linspace 70.0 110.0 20 in
+      let currents =
+        Array.map (fun l -> a *. exp ((b *. l) +. (c *. l *. l))) ls
+      in
+      let a', b', c' = Polyfit.fit_log_quadratic ~ls ~currents in
+      Float.abs (log a' -. ln_a) < 1e-6
+      && Float.abs (b' -. b) < 1e-7
+      && Float.abs (c' -. c) < 1e-9)
+
+let test_log_quadratic_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive current rejected"
+    (Invalid_argument "Polyfit.fit_log_quadratic: currents must be positive")
+    (fun () ->
+      ignore
+        (Polyfit.fit_log_quadratic ~ls:[| 1.0; 2.0; 3.0; 4.0 |]
+           ~currents:[| 1.0; 0.0; 1.0; 1.0 |]))
+
+let test_rms_residual () =
+  let xs = [| 0.0; 1.0; 2.0 |] in
+  let ys = [| 1.0; 2.0; 3.0 |] in
+  check_close ~tol:1e-12 "zero residual on exact fit" 0.0
+    (Polyfit.rms_residual ~coeffs:[| 1.0; 1.0 |] ~xs ~ys);
+  check_close ~tol:1e-12 "unit residual" 1.0
+    (Polyfit.rms_residual ~coeffs:[| 2.0; 1.0 |] ~xs ~ys)
+
+let suite =
+  ( "polyfit",
+    [
+      case "horner evaluation" test_eval;
+      test_exact_recovery;
+      case "overdetermined least squares" test_overdetermined_least_squares;
+      case "conditioning at large offsets" test_ill_conditioned_offsets;
+      case "degenerate inputs" test_degenerate_inputs;
+      test_log_quadratic_roundtrip;
+      case "log-quadratic rejects non-positive" test_log_quadratic_rejects_nonpositive;
+      case "rms residual" test_rms_residual;
+    ] )

@@ -1,0 +1,112 @@
+open Rgleak_num
+open Testutil
+
+let test_pure_gaussian () =
+  (* E[exp(b z)] for z ~ N(0, s2) is exp(b^2 s2 / 2) *)
+  check_rel ~tol:1e-12 "linear exponent 1d" (exp (2.0 *. 2.0 *. 0.25 /. 2.0))
+    (Quadform.expectation_exp_1d ~sigma2:0.25 ~a:0.0 ~b:2.0 ~c:0.0)
+
+let test_chi_square () =
+  (* E[exp(a z^2)] for z ~ N(0,1) is (1 - 2a)^{-1/2} *)
+  check_rel ~tol:1e-12 "chi-square mgf" (1.0 /. sqrt (1.0 -. 0.4))
+    (Quadform.expectation_exp_1d ~sigma2:1.0 ~a:0.2 ~b:0.0 ~c:0.0)
+
+let test_divergence () =
+  check_true "a sigma2 >= 1/2 diverges"
+    (try
+       ignore (Quadform.expectation_exp_1d ~sigma2:1.0 ~a:0.5 ~b:0.0 ~c:0.0);
+       false
+     with Quadform.Divergent -> true)
+
+let test_general_matches_1d =
+  qcheck ~count:300 "n=1 general case matches the scalar formula"
+    QCheck2.Gen.(
+      tup4 (float_range 0.01 1.0) (float_range (-0.4) 0.4)
+        (float_range (-2.0) 2.0) (float_range (-1.0) 1.0))
+    (fun (sigma2, a, b, c) ->
+      if 2.0 *. a *. sigma2 >= 1.0 then true
+      else begin
+        let general =
+          Quadform.expectation_exp
+            ~sigma:(Matrix.of_arrays [| [| sigma2 |] |])
+            ~a:(Matrix.of_arrays [| [| a |] |])
+            ~b:[| b |] ~c
+        in
+        let scalar = Quadform.expectation_exp_1d ~sigma2 ~a ~b ~c in
+        Float.abs (general -. scalar) < 1e-9 *. Float.max 1.0 scalar
+      end)
+
+let test_2d_independent_factorizes =
+  qcheck ~count:300 "independent 2d factorizes into 1d product"
+    QCheck2.Gen.(
+      tup4 (float_range 0.01 0.5) (float_range (-0.3) 0.3)
+        (float_range (-1.0) 1.0) (float_range (-0.3) 0.3))
+    (fun (s2, a1, b1, a2) ->
+      if (2.0 *. a1 *. s2 >= 1.0) || (2.0 *. a2 *. s2 >= 1.0) then true
+      else begin
+        let joint =
+          Quadform.expectation_exp_2d ~var1:s2 ~var2:s2 ~cov:0.0 ~a11:a1
+            ~a22:a2 ~a12:0.0 ~b1 ~b2:0.7 ~c:0.1
+        in
+        let p1 = Quadform.expectation_exp_1d ~sigma2:s2 ~a:a1 ~b:b1 ~c:0.1 in
+        let p2 = Quadform.expectation_exp_1d ~sigma2:s2 ~a:a2 ~b:0.7 ~c:0.0 in
+        Float.abs (joint -. (p1 *. p2)) < 1e-9 *. Float.max 1.0 (p1 *. p2)
+      end)
+
+let test_2d_perfect_correlation () =
+  (* with cov = sqrt(var1 var2), z2 = z1 scaled: reduces to 1d *)
+  let s = 0.3 in
+  let joint =
+    Quadform.expectation_exp_2d ~var1:(s *. s) ~var2:(s *. s) ~cov:(s *. s)
+      ~a11:0.1 ~a22:0.2 ~a12:0.0 ~b1:0.5 ~b2:(-0.3) ~c:0.0
+  in
+  (* z1 = z2 = z: exponent = (0.1 + 0.2 + 2*0) z^2 + (0.5 - 0.3) z *)
+  let direct =
+    Quadform.expectation_exp_1d ~sigma2:(s *. s) ~a:0.3 ~b:0.2 ~c:0.0
+  in
+  check_rel ~tol:1e-9 "perfectly correlated pair collapses" direct joint
+
+let test_2d_vs_monte_carlo () =
+  let var1 = 0.09 and var2 = 0.04 and cov = 0.03 in
+  let a11 = 0.4 and a22 = -0.2 and a12 = 0.15 in
+  let b1 = -0.8 and b2 = 0.5 and c = 0.2 in
+  let analytic =
+    Quadform.expectation_exp_2d ~var1 ~var2 ~cov ~a11 ~a22 ~a12 ~b1 ~b2 ~c
+  in
+  let rng = Rng.create ~seed:31 () in
+  let s1 = sqrt var1 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 400_000 do
+    let z1 = s1 *. Rng.gaussian rng in
+    (* conditional: z2 | z1 ~ N(cov/var1 z1, var2 - cov^2/var1) *)
+    let mu2 = cov /. var1 *. z1 in
+    let s2c = sqrt (var2 -. (cov *. cov /. var1)) in
+    let z2 = mu2 +. (s2c *. Rng.gaussian rng) in
+    Stats.Acc.add acc
+      (exp
+         ((a11 *. z1 *. z1) +. (a22 *. z2 *. z2) +. (2.0 *. a12 *. z1 *. z2)
+         +. (b1 *. z1) +. (b2 *. z2) +. c))
+  done;
+  check_rel ~tol:0.02 "2d quadform vs monte carlo" analytic (Stats.Acc.mean acc)
+
+let test_semidefinite_sigma () =
+  (* zero-variance component must behave as a constant *)
+  let e =
+    Quadform.expectation_exp_2d ~var1:0.04 ~var2:0.0 ~cov:0.0 ~a11:0.1
+      ~a22:5.0 ~a12:0.0 ~b1:0.3 ~b2:100.0 ~c:0.0
+  in
+  let direct = Quadform.expectation_exp_1d ~sigma2:0.04 ~a:0.1 ~b:0.3 ~c:0.0 in
+  check_rel ~tol:1e-9 "degenerate component ignored" direct e
+
+let suite =
+  ( "quadform",
+    [
+      case "pure gaussian exponent" test_pure_gaussian;
+      case "chi-square mgf" test_chi_square;
+      case "divergence detection" test_divergence;
+      test_general_matches_1d;
+      test_2d_independent_factorizes;
+      case "perfect correlation collapse" test_2d_perfect_correlation;
+      case "2d vs monte carlo" test_2d_vs_monte_carlo;
+      case "semidefinite sigma" test_semidefinite_sigma;
+    ] )

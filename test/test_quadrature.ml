@@ -1,0 +1,106 @@
+open Rgleak_num
+open Testutil
+
+let test_gl_polynomial_exactness () =
+  (* order-n Gauss-Legendre is exact for degree 2n-1 *)
+  let f x = (5.0 *. (x ** 7.0)) -. (3.0 *. (x ** 4.0)) +. x -. 2.0 in
+  (* exact integral on [0,2]: 5*2^8/8 - 3*2^5/5 + 2^2/2 - 4 *)
+  let exact = (5.0 *. 256.0 /. 8.0) -. (3.0 *. 32.0 /. 5.0) +. 2.0 -. 4.0 in
+  check_rel ~tol:1e-13 "order 4 exact for degree 7" exact
+    (Quadrature.gauss_legendre ~order:4 f ~lo:0.0 ~hi:2.0)
+
+let test_gl_known_integrals () =
+  check_rel ~tol:1e-12 "sin on [0,pi]" 2.0
+    (Quadrature.gauss_legendre sin ~lo:0.0 ~hi:Float.pi);
+  check_rel ~tol:1e-12 "exp on [0,1]" (Float.exp 1.0 -. 1.0)
+    (Quadrature.gauss_legendre exp ~lo:0.0 ~hi:1.0);
+  check_rel ~tol:1e-10 "gaussian mass" 1.0
+    (Quadrature.gauss_legendre Special.normal_pdf ~lo:(-8.0) ~hi:8.0)
+
+let test_gl_reversed_empty () =
+  check_close ~tol:1e-15 "zero-width interval" 0.0
+    (Quadrature.gauss_legendre sin ~lo:1.0 ~hi:1.0)
+
+let test_adaptive_simpson () =
+  check_rel ~tol:1e-9 "simpson sin" 2.0
+    (Quadrature.adaptive_simpson sin ~lo:0.0 ~hi:Float.pi);
+  (* sharp peak: adaptive must resolve it *)
+  let peak x = 1.0 /. (1e-4 +. ((x -. 0.37) ** 2.0)) in
+  let exact =
+    (Float.atan ((1.0 -. 0.37) /. 0.01) +. Float.atan (0.37 /. 0.01)) /. 0.01
+  in
+  check_rel ~tol:1e-6 "simpson sharp peak" exact
+    (Quadrature.adaptive_simpson ~tol:1e-10 peak ~lo:0.0 ~hi:1.0)
+
+let test_gl_matches_simpson =
+  qcheck ~count:100 "GL and adaptive Simpson agree on smooth functions"
+    QCheck2.Gen.(
+      tup3 (float_range 0.1 3.0) (float_range (-2.0) 2.0) (float_range 0.5 2.0))
+    (fun (a, b, w) ->
+      let f x = exp (-.a *. x *. x) *. cos (b *. x) in
+      let gl = Quadrature.gauss_legendre ~order:64 f ~lo:(-.w) ~hi:w in
+      let si = Quadrature.adaptive_simpson ~tol:1e-12 f ~lo:(-.w) ~hi:w in
+      Float.abs (gl -. si) < 1e-8 *. Float.max 1.0 (Float.abs gl))
+
+let test_gl_2d () =
+  check_rel ~tol:1e-12 "xy on unit square" 0.25
+    (Quadrature.gauss_legendre_2d
+       (fun x y -> x *. y)
+       ~x_lo:0.0 ~x_hi:1.0 ~y_lo:0.0 ~y_hi:1.0);
+  (* separable gaussian *)
+  let f x y = Special.normal_pdf x *. Special.normal_pdf y in
+  check_rel ~tol:1e-9 "2d gaussian mass" 1.0
+    (Quadrature.gauss_legendre_2d ~order:96 f ~x_lo:(-8.0) ~x_hi:8.0
+       ~y_lo:(-8.0) ~y_hi:8.0)
+
+let test_gl_2d_paper_kernel () =
+  (* the Eq. 20 kernel with rho = 1 has a closed form:
+     4/A^2 * int (W-x)(H-y) = 4/A^2 * W^2/2 * H^2/2 = 1 *)
+  let w = 100.0 and h = 60.0 in
+  let integral =
+    Quadrature.gauss_legendre_2d
+      (fun x y -> (w -. x) *. (h -. y))
+      ~x_lo:0.0 ~x_hi:w ~y_lo:0.0 ~y_hi:h
+  in
+  check_rel ~tol:1e-12 "Eq 20 normalization" 1.0
+    (4.0 /. ((w *. h) ** 2.0) *. integral)
+
+let test_nodes_properties () =
+  List.iter
+    (fun n ->
+      let nodes = Quadrature.gauss_legendre_nodes n in
+      check_close
+        (Printf.sprintf "order %d count" n)
+        (float_of_int n)
+        (float_of_int (Array.length nodes));
+      let wsum = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 nodes in
+      check_rel ~tol:1e-12
+        (Printf.sprintf "order %d weights sum to 2" n)
+        2.0 wsum;
+      Array.iter
+        (fun (x, w) ->
+          check_in_range "node in (-1,1)" ~lo:(-1.0) ~hi:1.0 x;
+          check_true "positive weight" (w > 0.0))
+        nodes)
+    [ 1; 2; 3; 5; 16; 64; 128 ]
+
+let test_trapezoid_convergence () =
+  let coarse = Quadrature.trapezoid sin ~lo:0.0 ~hi:Float.pi ~n:16 in
+  let fine = Quadrature.trapezoid sin ~lo:0.0 ~hi:Float.pi ~n:1024 in
+  check_true "trapezoid converges toward 2"
+    (Float.abs (fine -. 2.0) < Float.abs (coarse -. 2.0));
+  check_rel ~tol:1e-5 "fine trapezoid" 2.0 fine
+
+let suite =
+  ( "quadrature",
+    [
+      case "polynomial exactness" test_gl_polynomial_exactness;
+      case "known integrals" test_gl_known_integrals;
+      case "degenerate interval" test_gl_reversed_empty;
+      case "adaptive simpson" test_adaptive_simpson;
+      test_gl_matches_simpson;
+      case "2d tensor rule" test_gl_2d;
+      case "Eq 20 kernel normalization" test_gl_2d_paper_kernel;
+      case "node properties" test_nodes_properties;
+      case "trapezoid" test_trapezoid_convergence;
+    ] )

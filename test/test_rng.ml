@@ -1,0 +1,145 @@
+open Rgleak_num
+open Testutil
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 () and b = Rng.create ~seed:123 () in
+  for i = 1 to 100 do
+    check_close
+      (Printf.sprintf "stream position %d" i)
+      (Rng.uniform a) (Rng.uniform b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 () and b = Rng.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_true "different seeds give different streams" (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:9 () in
+  ignore (Rng.uniform a);
+  let b = Rng.copy a in
+  let xa = Rng.uniform a in
+  let xb = Rng.uniform b in
+  check_close "copy continues from the same state" xa xb;
+  (* advancing a further must not affect b *)
+  ignore (Rng.uniform a);
+  let xa2 = Rng.uniform a and xb2 = Rng.uniform b in
+  check_true "copies diverge independently" (xa2 <> xb2 || xa2 = xb2)
+
+let test_uniform_range () =
+  let rng = Rng.create ~seed:5 () in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform rng in
+    check_in_range "uniform in [0,1)" ~lo:0.0 ~hi:0.9999999999999999 u
+  done
+
+let test_uniform_moments () =
+  let rng = Rng.create ~seed:6 () in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 200_000 do
+    Stats.Acc.add acc (Rng.uniform rng)
+  done;
+  check_rel ~tol:0.01 "uniform mean 1/2" 0.5 (Stats.Acc.mean acc);
+  check_rel ~tol:0.02 "uniform variance 1/12" (1.0 /. 12.0)
+    (Stats.Acc.variance acc)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:7 () in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 200_000 do
+    Stats.Acc.add acc (Rng.gaussian rng)
+  done;
+  check_close ~tol:0.02 "gaussian mean 0" 0.0 (Stats.Acc.mean acc);
+  check_rel ~tol:0.02 "gaussian variance 1" 1.0 (Stats.Acc.variance acc)
+
+let test_gaussian_tails () =
+  (* about 4.55% of mass beyond 2 sigma *)
+  let rng = Rng.create ~seed:8 () in
+  let beyond = ref 0 in
+  let total = 100_000 in
+  for _ = 1 to total do
+    if Float.abs (Rng.gaussian rng) > 2.0 then incr beyond
+  done;
+  let frac = float_of_int !beyond /. float_of_int total in
+  check_in_range "two-sigma tail mass" ~lo:0.040 ~hi:0.051 frac
+
+let test_gaussian_mu_sigma () =
+  let rng = Rng.create ~seed:9 () in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 100_000 do
+    Stats.Acc.add acc (Rng.gaussian_mu_sigma rng ~mu:90.0 ~sigma:4.0)
+  done;
+  check_rel ~tol:0.002 "shifted mean" 90.0 (Stats.Acc.mean acc);
+  check_rel ~tol:0.03 "shifted std" 4.0 (Stats.Acc.std acc)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:10 () in
+  for _ = 1 to 10_000 do
+    let k = Rng.int rng 7 in
+    check_true "int in bounds" (k >= 0 && k < 7)
+  done;
+  Alcotest.check_raises "int rejects non-positive bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create ~seed:11 () in
+  let counts = Array.make 5 0 in
+  let total = 100_000 in
+  for _ = 1 to total do
+    let k = Rng.int rng 5 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_in_range
+        (Printf.sprintf "bucket %d near 20%%" i)
+        ~lo:0.19 ~hi:0.21
+        (float_of_int c /. float_of_int total))
+    counts
+
+let test_split_differs () =
+  let parent = Rng.create ~seed:12 () in
+  let child = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr matches
+  done;
+  check_true "split stream differs from parent" (!matches < 4)
+
+let test_shuffle_is_permutation =
+  qcheck ~count:200 "shuffle preserves multiset"
+    QCheck2.Gen.(list_size (int_range 0 50) int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let rng = Rng.create ~seed:(Hashtbl.hash xs) () in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let test_float_scales () =
+  let rng = Rng.create ~seed:13 () in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 42.0 in
+    check_in_range "scaled uniform" ~lo:0.0 ~hi:42.0 x
+  done
+
+let suite =
+  ( "rng",
+    [
+      case "determinism" test_determinism;
+      case "seed sensitivity" test_seed_sensitivity;
+      case "copy independence" test_copy_independent;
+      case "uniform range" test_uniform_range;
+      case "uniform moments" test_uniform_moments;
+      case "gaussian moments" test_gaussian_moments;
+      case "gaussian tails" test_gaussian_tails;
+      case "gaussian mu sigma" test_gaussian_mu_sigma;
+      case "int bounds" test_int_bounds;
+      case "int uniformity" test_int_uniformity;
+      case "split differs" test_split_differs;
+      test_shuffle_is_permutation;
+      case "float scaling" test_float_scales;
+    ] )

@@ -1,0 +1,75 @@
+open Rgleak_num
+open Testutil
+
+let test_bisect_known () =
+  check_close ~tol:1e-9 "root of cos x - x" 0.7390851332
+    (Rootfind.bisect (fun x -> cos x -. x) ~lo:0.0 ~hi:1.0);
+  check_close ~tol:1e-9 "sqrt 2 via x^2-2" (sqrt 2.0)
+    (Rootfind.bisect (fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0)
+
+let test_bisect_endpoint_roots () =
+  check_close "root at lo" 0.0 (Rootfind.bisect (fun x -> x) ~lo:0.0 ~hi:1.0);
+  check_close "root at hi" 1.0
+    (Rootfind.bisect (fun x -> x -. 1.0) ~lo:0.0 ~hi:1.0)
+
+let test_bisect_no_bracket () =
+  check_true "no bracket raises"
+    (try
+       ignore (Rootfind.bisect (fun x -> (x *. x) +. 1.0) ~lo:0.0 ~hi:1.0);
+       false
+     with Rootfind.No_bracket -> true)
+
+let test_brent_known () =
+  check_close ~tol:1e-9 "brent cos x - x" 0.7390851332
+    (Rootfind.brent (fun x -> cos x -. x) ~lo:0.0 ~hi:1.0);
+  check_close ~tol:1e-8 "brent cube root" (Float.cbrt 5.0)
+    (Rootfind.brent (fun x -> (x ** 3.0) -. 5.0) ~lo:0.0 ~hi:3.0)
+
+let test_brent_stiff () =
+  (* exponential-dominated function like the stack-solver continuity
+     equations: f(v) = e^{-20 v} - e^{-20 (1 - v)} has root at 0.5 *)
+  let f v = exp (-20.0 *. v) -. exp (-20.0 *. (1.0 -. v)) in
+  check_close ~tol:1e-9 "stiff symmetric root" 0.5
+    (Rootfind.brent f ~lo:0.0 ~hi:1.0)
+
+let test_brent_matches_bisect =
+  qcheck ~count:200 "brent agrees with bisect on random cubics"
+    QCheck2.Gen.(
+      tup3 (float_range (-2.0) 2.0) (float_range (-2.0) 2.0)
+        (float_range (-2.0) 2.0))
+    (fun (a, b, c) ->
+      (* f(x) = x^3 + a x^2 + b x + c on a wide bracket; skip when no
+         sign change *)
+      let f x = (x ** 3.0) +. (a *. x *. x) +. (b *. x) +. c in
+      let lo = -10.0 and hi = 10.0 in
+      if f lo *. f hi > 0.0 then true
+      else begin
+        let rb = Rootfind.brent f ~lo ~hi in
+        let rbi = Rootfind.bisect f ~lo ~hi in
+        (* cubics may have multiple roots; both must at least be roots *)
+        Float.abs (f rb) < 1e-6 && Float.abs (f rbi) < 1e-6
+      end)
+
+let test_newton () =
+  check_close ~tol:1e-9 "newton sqrt 2" (sqrt 2.0)
+    (Rootfind.newton
+       ~f:(fun x -> (x *. x) -. 2.0)
+       ~df:(fun x -> 2.0 *. x)
+       1.0);
+  check_true "newton zero derivative fails"
+    (try
+       ignore (Rootfind.newton ~f:(fun _ -> 1.0) ~df:(fun _ -> 0.0) 0.0);
+       false
+     with Failure _ -> true)
+
+let suite =
+  ( "rootfind",
+    [
+      case "bisect known roots" test_bisect_known;
+      case "bisect endpoint roots" test_bisect_endpoint_roots;
+      case "bisect no bracket" test_bisect_no_bracket;
+      case "brent known roots" test_brent_known;
+      case "brent stiff exponential" test_brent_stiff;
+      test_brent_matches_bisect;
+      case "newton" test_newton;
+    ] )

@@ -1,0 +1,125 @@
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Testutil
+
+let param = Process_param.default_channel_length
+
+let small_chars =
+  lazy
+    (let rng = Rng.create ~seed:66 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:49 ~mc_samples:2000 ~param
+           ~rng:(Rng.split rng) cell)
+       Rgleak_cells.Library.cells)
+
+let test_state_probs_sum =
+  qcheck ~count:100 "state probabilities sum to 1"
+    QCheck2.Gen.(QCheck2.Gen.pair (int_range 0 6) (float_range 0.0 1.0))
+    (fun (num_inputs, p) ->
+      let probs = Signal_prob.state_probabilities ~num_inputs ~p in
+      let total = Array.fold_left ( +. ) 0.0 probs in
+      Float.abs (total -. 1.0) < 1e-12)
+
+let test_state_probs_degenerate () =
+  let probs0 = Signal_prob.state_probabilities ~num_inputs:3 ~p:0.0 in
+  check_close ~tol:1e-15 "p=0 concentrates on state 0" 1.0 probs0.(0);
+  let probs1 = Signal_prob.state_probabilities ~num_inputs:3 ~p:1.0 in
+  check_close ~tol:1e-15 "p=1 concentrates on last state" 1.0 probs1.(7)
+
+let test_state_prob_formula () =
+  (* state 5 = bits 101 at p: p * (1-p) * p *)
+  let p = 0.3 in
+  check_rel ~tol:1e-12 "state 101 probability"
+    (p *. (1.0 -. p) *. p)
+    (Signal_prob.state_probability ~num_inputs:3 ~p 5)
+
+let test_out_of_range_p () =
+  Alcotest.check_raises "p outside [0,1]"
+    (Invalid_argument "Signal_prob: p must be in [0,1]") (fun () ->
+      ignore (Signal_prob.state_probability ~num_inputs:2 ~p:1.5 0))
+
+let test_weighted_stats_interpolates () =
+  let chars = Lazy.force small_chars in
+  let nand = chars.(Library.index_of "NAND2_X1") in
+  let w0 = Signal_prob.weighted_stats nand ~p:0.0 in
+  let w1 = Signal_prob.weighted_stats nand ~p:1.0 in
+  let wm = Signal_prob.weighted_stats nand ~p:0.5 in
+  (* degenerate p picks out single states exactly *)
+  check_rel ~tol:1e-9 "p=0 equals state-0 mean"
+    nand.Characterize.states.(0).Characterize.mu_analytic w0.Signal_prob.mu;
+  check_rel ~tol:1e-9 "p=1 equals state-3 mean"
+    nand.Characterize.states.(3).Characterize.mu_analytic w1.Signal_prob.mu;
+  check_in_range "p=0.5 mean between extremes"
+    ~lo:(Float.min w0.Signal_prob.mu w1.Signal_prob.mu)
+    ~hi:(Float.max w0.Signal_prob.mu w1.Signal_prob.mu +. wm.Signal_prob.mu)
+    wm.Signal_prob.mu
+
+let test_mixture_sigma_exceeds_state_sigma () =
+  (* mixing distinct states adds variance beyond the within-state one *)
+  let chars = Lazy.force small_chars in
+  let nor = chars.(Library.index_of "NOR2_X1") in
+  let w = Signal_prob.weighted_stats nor ~p:0.5 in
+  let min_state_sigma =
+    Array.fold_left
+      (fun acc (sc : Characterize.state_char) ->
+        Float.min acc sc.Characterize.sigma_analytic)
+      infinity nor.Characterize.states
+  in
+  check_true "mixture sigma above smallest state sigma"
+    (w.Signal_prob.sigma_mixture > min_state_sigma)
+
+let test_design_mean_weights () =
+  let chars = Lazy.force small_chars in
+  let weights = Array.make Library.size 0.0 in
+  weights.(Library.index_of "INV_X1") <- 1.0;
+  let dm = Signal_prob.design_mean chars ~weights ~p:0.5 in
+  let direct = (Signal_prob.weighted_stats chars.(Library.index_of "INV_X1") ~p:0.5).Signal_prob.mu in
+  check_rel ~tol:1e-12 "single-cell design mean" direct dm
+
+let test_sweep_shape () =
+  let chars = Lazy.force small_chars in
+  let weights = Array.make Library.size (1.0 /. float_of_int Library.size) in
+  let curve = Signal_prob.sweep ~points:21 chars ~weights in
+  check_close "sweep length" 21.0 (float_of_int (Array.length curve));
+  check_close ~tol:1e-12 "sweep starts at 0" 0.0 (fst curve.(0));
+  check_close ~tol:1e-12 "sweep ends at 1" 1.0 (fst curve.(20));
+  Array.iter (fun (_, v) -> check_true "positive mean" (v > 0.0)) curve
+
+let test_maximizing_p_is_argmax () =
+  let chars = Lazy.force small_chars in
+  let weights = Array.make Library.size (1.0 /. float_of_int Library.size) in
+  let p_star = Signal_prob.maximizing_p ~points:21 chars ~weights in
+  let at p = Signal_prob.design_mean chars ~weights ~p in
+  let v_star = at p_star in
+  Array.iter
+    (fun (p, v) ->
+      check_true (Printf.sprintf "argmax beats p=%.2f" p) (v_star >= v -. 1e-12))
+    (Signal_prob.sweep ~points:21 chars ~weights);
+  check_in_range "argmax in [0,1]" ~lo:0.0 ~hi:1.0 p_star
+
+let test_chip_level_flatness () =
+  (* Fig. 3: the chip-level signal-probability effect is far smaller
+     than the per-gate state spread (which can reach 10x+) *)
+  let chars = Lazy.force small_chars in
+  let weights = Array.make Library.size (1.0 /. float_of_int Library.size) in
+  let curve = Signal_prob.sweep ~points:21 chars ~weights in
+  let vmin = Array.fold_left (fun acc (_, v) -> Float.min acc v) infinity curve in
+  let vmax = Array.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 curve in
+  check_true "chip-level spread below 2x" (vmax /. vmin < 2.0)
+
+let suite =
+  ( "signal_prob",
+    [
+      test_state_probs_sum;
+      case "degenerate p" test_state_probs_degenerate;
+      case "state probability formula" test_state_prob_formula;
+      case "p range validation" test_out_of_range_p;
+      case "weighted stats at extremes" test_weighted_stats_interpolates;
+      case "mixture variance" test_mixture_sigma_exceeds_state_sigma;
+      case "design mean weighting" test_design_mean_weights;
+      case "sweep shape" test_sweep_shape;
+      case "maximizing p is the argmax" test_maximizing_p_is_argmax;
+      case "chip-level flatness (Fig 3)" test_chip_level_flatness;
+    ] )

@@ -1,0 +1,119 @@
+(* Tests for netlist logic simulation and sleep-vector search. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let chars =
+  lazy
+    (let rng = Rng.create ~seed:1234 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:33 ~mc_samples:100
+           ~param:Process_param.default_channel_length ~rng:(Rng.split rng)
+           cell)
+       Library.cells)
+
+(* Hand-built 2-gate netlist: INV fed by a primary input, NAND2 fed by
+   the PI and the INV output. *)
+let tiny =
+  lazy
+    (Netlist.create ~name:"tiny" ~num_primary_inputs:1
+       [|
+         { Netlist.id = 0; cell_index = Library.index_of "INV_X1"; fanin = [| -1 |] };
+         {
+           Netlist.id = 1;
+           cell_index = Library.index_of "NAND2_X1";
+           fanin = [| -1; 0 |];
+         };
+       |])
+
+let test_cost_matches_hand_computation () =
+  let chars = Lazy.force chars in
+  let sim = Sleep_vector.compile ~chars (Lazy.force tiny) in
+  check_close "one control bit" 1.0 (float_of_int (Sleep_vector.num_controls sim));
+  let mu cell state = chars.(Library.index_of cell).Characterize.states.(state).Characterize.mu_analytic in
+  (* pi = 0: inv state 0; inv output 1; nand state (a=0, b=1) = index 2 *)
+  check_rel ~tol:1e-9 "cost at pi=0"
+    (mu "INV_X1" 0 +. mu "NAND2_X1" 2)
+    (Sleep_vector.cost sim [| false |]);
+  (* pi = 1: inv state 1; inv output 0; nand state (a=1, b=0) = index 1 *)
+  check_rel ~tol:1e-9 "cost at pi=1"
+    (mu "INV_X1" 1 +. mu "NAND2_X1" 1)
+    (Sleep_vector.cost sim [| true |])
+
+let test_search_finds_tiny_optimum () =
+  let chars = Lazy.force chars in
+  let sim = Sleep_vector.compile ~chars (Lazy.force tiny) in
+  let rng = Rng.create ~seed:3 () in
+  let r = Sleep_vector.search ~restarts:2 ~samples:20 ~rng sim in
+  let c0 = Sleep_vector.cost sim [| false |] in
+  let c1 = Sleep_vector.cost sim [| true |] in
+  check_rel ~tol:1e-9 "search found the exhaustive optimum"
+    (Float.min c0 c1) r.Sleep_vector.cost
+
+let test_search_beats_random_mean () =
+  let chars = Lazy.force chars in
+  let nl = Benchmarks.netlist (Benchmarks.find "c432") in
+  let sim = Sleep_vector.compile ~chars nl in
+  let rng = Rng.create ~seed:4 () in
+  let r = Sleep_vector.search ~restarts:4 ~samples:100 ~rng sim in
+  check_true "improvement positive" (r.Sleep_vector.improvement > 0.0);
+  check_true "best below random mean" (r.Sleep_vector.cost < r.Sleep_vector.random_mean);
+  let mn, mean, mx = Sleep_vector.random_cost_stats sim rng ~samples:100 in
+  check_true "random stats ordered" (mn <= mean && mean <= mx);
+  check_true "search at or below random minimum"
+    (r.Sleep_vector.cost <= mn +. 1e-9)
+
+let test_flops_are_controls () =
+  let chars = Lazy.force chars in
+  let rng = Rng.create ~seed:6 () in
+  let h = Histogram.of_weights [ ("NAND2_X1", 3.0); ("DFF_X1", 2.0) ] in
+  let nl = Generator.random_netlist ~histogram:h ~n:50 ~rng () in
+  let dffs =
+    Array.fold_left
+      (fun acc inst ->
+        if Library.cells.(inst.Netlist.cell_index).Cell.name = "DFF_X1" then
+          acc + 1
+        else acc)
+      0 nl.Netlist.instances
+  in
+  let sim = Sleep_vector.compile ~chars nl in
+  check_close "controls = PIs + flops"
+    (float_of_int (nl.Netlist.num_primary_inputs + dffs))
+    (float_of_int (Sleep_vector.num_controls sim))
+
+let test_sram_rejected () =
+  let chars = Lazy.force chars in
+  let nl =
+    Netlist.create ~name:"s" ~num_primary_inputs:1
+      [| { Netlist.id = 0; cell_index = Library.index_of "SRAM6T"; fanin = [| -1 |] } |]
+  in
+  check_true "sram rejected"
+    (try
+       ignore (Sleep_vector.compile ~chars nl);
+       false
+     with Invalid_argument _ -> true)
+
+let test_vector_length_checked () =
+  let chars = Lazy.force chars in
+  let sim = Sleep_vector.compile ~chars (Lazy.force tiny) in
+  check_true "wrong vector length rejected"
+    (try
+       ignore (Sleep_vector.cost sim [| true; false |]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "sleep_vector",
+    [
+      case "cost matches hand computation" test_cost_matches_hand_computation;
+      case "tiny optimum found" test_search_finds_tiny_optimum;
+      slow_case "search beats random" test_search_beats_random_mean;
+      case "flop states are controls" test_flops_are_controls;
+      case "sram rejected" test_sram_rejected;
+      case "vector length check" test_vector_length_checked;
+    ] )

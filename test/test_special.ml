@@ -1,0 +1,80 @@
+open Rgleak_num
+open Testutil
+
+let test_erf_values () =
+  (* reference values from Abramowitz & Stegun *)
+  check_close ~tol:2e-7 "erf 0" 0.0 (Special.erf 0.0);
+  check_close ~tol:2e-7 "erf 0.5" 0.5204998778 (Special.erf 0.5);
+  check_close ~tol:2e-7 "erf 1" 0.8427007929 (Special.erf 1.0);
+  check_close ~tol:2e-7 "erf 2" 0.9953222650 (Special.erf 2.0);
+  check_close ~tol:2e-7 "erf -1" (-0.8427007929) (Special.erf (-1.0))
+
+let test_erfc_large () =
+  check_true "erfc stays positive for large x" (Special.erfc 10.0 > 0.0);
+  check_true "erfc tiny for large x" (Special.erfc 10.0 < 1e-40);
+  check_close ~tol:1e-7 "erfc(-x) = 2 - erfc(x)" 2.0
+    (Special.erfc 3.0 +. Special.erfc (-3.0))
+
+let test_cdf_values () =
+  check_close ~tol:1e-7 "cdf 0" 0.5 (Special.normal_cdf 0.0);
+  check_close ~tol:1e-7 "cdf 1.96" 0.9750021049 (Special.normal_cdf 1.96);
+  check_close ~tol:1e-7 "cdf -1.96" 0.0249978951 (Special.normal_cdf (-1.96))
+
+let test_pdf () =
+  check_close ~tol:1e-12 "pdf 0" (1.0 /. sqrt (2.0 *. Float.pi))
+    (Special.normal_pdf 0.0);
+  check_rel ~tol:1e-12 "pdf symmetric" (Special.normal_pdf 1.3)
+    (Special.normal_pdf (-1.3))
+
+let test_quantile_known () =
+  check_close ~tol:1e-7 "quantile 0.5" 0.0 (Special.normal_quantile 0.5);
+  check_close ~tol:1e-6 "quantile 0.975" 1.9599639845 (Special.normal_quantile 0.975);
+  check_close ~tol:1e-6 "quantile 0.025" (-1.9599639845) (Special.normal_quantile 0.025);
+  check_close ~tol:1e-5 "quantile 0.999" 3.0902323062 (Special.normal_quantile 0.999)
+
+let test_quantile_roundtrip =
+  qcheck ~count:500 "cdf (quantile p) = p"
+    QCheck2.Gen.(float_range 1e-6 (1.0 -. 1e-6))
+    (fun p ->
+      let x = Special.normal_quantile p in
+      Float.abs (Special.normal_cdf x -. p) < 1e-7)
+
+let test_quantile_domain () =
+  Alcotest.check_raises "quantile rejects 0"
+    (Invalid_argument "Special.normal_quantile: argument must be in (0,1)")
+    (fun () -> ignore (Special.normal_quantile 0.0));
+  Alcotest.check_raises "quantile rejects 1"
+    (Invalid_argument "Special.normal_quantile: argument must be in (0,1)")
+    (fun () -> ignore (Special.normal_quantile 1.0))
+
+let test_log_sum_exp () =
+  check_close ~tol:1e-12 "lse of single" 3.0 (Special.log_sum_exp [| 3.0 |]);
+  check_close ~tol:1e-12 "lse of equal pair" (log 2.0)
+    (Special.log_sum_exp [| 0.0; 0.0 |]);
+  (* huge magnitudes must not overflow *)
+  check_close ~tol:1e-9 "lse large args" (1000.0 +. log 2.0)
+    (Special.log_sum_exp [| 1000.0; 1000.0 |]);
+  check_close ~tol:1e-12 "lse dominated" 500.0
+    (Special.log_sum_exp [| 500.0; -500.0 |])
+
+let test_lse_matches_direct =
+  qcheck ~count:300 "lse matches direct computation for small args"
+    QCheck2.Gen.(list_size (int_range 1 10) (float_range (-5.0) 5.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let direct = log (Array.fold_left (fun acc x -> acc +. exp x) 0.0 a) in
+      Float.abs (Special.log_sum_exp a -. direct) < 1e-9)
+
+let suite =
+  ( "special",
+    [
+      case "erf values" test_erf_values;
+      case "erfc large arguments" test_erfc_large;
+      case "normal cdf values" test_cdf_values;
+      case "normal pdf" test_pdf;
+      case "quantile known values" test_quantile_known;
+      test_quantile_roundtrip;
+      case "quantile domain" test_quantile_domain;
+      case "log-sum-exp" test_log_sum_exp;
+      test_lse_matches_direct;
+    ] )

@@ -1,0 +1,124 @@
+open Rgleak_num
+open Testutil
+
+let test_acc_basic () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_close "count" 8.0 (float_of_int (Stats.Acc.count acc));
+  check_close ~tol:1e-12 "mean" 5.0 (Stats.Acc.mean acc);
+  check_close ~tol:1e-12 "sample variance" (32.0 /. 7.0) (Stats.Acc.variance acc);
+  check_close ~tol:1e-12 "min" 2.0 (Stats.Acc.min acc);
+  check_close ~tol:1e-12 "max" 9.0 (Stats.Acc.max acc)
+
+let test_acc_degenerate () =
+  let acc = Stats.Acc.create () in
+  check_close "variance of empty" 0.0 (Stats.Acc.variance acc);
+  Stats.Acc.add acc 42.0;
+  check_close "variance of singleton" 0.0 (Stats.Acc.variance acc);
+  check_close "mean of singleton" 42.0 (Stats.Acc.mean acc)
+
+let test_acc_matches_two_pass =
+  qcheck ~count:200 "Welford matches two-pass variance"
+    QCheck2.Gen.(list_size (int_range 2 100) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a
+        /. float_of_int (n - 1)
+      in
+      let acc = Stats.Acc.create () in
+      Array.iter (Stats.Acc.add acc) a;
+      Float.abs (Stats.Acc.variance acc -. var) < 1e-8 *. Float.max 1.0 var)
+
+let test_acc_shift_invariance () =
+  (* numerically nasty: large offset, small spread *)
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 1e9 +. 1.0; 1e9 +. 2.0; 1e9 +. 3.0 ];
+  check_rel ~tol:1e-9 "variance under large offset" 1.0 (Stats.Acc.variance acc)
+
+let test_cov_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 2.0; 4.0; 6.0; 8.0 |] in
+  check_close ~tol:1e-12 "perfect correlation" 1.0 (Stats.correlation xs ys);
+  let ys_neg = Array.map (fun y -> -.y) ys in
+  check_close ~tol:1e-12 "perfect anticorrelation" (-1.0)
+    (Stats.correlation xs ys_neg);
+  check_close ~tol:1e-12 "cov linear" (10.0 /. 3.0) (Stats.covariance xs ys)
+
+let test_cov_constant () =
+  let xs = [| 1.0; 1.0; 1.0 |] and ys = [| 1.0; 2.0; 3.0 |] in
+  check_close "correlation with constant is 0" 0.0 (Stats.correlation xs ys)
+
+let test_corr_bounds =
+  qcheck ~count:300 "correlation in [-1,1]"
+    QCheck2.Gen.(
+      list_size (int_range 2 50)
+        (pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0)))
+    (fun pairs ->
+      let xs = Array.of_list (List.map fst pairs) in
+      let ys = Array.of_list (List.map snd pairs) in
+      let r = Stats.correlation xs ys in
+      r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9)
+
+let test_percentile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_close ~tol:1e-12 "median" 3.0 (Stats.percentile xs 50.0);
+  check_close ~tol:1e-12 "p0 is min" 1.0 (Stats.percentile xs 0.0);
+  check_close ~tol:1e-12 "p100 is max" 5.0 (Stats.percentile xs 100.0);
+  check_close ~tol:1e-12 "p25 interpolates" 2.0 (Stats.percentile xs 25.0);
+  (* input untouched *)
+  check_close "input not sorted in place" 5.0 xs.(0)
+
+let test_histogram () =
+  let xs = [| 0.0; 0.1; 0.2; 0.9; 1.0 |] in
+  let h = Stats.histogram xs ~bins:2 in
+  check_close "bin count" 2.0 (float_of_int (Array.length h));
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  check_close "histogram conserves mass" 5.0 (float_of_int total)
+
+let test_histogram_mass =
+  qcheck ~count:200 "histogram conserves mass"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 200) (float_range (-5.0) 5.0)) (int_range 1 20))
+    (fun (xs, bins) ->
+      let a = Array.of_list xs in
+      let h = Stats.histogram a ~bins in
+      Array.fold_left (fun acc (_, c) -> acc + c) 0 h = Array.length a)
+
+let test_relative_error () =
+  check_close ~tol:1e-12 "relative error" 0.1
+    (Stats.relative_error ~actual:1.1 ~reference:1.0);
+  Alcotest.check_raises "zero reference rejected"
+    (Invalid_argument "Stats.relative_error: zero reference") (fun () ->
+      ignore (Stats.relative_error ~actual:1.0 ~reference:0.0))
+
+let test_cov_acc_matches_array () =
+  let rng = Rng.create ~seed:3 () in
+  let n = 1000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  let ys = Array.mapi (fun i x -> (0.5 *. x) +. (0.5 *. Rng.gaussian rng) +. float_of_int (i mod 2)) xs in
+  let acc = Stats.Cov_acc.create () in
+  Array.iteri (fun i x -> Stats.Cov_acc.add acc x ys.(i)) xs;
+  check_rel ~tol:1e-9 "cov acc vs arrays" (Stats.covariance xs ys)
+    (Stats.Cov_acc.covariance acc);
+  check_rel ~tol:1e-9 "corr acc vs arrays" (Stats.correlation xs ys)
+    (Stats.Cov_acc.correlation acc)
+
+let suite =
+  ( "stats",
+    [
+      case "accumulator basics" test_acc_basic;
+      case "accumulator degenerate" test_acc_degenerate;
+      test_acc_matches_two_pass;
+      case "accumulator shift invariance" test_acc_shift_invariance;
+      case "covariance basics" test_cov_basic;
+      case "correlation with constant" test_cov_constant;
+      test_corr_bounds;
+      case "percentile" test_percentile;
+      case "histogram" test_histogram;
+      test_histogram_mass;
+      case "relative error" test_relative_error;
+      case "cov accumulator vs arrays" test_cov_acc_matches_array;
+    ] )

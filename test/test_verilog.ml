@@ -1,0 +1,127 @@
+(* Tests for the structural-Verilog reader/writer. *)
+
+open Rgleak_num
+open Rgleak_cells
+open Rgleak_circuit
+open Testutil
+
+let tiny_src =
+  {|
+// comment
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire n1; /* block
+              comment */
+  INV_X1   u1 (.Z(n1), .A(a));
+  NAND2_X1 u2 (.Z(y), .A(n1), .B(b));
+endmodule
+|}
+
+let test_parse_tiny () =
+  let m = Verilog.parse_string tiny_src in
+  check_true "module name" (m.Verilog.name = "top");
+  check_true "ports" (m.Verilog.ports = [ "a"; "b"; "y" ]);
+  check_true "inputs" (m.Verilog.inputs = [ "a"; "b" ]);
+  check_true "outputs" (m.Verilog.outputs = [ "y" ]);
+  check_true "wires" (m.Verilog.wires = [ "n1" ]);
+  check_close "two instances" 2.0 (float_of_int (List.length m.Verilog.instances))
+
+let test_lower_tiny () =
+  let nl = Verilog.to_netlist (Verilog.parse_string tiny_src) in
+  check_close "two netlist instances" 2.0 (float_of_int (Netlist.size nl));
+  let counts = Netlist.cell_counts nl in
+  check_close "one inverter" 1.0 (float_of_int counts.(Library.index_of "INV_X1"));
+  check_close "one nand" 1.0 (float_of_int counts.(Library.index_of "NAND2_X1"));
+  (* the nand must be driven by the inverter *)
+  let nand =
+    Array.to_list nl.Netlist.instances
+    |> List.find (fun i ->
+           Library.cells.(i.Netlist.cell_index).Cell.name = "NAND2_X1")
+  in
+  check_true "nand reads the inverter output"
+    (Array.exists (fun f -> f >= 0) nand.Netlist.fanin)
+
+let test_positional_connections () =
+  let src =
+    "module m (a, y);\n input a;\n output y;\n INV_X1 u1 (y, a);\nendmodule\n"
+  in
+  let nl = Verilog.to_netlist (Verilog.parse_string src) in
+  check_close "positional instance lowered" 1.0 (float_of_int (Netlist.size nl))
+
+let test_parse_errors () =
+  let expect_parse_error s =
+    try
+      ignore (Verilog.parse_string s);
+      false
+    with Verilog.Parse_error _ -> true
+  in
+  check_true "vectors rejected"
+    (expect_parse_error "module m (a);\n input [3:0] a;\nendmodule\n");
+  check_true "missing semicolon"
+    (expect_parse_error "module m (a)\n input a;\nendmodule\n");
+  check_true "garbage rejected" (expect_parse_error "hello\n");
+  check_true "unterminated comment" (expect_parse_error "module m (); /* oops")
+
+let test_semantic_errors () =
+  let expect_invalid s =
+    try
+      ignore (Verilog.to_netlist (Verilog.parse_string s));
+      false
+    with Invalid_argument _ -> true
+  in
+  check_true "unknown cell"
+    (expect_invalid
+       "module m (a, y);\n input a;\n output y;\n FROB_X1 u1 (.Z(y), .A(a));\nendmodule\n");
+  check_true "undriven net"
+    (expect_invalid
+       "module m (y);\n output y;\n INV_X1 u1 (.Z(y), .A(ghost));\nendmodule\n");
+  check_true "no output port"
+    (expect_invalid
+       "module m (a, y);\n input a;\n output y;\n INV_X1 u1 (.A(a), .B(y));\nendmodule\n");
+  check_true "combinational cycle"
+    (expect_invalid
+       "module m (x, y);\n output x, y;\n INV_X1 u1 (.Z(x), .A(y));\n INV_X1 u2 (.Z(y), .A(x));\nendmodule\n")
+
+let test_sequential_cycle_ok () =
+  let src =
+    "module m (a, q);\n input a;\n output q;\n wire w;\n\
+     DFF_X1 u1 (.Q(q), .A(w));\n NAND2_X1 u2 (.Z(w), .A(a), .B(q));\nendmodule\n"
+  in
+  let nl = Verilog.to_netlist (Verilog.parse_string src) in
+  check_close "flop loop lowered" 2.0 (float_of_int (Netlist.size nl))
+
+let test_roundtrip_generated =
+  qcheck ~count:20 "generated netlists roundtrip through Verilog"
+    QCheck2.Gen.(QCheck2.Gen.pair (int_range 10 200) (int_range 0 500))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed () in
+      let h =
+        Histogram.of_weights
+          [ ("INV_X1", 2.0); ("NAND2_X1", 3.0); ("NOR3_X1", 1.0);
+            ("XOR2_X1", 1.0); ("DFF_X1", 1.0); ("AOI22_X1", 1.0) ]
+      in
+      let gen = Generator.random_netlist ~histogram:h ~n ~rng () in
+      let text = Verilog.to_string (Verilog.of_netlist gen) in
+      let back = Verilog.to_netlist (Verilog.parse_string text) in
+      Netlist.size back = n && Netlist.cell_counts back = Netlist.cell_counts gen)
+
+let test_print_stability () =
+  let m = Verilog.parse_string tiny_src in
+  let printed = Verilog.to_string m in
+  let reparsed = Verilog.parse_string printed in
+  check_true "printer output reparses to the same module"
+    (Verilog.to_string reparsed = printed)
+
+let suite =
+  ( "verilog",
+    [
+      case "parse tiny module" test_parse_tiny;
+      case "lower tiny module" test_lower_tiny;
+      case "positional connections" test_positional_connections;
+      case "parse errors" test_parse_errors;
+      case "semantic errors" test_semantic_errors;
+      case "sequential cycle" test_sequential_cycle_ok;
+      test_roundtrip_generated;
+      case "printer stability" test_print_stability;
+    ] )

@@ -1,0 +1,30 @@
+(* Shared helpers for the test suites. *)
+
+let check_close ?(tol = 1e-9) name expected actual =
+  let ok =
+    if Float.is_nan expected || Float.is_nan actual then false
+    else Float.abs (expected -. actual) <= tol
+  in
+  if not ok then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %.3g)" name expected
+      actual tol
+
+let check_rel ?(tol = 1e-6) name expected actual =
+  let scale = Float.max (Float.abs expected) 1e-30 in
+  let ok = Float.abs (expected -. actual) /. scale <= tol in
+  if not ok then
+    Alcotest.failf "%s: expected %.12g, got %.12g (rel tol %.3g)" name expected
+      actual tol
+
+let check_in_range name ~lo ~hi actual =
+  if not (actual >= lo && actual <= hi) then
+    Alcotest.failf "%s: %.12g outside [%.12g, %.12g]" name actual lo hi
+
+let check_true name cond = Alcotest.(check bool) name true cond
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
