@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test bench examples clean doc bench-json microbench
 
 all: build
 
@@ -21,6 +21,13 @@ bench-fast:
 
 timing:
 	dune exec bench/main.exe -- --run timing
+
+# Fast timing pass; writes BENCH_estimators.json in the working directory.
+bench-json:
+	dune exec bench/main.exe -- --run timing --fast
+
+microbench:
+	dune exec bench/main.exe -- --run microbench
 
 examples:
 	@for e in quickstart early_planning late_signoff signal_probability \

@@ -3,10 +3,13 @@
    Bechamel micro-benchmarks for the estimator complexity claims.
 
    Usage:
-     bench/main.exe                 run E1..E9 and ablations
-     bench/main.exe --run fig6      run a single experiment
-     bench/main.exe --run timing    run the Bechamel micro-benchmarks
-     bench/main.exe --fast          reduced replica counts  *)
+     bench/main.exe                   run E1..E9 and ablations
+     bench/main.exe --run fig6        run a single experiment
+     bench/main.exe --run timing      time the estimators at 1 and N jobs
+                                      and write BENCH_estimators.json
+     bench/main.exe --run microbench  run the Bechamel micro-benchmarks
+     bench/main.exe --jobs 8          size the parallel domain pool
+     bench/main.exe --fast            reduced replica counts  *)
 
 open Rgleak_num
 open Rgleak_process
@@ -15,6 +18,7 @@ open Rgleak_circuit
 open Rgleak_core
 
 let fast = ref false
+let jobs_override = ref None
 let section name = Printf.printf "\n=== %s ===\n%!" name
 
 let param = Process_param.default_channel_length
@@ -398,6 +402,134 @@ let run_bechamel () =
           | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
         analysis)
     tests
+
+(* ------------------------------------------------------------------ *)
+(* E8c: parallel-runtime timing, tracked as BENCH_estimators.json       *)
+(* ------------------------------------------------------------------ *)
+
+type timing_entry = {
+  estimator : string;
+  n : int;
+  jobs_used : int;
+  seconds : float;
+  seconds_1job : float;
+}
+
+let speedup e = if e.seconds > 0.0 then e.seconds_1job /. e.seconds else 1.0
+
+let write_bench_json ~path ~jobs entries =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"fast\": %b,\n" !fast;
+  Printf.fprintf oc "  \"entries\": [\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    { \"estimator\": %S, \"n\": %d, \"jobs\": %d, \"seconds\": %.6f, \
+         \"seconds_1job\": %.6f, \"speedup\": %.3f }%s\n"
+        e.estimator e.n e.jobs_used e.seconds e.seconds_1job (speedup e)
+        (if i = last then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_timing () =
+  let jobs =
+    match !jobs_override with Some j -> j | None -> Parallel.default_jobs ()
+  in
+  section
+    (Printf.sprintf
+       "E8c: estimator wall-clock at 1 vs %d jobs (writes BENCH_estimators.json)"
+       jobs);
+  let chars = Lazy.force chars in
+  let hist = Lazy.force default_hist in
+  let ctx = Estimate.context ~chars ~corr:corr_default ~histogram:hist () in
+  let rgcorr = Estimate.correlation ctx in
+  let rng = Rng.create ~seed:2718 () in
+  let entries = ref [] in
+  let record ~estimator ~n ~seconds ~seconds_1job =
+    let e = { estimator; n; jobs_used = jobs; seconds; seconds_1job } in
+    entries := e :: !entries;
+    Printf.printf
+      "%-12s n=%8d   1 job %8.3f s   %2d jobs %8.3f s   speedup %.2fx\n%!"
+      estimator n seconds_1job jobs seconds (speedup e)
+  in
+  (* The O(n²) exact pair loop — the headline parallel path. *)
+  let n_exact = if !fast then 5_000 else 20_000 in
+  let placed = Generator.random_placed ~histogram:hist ~n:n_exact ~rng () in
+  let r1, t1 =
+    time_it (fun () ->
+        Estimator_exact.estimate ~jobs:1 ~corr:corr_default ~rgcorr placed)
+  in
+  let rj, tj =
+    time_it (fun () ->
+        Estimator_exact.estimate ~jobs ~corr:corr_default ~rgcorr placed)
+  in
+  if
+    Int64.bits_of_float r1.Estimator_exact.std
+    <> Int64.bits_of_float rj.Estimator_exact.std
+  then failwith "exact estimator: jobs=1 and parallel results differ";
+  record ~estimator:"exact" ~n:n_exact ~seconds:tj ~seconds_1job:t1;
+  (* The Monte Carlo reference, replica-parallel. *)
+  let n_mc = if !fast then 600 else 1_200 in
+  let count = if !fast then 400 else 1_500 in
+  let placed_mc = Generator.random_placed ~histogram:hist ~n:n_mc ~rng () in
+  let mc =
+    Mc_reference.prepare ~chars ~corr:corr_default ~p:(Estimate.signal_p ctx)
+      placed_mc
+  in
+  let m1, tm1 =
+    time_it (fun () -> Mc_reference.moments_stream ~jobs:1 mc ~seed:910 ~count)
+  in
+  let mj, tmj =
+    time_it (fun () -> Mc_reference.moments_stream ~jobs mc ~seed:910 ~count)
+  in
+  if m1 <> mj then failwith "mc reference: jobs=1 and parallel moments differ";
+  record ~estimator:"mc" ~n:n_mc ~seconds:tmj ~seconds_1job:tm1;
+  (* Library characterization across the pool. *)
+  let char_opts = (33, if !fast then 1_000 else 5_000) in
+  let l_points, mc_samples = char_opts in
+  let _, tc1 =
+    time_it (fun () ->
+        Characterize.characterize_library ~l_points ~mc_samples ~jobs:1 ~param
+          ~seed:1729 ())
+  in
+  let _, tcj =
+    time_it (fun () ->
+        Characterize.characterize_library ~l_points ~mc_samples ~jobs ~param
+          ~seed:1729 ())
+  in
+  record ~estimator:"characterize" ~n:Library.size ~seconds:tcj ~seconds_1job:tc1;
+  (* The O(n) and O(1) estimators for scale context (single-domain). *)
+  let n_lin = if !fast then 40_000 else 1_000_000 in
+  let layout = Layout.square ~n:n_lin () in
+  let _, tl =
+    time_it (fun () ->
+        Estimator_linear.estimate ~corr:corr_default ~rgcorr ~layout ())
+  in
+  record ~estimator:"linear" ~n:n_lin ~seconds:tl ~seconds_1job:tl;
+  let w = Layout.width layout and h = Layout.height layout in
+  let _, ti =
+    time_it (fun () ->
+        if
+          Estimator_integral.polar_applicable ~corr:corr_default ~width:w
+            ~height:h
+        then
+          ignore
+            (Estimator_integral.polar ~corr:corr_default ~rgcorr ~n:n_lin
+               ~width:w ~height:h ())
+        else
+          ignore
+            (Estimator_integral.rect_2d ~corr:corr_default ~rgcorr ~n:n_lin
+               ~width:w ~height:h ()))
+  in
+  record ~estimator:"integral" ~n:n_lin ~seconds:ti ~seconds_1job:ti;
+  let path = "BENCH_estimators.json" in
+  write_bench_json ~path ~jobs (List.rev !entries);
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* E9: Vt variance negligibility                                        *)
@@ -862,15 +994,24 @@ let () =
     | "--run" :: name :: rest ->
       to_run := name :: !to_run;
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs_override := Some j
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+        exit 2);
+      parse rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  Option.iter Parallel.set_default_jobs !jobs_override;
   let names = if !to_run = [] then List.map fst experiments else List.rev !to_run in
   List.iter
     (fun name ->
-      if name = "timing" then run_bechamel ()
+      if name = "timing" then run_timing ()
+      else if name = "microbench" then run_bechamel ()
       else
         match List.assoc_opt name experiments with
         | Some f -> f ()

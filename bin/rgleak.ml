@@ -82,6 +82,26 @@ let char_arg =
   in
   Arg.(value & opt (some string) None & info [ "char" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sections (library characterization, \
+     the O(n^2) exact reference, Monte Carlo replicas).  Defaults to the \
+     runtime's recommended domain count.  Results are bit-identical for \
+     every value."
+  in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | Some _ | None ->
+        Error (`Msg (Printf.sprintf "expected a positive job count, got %s" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some pos_int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs jobs = Option.iter Parallel.set_default_jobs jobs
+
 let chars_of = function
   | None -> Characterize.default_library ()
   | Some path -> Char_io.load ~path
@@ -146,14 +166,15 @@ let characterize_cmd =
       & info [ "temp" ] ~docv:"CELSIUS"
           ~doc:"Characterize at this junction temperature (default 26.85 C = 300 K).")
   in
-  let run cell_name save temp =
+  let run cell_name save temp jobs =
+    apply_jobs jobs;
     let chars =
       match temp with
       | None -> Characterize.default_library ()
       | Some celsius ->
         Characterize.characterize_library
           ~env:(Rgleak_device.Mosfet.env_at ~temp_k:(273.15 +. celsius) ())
-          ~param:Process_param.default_channel_length ~seed:1729 ()
+          ?jobs ~param:Process_param.default_channel_length ~seed:1729 ()
     in
     (match save with
     | None -> ()
@@ -190,7 +211,7 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Pre-characterize cells: per-state fitted and MC leakage statistics")
-    Term.(const run $ cell_arg $ save_arg $ temp_arg)
+    Term.(const run $ cell_arg $ save_arg $ temp_arg $ jobs_arg)
 
 (* ---------- estimate (early mode) ---------- *)
 
@@ -215,7 +236,8 @@ let estimate_cmd =
       & info [ "mix" ] ~docv:"MIX"
           ~doc:"Cell-usage mix as CELL:WEIGHT pairs, comma separated.")
   in
-  let run n width height mix corr p method_ vt char_file =
+  let run n width height mix corr p method_ vt char_file jobs =
+    apply_jobs jobs;
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let layout = Layout.square ~n () in
@@ -237,7 +259,7 @@ let estimate_cmd =
        ~doc:"Early-mode full-chip leakage estimate from high-level characteristics")
     Term.(
       const run $ n_arg $ width_arg $ height_arg $ mix_arg $ corr_arg $ p_arg
-      $ method_arg $ vt_arg $ char_arg)
+      $ method_arg $ vt_arg $ char_arg $ jobs_arg)
 
 (* ---------- signoff (late mode on a benchmark) ---------- *)
 
@@ -285,7 +307,9 @@ let signoff_cmd =
       & info [ "true-leakage" ]
           ~doc:"Also run the O(n^2) exact pairwise reference and report the error.")
   in
-  let run bench file vfile placement save_placement corr p method_ vt with_true =
+  let run bench file vfile placement save_placement corr p method_ vt with_true
+      jobs =
+    apply_jobs jobs;
     let corr = corr_of corr in
     let chars = Characterize.default_library () in
     let place_netlist netlist label =
@@ -346,7 +370,7 @@ let signoff_cmd =
       Printf.printf "saved placement to %s\n" path);
     print_result label r;
     if with_true then begin
-      let tr = Estimate.true_leakage ?p ~chars ~corr placed in
+      let tr = Estimate.true_leakage ?p ?jobs ~chars ~corr placed in
       Printf.printf "  true std       : %.4g nA (RG error %.2f%%)\n"
         tr.Estimate.std
         (100.0 *. Float.abs ((r.Estimate.std -. tr.Estimate.std) /. tr.Estimate.std))
@@ -357,7 +381,8 @@ let signoff_cmd =
        ~doc:"Late-mode estimate of a placed ISCAS85-like benchmark")
     Term.(
       const run $ bench_arg $ file_arg $ vfile_arg $ placement_arg
-      $ save_placement_arg $ corr_arg $ p_arg $ method_arg $ vt_arg $ true_arg)
+      $ save_placement_arg $ corr_arg $ p_arg $ method_arg $ vt_arg $ true_arg
+      $ jobs_arg)
 
 (* ---------- yield ---------- *)
 
@@ -655,7 +680,8 @@ let sleep_cmd =
 (* ---------- validate ---------- *)
 
 let validate_cmd =
-  let run () =
+  let run jobs =
+    apply_jobs jobs;
     let chars = Characterize.default_library () in
     let corr = corr_of "spherical:120" in
     let histogram =
@@ -669,7 +695,7 @@ let validate_cmd =
       (fun n ->
         let placed = Generator.random_placed ~histogram ~n ~rng () in
         let tr =
-          Estimator_exact.estimate ~corr ~rgcorr:(Estimate.correlation ctx)
+          Estimator_exact.estimate ?jobs ~corr ~rgcorr:(Estimate.correlation ctx)
             placed
         in
         let est =
@@ -694,7 +720,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Quick self-check of the estimator pipeline")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let () =
   let info =

@@ -97,8 +97,8 @@ let characterize ?(l_points = 97) ?(span_sigmas = 6.0) ?(mc_samples = 20_000)
   in
   { cell; param; states }
 
-let characterize_library ?l_points ?span_sigmas ?mc_samples ?env ?(jobs = 1)
-    ~param ~seed () =
+let characterize_library ?l_points ?span_sigmas ?mc_samples ?env ?jobs ~param
+    ~seed () =
   let rng = Rng.create ~seed () in
   (* Child streams are derived in canonical cell order so sequential and
      parallel runs produce bit-identical results. *)
@@ -107,32 +107,16 @@ let characterize_library ?l_points ?span_sigmas ?mc_samples ?env ?(jobs = 1)
     characterize ?l_points ?span_sigmas ?mc_samples ?env ~param
       ~rng:child_rngs.(i) Library.cells.(i)
   in
-  if jobs <= 1 then Array.init Library.size one
+  let effective_jobs =
+    match jobs with Some j -> j | None -> Parallel.default_jobs ()
+  in
+  if effective_jobs <= 1 then Array.init Library.size one
   else begin
     (* Pre-warm the shared quadrature memo table: the worker domains
        then only read it (Hashtbl is not safe for concurrent writes). *)
     ignore (Quadrature.gauss_legendre_nodes 96);
-    let results = Array.make Library.size None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Library.size then begin
-          results.(i) <- Some (one i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let jobs = Stdlib.min jobs 16 in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    Array.map
-      (function
-        | Some ch -> ch
-        | None -> failwith "Characterize.characterize_library: missing result")
-      results
+    Parallel.using ?jobs (fun pool ->
+        Parallel.map_array pool one (Array.init Library.size Fun.id))
   end
 
 let default_library =

@@ -59,13 +59,16 @@ val characterize_library :
   unit ->
   cell_char array
 (** Characterizes all of {!Library.cells}.  Deterministic given [seed],
-    {e including} under [jobs] > 1, which fans the cells out over that
-    many domains (per-cell RNG streams are pre-derived in canonical
-    order). *)
+    {e including} in parallel: per-cell RNG streams are pre-derived in
+    canonical order, then the cells fan out over the
+    {!Rgleak_num.Parallel} domain pool ([jobs] as in
+    {!Rgleak_num.Parallel.using}; default
+    {!Rgleak_num.Parallel.default_jobs}, [jobs <= 1] stays inline). *)
 
 val default_library : unit -> cell_char array
 (** Library characterization under {!Rgleak_process.Process_param.default_channel_length}
-    with a fixed seed; computed once and memoized. *)
+    with a fixed seed; computed once on the shared domain pool and
+    memoized. *)
 
 val leakage_at : state_char -> float -> float
 (** Table lookup: leakage at a channel length. *)

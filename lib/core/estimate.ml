@@ -100,10 +100,10 @@ let early ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr (spec : spec) =
 let late ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr placed =
   early ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr (spec_of_placed placed)
 
-let true_leakage ?mode ?mapping ?p ~chars ~corr placed =
+let true_leakage ?mode ?mapping ?p ?jobs ~chars ~corr placed =
   let spec = spec_of_placed placed in
   let ctx = context ?mode ?mapping ?p ~chars ~corr ~histogram:spec.histogram () in
-  let r = Estimator_exact.estimate ~corr ~rgcorr:ctx.rgcorr placed in
+  let r = Estimator_exact.estimate ?jobs ~corr ~rgcorr:ctx.rgcorr placed in
   {
     mean = r.Estimator_exact.mean;
     variance = r.Estimator_exact.variance;

@@ -89,11 +89,14 @@ val true_leakage :
   ?mode:Random_gate.mode ->
   ?mapping:Rg_correlation.mapping ->
   ?p:float ->
+  ?jobs:int ->
   chars:Rgleak_cells.Characterize.cell_char array ->
   corr:Rgleak_process.Corr_model.t ->
   Rgleak_circuit.Placer.placed ->
   result
-(** The O(n²) pairwise reference ("true leakage") of a placed design. *)
+(** The O(n²) pairwise reference ("true leakage") of a placed design.
+    [jobs] sizes the domain pool for the pair loop (default: the shared
+    pool); the result is bit-identical for every job count. *)
 
 val pp_result : Format.formatter -> result -> unit
 

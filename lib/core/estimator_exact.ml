@@ -1,9 +1,10 @@
+open Rgleak_num
 open Rgleak_process
 open Rgleak_circuit
 
 type result = { mean : float; variance : float; std : float }
 
-let estimate ?(distance_points = 512) ~corr ~rgcorr placed =
+let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
   let netlist = placed.Placer.netlist in
   let layout = placed.Placer.layout in
   let n = Netlist.size netlist in
@@ -26,21 +27,32 @@ let estimate ?(distance_points = 512) ~corr ~rgcorr placed =
   let nu = Array.length used in
   let dense = Array.make Rgleak_cells.Library.size (-1) in
   Array.iteri (fun d ci -> dense.(ci) <- d) used;
-  (* Distance-indexed covariance tables: cov_d.(ti*nu+tj).(k) is the
-     covariance at distance k*dstep. *)
   let dmax =
     let w = Layout.width layout and h = Layout.height layout in
     sqrt ((w *. w) +. (h *. h)) +. 1e-9
   in
   let dstep = dmax /. float_of_int (distance_points - 1) in
-  let cov_d =
-    Array.init (nu * nu) (fun idx ->
-        let ti = idx / nu and tj = idx mod nu in
+  (* Distance-indexed covariance tables, packed over the upper triangle
+     of type pairs: covariance is symmetric in (ti, tj), so only the
+     nu(nu+1)/2 distinct tables are built. *)
+  let cov_tri = Array.make (Parallel.tri_size nu) [||] in
+  for ti = 0 to nu - 1 do
+    for tj = ti to nu - 1 do
+      cov_tri.(Parallel.tri_index ~n:nu ~i:ti ~j:tj) <-
         Array.init distance_points (fun k ->
             let d = float_of_int k *. dstep in
             let rho_l = Corr_model.total corr d in
             Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(ti)
-              ~cj:used.(tj) ~rho_l))
+              ~cj:used.(tj) ~rho_l)
+    done
+  done;
+  (* Square alias view so the pair loop stays a single branch-free
+     lookup; both (ti, tj) and (tj, ti) share one physical table. *)
+  let table_of =
+    Array.init (nu * nu) (fun idx ->
+        let ti = idx / nu and tj = idx mod nu in
+        let i = Stdlib.min ti tj and j = Stdlib.max ti tj in
+        cov_tri.(Parallel.tri_index ~n:nu ~i ~j))
   in
   (* Instance data flattened for the O(n²) loop. *)
   let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
@@ -57,21 +69,30 @@ let estimate ?(distance_points = 512) ~corr ~rgcorr placed =
         !variance +. Random_gate.mixture_variance_of_cell rg inst.Netlist.cell_index)
     netlist.Netlist.instances;
   let inv_dstep = 1.0 /. dstep in
-  let acc = ref 0.0 in
-  for a = 0 to n - 1 do
+  (* O(n²) pair loop over balanced row bands of the upper triangle; the
+     in-order band reduction makes the sum independent of the job
+     count. *)
+  let pair_row acc a =
     let xa = xs.(a) and ya = ys.(a) in
-    let ta = types.(a) in
-    let row = ta * nu in
+    let row = types.(a) * nu in
+    let acc = ref acc in
     for b = a + 1 to n - 1 do
       let dx = xs.(b) -. xa and dy = ys.(b) -. ya in
       let d = sqrt ((dx *. dx) +. (dy *. dy)) in
-      let table = cov_d.(row + types.(b)) in
+      let table = table_of.(row + types.(b)) in
       let pos = d *. inv_dstep in
       let k = int_of_float pos in
       let k = if k >= distance_points - 1 then distance_points - 2 else k in
       let frac = pos -. float_of_int k in
       acc := !acc +. table.(k) +. (frac *. (table.(k + 1) -. table.(k)))
-    done
-  done;
-  let variance = !variance +. (2.0 *. !acc) in
+    done;
+    !acc
+  in
+  let acc =
+    Parallel.using ?jobs (fun pool ->
+        Parallel.triangle_reduce pool ~n
+          ~init:(fun () -> 0.0)
+          ~row:pair_row ~combine:( +. ))
+  in
+  let variance = !variance +. (2.0 *. acc) in
   { mean = !mean; variance; std = sqrt (Float.max 0.0 variance) }

@@ -6,16 +6,26 @@
     Σ_{a≠b} Cov_{type(a),type(b)}(ρ_L(d_ab)), with the per-cell-pair
     covariances from {!Rg_correlation} and the length correlation from
     the process model.  Distances are bucketed into a fine uniform table
-    once per call so the inner loop is pure float arithmetic. *)
+    once per call so the inner loop is pure float arithmetic; only the
+    upper triangle of type pairs is tabulated (covariance is symmetric).
+
+    The pair loop runs on the {!Rgleak_num.Parallel} domain pool over
+    balanced triangular row bands.  The banding and the reduction order
+    depend only on the gate count, so the result is bit-identical for
+    every job count. *)
 
 type result = { mean : float; variance : float; std : float }
 
 val estimate :
   ?distance_points:int ->
+  ?jobs:int ->
   corr:Rgleak_process.Corr_model.t ->
   rgcorr:Rg_correlation.t ->
   Rgleak_circuit.Placer.placed ->
   result
 (** [distance_points] (default 512) controls the resolution of the
-    distance → covariance tables (per cell pair).  All cells used by the
-    netlist must be in the correlation structure's support. *)
+    distance → covariance tables (per cell pair).  [jobs] overrides the
+    parallelism for this call (default: the shared
+    {!Rgleak_num.Parallel.default} pool); the estimate itself does not
+    depend on it.  All cells used by the netlist must be in the
+    correlation structure's support. *)

@@ -13,16 +13,28 @@ let estimate ~corr ~rgcorr ~layout () =
   let variance = ref (nf *. rg.Random_gate.variance) in
   let rows = Layout.rows layout in
   let cols = layout.Layout.cols in
+  (* Distance-indexed memo (the Estimator_exact trick): the four offsets
+     (±di, ±dj) are equidistant, so F(ρ_L(d)) is evaluated once per
+     (|di|, |dj|) and reused — a 4x cut in correlation-model and
+     F-table evaluations with bit-identical results. *)
+  let f_memo = Array.make (rows * cols) Float.nan in
+  let f_at ~di ~dj =
+    let idx = (abs dj * cols) + abs di in
+    let v = f_memo.(idx) in
+    if Float.is_nan v then begin
+      let d = Layout.distance_of_offset layout ~di ~dj in
+      let v = Rg_correlation.f rgcorr ~rho_l:(Corr_model.total corr d) in
+      f_memo.(idx) <- v;
+      v
+    end
+    else v
+  in
   for dj = -(rows - 1) to rows - 1 do
     for di = -(cols - 1) to cols - 1 do
       if not (di = 0 && dj = 0) then begin
         let occ = Layout.occurrences layout ~di ~dj in
-        if occ > 0 then begin
-          let d = Layout.distance_of_offset layout ~di ~dj in
-          let rho_l = Corr_model.total corr d in
-          variance :=
-            !variance +. (float_of_int occ *. Rg_correlation.f rgcorr ~rho_l)
-        end
+        if occ > 0 then
+          variance := !variance +. (float_of_int occ *. f_at ~di ~dj)
       end
     done
   done;

@@ -65,6 +65,43 @@ let moments t rng ~count =
   done;
   (Stats.Acc.mean acc, Stats.Acc.std acc)
 
+(* Replica-parallel sampling: replica i draws from its own RNG stream,
+   pre-derived in O(1) from (seed, i) via SplitMix64, so the sample set
+   — and therefore the estimate — is independent of the domain count. *)
+
+let sample_stream t ~seed i = sample t (Rng.stream ~seed i)
+
+let sample_many_stream ?jobs t ~seed ~count =
+  if count < 0 then invalid_arg "Mc_reference.sample_many_stream: negative count";
+  let out = Array.make count 0.0 in
+  Parallel.using ?jobs (fun pool ->
+      Parallel.parallel_for_reduce pool ~n:count
+        ~init:(fun () -> ())
+        ~body:(fun () i -> out.(i) <- sample_stream t ~seed i)
+        ~combine:(fun () () -> ()));
+  out
+
+let moments_stream ?jobs t ~seed ~count =
+  if count < 2 then invalid_arg "Mc_reference.moments_stream: need >= 2 replicas";
+  (* Per-chunk (Σx, Σx²) partials combined in chunk order: the chunking
+     depends only on [count], so the moments are bit-identical for any
+     job count.  Leakage samples are positive and of one scale, so the
+     plain sum of squares loses nothing material against the streaming
+     accumulator used by {!moments}. *)
+  let s, s2 =
+    Parallel.using ?jobs (fun pool ->
+        Parallel.parallel_for_reduce pool ~n:count
+          ~init:(fun () -> (0.0, 0.0))
+          ~body:(fun (s, s2) i ->
+            let x = sample_stream t ~seed i in
+            (s +. x, s2 +. (x *. x)))
+          ~combine:(fun (a, b) (c, d) -> (a +. c, b +. d)))
+  in
+  let nf = float_of_int count in
+  let mean = s /. nf in
+  let var = Float.max 0.0 ((s2 -. (s *. s /. nf)) /. (nf -. 1.0)) in
+  (mean, sqrt var)
+
 let fixed_state_sample t rng ~state_seed =
   let state_rng = Rng.create ~seed:state_seed () in
   let states = Array.init t.n (fun g -> draw_state t state_rng g) in

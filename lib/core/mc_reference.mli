@@ -35,6 +35,25 @@ val sample_many : t -> Rgleak_num.Rng.t -> count:int -> float array
 val moments : t -> Rgleak_num.Rng.t -> count:int -> float * float
 (** (mean, std) over [count] sampled dies. *)
 
+(** {2 Replica-parallel sampling}
+
+    Each replica [i] draws from {!Rgleak_num.Rng.stream}[ ~seed i], so
+    the sampled dies are a pure function of [(seed, count)] — running
+    on 1 or 16 domains produces bit-identical results.  These are the
+    forms the bench harness and large validation runs use. *)
+
+val sample_stream : t -> seed:int -> int -> float
+(** Total leakage of replica [i] under the given master seed. *)
+
+val sample_many_stream : ?jobs:int -> t -> seed:int -> count:int -> float array
+(** [count] replica dies, sampled across the domain pool ([jobs] as in
+    {!Rgleak_num.Parallel.using}); slot [i] holds replica [i]. *)
+
+val moments_stream : ?jobs:int -> t -> seed:int -> count:int -> float * float
+(** (mean, std) over [count] replica dies, reduced deterministically in
+    replica order regardless of the job count.  [count] must be at
+    least 2. *)
+
 val fixed_state_sample : t -> Rgleak_num.Rng.t -> state_seed:int -> float
 (** Like {!sample} but with the per-gate input states frozen by
     [state_seed] while the process variations vary — used to separate

@@ -1,0 +1,245 @@
+(* Domain-pool parallel runtime.  See the interface for the determinism
+   contract: chunk/band boundaries depend only on the problem size, and
+   partial results are combined in chunk order, so every reduction is
+   bit-identical for any job count. *)
+
+type pool = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let max_jobs = 64
+let clamp_jobs j = Stdlib.max 1 (Stdlib.min max_jobs j)
+
+let configured_jobs = ref None
+
+let default_jobs () =
+  match !configured_jobs with
+  | Some j -> j
+  | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Parallel.set_default_jobs: need at least one job";
+  configured_jobs := Some (clamp_jobs j)
+
+let jobs t = t.size
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.has_work pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let size =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j ->
+      if j < 1 then invalid_arg "Parallel.create: need at least one job";
+      clamp_jobs j
+  in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let first = not pool.closed in
+  if first then begin
+    pool.closed <- true;
+    Condition.broadcast pool.has_work
+  end;
+  Mutex.unlock pool.mutex;
+  if first then Array.iter Domain.join pool.workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Shared pool: built on first use, rebuilt if --jobs changed the
+   configured size, torn down at exit so no domain outlives main. *)
+let shared = ref None
+let shared_mutex = Mutex.create ()
+let exit_hook_installed = ref false
+
+let default () =
+  Mutex.lock shared_mutex;
+  let pool =
+    match !shared with
+    | Some p when p.size = default_jobs () && not p.closed -> p
+    | previous ->
+      (match previous with Some p -> shutdown p | None -> ());
+      let p = create ~jobs:(default_jobs ()) () in
+      shared := Some p;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit (fun () ->
+            match !shared with
+            | Some p -> shutdown p
+            | None -> ())
+      end;
+      p
+  in
+  Mutex.unlock shared_mutex;
+  pool
+
+let using ?jobs f =
+  match jobs with
+  | None -> f (default ())
+  | Some j -> with_pool ~jobs:j f
+
+let run_thunks pool fs =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let task i () =
+      (try results.(i) <- Some (fs.(i) ())
+       with e -> ignore (Atomic.compare_and_set error None (Some e)));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.signal all_done;
+        Mutex.unlock done_mutex
+      end
+    in
+    if pool.size = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        task i ()
+      done
+    else begin
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (task i) pool.queue
+      done;
+      Condition.broadcast pool.has_work;
+      Mutex.unlock pool.mutex;
+      (* The submitting domain drains the queue alongside the workers. *)
+      let rec help () =
+        Mutex.lock pool.mutex;
+        if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+        else begin
+          let task = Queue.pop pool.queue in
+          Mutex.unlock pool.mutex;
+          task ();
+          help ()
+        end
+      in
+      help ();
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex
+    end;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_array pool f xs = run_thunks pool (Array.map (fun x () -> f x) xs)
+
+let default_chunks = 64
+
+let parallel_for_reduce ?(chunks = default_chunks) pool ~n ~init ~body ~combine =
+  if n < 0 then invalid_arg "Parallel.parallel_for_reduce: negative range";
+  if chunks < 1 then invalid_arg "Parallel.parallel_for_reduce: need >= 1 chunk";
+  if n = 0 then init ()
+  else begin
+    let chunks = Stdlib.min chunks n in
+    let accs =
+      run_thunks pool
+        (Array.init chunks (fun c ->
+             let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+             fun () ->
+               let acc = ref (init ()) in
+               for i = lo to hi - 1 do
+                 acc := body !acc i
+               done;
+               !acc))
+    in
+    let total = ref accs.(0) in
+    for c = 1 to Array.length accs - 1 do
+      total := combine !total accs.(c)
+    done;
+    !total
+  end
+
+let triangle_bands ?(bands = default_chunks) n =
+  if n < 0 then invalid_arg "Parallel.triangle_bands: negative size";
+  if bands < 1 then invalid_arg "Parallel.triangle_bands: need >= 1 band";
+  let rows = Stdlib.max 0 (n - 1) in
+  if rows = 0 then [||]
+  else begin
+    let bands = Stdlib.min bands rows in
+    let total = n * (n - 1) / 2 in
+    let out = ref [] in
+    let start = ref 0 in
+    let covered = ref 0 in
+    let band = ref 1 in
+    for a = 0 to rows - 1 do
+      covered := !covered + (n - 1 - a);
+      (* Close the band once it reaches its cumulative pair quota. *)
+      if a = rows - 1 || (!band < bands && !covered * bands >= !band * total)
+      then begin
+        out := (!start, a + 1) :: !out;
+        start := a + 1;
+        incr band
+      end
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let triangle_reduce ?bands pool ~n ~init ~row ~combine =
+  let ranges = triangle_bands ?bands n in
+  if Array.length ranges = 0 then init ()
+  else begin
+    let accs =
+      run_thunks pool
+        (Array.map
+           (fun (lo, hi) () ->
+             let acc = ref (init ()) in
+             for a = lo to hi - 1 do
+               acc := row !acc a
+             done;
+             !acc)
+           ranges)
+    in
+    let total = ref accs.(0) in
+    for c = 1 to Array.length accs - 1 do
+      total := combine !total accs.(c)
+    done;
+    !total
+  end
+
+let tri_size n = n * (n + 1) / 2
+
+let tri_index ~n ~i ~j =
+  if not (0 <= i && i <= j && j < n) then
+    invalid_arg "Parallel.tri_index: need 0 <= i <= j < n";
+  (i * n) - (i * (i - 1) / 2) + (j - i)

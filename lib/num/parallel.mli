@@ -1,0 +1,109 @@
+(** Shared domain-pool parallel runtime.
+
+    A [pool] owns a fixed set of worker domains fed from a single work
+    queue; the submitting domain always participates, so a pool of size
+    [j] computes with [j] domains while holding only [j - 1] spawned
+    ones.  Pools are cheap to keep alive (idle workers block on a
+    condition variable) and are meant to be reused across calls — the
+    estimators share one lazily-created default pool sized from
+    {!default_jobs}.
+
+    {b Determinism contract.}  Work is split into chunks (or triangle
+    bands) whose boundaries depend only on the problem size — never on
+    the pool size — and per-chunk accumulators are combined in chunk
+    order by the submitting domain.  Consequently every reduction here
+    returns {e bit-identical} results for any job count, including 1.
+    Parallelism only changes which domain computes which chunk.
+
+    A pool must be driven from one domain at a time (the estimators'
+    call sites all do); tasks themselves must not submit to the pool
+    they run on. *)
+
+type pool
+
+val create : ?jobs:int -> unit -> pool
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (default
+    {!default_jobs}, clamped to [\[1, 64\]]).  [jobs = 1] spawns
+    nothing and runs everything inline. *)
+
+val jobs : pool -> int
+(** Total parallelism of the pool, including the submitting domain. *)
+
+val shutdown : pool -> unit
+(** Terminates and joins the workers.  Idempotent. *)
+
+val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exceptions. *)
+
+val default_jobs : unit -> int
+(** The configured job count: {!set_default_jobs} if called, otherwise
+    [Domain.recommended_domain_count ()] (clamped to [\[1, 64\]]). *)
+
+val set_default_jobs : int -> unit
+(** Overrides {!default_jobs} process-wide — wired to [--jobs] in the
+    CLI and bench harness.  Takes effect on the next {!default} call;
+    an existing shared pool of a different size is rebuilt. *)
+
+val default : unit -> pool
+(** The shared pool, created on first use with {!default_jobs} domains
+    and shut down automatically at exit. *)
+
+val using : ?jobs:int -> (pool -> 'a) -> 'a
+(** [using ?jobs f]: with [jobs] absent, runs [f] on the shared
+    {!default} pool; with [jobs] given, on a transient pool of that
+    size (shut down afterwards).  This is the [?jobs] plumbing used by
+    the estimators. *)
+
+val run_thunks : pool -> (unit -> 'a) array -> 'a array
+(** Runs every thunk, scheduling across the pool, and returns their
+    results in input order.  If any thunk raises, one of the raised
+    exceptions is re-raised after all tasks finish. *)
+
+val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs] is [Array.map f xs] with one task per
+    element. *)
+
+val parallel_for_reduce :
+  ?chunks:int ->
+  pool ->
+  n:int ->
+  init:(unit -> 'acc) ->
+  body:('acc -> int -> 'acc) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Folds [body] over [0 .. n-1]: the range is split into [chunks]
+    near-equal index chunks (default 64, independent of the pool size),
+    each chunk folds in index order from a fresh [init ()], and the
+    per-chunk accumulators are combined left-to-right in chunk order —
+    the bit-identical-across-job-counts scheme described above.
+    [n = 0] returns [init ()]. *)
+
+val triangle_bands : ?bands:int -> int -> (int * int) array
+(** [triangle_bands n]: row bands for the pair loop
+    [for a = 0 to n-2, for b = a+1 to n-1] —
+    consecutive half-open row ranges [(lo, hi)] covering
+    [0 .. n-2] exactly once, balanced so each band holds roughly
+    [n(n-1)/2 / bands] pairs (row [a] weighs [n-1-a]).  Boundaries
+    depend only on [n] and [bands] (default 64). *)
+
+val triangle_reduce :
+  ?bands:int ->
+  pool ->
+  n:int ->
+  init:(unit -> 'acc) ->
+  row:('acc -> int -> 'acc) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Deterministic parallel reduction over {!triangle_bands}: [row]
+    folds one outer index [a] (the caller iterates [b > a] inside),
+    bands run in parallel and combine in band order. *)
+
+val tri_size : int -> int
+(** [tri_size n] = [n (n+1) / 2], the packed upper-triangle length. *)
+
+val tri_index : n:int -> i:int -> j:int -> int
+(** Packed row-major upper-triangle index of [(i, j)] with
+    [0 <= i <= j < n] — the mapping shared by the symmetric
+    per-type-pair covariance tables and their consumers.  Raises
+    [Invalid_argument] outside the triangle. *)

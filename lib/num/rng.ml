@@ -15,6 +15,13 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* The SplitMix64 output mixing alone (no gamma increment). *)
+let splitmix64_mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
 let create ?(seed = 42) () =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix64 state in
@@ -42,6 +49,20 @@ let bits64 t =
 
 let split t =
   let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = None }
+
+let stream ~seed i =
+  if i < 0 then invalid_arg "Rng.stream: stream index must be non-negative";
+  (* Mix the seed once, offset by the stream index, then expand through
+     the usual SplitMix64 chain.  The mixed base keeps nearby seeds
+     apart; distinct indices can only revisit another stream's SplitMix
+     inputs after ~2^64 / gamma steps, so the four expansion outputs
+     never collide across streams. *)
+  let state = ref (Int64.add (splitmix64_mix (Int64.of_int seed)) (Int64.of_int i)) in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in

@@ -19,6 +19,13 @@ val split : t -> t
 (** [split t] derives a statistically independent child generator and
     advances [t].  Used to give each experiment arm its own stream. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed i] is the [i]-th replica stream of [seed] ([i >= 0]),
+    derived in O(1) via SplitMix64 so any stream can be materialised
+    without deriving its predecessors.  Used by the parallel Monte
+    Carlo reference: replica [i] gets the same generator no matter how
+    many domains run or which domain draws it. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
