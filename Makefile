@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc bench-json microbench
+.PHONY: all build test bench examples clean doc bench-json microbench \
+        trace metrics overhead
 
 all: build
 
@@ -28,6 +29,19 @@ bench-json:
 
 microbench:
 	dune exec bench/main.exe -- --run microbench
+
+# Telemetry demos: span/counter report on stderr, Chrome trace + metrics
+# JSON files in the working directory (open trace.json in ui.perfetto.dev).
+trace:
+	dune exec bin/rgleak.exe -- estimate -n 2000 --trace --trace-json trace.json
+
+metrics:
+	dune exec bin/rgleak.exe -- estimate -n 2000 --metrics-json metrics.json
+	@cat metrics.json
+
+# Asserts disabled instrumentation costs < 1% on the exact hot loop.
+overhead:
+	dune exec bench/main.exe -- --run overhead --fast
 
 examples:
 	@for e in quickstart early_planning late_signoff signal_probability \

@@ -7,6 +7,8 @@
      bench/main.exe --run fig6        run a single experiment
      bench/main.exe --run timing      time the estimators at 1 and N jobs
                                       and write BENCH_estimators.json
+     bench/main.exe --run overhead    assert disabled telemetry costs < 1%
+                                      on the exact loop (BENCH_overhead.json)
      bench/main.exe --run microbench  run the Bechamel micro-benchmarks
      bench/main.exe --jobs 8          size the parallel domain pool
      bench/main.exe --fast            reduced replica counts  *)
@@ -16,6 +18,7 @@ open Rgleak_process
 open Rgleak_cells
 open Rgleak_circuit
 open Rgleak_core
+module Obs = Rgleak_obs.Obs
 
 let fast = ref false
 let jobs_override = ref None
@@ -413,6 +416,8 @@ type timing_entry = {
   jobs_used : int;
   seconds : float;
   seconds_1job : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
 }
 
 let speedup e = if e.seconds > 0.0 then e.seconds_1job /. e.seconds else 1.0
@@ -420,7 +425,7 @@ let speedup e = if e.seconds > 0.0 then e.seconds_1job /. e.seconds else 1.0
 let write_bench_json ~path ~jobs entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/1\",\n";
+  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/2\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"fast\": %b,\n" !fast;
   Printf.fprintf oc "  \"entries\": [\n";
@@ -429,8 +434,14 @@ let write_bench_json ~path ~jobs entries =
     (fun i e ->
       Printf.fprintf oc
         "    { \"estimator\": %S, \"n\": %d, \"jobs\": %d, \"seconds\": %.6f, \
-         \"seconds_1job\": %.6f, \"speedup\": %.3f }%s\n"
-        e.estimator e.n e.jobs_used e.seconds e.seconds_1job (speedup e)
+         \"seconds_1job\": %.6f, \"speedup\": %.3f,\n"
+        e.estimator e.n e.jobs_used e.seconds e.seconds_1job (speedup e);
+      Printf.fprintf oc "      \"counters\": {%s},\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) e.counters));
+      Printf.fprintf oc "      \"gauges\": {%s} }%s\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%S: %.6g" k v) e.gauges))
         (if i = last then "" else ","))
     entries;
   Printf.fprintf oc "  ]\n}\n";
@@ -450,29 +461,49 @@ let run_timing () =
   let rgcorr = Estimate.correlation ctx in
   let rng = Rng.create ~seed:2718 () in
   let entries = ref [] in
-  let record ~estimator ~n ~seconds ~seconds_1job =
-    let e = { estimator; n; jobs_used = jobs; seconds; seconds_1job } in
+  (* One timed measurement on the shared pool at [j] domains: sizing the
+     shared pool and running a warm-up pass first keeps domain spawning,
+     cold caches and lazy tables out of the timed window (the v1 schema
+     timed transient pools, charging Domain.spawn to the parallel run). *)
+  let timed_at ~j run =
+    Parallel.set_default_jobs j;
+    ignore (run ());
+    time_it run
+  in
+  (* Work counters and pool gauges from one instrumented pass at [jobs]
+     domains, captured outside the timed windows so tracing cannot
+     perturb the measurement. *)
+  let observe run =
+    Obs.reset ();
+    Obs.set_enabled true;
+    ignore (run ());
+    Obs.set_enabled false;
+    let snap = Obs.snapshot () in
+    (snap.Obs.counters, snap.Obs.gauges)
+  in
+  let bench ~estimator ~n ~equal run =
+    let r1, t1 = timed_at ~j:1 run in
+    let rj, tj = timed_at ~j:jobs run in
+    if not (equal r1 rj) then
+      failwith (estimator ^ ": jobs=1 and parallel results differ");
+    let counters, gauges = observe run in
+    let e =
+      { estimator; n; jobs_used = jobs; seconds = tj; seconds_1job = t1;
+        counters; gauges }
+    in
     entries := e :: !entries;
     Printf.printf
       "%-12s n=%8d   1 job %8.3f s   %2d jobs %8.3f s   speedup %.2fx\n%!"
-      estimator n seconds_1job jobs seconds (speedup e)
+      estimator n t1 jobs tj (speedup e)
   in
+  let bits = Int64.bits_of_float in
   (* The O(n²) exact pair loop — the headline parallel path. *)
   let n_exact = if !fast then 5_000 else 20_000 in
   let placed = Generator.random_placed ~histogram:hist ~n:n_exact ~rng () in
-  let r1, t1 =
-    time_it (fun () ->
-        Estimator_exact.estimate ~jobs:1 ~corr:corr_default ~rgcorr placed)
-  in
-  let rj, tj =
-    time_it (fun () ->
-        Estimator_exact.estimate ~jobs ~corr:corr_default ~rgcorr placed)
-  in
-  if
-    Int64.bits_of_float r1.Estimator_exact.std
-    <> Int64.bits_of_float rj.Estimator_exact.std
-  then failwith "exact estimator: jobs=1 and parallel results differ";
-  record ~estimator:"exact" ~n:n_exact ~seconds:tj ~seconds_1job:t1;
+  bench ~estimator:"exact" ~n:n_exact
+    ~equal:(fun a b ->
+      bits a.Estimator_exact.std = bits b.Estimator_exact.std)
+    (fun () -> Estimator_exact.estimate ~corr:corr_default ~rgcorr placed);
   (* The Monte Carlo reference, replica-parallel. *)
   let n_mc = if !fast then 600 else 1_200 in
   let count = if !fast then 400 else 1_500 in
@@ -481,55 +512,110 @@ let run_timing () =
     Mc_reference.prepare ~chars ~corr:corr_default ~p:(Estimate.signal_p ctx)
       placed_mc
   in
-  let m1, tm1 =
-    time_it (fun () -> Mc_reference.moments_stream ~jobs:1 mc ~seed:910 ~count)
-  in
-  let mj, tmj =
-    time_it (fun () -> Mc_reference.moments_stream ~jobs mc ~seed:910 ~count)
-  in
-  if m1 <> mj then failwith "mc reference: jobs=1 and parallel moments differ";
-  record ~estimator:"mc" ~n:n_mc ~seconds:tmj ~seconds_1job:tm1;
+  bench ~estimator:"mc" ~n:n_mc ~equal:( = ) (fun () ->
+      Mc_reference.moments_stream mc ~seed:910 ~count);
   (* Library characterization across the pool. *)
-  let char_opts = (33, if !fast then 1_000 else 5_000) in
-  let l_points, mc_samples = char_opts in
-  let _, tc1 =
-    time_it (fun () ->
-        Characterize.characterize_library ~l_points ~mc_samples ~jobs:1 ~param
-          ~seed:1729 ())
-  in
-  let _, tcj =
-    time_it (fun () ->
-        Characterize.characterize_library ~l_points ~mc_samples ~jobs ~param
-          ~seed:1729 ())
-  in
-  record ~estimator:"characterize" ~n:Library.size ~seconds:tcj ~seconds_1job:tc1;
+  let l_points = 33 and mc_samples = if !fast then 1_000 else 5_000 in
+  bench ~estimator:"characterize" ~n:Library.size
+    ~equal:(fun a b ->
+      bits a.(0).Characterize.states.(0).Characterize.mu_analytic
+      = bits b.(0).Characterize.states.(0).Characterize.mu_analytic)
+    (fun () ->
+      Characterize.characterize_library ~l_points ~mc_samples ~param
+        ~seed:1729 ());
   (* The O(n) and O(1) estimators for scale context (single-domain). *)
   let n_lin = if !fast then 40_000 else 1_000_000 in
   let layout = Layout.square ~n:n_lin () in
-  let _, tl =
-    time_it (fun () ->
-        Estimator_linear.estimate ~corr:corr_default ~rgcorr ~layout ())
-  in
-  record ~estimator:"linear" ~n:n_lin ~seconds:tl ~seconds_1job:tl;
+  bench ~estimator:"linear" ~n:n_lin ~equal:(fun _ _ -> true) (fun () ->
+      Estimator_linear.estimate ~corr:corr_default ~rgcorr ~layout ());
   let w = Layout.width layout and h = Layout.height layout in
-  let _, ti =
-    time_it (fun () ->
-        if
-          Estimator_integral.polar_applicable ~corr:corr_default ~width:w
-            ~height:h
-        then
-          ignore
-            (Estimator_integral.polar ~corr:corr_default ~rgcorr ~n:n_lin
-               ~width:w ~height:h ())
-        else
-          ignore
-            (Estimator_integral.rect_2d ~corr:corr_default ~rgcorr ~n:n_lin
-               ~width:w ~height:h ()))
-  in
-  record ~estimator:"integral" ~n:n_lin ~seconds:ti ~seconds_1job:ti;
+  bench ~estimator:"integral" ~n:n_lin ~equal:(fun _ _ -> true) (fun () ->
+      if
+        Estimator_integral.polar_applicable ~corr:corr_default ~width:w
+          ~height:h
+      then
+        Estimator_integral.polar ~corr:corr_default ~rgcorr ~n:n_lin ~width:w
+          ~height:h ()
+      else
+        Estimator_integral.rect_2d ~corr:corr_default ~rgcorr ~n:n_lin ~width:w
+          ~height:h ());
+  Parallel.set_default_jobs jobs;
   let path = "BENCH_estimators.json" in
   write_bench_json ~path ~jobs (List.rev !entries);
   Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* E8d: disabled-telemetry overhead budget                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Asserts that the instrumentation compiled into the exact hot loop
+   costs under 1% of its runtime while telemetry is disabled.  The
+   per-site cost of a disabled probe (one atomic load and a branch) is
+   measured with a microloop; the number of sites one estimate executes
+   is read off an instrumented pass (row counts plus band spans); the
+   product is compared against the measured uninstrumented runtime. *)
+let run_overhead () =
+  section "E8d: disabled-telemetry overhead on the exact hot loop";
+  Obs.set_enabled false;
+  let probes = 20_000_000 in
+  let t0 = Obs.now_ns () in
+  for _ = 1 to probes do
+    Obs.count "overhead.probe" 1
+  done;
+  let site_ns =
+    Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. float_of_int probes
+  in
+  let chars = Lazy.force chars in
+  let hist = Lazy.force default_hist in
+  let ctx = Estimate.context ~chars ~corr:corr_default ~histogram:hist () in
+  let rgcorr = Estimate.correlation ctx in
+  let rng = Rng.create ~seed:2718 () in
+  let n = if !fast then 5_000 else 10_000 in
+  let placed = Generator.random_placed ~histogram:hist ~n ~rng () in
+  let run () = Estimator_exact.estimate ~corr:corr_default ~rgcorr placed in
+  ignore (run ());
+  let _, seconds = time_it run in
+  Obs.reset ();
+  Obs.set_enabled true;
+  ignore (run ());
+  Obs.set_enabled false;
+  let snap = Obs.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap.Obs.counters with Some v -> v | None -> 0
+  in
+  (* Sites per run: one guarded counter bump per pair row, ~4 probes per
+     pool band (task count, busy gauge, span open/close) and a handful
+     of top-level spans and counters. *)
+  let sites =
+    float_of_int (counter "exact.gates")
+    +. (4.0 *. float_of_int (counter "pool.bands"))
+    +. 16.0
+  in
+  let overhead = sites *. site_ns /. 1e9 /. seconds in
+  let budget = 0.01 in
+  Printf.printf "disabled probe        : %.2f ns/site\n" site_ns;
+  Printf.printf "sites per exact run   : %.0f (n=%d)\n" sites n;
+  Printf.printf "exact runtime         : %.4f s\n" seconds;
+  Printf.printf "overhead              : %.5f%% of runtime (budget %.1f%%)\n"
+    (100.0 *. overhead) (100.0 *. budget);
+  let path = "BENCH_overhead.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"rgleak-overhead/1\",\n\
+    \  \"site_ns\": %.4f,\n\
+    \  \"sites_per_run\": %.0f,\n\
+    \  \"exact_n\": %d,\n\
+    \  \"exact_seconds\": %.6f,\n\
+    \  \"overhead_fraction\": %.8f,\n\
+    \  \"budget_fraction\": %.3f,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    site_ns sites n seconds overhead budget (overhead < budget);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if overhead >= budget then
+    failwith "telemetry overhead budget exceeded: disabled probes cost >= 1%"
 
 (* ------------------------------------------------------------------ *)
 (* E9: Vt variance negligibility                                        *)
@@ -1011,6 +1097,7 @@ let () =
   List.iter
     (fun name ->
       if name = "timing" then run_timing ()
+      else if name = "overhead" then run_overhead ()
       else if name = "microbench" then run_bechamel ()
       else
         match List.assoc_opt name experiments with

@@ -102,6 +102,70 @@ let jobs_arg =
 
 let apply_jobs jobs = Option.iter Parallel.set_default_jobs jobs
 
+(* ---------- telemetry flags (shared by every subcommand) ---------- *)
+
+module Obs = Rgleak_obs.Obs
+module Obs_export = Rgleak_obs.Export
+
+type trace_opts = {
+  trace : bool;
+  trace_json : string option;
+  metrics_json : string option;
+}
+
+let trace_active t = t.trace || t.trace_json <> None || t.metrics_json <> None
+
+let trace_term =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Enable telemetry and print the span tree and counter tables on \
+             stderr.  Tracing never changes any numerical result.")
+  in
+  let trace_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write a Chrome trace-event file (open in \
+             chrome://tracing or ui.perfetto.dev).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Enable telemetry and write a flat metrics JSON document.")
+  in
+  Term.(
+    const (fun trace trace_json metrics_json ->
+        { trace; trace_json; metrics_json })
+    $ trace $ trace_json $ metrics_json)
+
+let with_telemetry t run =
+  if not (trace_active t) then run ()
+  else begin
+    Obs.reset ();
+    Obs.set_enabled true;
+    Fun.protect run ~finally:(fun () ->
+        Obs.set_enabled false;
+        let snap = Obs.snapshot () in
+        if t.trace then Obs_export.report stderr snap;
+        Option.iter
+          (fun path ->
+            Obs_export.write_chrome_trace ~path snap;
+            Printf.eprintf "trace: wrote Chrome trace to %s\n%!" path)
+          t.trace_json;
+        Option.iter
+          (fun path ->
+            Obs_export.write_metrics_json ~path snap;
+            Printf.eprintf "trace: wrote metrics to %s\n%!" path)
+          t.metrics_json)
+  end
+
 let chars_of = function
   | None -> Characterize.default_library ()
   | Some path -> Char_io.load ~path
@@ -121,7 +185,8 @@ let print_result label (r : Estimate.result) =
 (* ---------- cells ---------- *)
 
 let cells_cmd =
-  let run () =
+  let run tr =
+    with_telemetry tr @@ fun () ->
     let env = Rgleak_device.Mosfet.default_env in
     Printf.printf "%-12s %6s %5s %5s %12s %12s\n" "cell" "states" "devs"
       "depth" "min leak nA" "max leak nA";
@@ -141,7 +206,7 @@ let cells_cmd =
     Printf.printf "%d cells total\n" Library.size
   in
   Cmd.v (Cmd.info "cells" ~doc:"List the standard-cell library")
-    Term.(const run $ const ())
+    Term.(const run $ trace_term)
 
 (* ---------- characterize ---------- *)
 
@@ -166,8 +231,9 @@ let characterize_cmd =
       & info [ "temp" ] ~docv:"CELSIUS"
           ~doc:"Characterize at this junction temperature (default 26.85 C = 300 K).")
   in
-  let run cell_name save temp jobs =
+  let run cell_name save temp jobs tr =
     apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
     let chars =
       match temp with
       | None -> Characterize.default_library ()
@@ -211,7 +277,7 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Pre-characterize cells: per-state fitted and MC leakage statistics")
-    Term.(const run $ cell_arg $ save_arg $ temp_arg $ jobs_arg)
+    Term.(const run $ cell_arg $ save_arg $ temp_arg $ jobs_arg $ trace_term)
 
 (* ---------- estimate (early mode) ---------- *)
 
@@ -236,8 +302,33 @@ let estimate_cmd =
       & info [ "mix" ] ~docv:"MIX"
           ~doc:"Cell-usage mix as CELL:WEIGHT pairs, comma separated.")
   in
-  let run n width height mix corr p method_ vt char_file jobs =
+  (* Under tracing, [estimate] additionally exercises every estimator
+     tier on the same problem, so one trace shows the linear layout
+     estimator, the integral tier and — for gate counts small enough
+     to stay quick — the O(n^2) exact reference on a seeded random
+     placement, which also lights up the pool worker lanes. *)
+  let profile_tiers ?p ~chars ~corr ~histogram ~n ~width ~height () =
+    Obs.span "estimate.profile_tiers" @@ fun () ->
+    let ctx = Estimate.context ?p ~chars ~corr ~histogram () in
+    let rgcorr = Estimate.correlation ctx in
+    let layout = Layout.of_dims ~n ~width ~height in
+    ignore (Estimator_linear.estimate ~corr ~rgcorr ~layout ());
+    if Estimator_integral.polar_applicable ~corr ~width ~height then
+      ignore (Estimator_integral.polar ~corr ~rgcorr ~n ~width ~height ())
+    else ignore (Estimator_integral.rect_2d ~corr ~rgcorr ~n ~width ~height ());
+    if n <= 5000 then begin
+      let rng = Rng.create ~seed:7919 () in
+      let placed = Generator.random_placed ~histogram ~n ~rng () in
+      ignore (Estimator_exact.estimate ~corr ~rgcorr placed);
+      prerr_endline "trace: profiled linear, integral and exact estimator tiers"
+    end
+    else
+      prerr_endline
+        "trace: profiled linear and integral tiers (exact skipped for n > 5000)"
+  in
+  let run n width height mix corr p method_ vt char_file jobs tr =
     apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let layout = Layout.square ~n () in
@@ -252,14 +343,16 @@ let estimate_cmd =
     print_result
       (Printf.sprintf "early-mode estimate (%d gates on %.0f x %.0f um)" n
          width height)
-      r
+      r;
+    if trace_active tr then
+      profile_tiers ?p ~chars ~corr ~histogram ~n ~width ~height ()
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Early-mode full-chip leakage estimate from high-level characteristics")
     Term.(
       const run $ n_arg $ width_arg $ height_arg $ mix_arg $ corr_arg $ p_arg
-      $ method_arg $ vt_arg $ char_arg $ jobs_arg)
+      $ method_arg $ vt_arg $ char_arg $ jobs_arg $ trace_term)
 
 (* ---------- signoff (late mode on a benchmark) ---------- *)
 
@@ -308,8 +401,9 @@ let signoff_cmd =
           ~doc:"Also run the O(n^2) exact pairwise reference and report the error.")
   in
   let run bench file vfile placement save_placement corr p method_ vt with_true
-      jobs =
+      jobs tr =
     apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
     let corr = corr_of corr in
     let chars = Characterize.default_library () in
     let place_netlist netlist label =
@@ -382,7 +476,7 @@ let signoff_cmd =
     Term.(
       const run $ bench_arg $ file_arg $ vfile_arg $ placement_arg
       $ save_placement_arg $ corr_arg $ p_arg $ method_arg $ vt_arg $ true_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_term)
 
 (* ---------- yield ---------- *)
 
@@ -403,7 +497,8 @@ let yield_cmd =
       & info [ "budget" ] ~docv:"UA"
           ~doc:"Leakage budget in microamperes; reports the parametric yield.")
   in
-  let run n mix corr p budget =
+  let run n mix corr p budget tr =
+    with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let layout = Layout.square ~n () in
@@ -436,7 +531,7 @@ let yield_cmd =
   Cmd.v
     (Cmd.info "yield"
        ~doc:"Leakage distribution quantiles and parametric yield vs a budget")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg)
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg $ trace_term)
 
 (* ---------- sensitivity ---------- *)
 
@@ -450,7 +545,8 @@ let sensitivity_cmd =
       & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
       & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
   in
-  let run n mix corr p char_file =
+  let run n mix corr p char_file tr =
+    with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let chars = chars_of char_file in
@@ -470,7 +566,7 @@ let sensitivity_cmd =
     (Cmd.info "sensitivity"
        ~doc:"What-if report: how the leakage statistics respond to mix, die \
              and gate-count changes")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg)
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ trace_term)
 
 (* ---------- convert ---------- *)
 
@@ -493,7 +589,8 @@ let convert_cmd =
       value & opt string "bench"
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: bench or verilog.")
   in
-  let run name output format =
+  let run name output format tr =
+    with_telemetry tr @@ fun () ->
     let spec =
       try Benchmarks.find name
       with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
@@ -517,7 +614,7 @@ let convert_cmd =
   Cmd.v
     (Cmd.info "convert"
        ~doc:"Export a synthesized benchmark netlist to .bench or Verilog")
-    Term.(const run $ bench_arg $ out_arg $ format_arg)
+    Term.(const run $ bench_arg $ out_arg $ format_arg $ trace_term)
 
 (* ---------- corners ---------- *)
 
@@ -531,7 +628,8 @@ let corners_cmd =
       & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
       & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
   in
-  let run n mix corr p =
+  let run n mix corr p tr =
+    with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let layout = Layout.square ~n () in
@@ -556,7 +654,7 @@ let corners_cmd =
   Cmd.v
     (Cmd.info "corners"
        ~doc:"Leakage statistics across process/temperature corners")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg)
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ trace_term)
 
 (* ---------- profile ---------- *)
 
@@ -570,7 +668,8 @@ let profile_cmd =
       & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
       & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
   in
-  let run n mix corr p char_file =
+  let run n mix corr p char_file tr =
+    with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let chars = chars_of char_file in
@@ -588,7 +687,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Decompose the leakage variance by gate-pair separation")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg)
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ trace_term)
 
 (* ---------- map ---------- *)
 
@@ -608,7 +707,8 @@ let map_cmd =
   let samples_arg =
     Arg.(value & opt int 400 & info [ "samples" ] ~docv:"DIES" ~doc:"Sampled dies.")
   in
-  let run n mix corr p char_file tiles samples =
+  let run n mix corr p char_file tiles samples tr =
+    with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
     let chars = chars_of char_file in
@@ -633,7 +733,7 @@ let map_cmd =
        ~doc:"Spatial leakage map: per-tile statistics and the hotspot ratio")
     Term.(
       const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ tiles_arg
-      $ samples_arg)
+      $ samples_arg $ trace_term)
 
 (* ---------- sleep ---------- *)
 
@@ -648,7 +748,8 @@ let sleep_cmd =
   let restarts_arg =
     Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"K" ~doc:"Greedy restarts.")
   in
-  let run name restarts char_file =
+  let run name restarts char_file tr =
+    with_telemetry tr @@ fun () ->
     let spec =
       try Benchmarks.find name
       with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
@@ -675,13 +776,14 @@ let sleep_cmd =
   Cmd.v
     (Cmd.info "sleep"
        ~doc:"Search for the minimum-leakage standby vector of a benchmark")
-    Term.(const run $ bench_arg $ restarts_arg $ char_arg)
+    Term.(const run $ bench_arg $ restarts_arg $ char_arg $ trace_term)
 
 (* ---------- validate ---------- *)
 
 let validate_cmd =
-  let run jobs =
+  let run jobs tr =
     apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
     let chars = Characterize.default_library () in
     let corr = corr_of "spherical:120" in
     let histogram =
@@ -720,7 +822,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Quick self-check of the estimator pipeline")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_term)
 
 let () =
   let info =

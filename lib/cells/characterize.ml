@@ -1,5 +1,6 @@
 open Rgleak_num
 open Rgleak_process
+module Obs = Rgleak_obs.Obs
 
 type state_char = {
   state_index : int;
@@ -90,6 +91,7 @@ let characterize_state ~env ~param ~span ~l_points ~mc_samples ~rng cell
 let characterize ?(l_points = 97) ?(span_sigmas = 6.0) ?(mc_samples = 20_000)
     ?(env = Rgleak_device.Mosfet.default_env) ~param ~rng cell =
   if l_points < 8 then invalid_arg "Characterize: need at least 8 grid points";
+  Obs.count "characterize.states" (Cell.num_states cell);
   let states =
     Array.init (Cell.num_states cell) (fun i ->
         characterize_state ~env ~param ~span:span_sigmas ~l_points ~mc_samples
@@ -99,25 +101,23 @@ let characterize ?(l_points = 97) ?(span_sigmas = 6.0) ?(mc_samples = 20_000)
 
 let characterize_library ?l_points ?span_sigmas ?mc_samples ?env ?jobs ~param
     ~seed () =
+  Obs.span "characterize.library" @@ fun () ->
+  Obs.count "characterize.cells" Library.size;
   let rng = Rng.create ~seed () in
   (* Child streams are derived in canonical cell order so sequential and
-     parallel runs produce bit-identical results. *)
+     parallel runs produce bit-identical results; the single-job case
+     takes the same pool path so task counters are jobs-invariant. *)
   let child_rngs = Array.map (fun _ -> Rng.split rng) Library.cells in
   let one i =
     characterize ?l_points ?span_sigmas ?mc_samples ?env ~param
       ~rng:child_rngs.(i) Library.cells.(i)
   in
-  let effective_jobs =
-    match jobs with Some j -> j | None -> Parallel.default_jobs ()
-  in
-  if effective_jobs <= 1 then Array.init Library.size one
-  else begin
-    (* Pre-warm the shared quadrature memo table: the worker domains
-       then only read it (Hashtbl is not safe for concurrent writes). *)
-    ignore (Quadrature.gauss_legendre_nodes 96);
-    Parallel.using ?jobs (fun pool ->
-        Parallel.map_array pool one (Array.init Library.size Fun.id))
-  end
+  (* Pre-warm the shared quadrature memo table: the worker domains
+     then only read it (Hashtbl is not safe for concurrent writes). *)
+  ignore (Quadrature.gauss_legendre_nodes 96);
+  Parallel.using ?jobs (fun pool ->
+      Parallel.map_array ~label:"characterize.cell" pool one
+        (Array.init Library.size Fun.id))
 
 let default_library =
   let memo = lazy (

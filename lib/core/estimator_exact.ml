@@ -1,10 +1,12 @@
 open Rgleak_num
 open Rgleak_process
 open Rgleak_circuit
+module Obs = Rgleak_obs.Obs
 
 type result = { mean : float; variance : float; std : float }
 
 let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
+  Obs.span "exact.estimate" @@ fun () ->
   let netlist = placed.Placer.netlist in
   let layout = placed.Placer.layout in
   let n = Netlist.size netlist in
@@ -36,16 +38,19 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
      of type pairs: covariance is symmetric in (ti, tj), so only the
      nu(nu+1)/2 distinct tables are built. *)
   let cov_tri = Array.make (Parallel.tri_size nu) [||] in
-  for ti = 0 to nu - 1 do
-    for tj = ti to nu - 1 do
-      cov_tri.(Parallel.tri_index ~n:nu ~i:ti ~j:tj) <-
-        Array.init distance_points (fun k ->
-            let d = float_of_int k *. dstep in
-            let rho_l = Corr_model.total corr d in
-            Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(ti)
-              ~cj:used.(tj) ~rho_l)
-    done
-  done;
+  Obs.count "exact.gates" n;
+  Obs.count "exact.types" nu;
+  Obs.span "exact.cov_tables" (fun () ->
+      for ti = 0 to nu - 1 do
+        for tj = ti to nu - 1 do
+          cov_tri.(Parallel.tri_index ~n:nu ~i:ti ~j:tj) <-
+            Array.init distance_points (fun k ->
+                let d = float_of_int k *. dstep in
+                let rho_l = Corr_model.total corr d in
+                Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(ti)
+                  ~cj:used.(tj) ~rho_l)
+        done
+      done);
   (* Square alias view so the pair loop stays a single branch-free
      lookup; both (ti, tj) and (tj, ti) share one physical table. *)
   let table_of =
@@ -73,6 +78,9 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
      in-order band reduction makes the sum independent of the job
      count. *)
   let pair_row acc a =
+    (* One counter bump per row, not per pair: the N-1-a pairs of row a
+       are counted in bulk so tracing stays out of the inner loop. *)
+    if Obs.enabled () then Obs.count "exact.pairs" (n - 1 - a);
     let xa = xs.(a) and ya = ys.(a) in
     let row = types.(a) * nu in
     let acc = ref acc in
@@ -88,11 +96,18 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
     done;
     !acc
   in
+  let t_pairs = if Obs.enabled () then Obs.now_ns () else 0L in
   let acc =
-    Parallel.using ?jobs (fun pool ->
-        Parallel.triangle_reduce pool ~n
-          ~init:(fun () -> 0.0)
-          ~row:pair_row ~combine:( +. ))
+    Obs.span "exact.pair_loop" (fun () ->
+        Parallel.using ?jobs (fun pool ->
+            Parallel.triangle_reduce ~label:"exact.band" pool ~n
+              ~init:(fun () -> 0.0)
+              ~row:pair_row ~combine:( +. )))
   in
+  if t_pairs <> 0L then begin
+    let dt = Int64.to_float (Int64.sub (Obs.now_ns ()) t_pairs) /. 1e9 in
+    if dt > 0.0 then
+      Obs.gauge_max "exact.pairs_per_s" (float_of_int (n * (n - 1) / 2) /. dt)
+  end;
   let variance = !variance +. (2.0 *. acc) in
   { mean = !mean; variance; std = sqrt (Float.max 0.0 variance) }

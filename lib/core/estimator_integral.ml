@@ -1,7 +1,15 @@
 open Rgleak_num
 open Rgleak_process
+module Obs = Rgleak_obs.Obs
 
 type result = { mean : float; variance : float; std : float }
+
+(* Quadrature-evaluation counting: the integrand is wrapped only when
+   tracing is on, and the local tally is flushed as one counter. *)
+let counting_evals tally f = fun x -> incr tally; f x
+
+let flush_evals tally =
+  if !tally > 0 then Obs.count "integral.evals" !tally
 
 let check_inputs ~n ~width ~height =
   if n <= 0 then invalid_arg "Estimator_integral: need a positive gate count";
@@ -12,10 +20,14 @@ let mean_of rgcorr n =
   float_of_int n *. (Rg_correlation.rg rgcorr).Random_gate.mu
 
 let rect_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
+  Obs.span "integral.rect2d" @@ fun () ->
   check_inputs ~n ~width ~height;
   let nf = float_of_int n in
   let area = width *. height in
+  let evals = ref 0 in
+  let track = Obs.enabled () in
   let integrand x y =
+    if track then incr evals;
     let d = sqrt ((x *. x) +. (y *. y)) in
     let rho_l = Corr_model.total corr d in
     (width -. x) *. (height -. y) *. Rg_correlation.f rgcorr ~rho_l
@@ -24,13 +36,17 @@ let rect_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
     Quadrature.gauss_legendre_2d ~order integrand ~x_lo:0.0 ~x_hi:width
       ~y_lo:0.0 ~y_hi:height
   in
+  flush_evals evals;
   let variance = 4.0 *. nf *. nf /. (area *. area) *. integral in
   { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
 
 let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
+  Obs.span "integral.polar2d" @@ fun () ->
   check_inputs ~n ~width ~height;
   let nf = float_of_int n in
   let area = width *. height in
+  let evals = ref 0 in
+  let track = Obs.enabled () in
   (* Eq. 21: integrate over theta in [0, pi/2], r in [0, D(theta)] with
      D(theta) the distance to the rectangle boundary. *)
   let integral =
@@ -44,12 +60,14 @@ let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
         in
         Quadrature.gauss_legendre ~order
           (fun r ->
+            if track then incr evals;
             let rho_l = Corr_model.total corr r in
             (width -. (r *. c)) *. (height -. (r *. s))
             *. Rg_correlation.f rgcorr ~rho_l *. r)
           ~lo:0.0 ~hi:d_theta)
       ~lo:0.0 ~hi:(Float.pi /. 2.0)
   in
+  flush_evals evals;
   let variance = 4.0 *. nf *. nf /. (area *. area) *. integral in
   { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
 
@@ -59,6 +77,7 @@ let polar_applicable ~corr ~width ~height =
   | Some dmax -> dmax < Float.min width height
 
 let polar ?(order = 128) ~corr ~rgcorr ~n ~width ~height () =
+  Obs.span "integral.polar" @@ fun () ->
   check_inputs ~n ~width ~height;
   let dmax =
     match Corr_model.wid_dmax corr with
@@ -76,11 +95,16 @@ let polar ?(order = 128) ~corr ~rgcorr ~n ~width ~height () =
     (0.5 *. r *. r) -. ((width +. height) *. r)
     +. (Float.pi /. 2.0 *. width *. height)
   in
+  let evals = ref 0 in
   let integrand r =
     let rho_l = Corr_model.total corr r in
     (Rg_correlation.f rgcorr ~rho_l -. f_floor) *. r *. g r
   in
+  let integrand =
+    if Obs.enabled () then counting_evals evals integrand else integrand
+  in
   let radial = Quadrature.gauss_legendre ~order integrand ~lo:0.0 ~hi:dmax in
+  flush_evals evals;
   let variance =
     (4.0 *. nf *. nf /. (area *. area) *. radial) +. (nf *. nf *. f_floor)
   in

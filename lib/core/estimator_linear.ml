@@ -1,9 +1,12 @@
 open Rgleak_process
 open Rgleak_circuit
+module Obs = Rgleak_obs.Obs
 
 type result = { mean : float; variance : float; std : float }
 
 let estimate ~corr ~rgcorr ~layout () =
+  Obs.span "linear.estimate" @@ fun () ->
+  let track = Obs.enabled () in
   let rg = Rg_correlation.rg rgcorr in
   let n = Layout.site_count layout in
   let nf = float_of_int n in
@@ -18,16 +21,23 @@ let estimate ~corr ~rgcorr ~layout () =
      (|di|, |dj|) and reused — a 4x cut in correlation-model and
      F-table evaluations with bit-identical results. *)
   let f_memo = Array.make (rows * cols) Float.nan in
+  (* Local hit/miss tallies flushed once at the end: the offset loop
+     stays free of telemetry lookups even with tracing enabled. *)
+  let memo_hits = ref 0 and memo_misses = ref 0 in
   let f_at ~di ~dj =
     let idx = (abs dj * cols) + abs di in
     let v = f_memo.(idx) in
     if Float.is_nan v then begin
+      if track then incr memo_misses;
       let d = Layout.distance_of_offset layout ~di ~dj in
       let v = Rg_correlation.f rgcorr ~rho_l:(Corr_model.total corr d) in
       f_memo.(idx) <- v;
       v
     end
-    else v
+    else begin
+      if track then incr memo_hits;
+      v
+    end
   in
   for dj = -(rows - 1) to rows - 1 do
     for di = -(cols - 1) to cols - 1 do
@@ -38,4 +48,9 @@ let estimate ~corr ~rgcorr ~layout () =
       end
     done
   done;
+  if track then begin
+    Obs.count "linear.sites" n;
+    Obs.count "linear.memo_hits" !memo_hits;
+    Obs.count "linear.memo_misses" !memo_misses
+  end;
   { mean; variance = !variance; std = sqrt (Float.max 0.0 !variance) }

@@ -2,6 +2,7 @@ open Rgleak_num
 open Rgleak_process
 open Rgleak_cells
 open Rgleak_circuit
+module Obs = Rgleak_obs.Obs
 
 type t = {
   sampler : Variation.sampler;
@@ -13,6 +14,7 @@ type t = {
 }
 
 let prepare ~chars ~corr ~p placed =
+  Obs.span "mc.prepare" @@ fun () ->
   let netlist = placed.Placer.netlist in
   let n = Netlist.size netlist in
   let locations =
@@ -71,18 +73,35 @@ let moments t rng ~count =
 
 let sample_stream t ~seed i = sample t (Rng.stream ~seed i)
 
+(* Per-replica wall time, accumulated into a sum gauge: with the
+   mc.replicas counter this yields the mean sample cost; the two clock
+   reads are negligible against one die sample. *)
+let timed_sample t ~seed i =
+  if not (Obs.enabled ()) then sample_stream t ~seed i
+  else begin
+    let t0 = Obs.now_ns () in
+    let x = sample_stream t ~seed i in
+    Obs.gauge_add "mc.sample_s"
+      (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9);
+    x
+  end
+
 let sample_many_stream ?jobs t ~seed ~count =
   if count < 0 then invalid_arg "Mc_reference.sample_many_stream: negative count";
+  Obs.span "mc.samples" @@ fun () ->
+  Obs.count "mc.replicas" count;
   let out = Array.make count 0.0 in
   Parallel.using ?jobs (fun pool ->
-      Parallel.parallel_for_reduce pool ~n:count
+      Parallel.parallel_for_reduce ~label:"mc.chunk" pool ~n:count
         ~init:(fun () -> ())
-        ~body:(fun () i -> out.(i) <- sample_stream t ~seed i)
+        ~body:(fun () i -> out.(i) <- timed_sample t ~seed i)
         ~combine:(fun () () -> ()));
   out
 
 let moments_stream ?jobs t ~seed ~count =
   if count < 2 then invalid_arg "Mc_reference.moments_stream: need >= 2 replicas";
+  Obs.span "mc.moments" @@ fun () ->
+  Obs.count "mc.replicas" count;
   (* Per-chunk (Σx, Σx²) partials combined in chunk order: the chunking
      depends only on [count], so the moments are bit-identical for any
      job count.  Leakage samples are positive and of one scale, so the
@@ -90,10 +109,10 @@ let moments_stream ?jobs t ~seed ~count =
      accumulator used by {!moments}. *)
   let s, s2 =
     Parallel.using ?jobs (fun pool ->
-        Parallel.parallel_for_reduce pool ~n:count
+        Parallel.parallel_for_reduce ~label:"mc.chunk" pool ~n:count
           ~init:(fun () -> (0.0, 0.0))
           ~body:(fun (s, s2) i ->
-            let x = sample_stream t ~seed i in
+            let x = timed_sample t ~seed i in
             (s +. x, s2 +. (x *. x)))
           ~combine:(fun (a, b) (c, d) -> (a +. c, b +. d)))
   in

@@ -1,5 +1,6 @@
 open Rgleak_cells
 open Rgleak_process
+module Obs = Rgleak_obs.Obs
 
 type mapping = Exact | Simplified
 
@@ -191,6 +192,7 @@ let rg t = t.rg
 let f t ~rho_l =
   if not (rho_l >= 0.0 && rho_l <= 1.0) then
     invalid_arg "Rg_correlation.f: rho out of [0,1]";
+  Obs.count "rgcorr.f_evals" 1;
   uniform_eval ~step:t.step ~table:t.f_table rho_l
 
 let rho_rg t ~rho_l =
@@ -205,6 +207,7 @@ let cell_pair_covariance t ~ci ~cj ~rho_l =
   let si = t.support_index.(ci) and sj = t.support_index.(cj) in
   if si < 0 || sj < 0 then
     invalid_arg "Rg_correlation.cell_pair_covariance: cell outside support";
+  Obs.count "rgcorr.pair_cov_evals" 1;
   uniform_eval ~step:t.step ~table:t.pair_tables.((si * ns) + sj) rho_l
 
 let sigma_bar t = t.sigma_bar

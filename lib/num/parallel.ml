@@ -3,6 +3,8 @@
    partial results are combined in chunk order, so every reduction is
    bit-identical for any job count. *)
 
+module Obs = Rgleak_obs.Obs
+
 type pool = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -28,16 +30,37 @@ let set_default_jobs j =
 
 let jobs t = t.size
 
+(* Telemetry: per-worker busy/idle wall time keyed by the recording
+   domain's telemetry slot.  All of it is behind Obs.enabled, so the
+   disabled pool pays one atomic load per loop iteration. *)
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let record_idle t0 =
+  if t0 <> 0L then
+    Obs.gauge_add
+      (Printf.sprintf "pool.worker.%d.idle_s" (Obs.domain_slot ()))
+      (ns_to_s (Int64.sub (Obs.now_ns ()) t0))
+
 let worker pool =
   let rec loop () =
     Mutex.lock pool.mutex;
+    let t_wait =
+      if Queue.is_empty pool.queue && not pool.closed && Obs.enabled () then
+        Obs.now_ns ()
+      else 0L
+    in
     while Queue.is_empty pool.queue && not pool.closed do
       Condition.wait pool.has_work pool.mutex
     done;
-    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    if Queue.is_empty pool.queue then begin
+      Mutex.unlock pool.mutex;
+      record_idle t_wait
+    end
     else begin
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
+      record_idle t_wait;
       task ();
       loop ()
     end
@@ -111,10 +134,33 @@ let using ?jobs f =
   | None -> f (default ())
   | Some j -> with_pool ~jobs:j f
 
-let run_thunks pool fs =
+(* Wraps every task in a span (attached under the submitting domain's
+   open span, so pool work nests in the trace tree) and accounts its
+   wall time to the executing worker's busy gauge.  The task count is a
+   work counter: tasks depend only on the problem decomposition, never
+   on the pool size, so it is bit-identical across job counts. *)
+let instrument_tasks label fs =
+  if not (Obs.enabled ()) then fs
+  else begin
+    let parent = Obs.current_path () in
+    Array.map
+      (fun f () ->
+        Obs.count "pool.tasks" 1;
+        let t0 = Obs.now_ns () in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.gauge_add
+              (Printf.sprintf "pool.worker.%d.busy_s" (Obs.domain_slot ()))
+              (ns_to_s (Int64.sub (Obs.now_ns ()) t0)))
+          (fun () -> Obs.span_under ~parent label f))
+      fs
+  end
+
+let run_thunks ?(label = "task") pool fs =
   let n = Array.length fs in
   if n = 0 then [||]
   else begin
+    let fs = instrument_tasks label fs in
     let results = Array.make n None in
     let error = Atomic.make None in
     let remaining = Atomic.make n in
@@ -138,8 +184,10 @@ let run_thunks pool fs =
       for i = 0 to n - 1 do
         Queue.push (task i) pool.queue
       done;
+      let depth = Queue.length pool.queue in
       Condition.broadcast pool.has_work;
       Mutex.unlock pool.mutex;
+      Obs.gauge_max "pool.queue_max" (float_of_int depth);
       (* The submitting domain drains the queue alongside the workers. *)
       let rec help () =
         Mutex.lock pool.mutex;
@@ -152,28 +200,35 @@ let run_thunks pool fs =
         end
       in
       help ();
+      let t_wait =
+        if Atomic.get remaining > 0 && Obs.enabled () then Obs.now_ns () else 0L
+      in
       Mutex.lock done_mutex;
       while Atomic.get remaining > 0 do
         Condition.wait all_done done_mutex
       done;
-      Mutex.unlock done_mutex
+      Mutex.unlock done_mutex;
+      record_idle t_wait
     end;
     (match Atomic.get error with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let map_array pool f xs = run_thunks pool (Array.map (fun x () -> f x) xs)
+let map_array ?label pool f xs =
+  run_thunks ?label pool (Array.map (fun x () -> f x) xs)
 
 let default_chunks = 64
 
-let parallel_for_reduce ?(chunks = default_chunks) pool ~n ~init ~body ~combine =
+let parallel_for_reduce ?(chunks = default_chunks) ?(label = "chunk") pool ~n
+    ~init ~body ~combine =
   if n < 0 then invalid_arg "Parallel.parallel_for_reduce: negative range";
   if chunks < 1 then invalid_arg "Parallel.parallel_for_reduce: need >= 1 chunk";
   if n = 0 then init ()
   else begin
     let chunks = Stdlib.min chunks n in
+    Obs.count "pool.chunks" chunks;
     let accs =
-      run_thunks pool
+      run_thunks ~label pool
         (Array.init chunks (fun c ->
              let lo = c * n / chunks and hi = (c + 1) * n / chunks in
              fun () ->
@@ -215,12 +270,13 @@ let triangle_bands ?(bands = default_chunks) n =
     Array.of_list (List.rev !out)
   end
 
-let triangle_reduce ?bands pool ~n ~init ~row ~combine =
+let triangle_reduce ?bands ?(label = "band") pool ~n ~init ~row ~combine =
   let ranges = triangle_bands ?bands n in
   if Array.length ranges = 0 then init ()
   else begin
+    Obs.count "pool.bands" (Array.length ranges);
     let accs =
-      run_thunks pool
+      run_thunks ~label pool
         (Array.map
            (fun (lo, hi) () ->
              let acc = ref (init ()) in

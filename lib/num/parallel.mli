@@ -17,7 +17,16 @@
 
     A pool must be driven from one domain at a time (the estimators'
     call sites all do); tasks themselves must not submit to the pool
-    they run on. *)
+    they run on.
+
+    {b Telemetry.}  When [Rgleak_obs.Obs] is enabled, every task runs
+    inside a span named by the caller-supplied [?label] (attached under
+    the submitting domain's open span), its wall time is accounted to
+    the executing worker's [pool.worker.<slot>.busy_s] gauge, and wait
+    time to [pool.worker.<slot>.idle_s]; [pool.tasks], [pool.chunks]
+    and [pool.bands] count the work decomposition (bit-identical across
+    job counts), while [pool.queue_max] tracks the peak submit-time
+    queue depth.  Telemetry never alters scheduling or results. *)
 
 type pool
 
@@ -55,17 +64,19 @@ val using : ?jobs:int -> (pool -> 'a) -> 'a
     size (shut down afterwards).  This is the [?jobs] plumbing used by
     the estimators. *)
 
-val run_thunks : pool -> (unit -> 'a) array -> 'a array
+val run_thunks : ?label:string -> pool -> (unit -> 'a) array -> 'a array
 (** Runs every thunk, scheduling across the pool, and returns their
     results in input order.  If any thunk raises, one of the raised
-    exceptions is re-raised after all tasks finish. *)
+    exceptions is re-raised after all tasks finish.  [label] (default
+    ["task"]) names the per-task telemetry spans. *)
 
-val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?label:string -> pool -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f xs] is [Array.map f xs] with one task per
     element. *)
 
 val parallel_for_reduce :
   ?chunks:int ->
+  ?label:string ->
   pool ->
   n:int ->
   init:(unit -> 'acc) ->
@@ -89,6 +100,7 @@ val triangle_bands : ?bands:int -> int -> (int * int) array
 
 val triangle_reduce :
   ?bands:int ->
+  ?label:string ->
   pool ->
   n:int ->
   init:(unit -> 'acc) ->

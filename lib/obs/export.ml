@@ -1,0 +1,165 @@
+(* Exporters.  All output is derived from a merged snapshot, so the
+   formats here never touch the per-domain buffers. *)
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+(* Span paths and metric names are code-controlled, but escape anyway
+   so the emitted JSON is valid for any input. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let last_segment path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let path_depth path =
+  String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 path
+
+(* Aggregate spans by full path, keeping (count, total_ns); sorted by
+   path, which interleaves children directly under their parents. *)
+let aggregate_spans (s : Obs.snapshot) =
+  let tbl : (string, int ref * int64 ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Obs.span_event) ->
+      match Hashtbl.find_opt tbl e.Obs.path with
+      | Some (n, total) ->
+        incr n;
+        total := Int64.add !total e.Obs.dur_ns
+      | None -> Hashtbl.add tbl e.Obs.path (ref 1, ref e.Obs.dur_ns))
+    s.Obs.spans;
+  Hashtbl.fold (fun path (n, total) acc -> (path, !n, !total) :: acc) tbl []
+  |> List.sort compare
+
+(* ---------- human-readable report ---------- *)
+
+let report oc (s : Obs.snapshot) =
+  let p fmt = Printf.fprintf oc fmt in
+  p "== telemetry (%.3f s window) ==\n" (ns_to_s s.Obs.elapsed_ns);
+  let aggs = aggregate_spans s in
+  if aggs <> [] then begin
+    p "-- spans %-30s %8s %12s %12s\n" "" "count" "total s" "mean ms";
+    List.iter
+      (fun (path, n, total) ->
+        let indent = String.make (2 * path_depth path) ' ' in
+        p "   %-39s %8d %12.6f %12.4f\n"
+          (indent ^ last_segment path)
+          n (ns_to_s total)
+          (ns_to_s total *. 1e3 /. float_of_int n))
+      aggs
+  end;
+  if s.Obs.counters <> [] then begin
+    p "-- counters\n";
+    List.iter (fun (name, v) -> p "   %-42s %14d\n" name v) s.Obs.counters
+  end;
+  if s.Obs.gauges <> [] then begin
+    p "-- gauges\n";
+    List.iter (fun (name, v) -> p "   %-42s %14.6f\n" name v) s.Obs.gauges
+  end;
+  if s.Obs.dropped_spans > 0 then
+    p "-- dropped spans: %d (per-domain cap)\n" s.Obs.dropped_spans;
+  flush oc
+
+(* ---------- Chrome trace events ---------- *)
+
+let chrome_trace (s : Obs.snapshot) =
+  let b = Buffer.create 4096 in
+  let sep = ref "" in
+  let event fmt =
+    Buffer.add_string b !sep;
+    sep := ",\n";
+    Printf.ksprintf (Buffer.add_string b) fmt
+  in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  event
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"rgleak\"}}";
+  let domains =
+    List.sort_uniq compare
+      (List.map (fun (e : Obs.span_event) -> e.Obs.domain) s.Obs.spans)
+  in
+  List.iter
+    (fun d ->
+      event
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+        d d)
+    domains;
+  List.iter
+    (fun (e : Obs.span_event) ->
+      event
+        "{\"name\":\"%s\",\"cat\":\"rgleak\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"path\":\"%s\"}}"
+        (json_escape (last_segment e.Obs.path))
+        e.Obs.domain (ns_to_us e.Obs.start_ns) (ns_to_us e.Obs.dur_ns)
+        (json_escape e.Obs.path))
+    s.Obs.spans;
+  (* Pool utilization and work counters as Chrome counter events. *)
+  let ts_end = ns_to_us s.Obs.elapsed_ns in
+  List.iter
+    (fun (name, v) ->
+      event
+        "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%.3f,\"args\":{\"value\":%.9g}}"
+        (json_escape name) ts_end v)
+    s.Obs.gauges;
+  List.iter
+    (fun (name, v) ->
+      event
+        "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%.3f,\"args\":{\"value\":%d}}"
+        (json_escape name) ts_end v)
+    s.Obs.counters;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+(* ---------- flat metrics ---------- *)
+
+let metrics_json (s : Obs.snapshot) =
+  let b = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "{\n";
+  p "  \"schema\": \"rgleak-metrics/1\",\n";
+  p "  \"elapsed_s\": %.9f,\n" (ns_to_s s.Obs.elapsed_ns);
+  p "  \"dropped_spans\": %d,\n" s.Obs.dropped_spans;
+  let obj last items print_one =
+    List.iteri
+      (fun i item ->
+        print_one item;
+        p "%s\n" (if i = List.length items - 1 then "" else ","))
+      items;
+    ignore last
+  in
+  p "  \"counters\": {\n";
+  obj () s.Obs.counters (fun (name, v) ->
+      p "    \"%s\": %d" (json_escape name) v);
+  p "  },\n";
+  p "  \"gauges\": {\n";
+  obj () s.Obs.gauges (fun (name, v) ->
+      p "    \"%s\": %.9g" (json_escape name) v);
+  p "  },\n";
+  p "  \"spans\": [\n";
+  obj () (aggregate_spans s) (fun (path, n, total) ->
+      p "    { \"path\": \"%s\", \"count\": %d, \"total_s\": %.9f }"
+        (json_escape path) n (ns_to_s total));
+  p "  ]\n";
+  p "}\n";
+  Buffer.contents b
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome_trace ~path s = write_file ~path (chrome_trace s)
+let write_metrics_json ~path s = write_file ~path (metrics_json s)

@@ -1,0 +1,23 @@
+(** Exporters for {!Obs.snapshot}: a human-readable span tree and
+    counter table, a Chrome trace-event file (load in [chrome://tracing]
+    or {:https://ui.perfetto.dev}), and a flat metrics JSON. *)
+
+val report : out_channel -> Obs.snapshot -> unit
+(** Aggregated span tree (call count, total and mean time per path)
+    followed by the counter and gauge tables.  The CLI prints this on
+    stderr under [--trace]. *)
+
+val chrome_trace : Obs.snapshot -> string
+(** Chrome trace-event JSON: one ["X"] (complete) event per span with
+    the recording domain as [tid], thread-name metadata per domain, and
+    ["C"] (counter) events carrying the pool worker busy/idle gauges
+    and the merged work counters. *)
+
+val write_chrome_trace : path:string -> Obs.snapshot -> unit
+
+val metrics_json : Obs.snapshot -> string
+(** Flat metrics document, schema ["rgleak-metrics/1"]: elapsed time,
+    merged counters and gauges, and per-path span aggregates
+    (count/total seconds). *)
+
+val write_metrics_json : path:string -> Obs.snapshot -> unit

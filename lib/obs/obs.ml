@@ -1,0 +1,232 @@
+(* Telemetry core.  See the interface for the storage and determinism
+   contracts.  The design constraint is the disabled path: one atomic
+   load and a branch per call site, nothing else. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "rgleak_obs_clock_ns" "rgleak_obs_clock_ns_unboxed"
+[@@noalloc]
+
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0L
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b =
+  if b && Atomic.get epoch = 0L then Atomic.set epoch (now_ns ());
+  Atomic.set enabled_flag b
+
+type span_event = {
+  path : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  domain : int;
+}
+
+(* Raw per-domain record: timestamps are absolute until snapshot time. *)
+type raw_span = { r_path : string; r_depth : int; r_t0 : int64; r_t1 : int64 }
+
+type local = {
+  slot : int;
+  mutable stack : string list; (* open span paths, innermost first *)
+  mutable spans : raw_span list; (* newest first *)
+  mutable span_count : int;
+  mutable dropped : int;
+  counters : (string, int ref) Hashtbl.t;
+  sums : (string, float ref) Hashtbl.t;
+  maxes : (string, float ref) Hashtbl.t;
+}
+
+(* A domain holds at most this many spans; beyond it we count drops so
+   runaway instrumentation degrades gracefully instead of OOMing. *)
+let max_spans_per_domain = 1 lsl 18
+
+let registry : local list ref = ref []
+let registry_mutex = Mutex.create ()
+let next_slot = Atomic.make 0
+
+let make_local () =
+  let l =
+    {
+      slot = Atomic.fetch_and_add next_slot 1;
+      stack = [];
+      spans = [];
+      span_count = 0;
+      dropped = 0;
+      counters = Hashtbl.create 32;
+      sums = Hashtbl.create 16;
+      maxes = Hashtbl.create 8;
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry := l :: !registry;
+  Mutex.unlock registry_mutex;
+  l
+
+let key = Domain.DLS.new_key make_local
+let local () = Domain.DLS.get key
+let domain_slot () = (local ()).slot
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let locals = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun l ->
+      l.stack <- [];
+      l.spans <- [];
+      l.span_count <- 0;
+      l.dropped <- 0;
+      Hashtbl.reset l.counters;
+      Hashtbl.reset l.sums;
+      Hashtbl.reset l.maxes)
+    locals;
+  Atomic.set epoch (now_ns ())
+
+(* ---------- recording ---------- *)
+
+let record_span l ~path ~depth ~t0 ~t1 =
+  if l.span_count >= max_spans_per_domain then l.dropped <- l.dropped + 1
+  else begin
+    l.spans <- { r_path = path; r_depth = depth; r_t0 = t0; r_t1 = t1 } :: l.spans;
+    l.span_count <- l.span_count + 1
+  end
+
+let run_span l path f =
+  let depth = List.length l.stack in
+  l.stack <- path :: l.stack;
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = now_ns () in
+      (match l.stack with _ :: tl -> l.stack <- tl | [] -> ());
+      record_span l ~path ~depth ~t0 ~t1)
+    f
+
+let span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let l = local () in
+    let path =
+      match l.stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+    in
+    run_span l path f
+  end
+
+let span_under ~parent name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let l = local () in
+    let path =
+      match l.stack with
+      | inner :: _ -> inner ^ "/" ^ name
+      | [] -> if parent = "" then name else parent ^ "/" ^ name
+    in
+    run_span l path f
+  end
+
+let current_path () =
+  if not (Atomic.get enabled_flag) then ""
+  else match (local ()).stack with [] -> "" | p :: _ -> p
+
+let count name n =
+  if Atomic.get enabled_flag then begin
+    let l = local () in
+    match Hashtbl.find_opt l.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add l.counters name (ref n)
+  end
+
+let gauge_add name v =
+  if Atomic.get enabled_flag then begin
+    let l = local () in
+    match Hashtbl.find_opt l.sums name with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.add l.sums name (ref v)
+  end
+
+let gauge_max name v =
+  if Atomic.get enabled_flag then begin
+    let l = local () in
+    match Hashtbl.find_opt l.maxes name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.add l.maxes name (ref v)
+  end
+
+(* ---------- snapshot ---------- *)
+
+type snapshot = {
+  elapsed_ns : int64;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : span_event list;
+  dropped_spans : int;
+}
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let locals = !registry in
+  Mutex.unlock registry_mutex;
+  (* Registration order (slot) fixes the merge order, mirroring the
+     chunk-order reductions of the parallel runtime. *)
+  let locals = List.sort (fun a b -> compare a.slot b.slot) locals in
+  let t_now = now_ns () in
+  let t0 = Atomic.get epoch in
+  let t0 = if t0 = 0L then t_now else t0 in
+  let merged_counters : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let merged_gauges : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let dropped = ref 0 in
+  let spans = ref [] in
+  List.iter
+    (fun l ->
+      dropped := !dropped + l.dropped;
+      Hashtbl.iter
+        (fun name r ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt merged_counters name) in
+          Hashtbl.replace merged_counters name (prev + !r))
+        l.counters;
+      Hashtbl.iter
+        (fun name r ->
+          let prev =
+            Option.value ~default:0.0 (Hashtbl.find_opt merged_gauges name)
+          in
+          Hashtbl.replace merged_gauges name (prev +. !r))
+        l.sums;
+      Hashtbl.iter
+        (fun name r ->
+          let v =
+            match Hashtbl.find_opt merged_gauges name with
+            | Some prev -> Float.max prev !r
+            | None -> !r
+          in
+          Hashtbl.replace merged_gauges name v)
+        l.maxes;
+      List.iter
+        (fun r ->
+          spans :=
+            {
+              path = r.r_path;
+              depth = r.r_depth;
+              start_ns = Int64.sub r.r_t0 t0;
+              dur_ns = Int64.sub r.r_t1 r.r_t0;
+              domain = l.slot;
+            }
+            :: !spans)
+        l.spans)
+    locals;
+  let assoc_sorted tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    elapsed_ns = Int64.sub t_now t0;
+    counters = assoc_sorted merged_counters;
+    gauges = assoc_sorted merged_gauges;
+    spans =
+      List.sort
+        (fun a b ->
+          match Int64.compare a.start_ns b.start_ns with
+          | 0 -> compare a.domain b.domain
+          | c -> c)
+        !spans;
+    dropped_spans = !dropped;
+  }

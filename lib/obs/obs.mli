@@ -1,0 +1,102 @@
+(** Low-overhead, globally-toggleable telemetry core.
+
+    The estimator pipeline is instrumented with {e spans} (nested
+    monotonic-clock intervals), {e counters} (named integers counting
+    work items) and {e gauges} (named floats).  All instrumentation is
+    behind a single global switch: with telemetry disabled (the
+    default) every call site reduces to one atomic load and a branch,
+    so the hot loops pay well under 1% (see [bench --run overhead]).
+
+    {b Storage model.}  Each domain records into its own local buffers
+    (via [Domain.DLS]), registered once in a global list, so recording
+    is lock-free after first touch and safe from pool workers.
+    {!snapshot} merges the per-domain buffers deterministically:
+    counters and sum-gauges by exact integer/float addition over
+    domains in registration order, max-gauges by [max], spans by
+    start-time order.
+
+    {b Determinism contract.}  Telemetry never feeds back into any
+    computation: enabling tracing leaves every estimator result
+    bitwise unchanged.  Counters count {e work items} whose
+    decomposition depends only on the problem size (chunk and band
+    boundaries, like [Parallel] reductions), so merged counter values
+    are bit-identical across job counts.  Span durations and gauges
+    carry wall-clock time and are {e not} expected to be reproducible.
+
+    {b Concurrency.}  Recording may happen from any domain.
+    {!set_enabled}, {!reset} and {!snapshot} must be called from the
+    orchestrating domain while no parallel section is in flight (the
+    CLI and bench call sites all do). *)
+
+val now_ns : unit -> int64
+(** Monotonic clock ([CLOCK_MONOTONIC]), nanoseconds from an arbitrary
+    origin.  Allocation-free in native code. *)
+
+val set_enabled : bool -> unit
+(** Flips the global telemetry switch.  Enabling also re-anchors the
+    trace epoch if none is set. *)
+
+val enabled : unit -> bool
+(** True when telemetry is on.  Hot call sites may pre-guard composite
+    instrumentation with this; the recording primitives below also
+    check it themselves (and are no-ops when disabled). *)
+
+val reset : unit -> unit
+(** Clears all recorded spans, counters and gauges on every registered
+    domain and re-anchors the trace epoch at [now_ns ()]. *)
+
+val domain_slot : unit -> int
+(** Dense id of the calling domain's telemetry buffer (registration
+    order; 0 is whichever domain recorded first).  Used to key
+    per-worker gauges and as the [tid] lane in Chrome traces. *)
+
+(** {2 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a named span.  Spans nest: the path
+    of a span is [parent-path ^ "/" ^ name].  The span is closed (and
+    recorded) even if [f] raises.  When disabled this is exactly
+    [f ()]. *)
+
+val span_under : parent:string -> string -> (unit -> 'a) -> 'a
+(** [span_under ~parent name f]: like {!span}, but when the calling
+    domain has no open span, [parent] (a span path, possibly [""]) is
+    used as the logical parent — this is how pool tasks attach to the
+    submitting domain's span tree across domains. *)
+
+val current_path : unit -> string
+(** Path of the innermost open span on this domain ([""] outside any
+    span).  Capture at submit time to pass to {!span_under}. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the named counter on this domain. *)
+
+val gauge_add : string -> float -> unit
+(** [gauge_add name v] accumulates [v] into a sum-gauge (e.g. busy
+    seconds). *)
+
+val gauge_max : string -> float -> unit
+(** [gauge_max name v] raises a max-gauge to at least [v] (e.g. peak
+    queue depth). *)
+
+(** {2 Snapshots} *)
+
+type span_event = {
+  path : string;  (** full "/"-separated span path *)
+  depth : int;  (** 0 for root spans *)
+  start_ns : int64;  (** relative to the trace epoch *)
+  dur_ns : int64;
+  domain : int;  (** recording domain's {!domain_slot} *)
+}
+
+type snapshot = {
+  elapsed_ns : int64;  (** epoch to snapshot time *)
+  counters : (string * int) list;  (** merged, sorted by name *)
+  gauges : (string * float) list;  (** merged sums and maxes, sorted *)
+  spans : span_event list;  (** sorted by (start, domain) *)
+  dropped_spans : int;  (** spans lost to the per-domain cap *)
+}
+
+val snapshot : unit -> snapshot
+(** Merges every domain's buffers into one deterministic view.  Does
+    not clear anything; call {!reset} to start a fresh window. *)

@@ -1,0 +1,20 @@
+/* Monotonic clock for span timing: CLOCK_MONOTONIC via clock_gettime,
+   exposed both boxed (bytecode) and unboxed/noalloc (native). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t rgleak_obs_clock_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t) ts.tv_sec * 1000000000 + (int64_t) ts.tv_nsec;
+}
+
+CAMLprim value rgleak_obs_clock_ns(value unit)
+{
+  return caml_copy_int64(rgleak_obs_clock_ns_unboxed(unit));
+}

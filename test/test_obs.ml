@@ -1,0 +1,439 @@
+(* Telemetry contract tests: spans nest and close (even on exceptions),
+   work counters are bit-identical across job counts, the exporters
+   emit well-formed JSON, and — the core guarantee — enabling tracing
+   leaves every estimator result bitwise unchanged. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+module Obs = Rgleak_obs.Obs
+module Export = Rgleak_obs.Export
+
+let bits = Int64.bits_of_float
+
+let check_bits name expected actual =
+  if bits expected <> bits actual then
+    Alcotest.failf "%s: %.17g and %.17g differ bitwise" name expected actual
+
+(* Every test leaves the global switch off so the other suites (and
+   their timing) are unaffected. *)
+let with_telemetry f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect f ~finally:(fun () -> Obs.set_enabled false)
+
+(* ---------- a minimal JSON reader (no external deps) ---------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      String.iter expect word;
+      value
+    in
+    let string_body () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'
+          | Some '\\' -> Buffer.add_char b '\\'
+          | Some '/' -> Buffer.add_char b '/'
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some 'r' -> Buffer.add_char b '\r'
+          | Some 'b' -> Buffer.add_char b '\b'
+          | Some 'f' -> Buffer.add_char b '\012'
+          | Some 'u' ->
+            (* code points escaped by the exporters are all < 0x80 *)
+            let hex = String.sub s (!pos + 1) 4 in
+            Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0x7f));
+            pos := !pos + 4
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "empty input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else Obj (members [])
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else Arr (elements [])
+      | Some '"' -> Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+    and members acc =
+      skip_ws ();
+      let key = string_body () in
+      skip_ws ();
+      expect ':';
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        advance ();
+        members ((key, v) :: acc)
+      | Some '}' ->
+        advance ();
+        List.rev ((key, v) :: acc)
+      | _ -> fail "expected , or } in object"
+    and elements acc =
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        advance ();
+        elements (v :: acc)
+      | Some ']' ->
+        advance ();
+        List.rev (v :: acc)
+      | _ -> fail "expected , or ] in array"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  (* Re-serialize, for the round-trip check.  Numbers use %.17g so the
+     parse of the output reproduces the same floats. *)
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> string_of_bool b
+    | Num f -> Printf.sprintf "%.17g" f
+    | Str s -> Printf.sprintf "%S" s
+    | Arr vs -> "[" ^ String.concat "," (List.map to_string vs) ^ "]"
+    | Obj kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (to_string v)) kvs)
+      ^ "}"
+
+  let mem key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+
+  let get key j =
+    match mem key j with
+    | Some v -> v
+    | None -> Alcotest.failf "json: missing key %S" key
+
+  let str = function Str s -> s | _ -> Alcotest.fail "json: expected string"
+  let num = function Num f -> f | _ -> Alcotest.fail "json: expected number"
+  let arr = function Arr vs -> vs | _ -> Alcotest.fail "json: expected array"
+end
+
+(* ---------- span semantics ---------- *)
+
+let test_spans_nest () =
+  with_telemetry @@ fun () ->
+  check_true "outside any span" (Obs.current_path () = "");
+  Obs.span "outer" (fun () ->
+      check_true "path inside outer" (Obs.current_path () = "outer");
+      Obs.span "inner" (fun () ->
+          check_true "nested path" (Obs.current_path () = "outer/inner"));
+      check_true "inner popped" (Obs.current_path () = "outer"));
+  check_true "outer popped" (Obs.current_path () = "");
+  let s = Obs.snapshot () in
+  let find path =
+    match
+      List.find_opt (fun (e : Obs.span_event) -> e.Obs.path = path) s.Obs.spans
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "span %s not recorded" path
+  in
+  let outer = find "outer" and inner = find "outer/inner" in
+  check_true "outer depth" (outer.Obs.depth = 0);
+  check_true "inner depth" (inner.Obs.depth = 1);
+  check_true "inner starts after outer"
+    (Int64.compare inner.Obs.start_ns outer.Obs.start_ns >= 0);
+  check_true "inner ends within outer"
+    (Int64.compare
+       (Int64.add inner.Obs.start_ns inner.Obs.dur_ns)
+       (Int64.add outer.Obs.start_ns outer.Obs.dur_ns)
+    <= 0)
+
+let test_spans_close_on_exception () =
+  with_telemetry @@ fun () ->
+  (try Obs.span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  check_true "stack popped after raise" (Obs.current_path () = "");
+  let s = Obs.snapshot () in
+  check_true "raising span still recorded"
+    (List.exists (fun (e : Obs.span_event) -> e.Obs.path = "boom") s.Obs.spans)
+
+let test_disabled_is_passthrough () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let r = Obs.span "ghost" (fun () -> Obs.count "ghost.counter" 1; 42) in
+  check_true "span returns body result" (r = 42);
+  let s = Obs.snapshot () in
+  check_true "no spans recorded while disabled" (s.Obs.spans = []);
+  check_true "no counters recorded while disabled" (s.Obs.counters = [])
+
+(* ---------- counters are jobs-invariant ---------- *)
+
+(* Work counters count items of the problem decomposition (pairs,
+   replicas, cells, chunks, bands), never pool activity per domain, so
+   the merged values must be identical for jobs = 1, 2 and 4. *)
+let counters_with_jobs run j =
+  with_telemetry @@ fun () ->
+  run j;
+  (Obs.snapshot ()).Obs.counters
+
+let check_counters_invariant name run =
+  match List.map (counters_with_jobs run) [ 1; 2; 4 ] with
+  | [ c1; c2; c4 ] ->
+    let show c =
+      String.concat "; "
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) c)
+    in
+    if c1 <> c2 || c1 <> c4 then
+      Alcotest.failf "%s counters vary with jobs:\n 1: %s\n 2: %s\n 4: %s" name
+        (show c1) (show c2) (show c4);
+    check_true (name ^ " produced counters") (c1 <> [])
+  | _ -> assert false
+
+let small_ctx =
+  lazy
+    (let chars = Characterize.default_library () in
+     let corr =
+       Corr_model.create
+         (Corr_model.Spherical { dmax = 120.0 })
+         Process_param.default_channel_length
+     in
+     let histogram =
+       Histogram.of_weights
+         [ ("INV_X1", 2.0); ("NAND2_X1", 1.0); ("DFF_X1", 1.0) ]
+     in
+     let ctx = Estimate.context ~chars ~corr ~histogram () in
+     (chars, corr, histogram, ctx))
+
+let test_exact_counters_invariant () =
+  let _, corr, histogram, ctx = Lazy.force small_ctx in
+  let rng = Rng.create ~seed:99 () in
+  let placed = Generator.random_placed ~histogram ~n:300 ~rng () in
+  check_counters_invariant "exact" (fun jobs ->
+      ignore
+        (Estimator_exact.estimate ~jobs ~corr
+           ~rgcorr:(Estimate.correlation ctx) placed))
+
+let test_mc_counters_invariant () =
+  let chars, corr, histogram, _ = Lazy.force small_ctx in
+  let rng = Rng.create ~seed:100 () in
+  let placed = Generator.random_placed ~histogram ~n:60 ~rng () in
+  let mc = Mc_reference.prepare ~chars ~corr ~p:0.5 placed in
+  check_counters_invariant "mc" (fun jobs ->
+      ignore (Mc_reference.moments_stream ~jobs mc ~seed:4 ~count:50))
+
+let test_characterize_counters_invariant () =
+  check_counters_invariant "characterize" (fun jobs ->
+      ignore
+        (Characterize.characterize_library ~l_points:9 ~mc_samples:40 ~jobs
+           ~param:Process_param.default_channel_length ~seed:5 ()))
+
+(* ---------- tracing never changes results ---------- *)
+
+let test_estimators_bitwise_with_tracing () =
+  let _, corr, histogram, ctx = Lazy.force small_ctx in
+  let rgcorr = Estimate.correlation ctx in
+  let rng = Rng.create ~seed:321 () in
+  let placed = Generator.random_placed ~histogram ~n:400 ~rng () in
+  let layout = Layout.square ~n:2500 () in
+  let w = Layout.width layout and h = Layout.height layout in
+  let run_all () =
+    let ex = Estimator_exact.estimate ~jobs:2 ~corr ~rgcorr placed in
+    let lin = Estimator_linear.estimate ~corr ~rgcorr ~layout () in
+    let pol =
+      Estimator_integral.polar ~corr ~rgcorr ~n:2500 ~width:w ~height:h ()
+    in
+    let rect =
+      Estimator_integral.rect_2d ~order:24 ~corr ~rgcorr ~n:2500 ~width:w
+        ~height:h ()
+    in
+    [
+      ("exact.mean", ex.Estimator_exact.mean);
+      ("exact.std", ex.Estimator_exact.std);
+      ("linear.mean", lin.Estimator_linear.mean);
+      ("linear.std", lin.Estimator_linear.std);
+      ("polar.std", pol.Estimator_integral.std);
+      ("rect.std", rect.Estimator_integral.std);
+    ]
+  in
+  Obs.set_enabled false;
+  let off = run_all () in
+  let on = with_telemetry run_all in
+  List.iter2
+    (fun (name, a) (_, b) -> check_bits ("tracing on vs off: " ^ name) a b)
+    off on
+
+(* ---------- exporters ---------- *)
+
+let sample_snapshot () =
+  with_telemetry @@ fun () ->
+  Obs.span "alpha" (fun () ->
+      Obs.count "work.items" 3;
+      Obs.gauge_add "busy_s" 1.5;
+      Obs.span "beta" (fun () -> Obs.count "work.items" 4));
+  Obs.gauge_max "queue_max" 7.0;
+  Obs.snapshot ()
+
+let test_chrome_trace_valid () =
+  let s = sample_snapshot () in
+  let json = Json.parse (Export.chrome_trace s) in
+  let events = Json.arr (Json.get "traceEvents" json) in
+  let phase e = Json.str (Json.get "ph" e) in
+  let xs = List.filter (fun e -> phase e = "X") events in
+  check_true "has complete events" (List.length xs = 2);
+  let paths =
+    List.map (fun e -> Json.str (Json.get "path" (Json.get "args" e))) xs
+  in
+  check_true "alpha span present" (List.mem "alpha" paths);
+  check_true "beta span nested path" (List.mem "alpha/beta" paths);
+  List.iter
+    (fun e ->
+      check_true "ts is non-negative" (Json.num (Json.get "ts" e) >= 0.0);
+      check_true "dur is non-negative" (Json.num (Json.get "dur" e) >= 0.0))
+    xs;
+  check_true "has metadata events"
+    (List.exists (fun e -> phase e = "M") events);
+  let counter_events = List.filter (fun e -> phase e = "C") events in
+  check_true "has counter events"
+    (List.exists
+       (fun e -> Json.str (Json.get "name" e) = "work.items")
+       counter_events);
+  (* round-trip: serialize the parsed document and parse it again *)
+  check_true "chrome trace round-trips"
+    (Json.parse (Json.to_string json) = json)
+
+let test_metrics_json_valid () =
+  let s = sample_snapshot () in
+  let json = Json.parse (Export.metrics_json s) in
+  check_true "schema tag"
+    (Json.str (Json.get "schema" json) = "rgleak-metrics/1");
+  let counters = Json.get "counters" json in
+  check_true "counter merged across spans"
+    (Json.num (Json.get "work.items" counters) = 7.0);
+  let gauges = Json.get "gauges" json in
+  check_true "sum gauge exported"
+    (Json.num (Json.get "busy_s" gauges) = 1.5);
+  check_true "max gauge exported"
+    (Json.num (Json.get "queue_max" gauges) = 7.0);
+  let spans = Json.arr (Json.get "spans" json) in
+  let span_paths = List.map (fun e -> Json.str (Json.get "path" e)) spans in
+  check_true "span aggregate paths"
+    (List.mem "alpha" span_paths && List.mem "alpha/beta" span_paths);
+  check_true "metrics round-trips" (Json.parse (Json.to_string json) = json)
+
+let test_pool_metrics_recorded () =
+  let s =
+    with_telemetry @@ fun () ->
+    Parallel.with_pool ~jobs:2 (fun pool ->
+        ignore
+          (Parallel.parallel_for_reduce ~label:"probe" pool ~n:64
+             ~init:(fun () -> 0)
+             ~body:(fun acc _ -> acc + 1)
+             ~combine:( + )));
+    Obs.snapshot ()
+  in
+  let counter name =
+    match List.assoc_opt name s.Obs.counters with Some v -> v | None -> 0
+  in
+  check_true "chunk counter recorded" (counter "pool.chunks" > 0);
+  check_true "task counter recorded" (counter "pool.tasks" > 0);
+  check_true "worker busy gauges recorded"
+    (List.exists
+       (fun (name, v) ->
+         String.length name > 12
+         && String.sub name 0 12 = "pool.worker."
+         && v >= 0.0)
+       s.Obs.gauges)
+
+let suite =
+  ( "obs",
+    [
+      case "spans nest and record depth" test_spans_nest;
+      case "spans close on exceptions" test_spans_close_on_exception;
+      case "disabled telemetry records nothing" test_disabled_is_passthrough;
+      case "exact counters identical across jobs 1/2/4"
+        test_exact_counters_invariant;
+      case "mc counters identical across jobs 1/2/4"
+        test_mc_counters_invariant;
+      case "characterize counters identical across jobs 1/2/4"
+        test_characterize_counters_invariant;
+      case "estimator results bitwise unchanged by tracing"
+        test_estimators_bitwise_with_tracing;
+      case "chrome trace is valid JSON with nested spans"
+        test_chrome_trace_valid;
+      case "metrics JSON matches the snapshot" test_metrics_json_valid;
+      case "pool records chunk/task counters and worker gauges"
+        test_pool_metrics_recorded;
+    ] )
