@@ -1,9 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench examples clean doc bench-json microbench \
-        trace metrics overhead
+        trace metrics overhead check fault-matrix
 
-all: build
+all: check
 
 build:
 	dune build @all
@@ -13,6 +13,49 @@ test:
 
 test-verbose:
 	dune runtest --force --no-buffer
+
+# The default gate: build, run the full test suites, then exercise the
+# fault-injection matrix end to end through the CLI.
+check: build
+	dune runtest
+	$(MAKE) fault-matrix
+
+# 3 sites x 2 seeds of deterministic fault injection, driven through
+# the real binary.  Estimator-tier faults (linear.f) must exit 3 under
+# --strict and recover (exit 0) in best-effort mode; pool and Cholesky
+# faults have no fallback tier, so they exit 3 in either mode.  The
+# quadrature site arms the Simpson fallback, so the run must succeed.
+RGLEAK := dune exec --no-build bin/rgleak.exe --
+fault-matrix: build
+	@set -e; \
+	for seed in 1 2; do \
+	  for site in linear.f parallel cholesky; do \
+	    case $$site in \
+	    linear.f) \
+	      cmd="estimate -n 200 --method linear --fault-spec $$site:1:$$seed"; \
+	      want_strict=3; want_lax=0 ;; \
+	    parallel) \
+	      cmd="estimate -n 200 --method linear --fault-spec $$site:1:$$seed"; \
+	      want_strict=3; want_lax=3 ;; \
+	    cholesky) \
+	      cmd="map -n 100 --fault-spec $$site:1:$$seed"; \
+	      want_strict=3; want_lax=3 ;; \
+	    esac; \
+	    got=0; $(RGLEAK) $$cmd --strict >/dev/null 2>&1 || got=$$?; \
+	    test $$got -eq $$want_strict || { \
+	      echo "FAIL: $$site seed $$seed strict: exit $$got, want $$want_strict"; exit 1; }; \
+	    got=0; $(RGLEAK) $$cmd >/dev/null 2>&1 || got=$$?; \
+	    test $$got -eq $$want_lax || { \
+	      echo "FAIL: $$site seed $$seed lax: exit $$got, want $$want_lax"; exit 1; }; \
+	    echo "ok: $$site seed $$seed (strict $$want_strict, best-effort $$want_lax)"; \
+	  done; \
+	  got=0; $(RGLEAK) estimate -n 200 --method linear \
+	    --fault-spec quadrature:1:$$seed --strict >/dev/null 2>&1 || got=$$?; \
+	  test $$got -eq 0 || { \
+	    echo "FAIL: quadrature seed $$seed: fallback should succeed, exit $$got"; exit 1; }; \
+	  echo "ok: quadrature seed $$seed (fallback engages, exit 0)"; \
+	done; \
+	echo "fault matrix passed"
 
 bench:
 	dune exec bench/main.exe

@@ -555,8 +555,9 @@ let run_timing () =
    is read off an instrumented pass (row counts plus band spans); the
    product is compared against the measured uninstrumented runtime. *)
 let run_overhead () =
-  section "E8d: disabled-telemetry overhead on the exact hot loop";
+  section "E8d: disabled-telemetry and disarmed-fault overhead on the exact hot loop";
   Obs.set_enabled false;
+  Guard.Fault.clear ();
   let probes = 20_000_000 in
   let t0 = Obs.now_ns () in
   for _ = 1 to probes do
@@ -565,6 +566,17 @@ let run_overhead () =
   let site_ns =
     Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. float_of_int probes
   in
+  (* Same discipline for a disarmed fault probe: one atomic load and a
+     branch.  Accumulate the results so the loop cannot be dropped. *)
+  let fired = ref 0 in
+  let t0 = Obs.now_ns () in
+  for _ = 1 to probes do
+    if Guard.Fault.fire "parallel" then incr fired
+  done;
+  let fault_ns =
+    Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. float_of_int probes
+  in
+  if !fired > 0 then failwith "disarmed fault probe fired";
   let chars = Lazy.force chars in
   let hist = Lazy.force default_hist in
   let ctx = Estimate.context ~chars ~corr:corr_default ~histogram:hist () in
@@ -591,10 +603,17 @@ let run_overhead () =
     +. (4.0 *. float_of_int (counter "pool.bands"))
     +. 16.0
   in
-  let overhead = sites *. site_ns /. 1e9 /. seconds in
+  (* Fault probes per exact run: one "parallel" probe at every pool-band
+     task entry. *)
+  let fault_sites = float_of_int (counter "pool.bands") in
+  let telemetry_overhead = sites *. site_ns /. 1e9 /. seconds in
+  let fault_overhead = fault_sites *. fault_ns /. 1e9 /. seconds in
+  let overhead = telemetry_overhead +. fault_overhead in
   let budget = 0.01 in
-  Printf.printf "disabled probe        : %.2f ns/site\n" site_ns;
-  Printf.printf "sites per exact run   : %.0f (n=%d)\n" sites n;
+  Printf.printf "disabled obs probe    : %.2f ns/site\n" site_ns;
+  Printf.printf "disarmed fault probe  : %.2f ns/site\n" fault_ns;
+  Printf.printf "sites per exact run   : %.0f obs + %.0f fault (n=%d)\n" sites
+    fault_sites n;
   Printf.printf "exact runtime         : %.4f s\n" seconds;
   Printf.printf "overhead              : %.5f%% of runtime (budget %.1f%%)\n"
     (100.0 *. overhead) (100.0 *. budget);
@@ -602,20 +621,26 @@ let run_overhead () =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"rgleak-overhead/1\",\n\
+    \  \"schema\": \"rgleak-overhead/2\",\n\
     \  \"site_ns\": %.4f,\n\
+    \  \"fault_probe_ns\": %.4f,\n\
     \  \"sites_per_run\": %.0f,\n\
+    \  \"fault_sites_per_run\": %.0f,\n\
     \  \"exact_n\": %d,\n\
     \  \"exact_seconds\": %.6f,\n\
+    \  \"telemetry_overhead_fraction\": %.8f,\n\
+    \  \"fault_overhead_fraction\": %.8f,\n\
     \  \"overhead_fraction\": %.8f,\n\
     \  \"budget_fraction\": %.3f,\n\
     \  \"pass\": %b\n\
      }\n"
-    site_ns sites n seconds overhead budget (overhead < budget);
+    site_ns fault_ns sites fault_sites n seconds telemetry_overhead
+    fault_overhead overhead budget (overhead < budget);
   close_out oc;
   Printf.printf "wrote %s\n" path;
   if overhead >= budget then
-    failwith "telemetry overhead budget exceeded: disabled probes cost >= 1%"
+    failwith
+      "instrumentation overhead budget exceeded: disabled probes cost >= 1%"
 
 (* ------------------------------------------------------------------ *)
 (* E9: Vt variance negligibility                                        *)

@@ -16,17 +16,28 @@ open Rgleak_core
 
 (* ---------- shared argument parsing ---------- *)
 
+(* Argument-parsing failures raise Guard.Error (Invalid_input _): the
+   per-command diagnostics handler maps each diagnostic class to its
+   own exit code (invalid input 2, numeric 3, internal 4). *)
+
 let parse_corr s =
+  let num what v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None ->
+      Guard.invalid
+        (Printf.sprintf "bad %s %S in correlation spec %S" what v s)
+  in
   match String.split_on_char ':' s with
-  | [ "linear"; d ] -> Corr_model.Linear { dmax = float_of_string d }
-  | [ "spherical"; d ] -> Corr_model.Spherical { dmax = float_of_string d }
-  | [ "exp"; r ] -> Corr_model.Exponential { range = float_of_string r }
-  | [ "gauss"; r ] -> Corr_model.Gaussian { range = float_of_string r }
+  | [ "linear"; d ] -> Corr_model.Linear { dmax = num "distance" d }
+  | [ "spherical"; d ] -> Corr_model.Spherical { dmax = num "distance" d }
+  | [ "exp"; r ] -> Corr_model.Exponential { range = num "range" r }
+  | [ "gauss"; r ] -> Corr_model.Gaussian { range = num "range" r }
   | [ "texp"; r; d ] ->
     Corr_model.Truncated_exponential
-      { range = float_of_string r; dmax = float_of_string d }
+      { range = num "range" r; dmax = num "distance" d }
   | _ ->
-    failwith
+    Guard.invalid
       (Printf.sprintf
          "cannot parse correlation %S (expected e.g. linear:120, exp:60, \
           gauss:80, spherical:120, texp:60:120)"
@@ -38,8 +49,16 @@ let parse_mix s =
     List.map
       (fun entry ->
         match String.split_on_char ':' (String.trim entry) with
-        | [ name; w ] -> (String.trim name, float_of_string w)
-        | _ -> failwith (Printf.sprintf "bad mix entry %S (want CELL:WEIGHT)" entry))
+        | [ name; w ] -> (
+          match float_of_string_opt w with
+          | Some w -> (String.trim name, w)
+          | None ->
+            Guard.invalid
+              (Printf.sprintf "bad weight in mix entry %S (want CELL:WEIGHT)"
+                 entry))
+        | _ ->
+          Guard.invalid
+            (Printf.sprintf "bad mix entry %S (want CELL:WEIGHT)" entry))
       entries
   in
   Histogram.of_weights pairs
@@ -71,7 +90,9 @@ let parse_method = function
   | "linear" -> Estimate.Linear
   | "int2d" -> Estimate.Integral_2d
   | "polar" -> Estimate.Integral_polar
-  | s -> failwith (Printf.sprintf "unknown method %S" s)
+  | s ->
+    Guard.invalid
+      (Printf.sprintf "unknown method %S (expected auto, linear, int2d or polar)" s)
 
 let corr_of s = Corr_model.create (parse_corr s) Process_param.default_channel_length
 
@@ -166,6 +187,57 @@ let with_telemetry t run =
           t.metrics_json)
   end
 
+(* ---------- robustness flags (shared by every subcommand) ---------- *)
+
+type robust_opts = { fault_specs : string list; strict : bool }
+
+let robust_term =
+  let fault_specs =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault-spec" ] ~docv:"SITE:PROB:SEED"
+          ~doc:
+            "Deterministically inject faults at an instrumented site \
+             (parallel, cholesky, quadrature, linear.f): each probe at SITE \
+             fails with probability PROB, decided by a counter-indexed hash \
+             of SEED.  Repeatable.  Identical specs reproduce the identical \
+             fault sequence; disarmed probes cost one atomic load.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail fast: exit with the diagnostic's code on the first numeric \
+             failure instead of degrading to another estimator tier.")
+  in
+  Term.(
+    const (fun fault_specs strict -> { fault_specs; strict })
+    $ fault_specs $ strict)
+
+(* Exit codes: 0 success, 2 invalid input, 3 numeric breakdown, 4 internal
+   bug.  (cmdliner reserves 124/125 for CLI-syntax and uncaught-exception
+   errors.)  Fault specs are parsed and armed inside the protected region
+   so a malformed --fault-spec exits 2 like any other bad argument. *)
+let with_diagnostics ro run =
+  let body () =
+    let specs =
+      List.map
+        (fun s ->
+          match Guard.Fault.parse_spec s with
+          | Ok spec -> spec
+          | Error msg -> Guard.invalid msg)
+        ro.fault_specs
+    in
+    Guard.Fault.configure specs;
+    Fun.protect run ~finally:Guard.Fault.clear
+  in
+  match Guard.protect body with
+  | Ok () -> ()
+  | Error d ->
+    Printf.eprintf "rgleak: %s\n%!" (Guard.to_string d);
+    exit (Guard.exit_code d)
+
 let chars_of = function
   | None -> Characterize.default_library ()
   | Some path -> Char_io.load ~path
@@ -185,7 +257,8 @@ let print_result label (r : Estimate.result) =
 (* ---------- cells ---------- *)
 
 let cells_cmd =
-  let run tr =
+  let run ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let env = Rgleak_device.Mosfet.default_env in
     Printf.printf "%-12s %6s %5s %5s %12s %12s\n" "cell" "states" "devs"
@@ -206,7 +279,7 @@ let cells_cmd =
     Printf.printf "%d cells total\n" Library.size
   in
   Cmd.v (Cmd.info "cells" ~doc:"List the standard-cell library")
-    Term.(const run $ trace_term)
+    Term.(const run $ robust_term $ trace_term)
 
 (* ---------- characterize ---------- *)
 
@@ -231,9 +304,18 @@ let characterize_cmd =
       & info [ "temp" ] ~docv:"CELSIUS"
           ~doc:"Characterize at this junction temperature (default 26.85 C = 300 K).")
   in
-  let run cell_name save temp jobs tr =
+  let run cell_name save temp jobs ro tr =
+    with_diagnostics ro @@ fun () ->
     apply_jobs jobs;
     with_telemetry tr @@ fun () ->
+    (* Validate the cell name before paying for characterization. *)
+    let cell_index =
+      match cell_name with
+      | None -> None
+      | Some name -> (
+        try Some (Library.index_of name)
+        with Not_found -> Guard.invalid (Printf.sprintf "unknown cell %S" name))
+    in
     let chars =
       match temp with
       | None -> Characterize.default_library ()
@@ -248,14 +330,9 @@ let characterize_cmd =
       Char_io.save ~path chars;
       Printf.printf "saved characterization to %s\n" path);
     let selected =
-      match cell_name with
+      match cell_index with
       | None -> Array.to_list chars
-      | Some name ->
-        let idx =
-          try Library.index_of name
-          with Not_found -> failwith (Printf.sprintf "unknown cell %S" name)
-        in
-        [ chars.(idx) ]
+      | Some idx -> [ chars.(idx) ]
     in
     List.iter
       (fun (ch : Characterize.cell_char) ->
@@ -277,7 +354,9 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Pre-characterize cells: per-state fitted and MC leakage statistics")
-    Term.(const run $ cell_arg $ save_arg $ temp_arg $ jobs_arg $ trace_term)
+    Term.(
+      const run $ cell_arg $ save_arg $ temp_arg $ jobs_arg $ robust_term
+      $ trace_term)
 
 (* ---------- estimate (early mode) ---------- *)
 
@@ -326,20 +405,49 @@ let estimate_cmd =
       prerr_endline
         "trace: profiled linear and integral tiers (exact skipped for n > 5000)"
   in
-  let run n width height mix corr p method_ vt char_file jobs tr =
+  let run n width height mix corr p method_ vt char_file jobs ro tr =
+    with_diagnostics ro @@ fun () ->
     apply_jobs jobs;
     with_telemetry tr @@ fun () ->
+    (* Parse every argument before the (expensive) characterization so
+       bad input fails fast with exit code 2. *)
     let histogram = parse_mix mix in
     let corr = corr_of corr in
+    let method_ = parse_method method_ in
     let layout = Layout.square ~n () in
     let width = Option.value width ~default:(Layout.width layout) in
     let height = Option.value height ~default:(Layout.height layout) in
     let chars = chars_of char_file in
     let spec = { Estimate.histogram; n; width; height } in
-    let r =
-      Estimate.early ?p ~method_:(parse_method method_) ~with_vt:vt ~chars
-        ~corr spec
+    let ctx = Estimate.context ?p ~chars ~corr ~histogram () in
+    let describe = function
+      | Estimate.Auto -> "auto"
+      | Estimate.Linear -> "linear"
+      | Estimate.Integral_2d -> "int2d"
+      | Estimate.Integral_polar -> "polar"
     in
+    (* Best-effort degradation: when the requested tier breaks down
+       numerically and --strict is off, report it on stderr and fall
+       back through the remaining tiers; --strict turns the first
+       failure into exit code 3. *)
+    let rec attempt = function
+      | [] -> Guard.numeric ~site:"estimate" "every estimator tier failed"
+      | m :: rest -> (
+        match Estimate.run_result ~method_:m ~with_vt:vt ctx spec with
+        | Ok r -> r
+        | Error d ->
+          if ro.strict || rest = [] then raise (Guard.Error d);
+          Printf.eprintf "rgleak: tier %s failed (%s); degrading to %s\n%!"
+            (describe m) (Guard.to_string d)
+            (describe (List.hd rest));
+          attempt rest)
+    in
+    let tiers =
+      method_
+      :: List.filter (fun m -> m <> method_)
+           [ Estimate.Linear; Estimate.Integral_polar; Estimate.Integral_2d ]
+    in
+    let r = attempt tiers in
     print_result
       (Printf.sprintf "early-mode estimate (%d gates on %.0f x %.0f um)" n
          width height)
@@ -352,7 +460,7 @@ let estimate_cmd =
        ~doc:"Early-mode full-chip leakage estimate from high-level characteristics")
     Term.(
       const run $ n_arg $ width_arg $ height_arg $ mix_arg $ corr_arg $ p_arg
-      $ method_arg $ vt_arg $ char_arg $ jobs_arg $ trace_term)
+      $ method_arg $ vt_arg $ char_arg $ jobs_arg $ robust_term $ trace_term)
 
 (* ---------- signoff (late mode on a benchmark) ---------- *)
 
@@ -401,10 +509,19 @@ let signoff_cmd =
           ~doc:"Also run the O(n^2) exact pairwise reference and report the error.")
   in
   let run bench file vfile placement save_placement corr p method_ vt with_true
-      jobs tr =
+      jobs ro tr =
+    with_diagnostics ro @@ fun () ->
     apply_jobs jobs;
     with_telemetry tr @@ fun () ->
+    (* Validate the source selection and parse every argument before the
+       (expensive) characterization so bad input fails fast. *)
+    (match (bench, file, vfile) with
+    | Some _, None, None | None, Some _, None | None, None, Some _ -> ()
+    | _ ->
+      Guard.invalid
+        "give exactly one of --benchmark, --bench-file or --verilog-file");
     let corr = corr_of corr in
+    let method_ = parse_method method_ in
     let chars = Characterize.default_library () in
     let place_netlist netlist label =
       match placement with
@@ -428,7 +545,8 @@ let signoff_cmd =
       | Some name, None, None ->
         let spec =
           try Benchmarks.find name
-          with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+          with Not_found ->
+            Guard.invalid (Printf.sprintf "unknown benchmark %S" name)
         in
         ( Benchmarks.placed spec,
           Printf.sprintf "late-mode sign-off of %s (%s)" spec.Benchmarks.name
@@ -449,14 +567,9 @@ let signoff_cmd =
         place_netlist netlist
           (Printf.sprintf "late-mode sign-off of %s (from %s)"
              netlist.Netlist.name path)
-      | _ ->
-        failwith
-          "give exactly one of --benchmark, --bench-file or --verilog-file"
+      | _ -> assert false (* rejected above *)
     in
-    let r =
-      Estimate.late ?p ~method_:(parse_method method_) ~with_vt:vt ~chars ~corr
-        placed
-    in
+    let r = Estimate.late ?p ~method_ ~with_vt:vt ~chars ~corr placed in
     (match save_placement with
     | None -> ()
     | Some path ->
@@ -476,7 +589,7 @@ let signoff_cmd =
     Term.(
       const run $ bench_arg $ file_arg $ vfile_arg $ placement_arg
       $ save_placement_arg $ corr_arg $ p_arg $ method_arg $ vt_arg $ true_arg
-      $ jobs_arg $ trace_term)
+      $ jobs_arg $ robust_term $ trace_term)
 
 (* ---------- yield ---------- *)
 
@@ -497,7 +610,8 @@ let yield_cmd =
       & info [ "budget" ] ~docv:"UA"
           ~doc:"Leakage budget in microamperes; reports the parametric yield.")
   in
-  let run n mix corr p budget tr =
+  let run n mix corr p budget ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
@@ -531,7 +645,9 @@ let yield_cmd =
   Cmd.v
     (Cmd.info "yield"
        ~doc:"Leakage distribution quantiles and parametric yield vs a budget")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg $ trace_term)
+    Term.(
+      const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg $ robust_term
+      $ trace_term)
 
 (* ---------- sensitivity ---------- *)
 
@@ -545,7 +661,8 @@ let sensitivity_cmd =
       & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
       & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
   in
-  let run n mix corr p char_file tr =
+  let run n mix corr p char_file ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
@@ -566,7 +683,9 @@ let sensitivity_cmd =
     (Cmd.info "sensitivity"
        ~doc:"What-if report: how the leakage statistics respond to mix, die \
              and gate-count changes")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ trace_term)
+    Term.(
+      const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ robust_term
+      $ trace_term)
 
 (* ---------- convert ---------- *)
 
@@ -589,21 +708,27 @@ let convert_cmd =
       value & opt string "bench"
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: bench or verilog.")
   in
-  let run name output format tr =
+  let run name output format ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let spec =
       try Benchmarks.find name
-      with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+      with Not_found ->
+        Guard.invalid (Printf.sprintf "unknown benchmark %S" name)
     in
+    (match format with
+    | "bench" | "verilog" -> ()
+    | f ->
+      Guard.invalid
+        (Printf.sprintf "unknown format %S (expected bench or verilog)" f));
     let netlist = Benchmarks.netlist spec in
     let text, gates =
       match format with
       | "bench" ->
         let bench = Techmap.netlist_to_bench netlist in
         (Bench_format.to_string bench, Bench_format.gate_count bench)
-      | "verilog" ->
+      | _ ->
         (Verilog.to_string (Verilog.of_netlist netlist), Netlist.size netlist)
-      | f -> failwith (Printf.sprintf "unknown format %S" f)
     in
     let oc = open_out output in
     output_string oc text;
@@ -614,7 +739,7 @@ let convert_cmd =
   Cmd.v
     (Cmd.info "convert"
        ~doc:"Export a synthesized benchmark netlist to .bench or Verilog")
-    Term.(const run $ bench_arg $ out_arg $ format_arg $ trace_term)
+    Term.(const run $ bench_arg $ out_arg $ format_arg $ robust_term $ trace_term)
 
 (* ---------- corners ---------- *)
 
@@ -628,7 +753,8 @@ let corners_cmd =
       & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
       & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
   in
-  let run n mix corr p tr =
+  let run n mix corr p ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
@@ -654,7 +780,7 @@ let corners_cmd =
   Cmd.v
     (Cmd.info "corners"
        ~doc:"Leakage statistics across process/temperature corners")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ trace_term)
+    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ robust_term $ trace_term)
 
 (* ---------- profile ---------- *)
 
@@ -668,7 +794,8 @@ let profile_cmd =
       & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
       & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
   in
-  let run n mix corr p char_file tr =
+  let run n mix corr p char_file ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
@@ -687,7 +814,9 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Decompose the leakage variance by gate-pair separation")
-    Term.(const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ trace_term)
+    Term.(
+      const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ robust_term
+      $ trace_term)
 
 (* ---------- map ---------- *)
 
@@ -707,7 +836,8 @@ let map_cmd =
   let samples_arg =
     Arg.(value & opt int 400 & info [ "samples" ] ~docv:"DIES" ~doc:"Sampled dies.")
   in
-  let run n mix corr p char_file tiles samples tr =
+  let run n mix corr p char_file tiles samples ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let histogram = parse_mix mix in
     let corr = corr_of corr in
@@ -733,7 +863,7 @@ let map_cmd =
        ~doc:"Spatial leakage map: per-tile statistics and the hotspot ratio")
     Term.(
       const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ char_arg $ tiles_arg
-      $ samples_arg $ trace_term)
+      $ samples_arg $ robust_term $ trace_term)
 
 (* ---------- sleep ---------- *)
 
@@ -748,11 +878,13 @@ let sleep_cmd =
   let restarts_arg =
     Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"K" ~doc:"Greedy restarts.")
   in
-  let run name restarts char_file tr =
+  let run name restarts char_file ro tr =
+    with_diagnostics ro @@ fun () ->
     with_telemetry tr @@ fun () ->
     let spec =
       try Benchmarks.find name
-      with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+      with Not_found ->
+        Guard.invalid (Printf.sprintf "unknown benchmark %S" name)
     in
     let chars = chars_of char_file in
     let nl = Benchmarks.netlist spec in
@@ -776,12 +908,13 @@ let sleep_cmd =
   Cmd.v
     (Cmd.info "sleep"
        ~doc:"Search for the minimum-leakage standby vector of a benchmark")
-    Term.(const run $ bench_arg $ restarts_arg $ char_arg $ trace_term)
+    Term.(const run $ bench_arg $ restarts_arg $ char_arg $ robust_term $ trace_term)
 
 (* ---------- validate ---------- *)
 
 let validate_cmd =
-  let run jobs tr =
+  let run jobs ro tr =
+    with_diagnostics ro @@ fun () ->
     apply_jobs jobs;
     with_telemetry tr @@ fun () ->
     let chars = Characterize.default_library () in
@@ -822,7 +955,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Quick self-check of the estimator pipeline")
-    Term.(const run $ jobs_arg $ trace_term)
+    Term.(const run $ jobs_arg $ robust_term $ trace_term)
 
 let () =
   let info =

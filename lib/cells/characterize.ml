@@ -67,9 +67,18 @@ let characterize_state ~env ~param ~span ~l_points ~mc_samples ~rng cell
     let coeffs = [| log a; b; c |] in
     Polyfit.rms_residual ~coeffs ~xs:fit_ls ~ys:(Array.map log fit_currents)
   in
-  let mu_analytic = Mgf.mean fit ~mu ~sigma in
-  let sigma_analytic = Mgf.std fit ~mu ~sigma in
+  (* Boundary guardrail: a fit whose moments blow up (degenerate grid,
+     divergent MGF) must surface as a typed diagnostic, not as NaN
+     moments silently poisoning every downstream estimate. *)
+  let check name v =
+    Guard.check_finite ~site:"characterize"
+      ~name:(Printf.sprintf "%s of %s state %d" name cell.Cell.name state_index)
+      v
+  in
+  let mu_analytic = check "analytic mean" (Mgf.mean fit ~mu ~sigma) in
+  let sigma_analytic = check "analytic sigma" (Mgf.std fit ~mu ~sigma) in
   let mu_ref, sigma_ref = reference_moments table ~mu ~sigma ~span in
+  let mu_ref = check "reference mean" mu_ref in
   let acc = Stats.Acc.create () in
   for _ = 1 to mc_samples do
     let l = Rng.gaussian_mu_sigma rng ~mu ~sigma in
@@ -118,6 +127,12 @@ let characterize_library ?l_points ?span_sigmas ?mc_samples ?env ?jobs ~param
   Parallel.using ?jobs (fun pool ->
       Parallel.map_array ~label:"characterize.cell" pool one
         (Array.init Library.size Fun.id))
+
+let characterize_library_result ?l_points ?span_sigmas ?mc_samples ?env ?jobs
+    ~param ~seed () =
+  Guard.protect
+    (characterize_library ?l_points ?span_sigmas ?mc_samples ?env ?jobs ~param
+       ~seed)
 
 let default_library =
   let memo = lazy (

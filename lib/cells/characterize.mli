@@ -65,6 +65,21 @@ val characterize_library :
     {!Rgleak_num.Parallel.using}; default
     {!Rgleak_num.Parallel.default_jobs}, [jobs <= 1] stays inline). *)
 
+val characterize_library_result :
+  ?l_points:int ->
+  ?span_sigmas:float ->
+  ?mc_samples:int ->
+  ?env:Rgleak_device.Mosfet.env ->
+  ?jobs:int ->
+  param:Rgleak_process.Process_param.t ->
+  seed:int ->
+  unit ->
+  (cell_char array, Rgleak_num.Guard.diagnostic) Stdlib.result
+(** Non-raising {!characterize_library} under
+    {!Rgleak_num.Guard.protect}: malformed settings fold to
+    [Invalid_input], non-finite fitted moments and injected pool
+    faults to [Numeric]. *)
+
 val default_library : unit -> cell_char array
 (** Library characterization under {!Rgleak_process.Process_param.default_channel_length}
     with a fixed seed; computed once on the shared domain pool and

@@ -13,14 +13,14 @@ type t = {
 let of_moments ?(shape = Lognormal) ~mean ~std () =
   if mean <= 0.0 then invalid_arg "Distribution.of_moments: mean must be positive";
   if std < 0.0 then invalid_arg "Distribution.of_moments: std must be non-negative";
-  match shape with
-  | Normal -> { mean; std; shape; mu_ln = nan; sigma_ln = nan }
-  | Lognormal ->
-    (* Wilkinson: match E[X] and Var[X] of a lognormal. *)
-    let cv2 = std *. std /. (mean *. mean) in
-    let sigma_ln2 = log (1.0 +. cv2) in
-    let mu_ln = log mean -. (0.5 *. sigma_ln2) in
-    { mean; std; shape; mu_ln; sigma_ln = sqrt sigma_ln2 }
+  (* Wilkinson: match E[X] and Var[X] of a lognormal.  The matched
+     parameters are well-defined for both shapes (mean > 0 is already
+     required), so they are always computed — no NaN sentinel whose
+     accidental use would propagate silently. *)
+  let cv2 = std *. std /. (mean *. mean) in
+  let sigma_ln2 = log (1.0 +. cv2) in
+  let mu_ln = log mean -. (0.5 *. sigma_ln2) in
+  { mean; std; shape; mu_ln; sigma_ln = sqrt sigma_ln2 }
 
 let of_estimate ?shape (r : Estimate.result) =
   of_moments ?shape ~mean:r.Estimate.mean ~std:r.Estimate.std ()

@@ -16,8 +16,10 @@ type t = private {
   mean : float;
   std : float;
   shape : shape;
-  mu_ln : float;  (** lognormal log-mean (nan for [Normal]) *)
-  sigma_ln : float;  (** lognormal log-std (nan for [Normal]) *)
+  mu_ln : float;
+      (** log-mean of the moment-matched lognormal (always computed,
+          used only by the [Lognormal] shape) *)
+  sigma_ln : float;  (** log-std of the moment-matched lognormal *)
 }
 
 val of_moments : ?shape:shape -> mean:float -> std:float -> unit -> t

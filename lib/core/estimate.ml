@@ -93,6 +93,9 @@ let run ?(method_ = Auto) ?(with_vt = false) ctx (spec : spec) =
     finish ~with_vt ~method_used:"polar integral (Eqs. 25-26)" ~n:spec.n
       (r.Estimator_integral.mean, r.Estimator_integral.variance)
 
+let run_result ?method_ ?with_vt ctx spec =
+  Rgleak_num.Guard.protect (fun () -> run ?method_ ?with_vt ctx spec)
+
 let early ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr (spec : spec) =
   let ctx = context ?mode ?mapping ?p ~chars ~corr ~histogram:spec.histogram () in
   run ?method_ ?with_vt ctx spec
@@ -112,6 +115,10 @@ let true_leakage ?mode ?mapping ?p ?jobs ~chars ~corr placed =
     n = spec.n;
     vt_mean_factor = Vt_correction.mean_factor ();
   }
+
+let early_result ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr spec =
+  Rgleak_num.Guard.protect (fun () ->
+      early ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr spec)
 
 (* Calibrated on the Fig. 6 convergence run: 2.0% at n = 10^4, 1/sqrt(n). *)
 let finite_size_error_bound ~n =

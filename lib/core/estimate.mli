@@ -59,7 +59,20 @@ val run : ?method_:method_selector -> ?with_vt:bool -> context -> spec -> result
 (** Estimates mean and σ of full-chip leakage for a design spec.
     [with_vt] (default false) multiplies the mean by the random-dopant
     factor.  The spec's histogram must match the context's (the context
-    is built per cell mix). *)
+    is built per cell mix).  Raises [Invalid_argument] on malformed
+    specs and {!Rgleak_num.Guard.Error} on numerical breakdown in the
+    selected estimator tier. *)
+
+val run_result :
+  ?method_:method_selector ->
+  ?with_vt:bool ->
+  context ->
+  spec ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+(** Non-raising {!run}: every failure folds into a typed
+    {!Rgleak_num.Guard.diagnostic} (invalid input, numeric breakdown
+    at a named site, or internal bug).  This is the entry point for
+    services and for the CLI's best-effort tier fallback. *)
 
 val early :
   ?mode:Random_gate.mode ->
@@ -72,6 +85,18 @@ val early :
   spec ->
   result
 (** One-shot early-mode estimate (builds a fresh context). *)
+
+val early_result :
+  ?mode:Random_gate.mode ->
+  ?mapping:Rg_correlation.mapping ->
+  ?p:float ->
+  ?method_:method_selector ->
+  ?with_vt:bool ->
+  chars:Rgleak_cells.Characterize.cell_char array ->
+  corr:Rgleak_process.Corr_model.t ->
+  spec ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+(** Non-raising {!early}. *)
 
 val late :
   ?mode:Random_gate.mode ->

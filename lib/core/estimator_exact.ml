@@ -109,5 +109,12 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
     if dt > 0.0 then
       Obs.gauge_max "exact.pairs_per_s" (float_of_int (n * (n - 1) / 2) /. dt)
   end;
-  let variance = !variance +. (2.0 *. acc) in
-  { mean = !mean; variance; std = sqrt (Float.max 0.0 variance) }
+  let mean = Guard.check_finite ~site:"exact" ~name:"mean" !mean in
+  let variance =
+    Guard.check_finite ~site:"exact" ~name:"variance" (!variance +. (2.0 *. acc))
+  in
+  { mean; variance; std = sqrt (Float.max 0.0 variance) }
+
+let estimate_result ?distance_points ?jobs ~corr ~rgcorr placed =
+  Guard.protect (fun () ->
+      estimate ?distance_points ?jobs ~corr ~rgcorr placed)

@@ -28,4 +28,17 @@ val estimate :
     parallelism for this call (default: the shared
     {!Rgleak_num.Parallel.default} pool); the estimate itself does not
     depend on it.  All cells used by the netlist must be in the
-    correlation structure's support. *)
+    correlation structure's support.  Raises
+    {!Rgleak_num.Guard.Error} ([Numeric]) if a non-finite moment
+    reaches the estimator boundary, or if a pool fault is injected at
+    site ["parallel"]. *)
+
+val estimate_result :
+  ?distance_points:int ->
+  ?jobs:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  Rgleak_circuit.Placer.placed ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+(** Non-raising entry point: {!estimate} under
+    {!Rgleak_num.Guard.protect}. *)

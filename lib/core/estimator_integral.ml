@@ -19,6 +19,13 @@ let check_inputs ~n ~width ~height =
 let mean_of rgcorr n =
   float_of_int n *. (Rg_correlation.rg rgcorr).Random_gate.mu
 
+(* Boundary guardrail: quadrature breakdown must surface as a typed
+   diagnostic, never as a silent NaN in a result record. *)
+let finish ~rgcorr ~n variance =
+  let mean = Guard.check_finite ~site:"integral" ~name:"mean" (mean_of rgcorr n) in
+  let variance = Guard.check_finite ~site:"integral" ~name:"variance" variance in
+  { mean; variance; std = sqrt (Float.max 0.0 variance) }
+
 let rect_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
   Obs.span "integral.rect2d" @@ fun () ->
   check_inputs ~n ~width ~height;
@@ -32,13 +39,16 @@ let rect_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
     let rho_l = Corr_model.total corr d in
     (width -. x) *. (height -. y) *. Rg_correlation.f rgcorr ~rho_l
   in
+  (* Guarded rule: the order-[order] value is returned unchanged when
+     the half-order residual check passes; a non-convergent integrand
+     (or the "quadrature" fault site) takes the adaptive-Simpson
+     fallback instead of silently returning garbage. *)
   let integral =
-    Quadrature.gauss_legendre_2d ~order integrand ~x_lo:0.0 ~x_hi:width
-      ~y_lo:0.0 ~y_hi:height
+    Quadrature.gauss_legendre_2d_guarded ~order integrand ~x_lo:0.0
+      ~x_hi:width ~y_lo:0.0 ~y_hi:height
   in
   flush_evals evals;
-  let variance = 4.0 *. nf *. nf /. (area *. area) *. integral in
-  { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
+  finish ~rgcorr ~n (4.0 *. nf *. nf /. (area *. area) *. integral)
 
 let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
   Obs.span "integral.polar2d" @@ fun () ->
@@ -49,8 +59,10 @@ let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
   let track = Obs.enabled () in
   (* Eq. 21: integrate over theta in [0, pi/2], r in [0, D(theta)] with
      D(theta) the distance to the rectangle boundary. *)
+  (* The outer (angular) integral carries the guardrail; each angular
+     evaluation runs the plain radial rule. *)
   let integral =
-    Quadrature.gauss_legendre ~order
+    Quadrature.gauss_legendre_guarded ~order
       (fun theta ->
         let c = cos theta and s = sin theta in
         let d_theta =
@@ -68,8 +80,7 @@ let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
       ~lo:0.0 ~hi:(Float.pi /. 2.0)
   in
   flush_evals evals;
-  let variance = 4.0 *. nf *. nf /. (area *. area) *. integral in
-  { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
+  finish ~rgcorr ~n (4.0 *. nf *. nf /. (area *. area) *. integral)
 
 let polar_applicable ~corr ~width ~height =
   match Corr_model.wid_dmax corr with
@@ -103,9 +114,18 @@ let polar ?(order = 128) ~corr ~rgcorr ~n ~width ~height () =
   let integrand =
     if Obs.enabled () then counting_evals evals integrand else integrand
   in
-  let radial = Quadrature.gauss_legendre ~order integrand ~lo:0.0 ~hi:dmax in
-  flush_evals evals;
-  let variance =
-    (4.0 *. nf *. nf /. (area *. area) *. radial) +. (nf *. nf *. f_floor)
+  let radial =
+    Quadrature.gauss_legendre_guarded ~order integrand ~lo:0.0 ~hi:dmax
   in
-  { mean = mean_of rgcorr n; variance; std = sqrt (Float.max 0.0 variance) }
+  flush_evals evals;
+  finish ~rgcorr ~n
+    ((4.0 *. nf *. nf /. (area *. area) *. radial) +. (nf *. nf *. f_floor))
+
+let rect_2d_result ?order ~corr ~rgcorr ~n ~width ~height () =
+  Guard.protect (rect_2d ?order ~corr ~rgcorr ~n ~width ~height)
+
+let polar_2d_result ?order ~corr ~rgcorr ~n ~width ~height () =
+  Guard.protect (polar_2d ?order ~corr ~rgcorr ~n ~width ~height)
+
+let polar_result ?order ~corr ~rgcorr ~n ~width ~height () =
+  Guard.protect (polar ?order ~corr ~rgcorr ~n ~width ~height)

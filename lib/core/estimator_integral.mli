@@ -55,4 +55,42 @@ val polar :
   result
 (** Single radial Gauss–Legendre integral (Eqs. 25–26, [order] default
     128).  Raises [Invalid_argument] when not applicable; check
-    {!polar_applicable}. *)
+    {!polar_applicable}.
+
+    All three estimators run their quadrature through the guarded
+    Gauss–Legendre rules ({!Rgleak_num.Quadrature.gauss_legendre_guarded}):
+    converged integrals are returned bit-for-bit, non-convergent ones
+    take the adaptive-Simpson fallback, and non-finite results raise
+    {!Rgleak_num.Guard.Error} with a [Numeric] diagnostic. *)
+
+val rect_2d_result :
+  ?order:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+
+val polar_2d_result :
+  ?order:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+
+val polar_result :
+  ?order:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  n:int ->
+  width:float ->
+  height:float ->
+  unit ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+(** Non-raising entry points: the raising estimators under
+    {!Rgleak_num.Guard.protect}. *)

@@ -1,6 +1,7 @@
 open Rgleak_process
 open Rgleak_circuit
 module Obs = Rgleak_obs.Obs
+module Guard = Rgleak_num.Guard
 
 type result = { mean : float; variance : float; std : float }
 
@@ -19,24 +20,30 @@ let estimate ~corr ~rgcorr ~layout () =
   (* Distance-indexed memo (the Estimator_exact trick): the four offsets
      (±di, ±dj) are equidistant, so F(ρ_L(d)) is evaluated once per
      (|di|, |dj|) and reused — a 4x cut in correlation-model and
-     F-table evaluations with bit-identical results. *)
-  let f_memo = Array.make (rows * cols) Float.nan in
+     F-table evaluations with bit-identical results.  Presence lives in
+     an explicit bitmask, not a NaN sentinel: a genuinely-NaN value
+     (numerical breakdown upstream, or the "linear.f" fault site) must
+     memoize like any other so it is computed once and then caught at
+     the estimator boundary, instead of defeating the memo forever. *)
+  let f_memo = Array.make (rows * cols) 0.0 in
+  let f_seen = Bytes.make (rows * cols) '\000' in
   (* Local hit/miss tallies flushed once at the end: the offset loop
      stays free of telemetry lookups even with tracing enabled. *)
   let memo_hits = ref 0 and memo_misses = ref 0 in
   let f_at ~di ~dj =
     let idx = (abs dj * cols) + abs di in
-    let v = f_memo.(idx) in
-    if Float.is_nan v then begin
+    if Bytes.unsafe_get f_seen idx = '\000' then begin
       if track then incr memo_misses;
       let d = Layout.distance_of_offset layout ~di ~dj in
       let v = Rg_correlation.f rgcorr ~rho_l:(Corr_model.total corr d) in
+      let v = Guard.Fault.corrupt_nan "linear.f" v in
       f_memo.(idx) <- v;
+      Bytes.unsafe_set f_seen idx '\001';
       v
     end
     else begin
       if track then incr memo_hits;
-      v
+      f_memo.(idx)
     end
   in
   for dj = -(rows - 1) to rows - 1 do
@@ -53,4 +60,11 @@ let estimate ~corr ~rgcorr ~layout () =
     Obs.count "linear.memo_hits" !memo_hits;
     Obs.count "linear.memo_misses" !memo_misses
   end;
-  { mean; variance = !variance; std = sqrt (Float.max 0.0 !variance) }
+  let mean = Guard.check_finite ~site:"linear" ~name:"mean" mean in
+  let variance =
+    Guard.check_finite ~site:"linear" ~name:"variance" !variance
+  in
+  { mean; variance; std = sqrt (Float.max 0.0 variance) }
+
+let estimate_result ~corr ~rgcorr ~layout () =
+  Guard.protect (estimate ~corr ~rgcorr ~layout)

@@ -15,4 +15,16 @@ val estimate :
   unit ->
   result
 (** Mean is n·μ_{X_I} (Eq. 13); variance is Eq. 17 with the diagonal
-    offset contributing n·σ²_{X_I} (Eq. 11). *)
+    offset contributing n·σ²_{X_I} (Eq. 11).  Raises
+    [Invalid_argument] on malformed inputs and
+    {!Rgleak_num.Guard.Error} ([Numeric]) if a non-finite moment
+    reaches the estimator boundary. *)
+
+val estimate_result :
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  layout:Rgleak_circuit.Layout.t ->
+  unit ->
+  (result, Rgleak_num.Guard.diagnostic) Stdlib.result
+(** Non-raising entry point: {!estimate} under
+    {!Rgleak_num.Guard.protect}. *)

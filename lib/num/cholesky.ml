@@ -58,6 +58,51 @@ let decompose_semidefinite ?(jitter = 1e-10) a =
   let tol = jitter *. Float.max !max_diag 1.0 in
   decompose_inner ~on_bad_pivot:(Some tol) a
 
+type robust = { factor : Matrix.t; jitter : float; attempts : int }
+
+(* Escalating relative regularization ladder.  The first rung is the
+   unperturbed matrix; each later rung adds jitter·I with jitter a
+   fixed fraction of the largest diagonal entry.  1e-2 is the ceiling:
+   a matrix still indefinite after inflating its diagonal by 1% is not
+   "near"-PSD and deserves a diagnostic, not a silent repair. *)
+let jitter_ladder = [| 0.0; 1e-12; 1e-10; 1e-8; 1e-6; 1e-4; 1e-2 |]
+
+let decompose_robust ?(max_attempts = Array.length jitter_ladder) a =
+  if max_attempts < 1 then
+    invalid_arg "Cholesky.decompose_robust: need at least one attempt";
+  let n = Matrix.rows a in
+  let scale = ref 0.0 in
+  for i = 0 to n - 1 do
+    scale := Float.max !scale (Float.abs (Matrix.get a i i))
+  done;
+  let scale = Float.max !scale 1.0 in
+  let rungs = Stdlib.min max_attempts (Array.length jitter_ladder) in
+  let rec attempt k =
+    if k >= rungs then
+      Guard.numeric ~site:"cholesky"
+        (Printf.sprintf
+           "matrix (%dx%d) is indefinite: %d jitter-retry attempts up to \
+            %.1e relative regularization failed"
+           n n rungs jitter_ladder.(rungs - 1))
+    else begin
+      let jitter = jitter_ladder.(k) *. scale in
+      let candidate =
+        if jitter = 0.0 then a
+        else
+          Matrix.init ~rows:n ~cols:n (fun i j ->
+              Matrix.get a i j +. (if i = j then jitter else 0.0))
+      in
+      (* The fault probe counts as a failed factorization attempt, so a
+         single armed site exercises the whole escalation path. *)
+      if Guard.Fault.fire "cholesky" then attempt (k + 1)
+      else
+        match decompose_semidefinite candidate with
+        | factor -> { factor; jitter; attempts = k + 1 }
+        | exception Not_positive_definite _ -> attempt (k + 1)
+    end
+  in
+  attempt 0
+
 let solve l b =
   let n = Matrix.rows l in
   if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";

@@ -19,6 +19,25 @@ val decompose_semidefinite : ?jitter:float -> Matrix.t -> Matrix.t
     [Not_positive_definite] — e.g. a triangular correlation function
     evaluated on a dense 2-D grid, which is not a valid covariance. *)
 
+type robust = {
+  factor : Matrix.t;  (** lower-triangular [l] with [l lᵀ ≈ a + jitter·I] *)
+  jitter : float;  (** diagonal regularization that finally succeeded *)
+  attempts : int;  (** factorization attempts consumed (1 = clean) *)
+}
+
+val decompose_robust : ?max_attempts:int -> Matrix.t -> robust
+(** Jitter-retry guardrail for near-PSD covariance tables: tries
+    {!decompose_semidefinite} as-is first, then with escalating
+    diagonal regularization [jitter·I] (1e-12, 1e-10, … 1e-2 relative
+    to the largest diagonal entry, [max_attempts] rungs, default the
+    full ladder).  Matrices that are indefinite only through rounding
+    are repaired with a perturbation that is negligible against the
+    data; genuinely indefinite inputs exhaust the ladder and raise
+    {!Guard.Error} with a [Numeric] diagnostic at site ["cholesky"].
+    The ["cholesky"] fault site makes any attempt fail on demand, so
+    the retry path is testable without crafting ill-conditioned
+    inputs. *)
+
 val solve : Matrix.t -> Vector.t -> Vector.t
 (** [solve l b] solves [l lᵀ x = b] given the factor [l]. *)
 

@@ -1,0 +1,101 @@
+type diagnostic =
+  | Invalid_input of string
+  | Numeric of { site : string; detail : string }
+  | Internal of string
+
+exception Error of diagnostic
+
+let invalid msg = raise (Error (Invalid_input msg))
+let numeric ~site detail = raise (Error (Numeric { site; detail }))
+let internal msg = raise (Error (Internal msg))
+
+let to_string = function
+  | Invalid_input msg -> "invalid input: " ^ msg
+  | Numeric { site; detail } -> Printf.sprintf "numeric (%s): %s" site detail
+  | Internal msg -> "internal: " ^ msg
+
+let class_name = function
+  | Invalid_input _ -> "invalid-input"
+  | Numeric _ -> "numeric"
+  | Internal _ -> "internal"
+
+let exit_code = function
+  | Invalid_input _ -> 2
+  | Numeric _ -> 3
+  | Internal _ -> 4
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Error d -> Result.Error d
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception Stack_overflow -> raise Stack_overflow
+  | exception Invalid_argument msg -> Result.Error (Invalid_input msg)
+  | exception Failure msg -> Result.Error (Invalid_input msg)
+  | exception e -> Result.Error (Internal (Printexc.to_string e))
+
+let check_finite ~site ~name v =
+  if Float.is_finite v then v
+  else
+    numeric ~site
+      (Printf.sprintf "%s is %s" name
+         (if Float.is_nan v then "NaN" else "infinite"))
+
+module Fault = struct
+  type spec = { site : string; prob : float; seed : int }
+
+  let known_sites = [ "parallel"; "cholesky"; "quadrature"; "linear.f" ]
+
+  type site_state = { prob : float; seed : int; counter : int Atomic.t }
+
+  (* The armed-site table is tiny (<= 4 entries) and read-only between
+     [configure] calls, so probes scan an immutable list; [active] is
+     the single atomic the disarmed fast path touches. *)
+  let active = Atomic.make false
+  let armed : (string * site_state) list Atomic.t = Atomic.make []
+
+  let parse_spec s =
+    match String.split_on_char ':' (String.trim s) with
+    | [ site; prob; seed ] -> (
+      match (float_of_string_opt prob, int_of_string_opt seed) with
+      | Some p, Some sd when p >= 0.0 && p <= 1.0 ->
+        if List.mem site known_sites then Ok { site; prob = p; seed = sd }
+        else
+          Result.Error
+            (Printf.sprintf "unknown fault site %S (known: %s)" site
+               (String.concat ", " known_sites))
+      | Some _, Some _ ->
+        Result.Error
+          (Printf.sprintf "fault probability %S outside [0, 1]" prob)
+      | _ ->
+        Result.Error
+          (Printf.sprintf "cannot parse fault spec %S (want SITE:PROB:SEED)" s))
+    | _ ->
+      Result.Error
+        (Printf.sprintf "cannot parse fault spec %S (want SITE:PROB:SEED)" s)
+
+  let configure specs =
+    Atomic.set armed
+      (List.map
+         (fun { site; prob; seed } ->
+           (site, { prob; seed; counter = Atomic.make 0 }))
+         specs);
+    Atomic.set active (specs <> [])
+
+  let clear () = configure []
+  let enabled () = Atomic.get active
+
+  let fire site =
+    Atomic.get active
+    && (match List.assoc_opt site (Atomic.get armed) with
+       | None -> false
+       | Some s ->
+         let k = Atomic.fetch_and_add s.counter 1 in
+         (* Decision k is a pure function of (seed, k): materialize the
+            k-th SplitMix64 replica stream and take its first uniform
+            draw.  Identical specs therefore produce identical fault
+            sequences, independent of scheduling. *)
+         Rng.uniform (Rng.stream ~seed:s.seed k) < s.prob)
+
+  let corrupt_nan site v = if fire site then Float.nan else v
+end

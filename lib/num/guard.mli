@@ -1,0 +1,104 @@
+(** Structured errors, numeric guardrails and deterministic fault
+    injection.
+
+    The estimation pipeline distinguishes three failure classes:
+
+    - {b Invalid input} — the caller handed us something malformed
+      (unknown cell name, negative gate count, unparsable spec).
+      Recoverable by fixing the input.
+    - {b Numeric} — a numerical method broke down at a named {e site}
+      (an indefinite covariance table, quadrature that refuses to
+      converge, a NaN crossing an estimator boundary).  Often
+      recoverable by a guardrail (jitter retry, rule fallback) or by
+      skipping the affected tier.
+    - {b Internal} — an invariant of this library is broken; a bug.
+
+    Library entry points keep their historical raising behaviour
+    ([Invalid_argument] for bad input) and additionally raise
+    {!Error} with a [Numeric] payload on numerical breakdown; the
+    [*_result] wrappers ({!protect}) fold every class into a
+    [(_, diagnostic) result] so services never have to match on raw
+    exceptions.
+
+    {b Fault injection.}  {!Fault} compiles probe points into the
+    production paths (the parallel pool, Cholesky factorization, the
+    quadrature guardrail, the linear estimator's F memo).  Probes are
+    dormant by default — one atomic load and a branch, the same
+    discipline as the telemetry layer — and are armed per site with a
+    [site:prob:seed] spec.  Decisions are a pure hash of
+    [(seed, probe_index)], so a given spec produces the identical
+    fault sequence on every run. *)
+
+type diagnostic =
+  | Invalid_input of string  (** malformed caller input *)
+  | Numeric of { site : string; detail : string }
+      (** numerical breakdown at a named site *)
+  | Internal of string  (** broken invariant: a bug in this library *)
+
+exception Error of diagnostic
+
+val invalid : string -> 'a
+(** Raises [Error (Invalid_input _)]. *)
+
+val numeric : site:string -> string -> 'a
+(** Raises [Error (Numeric _)]. *)
+
+val internal : string -> 'a
+(** Raises [Error (Internal _)]. *)
+
+val to_string : diagnostic -> string
+(** ["invalid input: ..."], ["numeric (site): ..."] or
+    ["internal: ..."] — one line, suitable for stderr. *)
+
+val class_name : diagnostic -> string
+(** ["invalid-input"], ["numeric"] or ["internal"]. *)
+
+val exit_code : diagnostic -> int
+(** Per-class process exit codes: invalid input 2, numeric 3,
+    internal 4 (0 is success; the CLI documents the table). *)
+
+val protect : (unit -> 'a) -> ('a, diagnostic) result
+(** [protect f] runs [f] and folds every failure into a diagnostic:
+    [Error d] is returned as-is, [Invalid_argument]/[Failure] become
+    [Invalid_input], [Not_found] and any other exception become
+    [Internal].  Asynchronous exceptions ([Out_of_memory],
+    [Stack_overflow]) are re-raised. *)
+
+val check_finite : site:string -> name:string -> float -> float
+(** Identity on finite floats; raises [Error (Numeric _)] on NaN or
+    infinity.  Placed at estimator boundaries so numerical breakdown
+    surfaces as a typed diagnostic instead of propagating silently. *)
+
+(** Deterministic, seeded fault injection. *)
+module Fault : sig
+  type spec = { site : string; prob : float; seed : int }
+
+  val known_sites : string list
+  (** Compiled-in probe points: ["parallel"] (pool task entry),
+      ["cholesky"] (factorization attempt), ["quadrature"] (forces the
+      Gauss–Legendre convergence check to fail) and ["linear.f"]
+      (poisons the linear estimator's F memo with NaN). *)
+
+  val parse_spec : string -> (spec, string) result
+  (** Parses ["site:prob:seed"] — a known site, a probability in
+      [\[0, 1\]] and an integer seed. *)
+
+  val configure : spec list -> unit
+  (** Arms the given sites (replacing any previous configuration) and
+      resets their probe counters.  An empty list disarms
+      everything. *)
+
+  val clear : unit -> unit
+  (** Disarms all sites; probes return to the zero-cost path. *)
+
+  val enabled : unit -> bool
+
+  val fire : string -> bool
+  (** [fire site] is the probe: [false] (one atomic load) when
+      disarmed; when [site] is armed, decision [k] of that site is
+      [hash (seed, k) < prob] — deterministic and independent of
+      wall-clock, scheduling or other sites. *)
+
+  val corrupt_nan : string -> float -> float
+  (** [corrupt_nan site v] is [nan] when the probe fires, else [v]. *)
+end

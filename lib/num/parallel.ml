@@ -167,7 +167,15 @@ let run_thunks ?(label = "task") pool fs =
     let done_mutex = Mutex.create () in
     let all_done = Condition.create () in
     let task i () =
-      (try results.(i) <- Some (fs.(i) ())
+      (* The fault probe sits inside the capture scope: an injected
+         fault is recorded like any task exception and re-raised on the
+         submitting domain once every task has drained, so a poisoned
+         run fails with a typed diagnostic instead of hanging. *)
+      (try
+         if Guard.Fault.fire "parallel" then
+           Guard.numeric ~site:"parallel"
+             (Printf.sprintf "injected fault in pool task %d" i);
+         results.(i) <- Some (fs.(i) ())
        with e -> ignore (Atomic.compare_and_set error None (Some e)));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock done_mutex;

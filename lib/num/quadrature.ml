@@ -72,6 +72,37 @@ let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 40) f ~lo ~hi =
     go lo fa hi fb m fm (simpson lo fa hi fb fm) tol 0
   end
 
+(* ---- guarded integration: GL residual check, Simpson fallback ---- *)
+
+module Obs = Rgleak_obs.Obs
+
+(* The residual estimate compares the full-order rule against a
+   half-order one: for integrands GL handles at all, the two agree to
+   far better than [rtol]; a large gap means the rule is not converging
+   (sharp peak, discontinuity) and the value cannot be trusted. *)
+let residual_of v check =
+  let scale = Float.max (Float.max (Float.abs v) (Float.abs check)) 1e-300 in
+  if Float.is_nan v || Float.is_nan check then infinity
+  else Float.abs (v -. check) /. scale
+
+let guarded_scale v check =
+  Float.max (Float.max (Float.abs v) (Float.abs check)) 1e-300
+
+let gauss_legendre_guarded ?(order = 64) ?check_order ?(rtol = 1e-6) f ~lo ~hi =
+  let check_order =
+    match check_order with Some c -> c | None -> Stdlib.max 2 (order / 2)
+  in
+  let v = gauss_legendre ~order f ~lo ~hi in
+  let check = gauss_legendre ~order:check_order f ~lo ~hi in
+  let forced = Guard.Fault.fire "quadrature" in
+  if (not forced) && residual_of v check <= rtol then v
+  else begin
+    Obs.count "quadrature.fallbacks" 1;
+    let tol = Float.max (rtol *. guarded_scale v check) 1e-12 in
+    let s = adaptive_simpson ~tol f ~lo ~hi in
+    Guard.check_finite ~site:"quadrature" ~name:"adaptive-Simpson fallback" s
+  end
+
 let gauss_legendre_2d ?(order = 64) f ~x_lo ~x_hi ~y_lo ~y_hi =
   let nodes = gauss_legendre_nodes order in
   let half_x = 0.5 *. (x_hi -. x_lo) and mid_x = 0.5 *. (x_hi +. x_lo) in
@@ -87,6 +118,25 @@ let gauss_legendre_2d ?(order = 64) f ~x_lo ~x_hi ~y_lo ~y_hi =
       s := !s +. (wx *. !row))
     nodes;
   half_x *. half_y *. !s
+
+let gauss_legendre_2d_guarded ?(order = 64) ?check_order ?(rtol = 1e-6) f
+    ~x_lo ~x_hi ~y_lo ~y_hi =
+  let check_order =
+    match check_order with Some c -> c | None -> Stdlib.max 2 (order / 2)
+  in
+  let v = gauss_legendre_2d ~order f ~x_lo ~x_hi ~y_lo ~y_hi in
+  let check = gauss_legendre_2d ~order:check_order f ~x_lo ~x_hi ~y_lo ~y_hi in
+  let forced = Guard.Fault.fire "quadrature" in
+  if (not forced) && residual_of v check <= rtol then v
+  else begin
+    Obs.count "quadrature.fallbacks" 1;
+    (* Iterated adaptive Simpson: the outer tolerance is split between
+       the two nesting levels so the overall error stays ~rtol. *)
+    let tol = Float.max (rtol *. guarded_scale v check) 1e-12 in
+    let inner x = adaptive_simpson ~tol:(tol /. 4.0) (f x) ~lo:y_lo ~hi:y_hi in
+    let s = adaptive_simpson ~tol inner ~lo:x_lo ~hi:x_hi in
+    Guard.check_finite ~site:"quadrature" ~name:"adaptive-Simpson 2-D fallback" s
+  end
 
 let trapezoid f ~lo ~hi ~n =
   if n < 1 then invalid_arg "Quadrature.trapezoid: need at least one panel";

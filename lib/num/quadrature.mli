@@ -18,6 +18,22 @@ val adaptive_simpson :
 (** Adaptive Simpson integration with absolute tolerance [tol]
     (default 1e-10) and recursion cap [max_depth] (default 40). *)
 
+val gauss_legendre_guarded :
+  ?order:int ->
+  ?check_order:int ->
+  ?rtol:float ->
+  (float -> float) ->
+  lo:float -> hi:float ->
+  float
+(** Guarded Gauss–Legendre: evaluates the rule at [order] and at
+    [check_order] (default [order/2]); when the two agree to within
+    relative [rtol] (default 1e-6) the full-order value is returned
+    bit-for-bit, so the guardrail never perturbs converged results.
+    Otherwise — non-convergent integrand, NaN, or the ["quadrature"]
+    fault site fired — it falls back to {!adaptive_simpson} at the
+    matching absolute tolerance, raising {!Guard.Error} ([Numeric],
+    site ["quadrature"]) if even the fallback is non-finite. *)
+
 val gauss_legendre_2d :
   ?order:int ->
   (float -> float -> float) ->
@@ -25,6 +41,16 @@ val gauss_legendre_2d :
   float
 (** Tensor-product Gauss–Legendre rule for 2-D integrals on a rectangle
     (default order 64 per axis). *)
+
+val gauss_legendre_2d_guarded :
+  ?order:int ->
+  ?check_order:int ->
+  ?rtol:float ->
+  (float -> float -> float) ->
+  x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float ->
+  float
+(** 2-D analogue of {!gauss_legendre_guarded}; the fallback is
+    iterated adaptive Simpson. *)
 
 val trapezoid : (float -> float) -> lo:float -> hi:float -> n:int -> float
 (** Composite trapezoid with [n] panels, used as an independent

@@ -19,14 +19,13 @@ let prepare model locations =
         if i = j then 1.0
         else Corr_model.wid model (distance locations.(i) locations.(j)))
   in
-  let factor =
-    try Cholesky.decompose_semidefinite corr
-    with Cholesky.Not_positive_definite _ ->
-      invalid_arg
-        "Variation.prepare: the WID correlation matrix is indefinite on \
-         these locations; use a family that is positive definite in 2-D \
-         (Exponential, Gaussian or Spherical -- see Corr_model.psd_in_2d)"
-  in
+  (* Jitter-retry guardrail: correlation matrices that are PSD in exact
+     arithmetic but indefinite through rounding are repaired with a
+     negligible diagonal regularization; genuinely indefinite families
+     (e.g. Linear on a dense 2-D grid -- see Corr_model.psd_in_2d)
+     exhaust the ladder and surface as a typed Numeric diagnostic at
+     site "cholesky". *)
+  let { Cholesky.factor; _ } = Cholesky.decompose_robust corr in
   { model; factor; n }
 
 let sample t rng =

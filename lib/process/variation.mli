@@ -16,8 +16,13 @@ type sampler
     done once at construction). *)
 
 val prepare : Corr_model.t -> location array -> sampler
-(** Builds the WID correlation matrix for the locations and factors it.
-    Cost O(n³); intended for validation-scale location sets. *)
+(** Builds the WID correlation matrix for the locations and factors it
+    through {!Rgleak_num.Cholesky.decompose_robust}: rounding-level
+    indefiniteness is repaired by the jitter-retry guardrail, while a
+    genuinely indefinite family (one not positive definite in 2-D —
+    see {!Corr_model.psd_in_2d}) raises {!Rgleak_num.Guard.Error} with
+    a [Numeric] diagnostic.  Cost O(n³); intended for
+    validation-scale location sets. *)
 
 val sample : sampler -> Rgleak_num.Rng.t -> float array
 (** Draws one die: returns the parameter value at each location

@@ -1,0 +1,86 @@
+(* Expect-style CLI tests: spawn the real rgleak binary and assert the
+   per-diagnostic-class exit codes (0 success, 2 invalid input, 3
+   numeric breakdown), the best-effort tier degradation, and the
+   determinism of fault-injected runs.  Kept out of the main suite so
+   its process spawns do not interleave with the in-process tests. *)
+
+let rgleak = "../bin/rgleak.exe"
+
+let run ?(out = "/dev/null") args =
+  let cmd =
+    Printf.sprintf "%s > %s 2>/dev/null"
+      (Filename.quote_command rgleak args)
+      (Filename.quote out)
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED code -> code
+  | Unix.WSIGNALED s -> Alcotest.failf "rgleak killed by signal %d" s
+  | Unix.WSTOPPED s -> Alcotest.failf "rgleak stopped by signal %d" s
+
+let check_exit name expected args =
+  Alcotest.(check int) name expected (run args)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* invalid input exits 2, before any expensive characterization *)
+let test_invalid_input () =
+  check_exit "unknown method" 2
+    [ "estimate"; "-n"; "500"; "--method"; "bogus" ];
+  check_exit "malformed mix" 2 [ "estimate"; "-n"; "500"; "--mix"; "INV_X1" ];
+  check_exit "malformed correlation" 2
+    [ "estimate"; "-n"; "500"; "--corr"; "spherical" ];
+  check_exit "unknown fault site" 2
+    [ "estimate"; "-n"; "500"; "--fault-spec"; "nosuch:1:1" ];
+  check_exit "out-of-range fault probability" 2
+    [ "estimate"; "-n"; "500"; "--fault-spec"; "cholesky:2:1" ];
+  check_exit "conflicting signoff sources" 2
+    [ "signoff"; "--benchmark"; "c432"; "--bench-file"; "x.bench" ];
+  check_exit "unknown cell" 2 [ "characterize"; "--cell"; "NOPE" ]
+
+(* a numeric breakdown under --strict exits 3 *)
+let test_numeric_strict () =
+  check_exit "poisoned F memo, strict" 3
+    [ "estimate"; "-n"; "200"; "--method"; "linear";
+      "--fault-spec"; "linear.f:1:1"; "--strict" ]
+
+(* without --strict the failing tier is skipped and the run succeeds *)
+let test_best_effort_degradation () =
+  check_exit "poisoned F memo, best effort" 0
+    [ "estimate"; "-n"; "200"; "--method"; "linear";
+      "--fault-spec"; "linear.f:1:1" ]
+
+(* identical fault specs give byte-identical output *)
+let test_fault_determinism () =
+  let args out =
+    run ~out
+      [ "estimate"; "-n"; "200"; "--method"; "linear";
+        "--fault-spec"; "linear.f:0.5:42" ]
+  in
+  let t1 = Filename.temp_file "rgleak_cli" ".out"
+  and t2 = Filename.temp_file "rgleak_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove t1; Sys.remove t2)
+    (fun () ->
+      let c1 = args t1 and c2 = args t2 in
+      Alcotest.(check int) "same exit code" c1 c2;
+      Alcotest.(check string) "byte-identical stdout" (read_file t1)
+        (read_file t2))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "rgleak-cli"
+    [
+      ( "exit-codes",
+        [
+          case "invalid input exits 2" test_invalid_input;
+          case "numeric breakdown exits 3 under --strict" test_numeric_strict;
+          case "best-effort degradation exits 0" test_best_effort_degradation;
+          case "fault runs are deterministic" test_fault_determinism;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+(* Robustness battery: structured-error properties, numeric guardrails
+   and deterministic fault injection.
+
+   The property tests randomize the correlation family, the die and the
+   gate count and assert the invariants the guardrails are meant to
+   protect; the fault tests arm the Guard.Fault probe sites and check
+   that every failure surfaces as a typed diagnostic (never a hang, a
+   NaN, or a silent wrong answer) and that identical specs reproduce
+   identical runs. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let param = Process_param.default_channel_length
+
+let chars =
+  lazy
+    (let rng = Rng.create ~seed:4242 () in
+     Array.map
+       (fun cell ->
+         Characterize.characterize ~l_points:33 ~mc_samples:200 ~param
+           ~rng:(Rng.split rng) cell)
+       Library.cells)
+
+let hist =
+  lazy
+    (Histogram.of_weights
+       [ ("INV_X1", 20.0); ("NAND2_X1", 18.0); ("NOR2_X1", 8.0); ("DFF_X1", 9.0) ])
+
+let context_of family =
+  let corr = Corr_model.create family param in
+  let ctx =
+    Estimate.context ~p:0.5 ~chars:(Lazy.force chars) ~corr
+      ~histogram:(Lazy.force hist) ()
+  in
+  (corr, Estimate.correlation ctx)
+
+(* Arm fault sites for the duration of [f] only: a failing assertion
+   must not leak armed probes into the rest of the suite. *)
+let with_faults specs f =
+  Guard.Fault.configure specs;
+  Fun.protect f ~finally:Guard.Fault.clear
+
+let spec site prob seed = { Guard.Fault.site; prob; seed }
+
+(* ---- properties: invariants behind the guardrails ---- *)
+
+let test_variances_nonnegative =
+  qcheck ~count:15 "variance finite and non-negative across tiers"
+    QCheck2.Gen.(pair gen_family (int_range 64 900))
+    (fun (family, n) ->
+      let corr, rgcorr = context_of family in
+      let layout = Layout.square ~n () in
+      let width = Layout.width layout and height = Layout.height layout in
+      let ok (v : float) = Float.is_finite v && v >= 0.0 in
+      let lin = Estimator_linear.estimate ~corr ~rgcorr ~layout () in
+      let rect = Estimator_integral.rect_2d ~corr ~rgcorr ~n ~width ~height () in
+      ok lin.Estimator_linear.variance
+      && ok rect.Estimator_integral.variance
+      && ((not (Estimator_integral.polar_applicable ~corr ~width ~height))
+         || ok
+              (Estimator_integral.polar ~corr ~rgcorr ~n ~width ~height ())
+                .Estimator_integral.variance))
+
+let test_covariance_symmetric_psd =
+  qcheck ~count:50 "site covariance symmetric; decompose_robust repairs it"
+    QCheck2.Gen.(pair gen_psd_family (gen_sites ()))
+    (fun (family, sites) ->
+      let corr = Corr_model.create family param in
+      let pts = Array.of_list sites in
+      let k = Array.length pts in
+      let dist (x1, y1) (x2, y2) = Float.hypot (x1 -. x2) (y1 -. y2) in
+      let c =
+        Matrix.init ~rows:k ~cols:k (fun i j ->
+            Corr_model.total corr (dist pts.(i) pts.(j)))
+      in
+      let r = Cholesky.decompose_robust c in
+      Matrix.is_symmetric c
+      (* PSD families need at most rounding-level repair *)
+      && r.Cholesky.jitter <= 1e-8
+      && Matrix.rows r.Cholesky.factor = k)
+
+let test_correlation_nonincreasing =
+  qcheck ~count:200 "total correlation non-increasing in distance"
+    QCheck2.Gen.(tup3 gen_family (float_range 0.0 200.0) (float_range 0.0 100.0))
+    (fun (family, d, delta) ->
+      let corr = Corr_model.create family param in
+      Corr_model.total corr (d +. delta) <= Corr_model.total corr d +. 1e-12)
+
+let test_cross_tier_agreement =
+  qcheck ~count:10 "tier means identical, integral stds agree"
+    QCheck2.Gen.(pair gen_family (int_range 400 1600))
+    (fun (family, n) ->
+      let corr, rgcorr = context_of family in
+      let layout = Layout.square ~n () in
+      let width = Layout.width layout and height = Layout.height layout in
+      let lin = Estimator_linear.estimate ~corr ~rgcorr ~layout () in
+      let rect = Estimator_integral.rect_2d ~corr ~rgcorr ~n ~width ~height () in
+      let polar2 =
+        Estimator_integral.polar_2d ~corr ~rgcorr ~n ~width ~height ()
+      in
+      let close ?(tol = 1e-9) a b =
+        Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
+      in
+      (* all tiers share the closed-form mean n*mu *)
+      close lin.Estimator_linear.mean rect.Estimator_integral.mean
+      && close rect.Estimator_integral.mean polar2.Estimator_integral.mean
+      (* Eq. 21 is an exact change of variables of Eq. 20 *)
+      && close ~tol:1e-3 rect.Estimator_integral.std
+           polar2.Estimator_integral.std
+      (* discrete sum vs continuous integral: same asymptotics *)
+      && close ~tol:0.1 lin.Estimator_linear.std rect.Estimator_integral.std)
+
+let test_exact_jobs_invariant =
+  qcheck ~count:5 "exact estimator bit-identical across job counts"
+    QCheck2.Gen.(pair gen_family (int_range 30 90))
+    (fun (family, n) ->
+      let corr, rgcorr = context_of family in
+      let rng = Rng.create ~seed:n () in
+      let placed =
+        Generator.random_placed ~histogram:(Lazy.force hist) ~n ~rng ()
+      in
+      let r1 = Estimator_exact.estimate ~jobs:1 ~corr ~rgcorr placed in
+      let r3 = Estimator_exact.estimate ~jobs:3 ~corr ~rgcorr placed in
+      r1.Estimator_exact.mean = r3.Estimator_exact.mean
+      && r1.Estimator_exact.variance = r3.Estimator_exact.variance)
+
+(* ---- cholesky: jitter-retry guardrail ---- *)
+
+(* Indefinite through a tiny off-diagonal excess: the plain
+   semidefinite factorization must refuse it, the jitter ladder must
+   repair it with a perturbation of the same order. *)
+let near_singular_excess e =
+  Matrix.of_arrays [| [| 1.0; 1.0 +. e |]; [| 1.0 +. e; 1.0 |] |]
+
+let test_cholesky_guardrail_needed () =
+  let a = near_singular_excess 5e-5 in
+  (match Cholesky.decompose_semidefinite a with
+  | exception Cholesky.Not_positive_definite _ -> ()
+  | _ -> Alcotest.fail "decompose_semidefinite accepted an indefinite matrix");
+  let r = Cholesky.decompose_robust a in
+  check_true "needed more than one attempt" (r.Cholesky.attempts > 1);
+  check_in_range "jitter of the same order as the defect" ~lo:1e-12 ~hi:1e-3
+    r.Cholesky.jitter;
+  (* the factor reproduces the (regularized) matrix *)
+  let l = r.Cholesky.factor in
+  let reconstructed = Matrix.mul l (Matrix.transpose l) in
+  check_close ~tol:(r.Cholesky.jitter +. 1e-9) "LL^T ~ A (off-diagonal)"
+    (Matrix.get a 0 1)
+    (Matrix.get reconstructed 0 1)
+
+let test_cholesky_fault_exhaustion () =
+  with_faults [ spec "cholesky" 1.0 7 ] @@ fun () ->
+  match Cholesky.decompose_robust (Matrix.identity 3) with
+  | exception Guard.Error (Guard.Numeric { site = "cholesky"; _ }) -> ()
+  | exception e -> raise e
+  | _ -> Alcotest.fail "all-attempts fault should exhaust the ladder"
+
+let test_cholesky_fault_disarmed () =
+  with_faults [ spec "cholesky" 0.0 7 ] @@ fun () ->
+  let r = Cholesky.decompose_robust (Matrix.identity 3) in
+  check_true "clean factorization at prob 0" (r.Cholesky.attempts = 1);
+  check_close "no regularization" 0.0 r.Cholesky.jitter
+
+(* ---- quadrature: convergence guardrail and forced fallback ---- *)
+
+let test_quadrature_guardrail_needed () =
+  (* A spike narrow enough to defeat the fixed-order rule but wide
+     enough that its nodes see it: the unguarded value must be visibly
+     wrong, the guarded one falls back to adaptive Simpson. *)
+  let sigma = 5e-3 in
+  let f x =
+    let z = (x -. 0.5) /. sigma in
+    exp (-.(z *. z))
+  in
+  let truth = sigma *. sqrt Float.pi in
+  let plain = Quadrature.gauss_legendre ~order:64 f ~lo:0.0 ~hi:1.0 in
+  check_true "unguarded GL-64 misses the spike"
+    (Float.abs (plain -. truth) > 1e-3 *. truth);
+  let guarded = Quadrature.gauss_legendre_guarded ~order:64 f ~lo:0.0 ~hi:1.0 in
+  check_rel ~tol:1e-3 "guarded quadrature recovers the spike" truth guarded
+
+let test_quadrature_fault_forces_fallback () =
+  let f x = exp (-.x) *. cos (3.0 *. x) in
+  let reference = Quadrature.gauss_legendre ~order:64 f ~lo:0.0 ~hi:2.0 in
+  let forced =
+    with_faults [ spec "quadrature" 1.0 11 ] @@ fun () ->
+    Quadrature.gauss_legendre_guarded ~order:64 f ~lo:0.0 ~hi:2.0
+  in
+  check_true "fallback path actually taken" (forced <> reference);
+  check_rel ~tol:1e-6 "Simpson fallback agrees with converged GL" reference
+    forced
+
+let test_estimator_quadrature_fault_agreement () =
+  (* Forcing every integral onto the fallback must not change the
+     estimate beyond the quadrature tolerance. *)
+  let corr, rgcorr = context_of (Corr_model.Spherical { dmax = 60.0 }) in
+  let n = 2500 in
+  let layout = Layout.square ~n () in
+  let width = Layout.width layout and height = Layout.height layout in
+  check_true "polar applicable on this die"
+    (Estimator_integral.polar_applicable ~corr ~width ~height);
+  let baseline = Estimator_integral.polar ~corr ~rgcorr ~n ~width ~height () in
+  let faulted =
+    with_faults [ spec "quadrature" 1.0 13 ] @@ fun () ->
+    Estimator_integral.polar ~corr ~rgcorr ~n ~width ~height ()
+  in
+  check_rel ~tol:1e-4 "polar std under forced fallback"
+    baseline.Estimator_integral.std faulted.Estimator_integral.std
+
+(* ---- parallel pool: typed diagnostic, no hang ---- *)
+
+let test_pool_fault_typed_diagnostic () =
+  let corr, rgcorr = context_of (Corr_model.Spherical { dmax = 80.0 }) in
+  let rng = Rng.create ~seed:99 () in
+  let placed =
+    Generator.random_placed ~histogram:(Lazy.force hist) ~n:60 ~rng ()
+  in
+  let faulted =
+    with_faults [ spec "parallel" 1.0 5 ] @@ fun () ->
+    Estimator_exact.estimate_result ~jobs:3 ~corr ~rgcorr placed
+  in
+  (match faulted with
+  | Error (Guard.Numeric { site = "parallel"; _ }) -> ()
+  | Error d -> Alcotest.failf "wrong diagnostic: %s" (Guard.to_string d)
+  | Ok _ -> Alcotest.fail "pool fault at prob 1 must fail the estimate");
+  (* the pool survives the fault: the next run is clean *)
+  match Estimator_exact.estimate_result ~jobs:3 ~corr ~rgcorr placed with
+  | Ok r -> check_true "clean rerun" (Float.is_finite r.Estimator_exact.std)
+  | Error d -> Alcotest.failf "pool damaged by fault: %s" (Guard.to_string d)
+
+(* ---- determinism: identical specs, identical runs ---- *)
+
+let test_fault_sequence_deterministic () =
+  let seq seed =
+    with_faults [ spec "linear.f" 0.5 seed ] @@ fun () ->
+    List.init 64 (fun _ -> Guard.Fault.fire "linear.f")
+  in
+  check_true "same seed, same sequence" (seq 123 = seq 123);
+  check_true "sequence not degenerate"
+    (List.exists Fun.id (seq 123) && not (List.for_all Fun.id (seq 123)))
+
+let test_faulted_estimate_deterministic () =
+  let corr, rgcorr = context_of (Corr_model.Spherical { dmax = 90.0 }) in
+  let layout = Layout.square ~n:400 () in
+  let run () =
+    with_faults [ spec "linear.f" 0.5 77 ] @@ fun () ->
+    Estimator_linear.estimate_result ~corr ~rgcorr ~layout ()
+  in
+  let a = run () and b = run () in
+  (match (a, b) with
+  | Ok ra, Ok rb ->
+    check_true "identical values"
+      (ra.Estimator_linear.mean = rb.Estimator_linear.mean
+      && ra.Estimator_linear.variance = rb.Estimator_linear.variance)
+  | Error da, Error db ->
+    Alcotest.(check string)
+      "identical diagnostics" (Guard.to_string da) (Guard.to_string db)
+  | _ -> Alcotest.fail "same spec produced different outcomes");
+  (* prob 1/2 over many offsets: some probe fires, so the NaN poison
+     must have been caught at the boundary, not returned as a value *)
+  match a with
+  | Error (Guard.Numeric { site = "linear"; _ }) -> ()
+  | Error d -> Alcotest.failf "wrong diagnostic: %s" (Guard.to_string d)
+  | Ok _ -> Alcotest.fail "prob-1/2 fault over 400 sites should fire"
+
+(* ---- linear estimator: F-memo presence bitmask ---- *)
+
+let test_linear_memo_bitmask () =
+  (* On a full 3x3 array the offset loop probes 24 off-diagonal offsets
+     covering 8 distinct (|di|, |dj|) pairs.  With the fault site
+     poisoning every computed value with NaN, the old NaN-sentinel memo
+     recomputed on every probe (24 misses) and the poison stayed
+     invisible to the memo; the presence bitmask memoizes NaN like any
+     other value (8 misses) and the boundary check reports it. *)
+  let corr, rgcorr = context_of (Corr_model.Spherical { dmax = 90.0 }) in
+  let layout = Layout.square ~n:9 () in
+  Rgleak_obs.Obs.reset ();
+  Rgleak_obs.Obs.set_enabled true;
+  let result =
+    Fun.protect ~finally:(fun () -> Rgleak_obs.Obs.set_enabled false)
+    @@ fun () ->
+    with_faults [ spec "linear.f" 1.0 3 ] @@ fun () ->
+    Estimator_linear.estimate_result ~corr ~rgcorr ~layout ()
+  in
+  let snap = Rgleak_obs.Obs.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap.Rgleak_obs.Obs.counters with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s not recorded" name
+  in
+  Alcotest.(check int) "one miss per distinct offset" 8
+    (counter "linear.memo_misses");
+  Alcotest.(check int) "remaining probes hit the memo" 16
+    (counter "linear.memo_hits");
+  match result with
+  | Error (Guard.Numeric { site = "linear"; _ }) -> ()
+  | Error d -> Alcotest.failf "wrong diagnostic: %s" (Guard.to_string d)
+  | Ok _ -> Alcotest.fail "NaN-poisoned memo must fail the boundary check"
+
+(* ---- fault spec parsing ---- *)
+
+let test_fault_spec_parsing () =
+  (match Guard.Fault.parse_spec "cholesky:0.25:42" with
+  | Ok { Guard.Fault.site = "cholesky"; prob = 0.25; seed = 42 } -> ()
+  | Ok _ -> Alcotest.fail "mis-parsed a valid spec"
+  | Error e -> Alcotest.failf "rejected a valid spec: %s" e);
+  List.iter
+    (fun bad ->
+      match Guard.Fault.parse_spec bad with
+      | Ok _ -> Alcotest.failf "accepted malformed spec %S" bad
+      | Error _ -> ())
+    [ "nosuch:1:1"; "cholesky:2.0:1"; "cholesky:-0.1:1"; "cholesky:x:1";
+      "cholesky:1"; "" ]
+
+let suite =
+  ( "robustness",
+    [
+      test_variances_nonnegative;
+      test_covariance_symmetric_psd;
+      test_correlation_nonincreasing;
+      test_cross_tier_agreement;
+      test_exact_jobs_invariant;
+      case "cholesky: guardrail needed and repairs" test_cholesky_guardrail_needed;
+      case "cholesky: fault exhausts ladder" test_cholesky_fault_exhaustion;
+      case "cholesky: prob-0 fault is free" test_cholesky_fault_disarmed;
+      case "quadrature: guardrail needed on a spike"
+        test_quadrature_guardrail_needed;
+      case "quadrature: forced fallback agrees"
+        test_quadrature_fault_forces_fallback;
+      case "polar estimator: forced fallback agrees"
+        test_estimator_quadrature_fault_agreement;
+      case "pool fault: typed diagnostic, pool survives"
+        test_pool_fault_typed_diagnostic;
+      case "fault sequence deterministic per seed"
+        test_fault_sequence_deterministic;
+      case "faulted estimate deterministic" test_faulted_estimate_deterministic;
+      case "linear F-memo uses a presence bitmask" test_linear_memo_bitmask;
+      case "fault spec parsing" test_fault_spec_parsing;
+    ] )

@@ -28,3 +28,46 @@ let qcheck ?(count = 100) name gen prop =
 
 let case name f = Alcotest.test_case name `Quick f
 let slow_case name f = Alcotest.test_case name `Slow f
+
+(* ---- domain generators shared by the property batteries ---- *)
+
+(* WID families that are positive semi-definite on 2-D point sets
+   (safe to Cholesky-factor without repair). *)
+let gen_psd_family =
+  QCheck2.Gen.(
+    oneof
+      [
+        map
+          (fun dmax -> Rgleak_process.Corr_model.Spherical { dmax })
+          (float_range 30.0 150.0);
+        map
+          (fun range -> Rgleak_process.Corr_model.Exponential { range })
+          (float_range 10.0 80.0);
+        map
+          (fun range -> Rgleak_process.Corr_model.Gaussian { range })
+          (float_range 10.0 80.0);
+      ])
+
+(* Any supported WID family, including the ones that are only valid
+   covariances in 1-D (Linear) or not guaranteed PSD (truncated exp):
+   the analytical estimators must accept all of them. *)
+let gen_family =
+  QCheck2.Gen.(
+    oneof
+      [
+        gen_psd_family;
+        map
+          (fun dmax -> Rgleak_process.Corr_model.Linear { dmax })
+          (float_range 30.0 150.0);
+        map
+          (fun (range, dmax) ->
+            Rgleak_process.Corr_model.Truncated_exponential { range; dmax })
+          (pair (float_range 10.0 60.0) (float_range 60.0 150.0));
+      ])
+
+(* A small cloud of die locations (µm), duplicates allowed so the
+   perfectly-correlated (semi-definite) corner is exercised too. *)
+let gen_sites ?(max_points = 12) () =
+  QCheck2.Gen.(
+    list_size (int_range 2 max_points)
+      (pair (float_range 0.0 200.0) (float_range 0.0 200.0)))
