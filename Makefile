@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench examples clean doc bench-json microbench \
-        trace metrics overhead check fault-matrix
+        trace metrics overhead check fault-matrix validate golden-check \
+        golden-update
 
 all: check
 
@@ -15,10 +16,12 @@ test-verbose:
 	dune runtest --force --no-buffer
 
 # The default gate: build, run the full test suites, then exercise the
-# fault-injection matrix end to end through the CLI.
+# fault-injection matrix and the full validation sweep end to end
+# through the CLI (the quick sweep already runs inside dune runtest).
 check: build
 	dune runtest
 	$(MAKE) fault-matrix
+	$(MAKE) golden-check
 
 # 3 sites x 2 seeds of deterministic fault injection, driven through
 # the real binary.  Estimator-tier faults (linear.f) must exit 3 under
@@ -56,6 +59,34 @@ fault-matrix: build
 	  echo "ok: quadrature seed $$seed (fallback engages, exit 0)"; \
 	done; \
 	echo "fault matrix passed"
+
+# The full paper-table validation sweep: exact/linear/integral tiers
+# against a seeded MC reference at every design point, human-readable
+# tables on stdout.  Bit-reproducible for a given --seed.
+validate: build
+	$(RGLEAK) validate --sweep default --seed 42
+
+# Regenerate the committed golden baselines after an intentional
+# harness or estimator change; commit the resulting JSON.
+golden-update: build
+	$(RGLEAK) validate --sweep quick --seed 42 --json data/golden/validate_quick.json
+	$(RGLEAK) validate --sweep default --seed 42 --json data/golden/validate_default.json
+
+# Both sweeps must reproduce their committed baselines (drift within MC
+# sampling noise is tolerated, anything else fails), and a deliberately
+# fault-poisoned run must be caught as breaking drift — proving the
+# golden gate can actually fail.
+golden-check: build
+	$(RGLEAK) validate --sweep quick --seed 42 --golden data/golden/validate_quick.json
+	$(RGLEAK) validate --sweep default --seed 42 --golden data/golden/validate_default.json
+	@got=0; $(RGLEAK) validate --sweep quick --seed 42 \
+	  --fault-spec linear.f:1:1 --golden data/golden/validate_quick.json \
+	  >/tmp/rgleak_golden_neg.out 2>&1 || got=$$?; \
+	test $$got -ne 0 || { \
+	  echo "FAIL: faulted validate run passed the golden gate"; exit 1; }; \
+	grep -q "BREAKING" /tmp/rgleak_golden_neg.out || { \
+	  echo "FAIL: faulted drift not classified as breaking"; exit 1; }; \
+	echo "ok: golden gate rejects a poisoned estimator (exit $$got, breaking drift)"
 
 bench:
 	dune exec bench/main.exe

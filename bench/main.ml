@@ -414,6 +414,7 @@ type timing_entry = {
   estimator : string;
   n : int;
   jobs_used : int;
+  cpus : int;  (** CPUs available when this entry was measured *)
   seconds : float;
   seconds_1job : float;
   counters : (string * int) list;
@@ -422,20 +423,33 @@ type timing_entry = {
 
 let speedup e = if e.seconds > 0.0 then e.seconds_1job /. e.seconds else 1.0
 
+(* A 1-vs-N-job wall-clock ratio only measures parallel speedup when
+   the host can actually run domains side by side; on a single CPU it
+   measures scheduling overhead, and publishing it as "speedup" misled
+   every consumer of the v2 schema.  v3 records the availability and
+   withholds the ratio when it is meaningless. *)
+let speedup_meaningful e = e.cpus > 1 && e.jobs_used > 1
+
+let nproc () = Domain.recommended_domain_count ()
+
 let write_bench_json ~path ~jobs entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/2\",\n";
+  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/3\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"nproc\": %d,\n" (nproc ());
   Printf.fprintf oc "  \"fast\": %b,\n" !fast;
   Printf.fprintf oc "  \"entries\": [\n";
   let last = List.length entries - 1 in
   List.iteri
     (fun i e ->
       Printf.fprintf oc
-        "    { \"estimator\": %S, \"n\": %d, \"jobs\": %d, \"seconds\": %.6f, \
-         \"seconds_1job\": %.6f, \"speedup\": %.3f,\n"
-        e.estimator e.n e.jobs_used e.seconds e.seconds_1job (speedup e);
+        "    { \"estimator\": %S, \"n\": %d, \"jobs\": %d, \"cpus\": %d, \
+         \"seconds\": %.6f, \"seconds_1job\": %.6f,%s\n"
+        e.estimator e.n e.jobs_used e.cpus e.seconds e.seconds_1job
+        (if speedup_meaningful e then
+           Printf.sprintf " \"speedup\": %.3f," (speedup e)
+         else "");
       Printf.fprintf oc "      \"counters\": {%s},\n"
         (String.concat ", "
            (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) e.counters));
@@ -455,6 +469,12 @@ let run_timing () =
     (Printf.sprintf
        "E8c: estimator wall-clock at 1 vs %d jobs (writes BENCH_estimators.json)"
        jobs);
+  if nproc () <= 1 then
+    Printf.printf
+      "warning: single-CPU host (nproc = 1): the 1-vs-%d-job comparison \
+       measures scheduling overhead, not parallel speedup; speedup ratios \
+       are omitted from the report\n%!"
+      jobs;
   let chars = Lazy.force chars in
   let hist = Lazy.force default_hist in
   let ctx = Estimate.context ~chars ~corr:corr_default ~histogram:hist () in
@@ -488,13 +508,14 @@ let run_timing () =
       failwith (estimator ^ ": jobs=1 and parallel results differ");
     let counters, gauges = observe run in
     let e =
-      { estimator; n; jobs_used = jobs; seconds = tj; seconds_1job = t1;
-        counters; gauges }
+      { estimator; n; jobs_used = jobs; cpus = nproc (); seconds = tj;
+        seconds_1job = t1; counters; gauges }
     in
     entries := e :: !entries;
-    Printf.printf
-      "%-12s n=%8d   1 job %8.3f s   %2d jobs %8.3f s   speedup %.2fx\n%!"
-      estimator n t1 jobs tj (speedup e)
+    Printf.printf "%-12s n=%8d   1 job %8.3f s   %2d jobs %8.3f s   %s\n%!"
+      estimator n t1 jobs tj
+      (if speedup_meaningful e then Printf.sprintf "speedup %.2fx" (speedup e)
+       else "(single CPU: no speedup)")
   in
   let bits = Int64.bits_of_float in
   (* The O(n²) exact pair loop — the headline parallel path. *)

@@ -5,7 +5,7 @@
    rgleak estimate ...                  -- early-mode estimate from a mix
    rgleak signoff --benchmark c7552     -- late-mode vs true leakage
    rgleak yield -n 100000 --budget 400  -- distribution quantiles / yield
-   rgleak validate                      -- quick self-check *)
+   rgleak validate                      -- statistical validation harness *)
 
 open Cmdliner
 open Rgleak_num
@@ -913,49 +913,88 @@ let sleep_cmd =
 (* ---------- validate ---------- *)
 
 let validate_cmd =
-  let run jobs ro tr =
+  let module Experiment = Rgleak_valid.Experiment in
+  let module Golden_diff = Rgleak_valid.Golden_diff in
+  let module Vjson = Rgleak_valid.Vjson in
+  let sweep_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "sweep" ] ~docv:"NAME"
+          ~doc:
+            "Sweep to run: $(b,quick) (two small points, seconds) or \
+             $(b,default) (the full paper-table sweep).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed.  The whole report is a pure function of (sweep, \
+             seed): reruns and different $(b,--jobs) values reproduce it bit \
+             for bit.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the rgleak-validate/1 report to $(docv).")
+  in
+  let golden_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"PATH"
+          ~doc:
+            "Diff the report against the committed baseline at $(docv).  \
+             Drift within the baseline's MC confidence intervals is benign; \
+             structural changes or drift beyond them exit non-zero.")
+  in
+  let run sweep_name seed json golden jobs ro tr =
     with_diagnostics ro @@ fun () ->
     apply_jobs jobs;
     with_telemetry tr @@ fun () ->
-    let chars = Characterize.default_library () in
-    let corr = corr_of "spherical:120" in
-    let histogram =
-      parse_mix "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+    let sweep = Experiment.sweep_named sweep_name in
+    let report = Experiment.run ?jobs ~seed sweep in
+    Format.printf "%a" Experiment.pp_report report;
+    Option.iter
+      (fun path ->
+        Experiment.write_json ~path report;
+        Printf.printf "report written to %s\n" path)
+      json;
+    let golden_ok =
+      match golden with
+      | None -> true
+      | Some path ->
+        let baseline =
+          try Vjson.parse_file path with
+          | Sys_error msg -> Guard.invalid msg
+          | Vjson.Parse_error msg ->
+            Guard.invalid (Printf.sprintf "bad golden file %s: %s" path msg)
+        in
+        let diff =
+          try
+            Golden_diff.compare ~baseline ~current:(Experiment.to_json report)
+          with Vjson.Parse_error msg ->
+            Guard.invalid
+              (Printf.sprintf "golden file %s is not a validate report: %s"
+                 path msg)
+        in
+        Format.printf "%a" Golden_diff.pp diff;
+        diff.Golden_diff.severity <> Golden_diff.Breaking
     in
-    let rng = Rng.create ~seed:7 () in
-    let ctx = Estimate.context ~chars ~corr ~histogram () in
-    Printf.printf "validation: RG estimate vs exact pairwise on random circuits\n";
-    let ok = ref true in
-    List.iter
-      (fun n ->
-        let placed = Generator.random_placed ~histogram ~n ~rng () in
-        let tr =
-          Estimator_exact.estimate ?jobs ~corr ~rgcorr:(Estimate.correlation ctx)
-            placed
-        in
-        let est =
-          Estimate.run ~method_:Estimate.Linear ctx (Estimate.spec_of_placed placed)
-        in
-        let err =
-          100.0
-          *. Float.abs
-               ((tr.Estimator_exact.std -. est.Estimate.std) /. est.Estimate.std)
-        in
-        let pass = err < 5.0 in
-        if not pass then ok := false;
-        Printf.printf "  n=%5d  true std %10.2f  RG std %10.2f  err %5.2f%%  %s\n"
-          n tr.Estimator_exact.std est.Estimate.std err
-          (if pass then "ok" else "FAIL"))
-      [ 400; 1600; 4900 ];
-    if !ok then Printf.printf "validation passed\n"
-    else begin
-      Printf.printf "validation FAILED\n";
-      exit 1
-    end
+    if not (report.Experiment.pass && golden_ok) then exit 1
   in
   Cmd.v
-    (Cmd.info "validate" ~doc:"Quick self-check of the estimator pipeline")
-    Term.(const run $ jobs_arg $ robust_term $ trace_term)
+    (Cmd.info "validate"
+       ~doc:
+         "Statistical validation: paper-table sweeps with Monte-Carlo \
+          equivalence tests and golden-artifact regression")
+    Term.(
+      const run $ sweep_arg $ seed_arg $ json_arg $ golden_arg $ jobs_arg
+      $ robust_term $ trace_term)
 
 let () =
   let info =

@@ -86,13 +86,30 @@ let timed_sample t ~seed i =
     x
   end
 
+(* Chunk sizing for the replica fill.  The pool's default of 64 chunks
+   is tuned for the O(n²) pair loops; for replica sampling it splits
+   e.g. 400 replicas into 6-or-7-sample tasks (a 17% size imbalance
+   that the trailing chunks turn into idle tail time) and degenerates
+   to one-sample tasks below 64 replicas.  Since each task writes
+   disjoint slots (slot i = replica i), the fill is order-independent
+   and the chunk count is free to follow the pool size: a few chunks
+   per domain for load balancing, never fewer than [min_grain] replicas
+   per chunk so scheduling overhead stays amortized. *)
+let min_grain = 16
+let chunks_per_job = 4
+
+let chunks_for ~jobs ~count =
+  let by_grain = (count + min_grain - 1) / min_grain in
+  Int.max 1 (Int.min by_grain (chunks_per_job * jobs))
+
 let sample_many_stream ?jobs t ~seed ~count =
   if count < 0 then invalid_arg "Mc_reference.sample_many_stream: negative count";
   Obs.span "mc.samples" @@ fun () ->
   Obs.count "mc.replicas" count;
   let out = Array.make count 0.0 in
   Parallel.using ?jobs (fun pool ->
-      Parallel.parallel_for_reduce ~label:"mc.chunk" pool ~n:count
+      let chunks = chunks_for ~jobs:(Parallel.jobs pool) ~count in
+      Parallel.parallel_for_reduce ~chunks ~label:"mc.chunk" pool ~n:count
         ~init:(fun () -> ())
         ~body:(fun () i -> out.(i) <- timed_sample t ~seed i)
         ~combine:(fun () () -> ()));
@@ -101,24 +118,22 @@ let sample_many_stream ?jobs t ~seed ~count =
 let moments_stream ?jobs t ~seed ~count =
   if count < 2 then invalid_arg "Mc_reference.moments_stream: need >= 2 replicas";
   Obs.span "mc.moments" @@ fun () ->
-  Obs.count "mc.replicas" count;
-  (* Per-chunk (Σx, Σx²) partials combined in chunk order: the chunking
-     depends only on [count], so the moments are bit-identical for any
-     job count.  Leakage samples are positive and of one scale, so the
-     plain sum of squares loses nothing material against the streaming
-     accumulator used by {!moments}. *)
-  let s, s2 =
-    Parallel.using ?jobs (fun pool ->
-        Parallel.parallel_for_reduce ~label:"mc.chunk" pool ~n:count
-          ~init:(fun () -> (0.0, 0.0))
-          ~body:(fun (s, s2) i ->
-            let x = timed_sample t ~seed i in
-            (s +. x, s2 +. (x *. x)))
-          ~combine:(fun (a, b) (c, d) -> (a +. c, b +. d)))
-  in
+  (* The moments reduce over the filled replica array *sequentially in
+     replica order*, so they are independent of the chunk decomposition
+     above — bit-identical for any job count even though the chunk
+     count follows the pool size.  Leakage samples are positive and of
+     one scale, so the plain sum of squares loses nothing material
+     against the streaming accumulator used by {!moments}. *)
+  let samples = sample_many_stream ?jobs t ~seed ~count in
+  let s = ref 0.0 and s2 = ref 0.0 in
+  Array.iter
+    (fun x ->
+      s := !s +. x;
+      s2 := !s2 +. (x *. x))
+    samples;
   let nf = float_of_int count in
-  let mean = s /. nf in
-  let var = Float.max 0.0 ((s2 -. (s *. s /. nf)) /. (nf -. 1.0)) in
+  let mean = !s /. nf in
+  let var = Float.max 0.0 ((!s2 -. (!s *. !s /. nf)) /. (nf -. 1.0)) in
   (mean, sqrt var)
 
 let fixed_state_sample t rng ~state_seed =

@@ -45,14 +45,22 @@ val moments : t -> Rgleak_num.Rng.t -> count:int -> float * float
 val sample_stream : t -> seed:int -> int -> float
 (** Total leakage of replica [i] under the given master seed. *)
 
+val chunks_for : jobs:int -> count:int -> int
+(** Pool-task count used by the replica fill: about four chunks per
+    domain, never fewer than 16 replicas per chunk (and at least one
+    chunk).  Exposed for the chunking tests. *)
+
 val sample_many_stream : ?jobs:int -> t -> seed:int -> count:int -> float array
 (** [count] replica dies, sampled across the domain pool ([jobs] as in
-    {!Rgleak_num.Parallel.using}); slot [i] holds replica [i]. *)
+    {!Rgleak_num.Parallel.using}); slot [i] holds replica [i].  The
+    fill is split into {!chunks_for} tasks — each writes disjoint
+    slots, so the array is identical for every job count even though
+    the decomposition follows the pool size. *)
 
 val moments_stream : ?jobs:int -> t -> seed:int -> count:int -> float * float
-(** (mean, std) over [count] replica dies, reduced deterministically in
-    replica order regardless of the job count.  [count] must be at
-    least 2. *)
+(** (mean, std) over [count] replica dies: the {!sample_many_stream}
+    array reduced sequentially in replica order, hence bit-identical
+    for any job count.  [count] must be at least 2. *)
 
 val fixed_state_sample : t -> Rgleak_num.Rng.t -> state_seed:int -> float
 (** Like {!sample} but with the per-gate input states frozen by

@@ -75,6 +75,18 @@ module Fault = struct
         (Printf.sprintf "cannot parse fault spec %S (want SITE:PROB:SEED)" s)
 
   let configure specs =
+    (* [fire] resolves a site with List.assoc: a duplicate would be
+       silently shadowed, so two --fault-spec flags for one site would
+       arm only the first — reject the configuration instead. *)
+    let rec check_dups = function
+      | [] -> ()
+      | { site; _ } :: rest ->
+        if List.exists (fun s -> String.equal s.site site) rest then
+          invalid
+            (Printf.sprintf "duplicate fault spec for site %S" site);
+        check_dups rest
+    in
+    check_dups specs;
     Atomic.set armed
       (List.map
          (fun { site; prob; seed } ->

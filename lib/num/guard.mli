@@ -85,8 +85,9 @@ module Fault : sig
 
   val configure : spec list -> unit
   (** Arms the given sites (replacing any previous configuration) and
-      resets their probe counters.  An empty list disarms
-      everything. *)
+      resets their probe counters.  An empty list disarms everything.
+      Raises {!Error} ([Invalid_input]) on two specs naming the same
+      site — duplicates would be silently shadowed otherwise. *)
 
   val clear : unit -> unit
   (** Disarms all sites; probes return to the zero-cost path. *)

@@ -26,7 +26,11 @@
     time to [pool.worker.<slot>.idle_s]; [pool.tasks], [pool.chunks]
     and [pool.bands] count the work decomposition (bit-identical across
     job counts), while [pool.queue_max] tracks the peak submit-time
-    queue depth.  Telemetry never alters scheduling or results. *)
+    queue depth.  Telemetry never alters scheduling or results.  With
+    the default decomposition the chunk/band counters are themselves
+    bit-identical across job counts; a caller passing an explicit
+    pool-sized [?chunks] (e.g. the MC replica fill) trades that for
+    better load balance while keeping results bit-identical. *)
 
 type pool
 

@@ -109,3 +109,53 @@ let histogram xs ~bins =
 let relative_error ~actual ~reference =
   if reference = 0.0 then invalid_arg "Stats.relative_error: zero reference";
   (actual -. reference) /. reference
+
+(* ---- sampling-error intervals for Monte Carlo estimates ---- *)
+
+let z_of_confidence confidence =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Stats.z_of_confidence: confidence must be in (0,1)";
+  Special.normal_quantile (0.5 +. (confidence /. 2.0))
+
+let mean_se ~std ~count =
+  if count < 2 then invalid_arg "Stats.mean_se: need >= 2 samples";
+  std /. sqrt (float_of_int count)
+
+let std_se ~std ~count =
+  if count < 2 then invalid_arg "Stats.std_se: need >= 2 samples";
+  std /. sqrt (2.0 *. float_of_int (count - 1))
+
+(* Delta-method SE of s for non-normal samples: Var(s²) ≈ σ⁴(κ−1)/n
+   with κ the kurtosis E[(x−μ)⁴]/σ⁴, so SE(s) ≈ σ·√((κ−1)/4n).  κ = 3
+   recovers the normal-theory [std_se]; the right-skewed leakage sums
+   have κ well above 3, and using the normal SE for them understates
+   the sampling noise of the MC σ several-fold. *)
+let std_se_kurtosis ~std ~kurtosis ~count =
+  if count < 2 then invalid_arg "Stats.std_se_kurtosis: need >= 2 samples";
+  if not (Float.is_finite kurtosis) then
+    invalid_arg "Stats.std_se_kurtosis: non-finite kurtosis";
+  (* κ̂ < 1 is impossible in exact arithmetic; clamp the excess so a
+     degenerate sample still yields a usable (normal-theory) SE. *)
+  let excess = Float.max (kurtosis -. 1.0) 2.0 in
+  std *. sqrt (excess /. (4.0 *. float_of_int count))
+
+let kurtosis xs =
+  let n = Array.length xs in
+  if n < 4 then invalid_arg "Stats.kurtosis: need >= 4 samples";
+  let nf = float_of_int n in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. nf in
+  let m2 = ref 0.0 and m4 = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let d = x -. mean in
+      let d2 = d *. d in
+      m2 := !m2 +. d2;
+      m4 := !m4 +. (d2 *. d2))
+    xs;
+  let m2 = !m2 /. nf and m4 = !m4 /. nf in
+  if m2 = 0.0 then invalid_arg "Stats.kurtosis: zero variance";
+  m4 /. (m2 *. m2)
+
+let z_score ~value ~center ~se =
+  if not (se > 0.0) then invalid_arg "Stats.z_score: need a positive SE";
+  (value -. center) /. se

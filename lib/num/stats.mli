@@ -48,3 +48,40 @@ val histogram : float array -> bins:int -> (float * int) array
 
 val relative_error : actual:float -> reference:float -> float
 (** [(actual - reference) / reference]; raises if [reference] is 0. *)
+
+(** {2 Sampling-error helpers}
+
+    Confidence-interval building blocks for comparing analytic
+    estimates against Monte Carlo references: an MC estimate carries
+    sampling error, so agreement must be judged against its confidence
+    interval, never against a fixed epsilon.  The standard errors are
+    the large-sample normal approximations; [std_se] additionally
+    assumes near-normal samples (for the skewed leakage sums it is
+    still the right order of magnitude, which is all an equivalence
+    gate needs). *)
+
+val z_of_confidence : float -> float
+(** Two-sided critical value: [z_of_confidence 0.99 = 2.576...].
+    Raises [Invalid_argument] outside (0,1). *)
+
+val mean_se : std:float -> count:int -> float
+(** Standard error of a sample mean: [std / sqrt count]. *)
+
+val std_se : std:float -> count:int -> float
+(** Asymptotic standard error of a sample standard deviation:
+    [std / sqrt (2 (count - 1))]. *)
+
+val std_se_kurtosis : std:float -> kurtosis:float -> count:int -> float
+(** Delta-method SE of a sample standard deviation for non-normal
+    data: [std · √((κ − 1) / 4n)] with [kurtosis] the fourth
+    standardized moment (normal: 3, recovering {!std_se} up to O(1/n)).
+    The excess is floored at the normal value, so heavy tails widen the
+    interval but light tails never shrink it below normal theory. *)
+
+val kurtosis : float array -> float
+(** Sample kurtosis [m₄ / m₂²] (biased, fine for standard errors).
+    Raises [Invalid_argument] on fewer than 4 samples or zero
+    variance. *)
+
+val z_score : value:float -> center:float -> se:float -> float
+(** [(value - center) / se]; raises unless [se > 0]. *)

@@ -1,0 +1,278 @@
+(* Golden-artifact regression for validation reports.
+
+   A committed baseline pins the numbers a known-good build produced;
+   a fresh run is diffed against it structurally and numerically.
+   Structural mismatches (schema, sweep, point set, tier set, statuses,
+   pass flags) can only mean an intentional harness change or a broken
+   estimator, so they always classify as Breaking.  Numeric drift is
+   judged against the *baseline's own MC confidence interval*: movement
+   within the interval is indistinguishable from sampling noise of the
+   pinned run and classifies as Benign, movement beyond it means the
+   code now computes something statistically different — Breaking.
+
+   Since every quantity in a report is a pure function of (sweep,
+   seed), the expected steady state is Identical, bit for bit; Benign
+   drift appears only when numerics are intentionally reordered
+   (e.g. a quadrature or reduction change) and tells the reviewer the
+   change is within noise. *)
+
+type severity = Identical | Benign | Breaking
+
+type finding = {
+  path : string;  (** JSON-pointer-ish location, e.g. ["points/3/tiers/1/std"] *)
+  kind : severity;
+  detail : string;
+}
+
+type diff = { severity : severity; findings : finding list }
+
+let severity_name = function
+  | Identical -> "identical"
+  | Benign -> "benign"
+  | Breaking -> "breaking"
+
+let worst a b =
+  match (a, b) with
+  | Breaking, _ | _, Breaking -> Breaking
+  | Benign, _ | _, Benign -> Benign
+  | Identical, Identical -> Identical
+
+(* ---------- helpers over Vjson documents ---------- *)
+
+let jstr j key = Vjson.str (Vjson.get key j)
+let jnum j key = Vjson.num (Vjson.get key j)
+let jbool j key = Vjson.bool (Vjson.get key j)
+let jarr j key = Vjson.arr (Vjson.get key j)
+
+let opt_num j key =
+  match Vjson.mem key j with
+  | Some (Vjson.Num f) -> Some f
+  | _ -> None
+
+let breaking path detail = { path; kind = Breaking; detail }
+
+(* The sampling-noise tolerance for a numeric field of a tier or MC
+   block: the baseline MC half-width for that moment, falling back to a
+   small relative epsilon for fields without a CI (rel errors, z). *)
+let fallback_rel = 1e-9
+
+let within_fallback a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  Float.abs (a -. b) <= fallback_rel *. Float.max scale 1.0
+
+(* ---------- field comparison ---------- *)
+
+let diff_number ~path ~tol name base cur acc =
+  match (base, cur) with
+  | None, None -> acc
+  | Some _, None | None, Some _ ->
+    breaking (path ^ "/" ^ name) "field presence changed" :: acc
+  | Some b, Some c ->
+    if b = c then acc
+    else
+      let d = Float.abs (c -. b) in
+      let kind =
+        match tol with
+        | Some t when d <= t -> Benign
+        | Some _ -> Breaking
+        | None -> if within_fallback b c then Benign else Breaking
+      in
+      let detail =
+        Printf.sprintf "%.17g -> %.17g (|d| = %.3g%s)" b c d
+          (match tol with
+          | Some t -> Printf.sprintf ", tolerance %.3g" t
+          | None -> "")
+      in
+      { path = path ^ "/" ^ name; kind; detail } :: acc
+
+let diff_flag ~path name base cur acc =
+  if base = cur then acc
+  else
+    breaking (path ^ "/" ^ name)
+      (Printf.sprintf "%b -> %b" base cur)
+    :: acc
+
+let diff_string ~path name base cur acc =
+  if String.equal base cur then acc
+  else
+    breaking (path ^ "/" ^ name) (Printf.sprintf "%S -> %S" base cur) :: acc
+
+(* ---------- tier / point / report comparison ---------- *)
+
+(* CI half-widths from the *baseline* MC block: z_crit recovered from
+   the report's confidence level. *)
+let mc_half_widths ~confidence base_mc =
+  let z =
+    Rgleak_num.Special.normal_quantile (0.5 +. (confidence /. 2.0))
+  in
+  let hw key = Option.map (fun se -> z *. se) (opt_num base_mc key) in
+  (hw "mean_se", hw "std_se")
+
+let diff_verdict ~path base cur acc =
+  (* Verdict sub-objects: the pass flag is structural; the numeric
+     members follow the enclosing tolerances only through the values
+     they derive from, so compare them with the fallback epsilon. *)
+  match (base, cur) with
+  | Vjson.Null, Vjson.Null -> acc
+  | Vjson.Null, _ | _, Vjson.Null ->
+    breaking path "verdict presence changed" :: acc
+  | b, c ->
+    let acc = diff_flag ~path "pass" (jbool b "pass") (jbool c "pass") acc in
+    List.fold_left
+      (fun acc key ->
+        diff_number ~path ~tol:None key (opt_num b key) (opt_num c key) acc)
+      acc
+      [ "value"; "center"; "z"; "ci_half_width"; "budget" ]
+
+let diff_tier ~path ~mean_hw ~std_hw base cur acc =
+  let acc = diff_string ~path "tier" (jstr base "tier") (jstr cur "tier") acc in
+  let acc =
+    diff_string ~path "status" (jstr base "status") (jstr cur "status") acc
+  in
+  let acc = diff_flag ~path "pass" (jbool base "pass") (jbool cur "pass") acc in
+  let acc =
+    diff_number ~path ~tol:mean_hw "mean" (opt_num base "mean")
+      (opt_num cur "mean") acc
+  in
+  let acc =
+    diff_number ~path ~tol:std_hw "std" (opt_num base "std")
+      (opt_num cur "std") acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc key ->
+        diff_number ~path ~tol:None key (opt_num base key) (opt_num cur key)
+          acc)
+      acc
+      [ "mean_rel_err"; "std_rel_err" ]
+  in
+  let acc =
+    diff_verdict ~path:(path ^ "/mean_equiv") (Vjson.get "mean_equiv" base)
+      (Vjson.get "mean_equiv" cur) acc
+  in
+  diff_verdict ~path:(path ^ "/std_equiv") (Vjson.get "std_equiv" base)
+    (Vjson.get "std_equiv" cur) acc
+
+let diff_point ~confidence ~index base cur acc =
+  let path = Printf.sprintf "points/%d" index in
+  let acc = diff_string ~path "label" (jstr base "label") (jstr cur "label") acc in
+  if acc <> [] && (List.hd acc).path = path ^ "/label" then
+    (* Point identity changed: comparing the rest field-by-field would
+       only cascade noise. *)
+    acc
+  else begin
+    let acc =
+      List.fold_left
+        (fun acc key ->
+          diff_number ~path ~tol:None key (opt_num base key) (opt_num cur key)
+            acc)
+        acc
+        [ "n"; "aspect"; "p"; "replicas"; "width"; "height" ]
+    in
+    let acc =
+      diff_string ~path "corr" (jstr base "corr") (jstr cur "corr") acc
+    in
+    let acc = diff_string ~path "mix" (jstr base "mix") (jstr cur "mix") acc in
+    let acc = diff_flag ~path "pass" (jbool base "pass") (jbool cur "pass") acc in
+    let base_mc = Vjson.get "mc" base and cur_mc = Vjson.get "mc" cur in
+    let mc_path = path ^ "/mc" in
+    let acc =
+      diff_string ~path:mc_path "status" (jstr base_mc "status")
+        (jstr cur_mc "status") acc
+    in
+    let mean_hw, std_hw = mc_half_widths ~confidence base_mc in
+    let acc =
+      diff_number ~path:mc_path ~tol:mean_hw "mean" (opt_num base_mc "mean")
+        (opt_num cur_mc "mean") acc
+    in
+    let acc =
+      diff_number ~path:mc_path ~tol:std_hw "std" (opt_num base_mc "std")
+        (opt_num cur_mc "std") acc
+    in
+    let acc =
+      List.fold_left
+        (fun acc key ->
+          diff_number ~path:mc_path ~tol:None key (opt_num base_mc key)
+            (opt_num cur_mc key) acc)
+        acc
+        [ "mean_se"; "std_se" ]
+    in
+    let base_tiers = jarr base "tiers" and cur_tiers = jarr cur "tiers" in
+    if List.length base_tiers <> List.length cur_tiers then
+      breaking (path ^ "/tiers")
+        (Printf.sprintf "tier count %d -> %d" (List.length base_tiers)
+           (List.length cur_tiers))
+      :: acc
+    else
+      List.fold_left2
+        (fun (acc, i) b c ->
+          ( diff_tier
+              ~path:(Printf.sprintf "%s/tiers/%d" path i)
+              ~mean_hw ~std_hw b c acc,
+            i + 1 ))
+        (acc, 0) base_tiers cur_tiers
+      |> fst
+  end
+
+let compare ~baseline ~current =
+  let findings =
+    let acc = [] in
+    let acc =
+      diff_string ~path:"" "schema" (jstr baseline "schema")
+        (jstr current "schema") acc
+    in
+    if acc <> [] then acc
+    else begin
+      let acc =
+        diff_string ~path:"" "sweep" (jstr baseline "sweep")
+          (jstr current "sweep") acc
+      in
+      let acc =
+        diff_number ~path:"" ~tol:None "seed"
+          (opt_num baseline "seed") (opt_num current "seed") acc
+      in
+      let acc =
+        diff_number ~path:"" ~tol:None "confidence"
+          (opt_num baseline "confidence") (opt_num current "confidence") acc
+      in
+      let acc =
+        diff_flag ~path:"" "pass" (jbool baseline "pass")
+          (jbool current "pass") acc
+      in
+      let confidence = jnum baseline "confidence" in
+      let base_points = jarr baseline "points"
+      and cur_points = jarr current "points" in
+      if List.length base_points <> List.length cur_points then
+        breaking "points"
+          (Printf.sprintf "point count %d -> %d" (List.length base_points)
+             (List.length cur_points))
+        :: acc
+      else
+        List.fold_left2
+          (fun (acc, i) b c ->
+            (diff_point ~confidence ~index:i b c acc, i + 1))
+          (acc, 0) base_points cur_points
+        |> fst
+    end
+  in
+  let findings = List.rev findings in
+  let severity =
+    List.fold_left (fun s f -> worst s f.kind) Identical findings
+  in
+  { severity; findings }
+
+let pp fmt d =
+  (match d.severity with
+  | Identical -> Format.fprintf fmt "golden: identical@."
+  | Benign ->
+    Format.fprintf fmt
+      "golden: benign drift (%d finding(s), all within MC sampling noise)@."
+      (List.length d.findings)
+  | Breaking ->
+    Format.fprintf fmt "golden: BREAKING drift (%d finding(s))@."
+      (List.length d.findings));
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  [%s] %s: %s@." (severity_name f.kind) f.path
+        f.detail)
+    d.findings

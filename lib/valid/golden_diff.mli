@@ -1,0 +1,33 @@
+(** Golden-artifact regression: structural + tolerance diffs of
+    [rgleak-validate/1] reports against committed baselines.
+
+    Drift classes:
+    - {!Identical} — the fresh report is bit-for-bit the baseline (the
+      expected steady state, since reports are pure functions of
+      [(sweep, seed)]);
+    - {!Benign} — numeric fields moved, but every movement stays within
+      the baseline's own MC confidence interval (indistinguishable from
+      the pinned run's sampling noise; appears when numerics are
+      intentionally reordered);
+    - {!Breaking} — structural changes (schema, point set, tier set,
+      statuses, pass flags) or numeric drift beyond the MC interval:
+      the code now computes something statistically different. *)
+
+type severity = Identical | Benign | Breaking
+
+type finding = {
+  path : string;  (** location, e.g. ["points/3/tiers/1/std"] *)
+  kind : severity;
+  detail : string;
+}
+
+type diff = { severity : severity; findings : finding list }
+
+val severity_name : severity -> string
+val worst : severity -> severity -> severity
+
+val compare : baseline:Vjson.t -> current:Vjson.t -> diff
+(** Diffs two parsed reports.  Raises {!Vjson.Parse_error} if either
+    document does not have the [rgleak-validate/1] shape. *)
+
+val pp : Format.formatter -> diff -> unit

@@ -1,0 +1,60 @@
+(* Equivalence testing against a Monte Carlo reference.
+
+   A naive fixed-epsilon check misleads in both directions: with few
+   replicas the MC estimate wobbles past any tight epsilon even when
+   the model is exact, and with many replicas a loose epsilon hides
+   real model error.  The gate used here is the standard equivalence
+   shape: a tier estimate is accepted iff it falls inside the MC
+   confidence interval *widened by a declared model-error budget* —
+   the budget states how much systematic model error the paper's
+   accuracy claims allow, and the CI absorbs the sampling error on top
+   of it. *)
+
+open Rgleak_num
+
+type interval = { center : float; se : float; z_crit : float }
+
+let interval ~center ~se ~confidence =
+  if not (se > 0.0) then
+    invalid_arg "Stat_test.interval: need a positive standard error";
+  { center; se; z_crit = Stats.z_of_confidence confidence }
+
+let mean_interval ~mean ~std ~count ~confidence =
+  interval ~center:mean ~se:(Stats.mean_se ~std ~count) ~confidence
+
+let std_interval ?kurtosis ~std ~count ~confidence () =
+  let se =
+    match kurtosis with
+    | None -> Stats.std_se ~std ~count
+    | Some kurtosis -> Stats.std_se_kurtosis ~std ~kurtosis ~count
+  in
+  interval ~center:std ~se ~confidence
+
+let half_width i = i.z_crit *. i.se
+
+type verdict = {
+  value : float;
+  center : float;
+  z : float;  (** (value − center) / se: sampling-error units *)
+  ci_half_width : float;
+  budget : float;  (** absolute widening applied to the CI *)
+  pass : bool;
+}
+
+let equivalent ~value ~(reference : interval) ~budget_rel =
+  if budget_rel < 0.0 then
+    invalid_arg "Stat_test.equivalent: negative model-error budget";
+  let budget = budget_rel *. Float.abs reference.center in
+  let ci_half_width = half_width reference in
+  let pass =
+    Float.is_finite value
+    && Float.abs (value -. reference.center) <= ci_half_width +. budget
+  in
+  {
+    value;
+    center = reference.center;
+    z = Stats.z_score ~value ~center:reference.center ~se:reference.se;
+    ci_half_width;
+    budget;
+    pass;
+  }

@@ -1,0 +1,53 @@
+(** Statistical equivalence tests against a Monte Carlo reference.
+
+    The harness never compares an estimator tier to the MC reference
+    with a fixed epsilon: the MC moments carry sampling error that
+    shrinks as 1/√replicas, so the acceptance region must shrink with
+    it.  A tier estimate [v] is {e equivalent} to an MC estimate with
+    confidence interval [center ± z·se] under a relative model-error
+    budget [b] iff
+
+    {[ |v − center| ≤ z·se + b·|center| ]}
+
+    — the Welch-style z-gate of ISLE (Bayrakci et al. 2007), with the
+    budget declaring how much {e systematic} model error the paper's
+    accuracy claims permit (finite-size RG error, lognormal fit error),
+    while the CI term absorbs the {e sampling} error of the finite MC
+    run. *)
+
+type interval = {
+  center : float;
+  se : float;  (** standard error of the estimate *)
+  z_crit : float;  (** two-sided critical value at the chosen confidence *)
+}
+
+val interval : center:float -> se:float -> confidence:float -> interval
+(** Raises [Invalid_argument] unless [se > 0] and confidence ∈ (0,1). *)
+
+val mean_interval :
+  mean:float -> std:float -> count:int -> confidence:float -> interval
+(** CI of an MC sample mean over [count] replicas. *)
+
+val std_interval :
+  ?kurtosis:float -> std:float -> count:int -> confidence:float -> unit -> interval
+(** CI of an MC sample standard deviation.  Without [kurtosis] the
+    normal-theory SE is used; with it, the delta-method SE
+    {!Rgleak_num.Stats.std_se_kurtosis} — essential for the
+    right-skewed leakage sums, whose σ wobbles several times more than
+    normal theory predicts. *)
+
+val half_width : interval -> float
+(** [z_crit · se]. *)
+
+type verdict = {
+  value : float;
+  center : float;
+  z : float;  (** (value − center) / se: sampling-error units *)
+  ci_half_width : float;
+  budget : float;  (** absolute widening applied to the CI *)
+  pass : bool;
+}
+
+val equivalent : value:float -> reference:interval -> budget_rel:float -> verdict
+(** The equivalence gate above.  Non-finite [value] never passes.
+    Raises [Invalid_argument] on a negative budget. *)

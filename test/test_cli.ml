@@ -42,6 +42,33 @@ let test_invalid_input () =
     [ "signoff"; "--benchmark"; "c432"; "--bench-file"; "x.bench" ];
   check_exit "unknown cell" 2 [ "characterize"; "--cell"; "NOPE" ]
 
+(* fault-spec edge cases: every malformed shape must exit 2 before any
+   estimation work, including duplicates that List.assoc would silently
+   shadow if configure accepted them *)
+let test_fault_spec_edge_cases () =
+  check_exit "empty spec" 2 [ "estimate"; "-n"; "200"; "--fault-spec"; "" ];
+  check_exit "missing fields" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "cholesky:1" ];
+  check_exit "too many fields" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "cholesky:1:1:1" ];
+  check_exit "non-numeric probability" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "cholesky:often:1" ];
+  check_exit "negative probability" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "cholesky:-0.1:1" ];
+  check_exit "probability above one" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "quadrature:1.5:1" ];
+  check_exit "non-integer seed" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "cholesky:0.5:x" ];
+  check_exit "site name with wrong case" 2
+    [ "estimate"; "-n"; "200"; "--fault-spec"; "Cholesky:0.5:1" ];
+  check_exit "duplicate site" 2
+    [ "estimate"; "-n"; "200";
+      "--fault-spec"; "cholesky:0.5:1"; "--fault-spec"; "cholesky:1:2" ];
+  (* distinct sites stay legal *)
+  check_exit "two distinct sites accepted" 0
+    [ "estimate"; "-n"; "200";
+      "--fault-spec"; "cholesky:0:1"; "--fault-spec"; "quadrature:0:2" ]
+
 (* a numeric breakdown under --strict exits 3 *)
 let test_numeric_strict () =
   check_exit "poisoned F memo, strict" 3
@@ -79,6 +106,7 @@ let () =
       ( "exit-codes",
         [
           case "invalid input exits 2" test_invalid_input;
+          case "fault-spec edge cases exit 2" test_fault_spec_edge_cases;
           case "numeric breakdown exits 3 under --strict" test_numeric_strict;
           case "best-effort degradation exits 0" test_best_effort_degradation;
           case "fault runs are deterministic" test_fault_determinism;

@@ -204,6 +204,56 @@ let test_mc_stream_jobs () =
   check_bits "mc mean jobs 1 vs 2" m1 m2;
   check_bits "mc std jobs 1 vs 2" sd1 sd2
 
+(* The replica fill sizes its chunks from the pool: a few per domain,
+   never below the 16-replica grain. *)
+let test_mc_chunks_for () =
+  let check name expected ~jobs ~count =
+    Alcotest.(check int) name expected (Mc_reference.chunks_for ~jobs ~count)
+  in
+  check "tiny runs collapse to one chunk" 1 ~jobs:4 ~count:10;
+  check "zero replicas still one chunk" 1 ~jobs:4 ~count:0;
+  check "grain caps a single-domain run" 4 ~jobs:1 ~count:400;
+  check "chunks scale with domains" 16 ~jobs:4 ~count:400;
+  check "grain caps a wide pool" 25 ~jobs:16 ~count:400;
+  (* the grain cap keeps average chunk size useful: count/chunks is at
+     least half the grain (the ceiling division costs at most 2x) *)
+  for jobs = 1 to 8 do
+    for count = 2 to 200 do
+      let c = Mc_reference.chunks_for ~jobs ~count in
+      if c > 1 then
+        check_true
+          (Printf.sprintf "grain respected at jobs=%d count=%d" jobs count)
+          (count / c >= 8)
+    done
+  done
+
+(* Chunk decompositions differ between these job counts (the count sits
+   past the single-domain cap), yet samples and moments must not. *)
+let test_mc_chunking_jobs_invariant () =
+  let chars = Characterize.default_library () in
+  let corr = Lazy.force corr in
+  let rng = Rng.create ~seed:89 () in
+  let placed =
+    Generator.random_placed ~histogram:(Lazy.force hist) ~n:60 ~rng ()
+  in
+  let mc = Mc_reference.prepare ~chars ~corr ~p:0.5 placed in
+  List.iter
+    (fun count ->
+      check_true
+        (Printf.sprintf "decompositions differ at count=%d" count)
+        (Mc_reference.chunks_for ~jobs:1 ~count
+        <> Mc_reference.chunks_for ~jobs:3 ~count);
+      let s1 = Mc_reference.sample_many_stream ~jobs:1 mc ~seed:404 ~count in
+      let s3 = Mc_reference.sample_many_stream ~jobs:3 mc ~seed:404 ~count in
+      for i = 0 to count - 1 do
+        check_bits (Printf.sprintf "count=%d replica %d" count i) s1.(i) s3.(i)
+      done;
+      let m1, sd1 = Mc_reference.moments_stream ~jobs:1 mc ~seed:404 ~count in
+      let m3, sd3 = Mc_reference.moments_stream ~jobs:3 mc ~seed:404 ~count in
+      check_bits (Printf.sprintf "count=%d mean" count) m1 m3;
+      check_bits (Printf.sprintf "count=%d std" count) sd1 sd3)
+    [ 65; 100; 130 ]
+
 let test_characterize_jobs () =
   let one jobs =
     Characterize.characterize_library ~l_points:17 ~mc_samples:200 ~jobs ~param
@@ -245,5 +295,7 @@ let suite =
       case "rng streams are reproducible" test_rng_stream_matches_index;
       slow_case "exact estimator jobs 1 vs 4" test_exact_estimator_jobs;
       case "mc reference streams across jobs" test_mc_stream_jobs;
+      case "mc replica chunk sizing" test_mc_chunks_for;
+      case "mc chunking jobs-invariant" test_mc_chunking_jobs_invariant;
       slow_case "characterization jobs 1 vs 2" test_characterize_jobs;
     ] )

@@ -50,7 +50,8 @@ let spec site prob seed = { Guard.Fault.site; prob; seed }
 (* ---- properties: invariants behind the guardrails ---- *)
 
 let test_variances_nonnegative =
-  qcheck ~count:15 "variance finite and non-negative across tiers"
+  qcheck_shrinking ~count:15 "variance finite and non-negative across tiers"
+    ~shrink:(shrink_family_n ~n_lo:64) ~print:print_family_n
     QCheck2.Gen.(pair gen_family (int_range 64 900))
     (fun (family, n) ->
       let corr, rgcorr = context_of family in
@@ -92,7 +93,8 @@ let test_correlation_nonincreasing =
       Corr_model.total corr (d +. delta) <= Corr_model.total corr d +. 1e-12)
 
 let test_cross_tier_agreement =
-  qcheck ~count:10 "tier means identical, integral stds agree"
+  qcheck_shrinking ~count:10 "tier means identical, integral stds agree"
+    ~shrink:(shrink_family_n ~n_lo:400) ~print:print_family_n
     QCheck2.Gen.(pair gen_family (int_range 400 1600))
     (fun (family, n) ->
       let corr, rgcorr = context_of family in
@@ -116,7 +118,8 @@ let test_cross_tier_agreement =
       && close ~tol:0.1 lin.Estimator_linear.std rect.Estimator_integral.std)
 
 let test_exact_jobs_invariant =
-  qcheck ~count:5 "exact estimator bit-identical across job counts"
+  qcheck_shrinking ~count:5 "exact estimator bit-identical across job counts"
+    ~shrink:(shrink_family_n ~n_lo:30) ~print:print_family_n
     QCheck2.Gen.(pair gen_family (int_range 30 90))
     (fun (family, n) ->
       let corr, rgcorr = context_of family in

@@ -26,6 +26,101 @@ let qcheck ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)
 
+(* ---- failure shrinking ----
+
+   QCheck2's integrated shrinking only walks a generator's own
+   derivation tree, which for the composite domain values below (a
+   correlation family paired with a design size) produces long, opaque
+   shrink traces or none at all.  These helpers shrink explicitly: a
+   shrinker proposes strictly-smaller candidates, [minimize] greedily
+   descends while the property keeps failing, and [qcheck_shrinking]
+   reports the minimal counterexample it lands on. *)
+
+let minimize ~shrink ~fails x =
+  let rec go x =
+    match List.find_opt fails (shrink x) with
+    | Some smaller -> go smaller
+    | None -> x
+  in
+  go x
+
+let qcheck_shrinking ?(count = 100) ~shrink ~print name gen prop =
+  let run x = try Ok (prop x) with e -> Error e in
+  qcheck ~count name gen (fun x ->
+      match run x with
+      | Ok true -> true
+      | _ ->
+        let fails y =
+          match run y with Ok true -> false | Ok false | Error _ -> true
+        in
+        let x' = minimize ~shrink ~fails x in
+        let why =
+          match run x' with
+          | Ok true -> assert false (* [minimize] only returns failures *)
+          | Ok false -> "property is false"
+          | Error e -> Printexc.to_string e
+        in
+        QCheck2.Test.fail_reportf
+          "minimal counterexample: %s@\n  failure: %s@\n  (original: %s)"
+          (print x') why (print x))
+
+(* Candidate steps from [x] toward [floor]: the floor itself first (the
+   biggest jump), then the midpoint — geometric descent when iterated
+   by [minimize]. *)
+let shrink_toward ~floor x =
+  if x <= floor then []
+  else
+    let mid = floor +. ((x -. floor) /. 2.0) in
+    if mid < x *. 0.999 then [ floor; mid ] else [ floor ]
+
+(* Halve a design size toward a lower bound. *)
+let shrink_size ?(lo = 2) n =
+  if n <= lo then []
+  else
+    let mid = (n + lo) / 2 in
+    if mid < n then [ lo; mid ] else [ lo ]
+
+(* Shrink a family's correlation range toward the small end of the
+   generator's support (tight η: nearly uncorrelated sites), keeping
+   the family itself — a failure that survives the shrink then names
+   the family and the smallest range that still breaks it. *)
+let shrink_family f =
+  let open Rgleak_process.Corr_model in
+  match f with
+  | Spherical { dmax } ->
+    List.map (fun dmax -> Spherical { dmax }) (shrink_toward ~floor:30.0 dmax)
+  | Exponential { range } ->
+    List.map (fun range -> Exponential { range }) (shrink_toward ~floor:10.0 range)
+  | Gaussian { range } ->
+    List.map (fun range -> Gaussian { range }) (shrink_toward ~floor:10.0 range)
+  | Linear { dmax } ->
+    List.map (fun dmax -> Linear { dmax }) (shrink_toward ~floor:30.0 dmax)
+  | Truncated_exponential { range; dmax } ->
+    List.map
+      (fun range -> Truncated_exponential { range; dmax })
+      (shrink_toward ~floor:10.0 range)
+    @ List.map
+        (fun dmax -> Truncated_exponential { range; dmax })
+        (shrink_toward ~floor:60.0 dmax)
+
+let shrink_pair sa sb (a, b) =
+  List.map (fun a' -> (a', b)) (sa a) @ List.map (fun b' -> (a, b')) (sb b)
+
+let print_family f =
+  let open Rgleak_process.Corr_model in
+  match f with
+  | Linear { dmax } -> Printf.sprintf "linear:%g" dmax
+  | Spherical { dmax } -> Printf.sprintf "spherical:%g" dmax
+  | Exponential { range } -> Printf.sprintf "exp:%g" range
+  | Gaussian { range } -> Printf.sprintf "gauss:%g" range
+  | Truncated_exponential { range; dmax } -> Printf.sprintf "texp:%g:%g" range dmax
+
+let print_family_n (f, n) = Printf.sprintf "family %s, n = %d" (print_family f) n
+
+(* The common shape: a correlation family paired with a design size. *)
+let shrink_family_n ?(n_lo = 2) x =
+  shrink_pair shrink_family (shrink_size ~lo:n_lo) x
+
 let case name f = Alcotest.test_case name `Quick f
 let slow_case name f = Alcotest.test_case name `Slow f
 
