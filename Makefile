@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench examples clean doc bench-json microbench \
         trace metrics overhead check fault-matrix validate golden-check \
-        golden-update
+        golden-update batch-demo batch-smoke bench-gate
 
 all: check
 
@@ -87,6 +87,36 @@ golden-check: build
 	grep -q "BREAKING" /tmp/rgleak_golden_neg.out || { \
 	  echo "FAIL: faulted drift not classified as breaking"; exit 1; }; \
 	echo "ok: golden gate rejects a poisoned estimator (exit $$got, breaking drift)"
+
+# Run the checked-in example manifest on a throwaway cache.
+batch-demo: build
+	$(RGLEAK) batch examples/batch_manifest.jsonl --cache-dir /tmp/rgleak_batch_demo_cache
+
+# Cold run, warm run, byte-compare the reports, and assert the warm run
+# actually hit the cache (via --metrics-json counters).
+batch-smoke: build
+	@rm -rf /tmp/rgleak_batch_smoke; mkdir -p /tmp/rgleak_batch_smoke
+	$(RGLEAK) batch examples/batch_manifest.jsonl \
+	  --cache-dir /tmp/rgleak_batch_smoke/cache \
+	  --out /tmp/rgleak_batch_smoke/cold.jsonl \
+	  --metrics-json /tmp/rgleak_batch_smoke/cold-metrics.json
+	$(RGLEAK) batch examples/batch_manifest.jsonl \
+	  --cache-dir /tmp/rgleak_batch_smoke/cache \
+	  --out /tmp/rgleak_batch_smoke/warm.jsonl \
+	  --metrics-json /tmp/rgleak_batch_smoke/warm-metrics.json
+	cmp /tmp/rgleak_batch_smoke/cold.jsonl /tmp/rgleak_batch_smoke/warm.jsonl
+	@grep -E '"cache.hits": [1-9]' /tmp/rgleak_batch_smoke/warm-metrics.json \
+	  || { echo "FAIL: warm run had no cache hits"; exit 1; }
+	@echo "batch smoke passed: cold and warm reports identical, warm run hit the cache"
+
+# Perf-regression gate: fresh timing pass vs the committed baseline.
+# Warnings (1.5x-3x on noisy runners) pass; schema breaks, missing
+# entries and >3x slowdowns fail.
+bench-gate: build
+	@cp BENCH_estimators.json /tmp/rgleak_bench_baseline.json
+	$(MAKE) bench-json
+	dune exec tools/bench_gate.exe -- \
+	  --baseline /tmp/rgleak_bench_baseline.json --current BENCH_estimators.json
 
 bench:
 	dune exec bench/main.exe

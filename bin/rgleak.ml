@@ -198,7 +198,8 @@ let robust_term =
       & info [ "fault-spec" ] ~docv:"SITE:PROB:SEED"
           ~doc:
             "Deterministically inject faults at an instrumented site \
-             (parallel, cholesky, quadrature, linear.f): each probe at SITE \
+             (parallel, cholesky, quadrature, linear.f, cache): each probe at \
+             SITE \
              fails with probability PROB, decided by a counter-indexed hash \
              of SEED.  Repeatable.  Identical specs reproduce the identical \
              fault sequence; disarmed probes cost one atomic load.")
@@ -996,6 +997,108 @@ let validate_cmd =
       const run $ sweep_arg $ seed_arg $ json_arg $ golden_arg $ jobs_arg
       $ robust_term $ trace_term)
 
+(* ---------- batch ---------- *)
+
+let batch_cmd =
+  let module Cache = Rgleak_cache.Cache in
+  let module Batch = Rgleak_cache.Batch in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:
+            "JSONL manifest: one scenario object per line (see the rgleak \
+             batch section of the README for the fields).  Blank lines and \
+             lines starting with # are skipped.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the rgleak-batch/1 JSONL report to $(docv) instead of \
+             stdout.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root of the content-addressed result cache.  Defaults to \
+             \\$RGLEAK_CACHE_DIR, then \\$XDG_CACHE_HOME/rgleak, then \
+             ~/.cache/rgleak.  Cached and uncached runs are bit-identical; \
+             corrupt entries are deleted and recomputed.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the on-disk cache (compute everything in-process).")
+  in
+  let run manifest_path out cache_dir no_cache jobs ro tr =
+    with_diagnostics ro @@ fun () ->
+    apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
+    let text =
+      try
+        let ic = open_in_bin manifest_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg -> Guard.invalid msg
+    in
+    let scenarios = Batch.parse_manifest text in
+    let cache =
+      if no_cache then None
+      else
+        let dir =
+          match cache_dir with Some d -> d | None -> Cache.default_dir ()
+        in
+        Some
+          (Cache.open_
+             ~on_corrupt:(fun d ->
+               Printf.eprintf "rgleak: warning: %s\n%!" (Guard.to_string d))
+             ~dir ())
+    in
+    let outcomes = Batch.run ?cache scenarios in
+    let report = Batch.report outcomes in
+    (match out with
+    | None -> print_string report
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc report);
+      Printf.eprintf "batch: wrote %d records to %s\n%!"
+        (List.length outcomes) path);
+    Option.iter
+      (fun c ->
+        let s = Cache.stats c in
+        Printf.eprintf
+          "batch: cache %s: %d hits, %d misses, %d corrupt, %d put errors, \
+           %d B read, %d B written\n\
+           %!"
+          (Cache.dir c) s.Cache.hits s.Cache.misses s.Cache.corrupt
+          s.Cache.put_errors s.Cache.bytes_read s.Cache.bytes_written)
+      cache;
+    let code = Batch.exit_code outcomes in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a JSONL manifest of scenarios on one warm pool, memoizing \
+          characterization and correlation tables in a content-addressed \
+          on-disk cache.  Reports are bit-identical across --jobs values and \
+          across cold/warm caches; per-scenario failures become error \
+          records and the exit code is the highest failure class.")
+    Term.(
+      const run $ manifest_arg $ out_arg $ cache_dir_arg $ no_cache_arg
+      $ jobs_arg $ robust_term $ trace_term)
+
 let () =
   let info =
     Cmd.info "rgleak" ~version:"1.0.0"
@@ -1008,4 +1111,4 @@ let () =
        (Cmd.group info
           [ cells_cmd; characterize_cmd; estimate_cmd; signoff_cmd; yield_cmd;
             sensitivity_cmd; corners_cmd; profile_cmd; map_cmd; sleep_cmd;
-            convert_cmd; validate_cmd ]))
+            convert_cmd; validate_cmd; batch_cmd ]))

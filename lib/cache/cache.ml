@@ -1,0 +1,189 @@
+module Guard = Rgleak_num.Guard
+module Obs = Rgleak_obs.Obs
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  put_errors : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+type t = {
+  root : string;
+  on_corrupt : Guard.diagnostic -> unit;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_corrupt : int;
+  mutable n_put_errors : int;
+  mutable n_bytes_read : int;
+  mutable n_bytes_written : int;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "RGLEAK_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "rgleak"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some d when d <> "" ->
+        Filename.concat (Filename.concat d ".cache") "rgleak"
+      | _ -> "_rgleak_cache"))
+
+let open_ ?(on_corrupt = fun _ -> ()) ~dir () =
+  {
+    root = dir;
+    on_corrupt;
+    n_hits = 0;
+    n_misses = 0;
+    n_corrupt = 0;
+    n_put_errors = 0;
+    n_bytes_read = 0;
+    n_bytes_written = 0;
+  }
+
+let dir t = t.root
+
+(* Length-prefixed concatenation makes part boundaries unambiguous, so
+   the key is a pure function of the part *list*, not of the joined
+   text.  MD5 (Stdlib Digest) is stable across restarts and platforms;
+   this is an integrity/addressing hash, not a security boundary. *)
+let key parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let header_magic = "rgleak-cache/1"
+
+let entry_path t ~kind ~version ~key =
+  let shard = String.sub key 0 2 in
+  List.fold_left Filename.concat t.root
+    [ Printf.sprintf "%s-v%d" kind version; shard; key ^ ".rgc" ]
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let record_hit t n =
+  t.n_hits <- t.n_hits + 1;
+  t.n_bytes_read <- t.n_bytes_read + n;
+  Obs.count "cache.hits" 1;
+  Obs.count "cache.bytes_read" n
+
+let record_miss t =
+  t.n_misses <- t.n_misses + 1;
+  Obs.count "cache.misses" 1
+
+let record_corrupt t ~path detail =
+  t.n_corrupt <- t.n_corrupt + 1;
+  Obs.count "cache.corrupt" 1;
+  (try Sys.remove path with Sys_error _ -> ());
+  t.on_corrupt
+    (Guard.Invalid_input
+       (Printf.sprintf "corrupt cache entry %s (%s); recomputing" path detail))
+
+(* Entry layout: one header line, then the raw payload.
+     rgleak-cache/1 <kind> <version> <payload-bytes> <payload-md5>\n
+   The digest covers the payload only; kind/version in the header catch
+   a file renamed or copied across namespaces. *)
+let parse_entry ~kind ~version contents =
+  match String.index_opt contents '\n' with
+  | None -> Error "no header line"
+  | Some nl -> (
+    let header = String.sub contents 0 nl in
+    let payload =
+      String.sub contents (nl + 1) (String.length contents - nl - 1)
+    in
+    match String.split_on_char ' ' header with
+    | [ magic; k; v; bytes; md5 ] ->
+      if magic <> header_magic then Error "bad magic"
+      else if k <> kind then Error (Printf.sprintf "kind %S, want %S" k kind)
+      else if v <> string_of_int version then
+        Error (Printf.sprintf "version %s, want %d" v version)
+      else if int_of_string_opt bytes <> Some (String.length payload) then
+        Error "payload length mismatch (truncated or overwritten)"
+      else if Digest.to_hex (Digest.string payload) <> md5 then
+        Error "payload digest mismatch"
+      else Ok payload
+    | _ -> Error "malformed header")
+
+let get t ~kind ~version ~key =
+  let path = entry_path t ~kind ~version ~key in
+  match read_file path with
+  | exception Sys_error _ ->
+    record_miss t;
+    None
+  | contents -> (
+    if Guard.Fault.fire "cache" then begin
+      record_corrupt t ~path "injected fault";
+      record_miss t;
+      None
+    end
+    else
+      match parse_entry ~kind ~version contents with
+      | Ok payload ->
+        record_hit t (String.length payload);
+        Some payload
+      | Error detail ->
+        record_corrupt t ~path detail;
+        record_miss t;
+        None)
+
+let put t ~kind ~version ~key payload =
+  let path = entry_path t ~kind ~version ~key in
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Hashtbl.hash key)
+    in
+    let oc = open_out_bin tmp in
+    (try
+       Printf.fprintf oc "%s %s %d %d %s\n" header_magic kind version
+         (String.length payload)
+         (Digest.to_hex (Digest.string payload));
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path;
+    t.n_bytes_written <- t.n_bytes_written + String.length payload;
+    Obs.count "cache.bytes_written" (String.length payload)
+  with Sys_error _ | Unix.Unix_error _ ->
+    t.n_put_errors <- t.n_put_errors + 1;
+    Obs.count "cache.put_errors" 1
+
+let stats t =
+  {
+    hits = t.n_hits;
+    misses = t.n_misses;
+    corrupt = t.n_corrupt;
+    put_errors = t.n_put_errors;
+    bytes_read = t.n_bytes_read;
+    bytes_written = t.n_bytes_written;
+  }
+
+let reset_stats t =
+  t.n_hits <- 0;
+  t.n_misses <- 0;
+  t.n_corrupt <- 0;
+  t.n_put_errors <- 0;
+  t.n_bytes_read <- 0;
+  t.n_bytes_written <- 0

@@ -1,0 +1,79 @@
+(** Content-addressed on-disk result cache.
+
+    The paper's thesis is that leakage statistics are a function of a
+    small set of high-level characteristics — which makes most of the
+    expensive work (library characterization, correlation-function
+    tables, linear-estimator F memos) {e shared} across the many
+    scenario evaluations a sign-off or design-space sweep performs.
+    This store memoizes those artifacts on disk, keyed by a stable
+    content hash of the canonical inputs.
+
+    {b Addressing.}  {!key} hashes a list of canonical string parts
+    (length-prefixed, so part boundaries are unambiguous) with MD5 —
+    stable across process restarts, platforms and OCaml versions.
+    Entries are further namespaced by a [kind] and an integer
+    [version]: bumping the version of a kind invalidates every entry
+    of that kind without touching others.
+
+    {b Failure semantics.}  The cache is an accelerator, never an
+    authority: corrupt entries (truncation, bit rot, a stale writer —
+    detected by a payload digest recorded in the entry header) are
+    deleted, surfaced through the [on_corrupt] callback as a typed
+    {!Rgleak_num.Guard.diagnostic}, and treated as misses so callers
+    recompute.  Write failures (read-only directory, disk full) are
+    swallowed and counted; a run with a broken cache directory
+    degrades to uncached speed but never crashes or changes results.
+    The ["cache"] {!Rgleak_num.Guard.Fault} site deterministically
+    forces reads down the corrupt path for testing.
+
+    {b Counters.}  Hits, misses, corruption events and byte traffic
+    are kept per handle ({!stats}) and mirrored into
+    {!Rgleak_obs.Obs} counters ([cache.hits], [cache.misses],
+    [cache.corrupt], [cache.bytes_read], [cache.bytes_written],
+    [cache.put_errors]) so they land in [--metrics-json] exports.
+
+    Handles must be driven from one domain at a time (the batch engine
+    runs scenarios sequentially; pool workers never touch the cache). *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;  (** entries rejected by the integrity check *)
+  put_errors : int;  (** failed writes (swallowed) *)
+  bytes_read : int;  (** payload bytes of successful hits *)
+  bytes_written : int;  (** payload bytes of successful puts *)
+}
+
+val default_dir : unit -> string
+(** [$RGLEAK_CACHE_DIR], else [$XDG_CACHE_HOME/rgleak], else
+    [$HOME/.cache/rgleak], else [_rgleak_cache] in the working
+    directory. *)
+
+val open_ :
+  ?on_corrupt:(Rgleak_num.Guard.diagnostic -> unit) -> dir:string -> unit -> t
+(** A handle rooted at [dir] (created lazily on first write).
+    [on_corrupt] (default: ignore) observes every integrity failure. *)
+
+val dir : t -> string
+
+val key : string list -> string
+(** Stable content hash (32 hex chars) of the canonical parts.  Parts
+    are length-prefixed before hashing, so [["ab"; "c"]] and
+    [["a"; "bc"]] address different entries. *)
+
+val get : t -> kind:string -> version:int -> key:string -> string option
+(** The stored payload, or [None] on miss or on a corrupt entry (which
+    is deleted and reported). *)
+
+val put : t -> kind:string -> version:int -> key:string -> string -> unit
+(** Stores a payload (atomic write-then-rename; concurrent writers of
+    the same key are idempotent because content-addressing makes their
+    payloads identical).  Failures are swallowed and counted. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zeroes the per-handle counters (the mirrored {!Rgleak_obs.Obs}
+    counters are managed by that library's [reset]). *)

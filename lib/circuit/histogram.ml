@@ -8,6 +8,8 @@ let normalize weights =
   Array.map (fun w -> w /. total) weights
 
 let of_weights pairs =
+  if pairs = [] then
+    Rgleak_num.Guard.invalid "Histogram.of_weights: empty cell mix";
   let weights = Array.make Library.size 0.0 in
   List.iter
     (fun (name, w) ->

@@ -11,7 +11,8 @@ type t = private float array
 val of_weights : (string * float) list -> t
 (** Builds a histogram from (cell name, weight) pairs; weights need not
     be normalized.  Unlisted cells get zero.  Raises [Not_found] on an
-    unknown cell name, [Invalid_argument] on non-positive total. *)
+    unknown cell name, [Invalid_argument] on non-positive total, and
+    {!Rgleak_num.Guard.Error} ([Invalid_input]) on an empty mix. *)
 
 val of_counts : int array -> t
 (** Normalizes integer per-cell counts (length must equal library size). *)

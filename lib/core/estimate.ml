@@ -37,6 +37,12 @@ let context ?(mode = Random_gate.Analytic) ?(mapping = Rg_correlation.Exact)
   let rgcorr = Rg_correlation.create ~mapping ~chars ~rg ~p () in
   { corr; rg; rgcorr; p; histogram }
 
+(* For callers that obtained the correlation structure elsewhere (the
+   batch engine rebuilds it from cached tables): same invariants as
+   [context], with the tabulation step skipped. *)
+let context_with ~corr ~rgcorr ~histogram ~p () =
+  { corr; rg = Rg_correlation.rg rgcorr; rgcorr; p; histogram }
+
 let signal_p ctx = ctx.p
 let random_gate ctx = ctx.rg
 let correlation ctx = ctx.rgcorr
@@ -56,7 +62,7 @@ let finish ~with_vt ~method_used ~n (mean, variance) =
   { mean; variance; std = sqrt (Float.max 0.0 variance); method_used; n;
     vt_mean_factor }
 
-let run ?(method_ = Auto) ?(with_vt = false) ctx (spec : spec) =
+let run ?lin_memo ?(method_ = Auto) ?(with_vt = false) ctx (spec : spec) =
   if spec.n <= 0 then invalid_arg "Estimate.run: need a positive gate count";
   (* Integer gate counts round the histogram, so allow small drift; a
      gross mismatch means the caller built the context for another mix. *)
@@ -75,7 +81,10 @@ let run ?(method_ = Auto) ?(with_vt = false) ctx (spec : spec) =
   | Auto -> assert false
   | Linear ->
     let layout = Layout.of_dims ~n:spec.n ~width:spec.width ~height:spec.height in
-    let r = Estimator_linear.estimate ~corr:ctx.corr ~rgcorr:ctx.rgcorr ~layout () in
+    let r =
+      Estimator_linear.estimate ?memo:lin_memo ~corr:ctx.corr
+        ~rgcorr:ctx.rgcorr ~layout ()
+    in
     finish ~with_vt ~method_used:"linear (Eq. 17)" ~n:spec.n
       (r.Estimator_linear.mean, r.Estimator_linear.variance)
   | Integral_2d ->
@@ -93,8 +102,8 @@ let run ?(method_ = Auto) ?(with_vt = false) ctx (spec : spec) =
     finish ~with_vt ~method_used:"polar integral (Eqs. 25-26)" ~n:spec.n
       (r.Estimator_integral.mean, r.Estimator_integral.variance)
 
-let run_result ?method_ ?with_vt ctx spec =
-  Rgleak_num.Guard.protect (fun () -> run ?method_ ?with_vt ctx spec)
+let run_result ?lin_memo ?method_ ?with_vt ctx spec =
+  Rgleak_num.Guard.protect (fun () -> run ?lin_memo ?method_ ?with_vt ctx spec)
 
 let early ?mode ?mapping ?p ?method_ ?with_vt ~chars ~corr (spec : spec) =
   let ctx = context ?mode ?mapping ?p ~chars ~corr ~histogram:spec.histogram () in

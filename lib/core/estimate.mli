@@ -40,6 +40,18 @@ val context :
 (** Builds the RG model for a cell mix.  [p] is the signal probability;
     omitted, the conservative maximizing setting of §2.1.4 is used. *)
 
+val context_with :
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  histogram:Rgleak_circuit.Histogram.t ->
+  p:float ->
+  unit ->
+  context
+(** A context around an externally built correlation structure (e.g.
+    one restored from the content-addressed cache via
+    {!Rg_correlation.of_tables}).  [p] and [histogram] must be the
+    values the structure was built for. *)
+
 val signal_p : context -> float
 val random_gate : context -> Random_gate.t
 val correlation : context -> Rg_correlation.t
@@ -55,15 +67,24 @@ type result = {
           the context was asked to (see [with_vt] below) *)
 }
 
-val run : ?method_:method_selector -> ?with_vt:bool -> context -> spec -> result
+val run :
+  ?lin_memo:Estimator_linear.memo ->
+  ?method_:method_selector ->
+  ?with_vt:bool ->
+  context ->
+  spec ->
+  result
 (** Estimates mean and σ of full-chip leakage for a design spec.
     [with_vt] (default false) multiplies the mean by the random-dopant
     factor.  The spec's histogram must match the context's (the context
-    is built per cell mix).  Raises [Invalid_argument] on malformed
-    specs and {!Rgleak_num.Guard.Error} on numerical breakdown in the
-    selected estimator tier. *)
+    is built per cell mix).  [lin_memo] is consulted and filled when
+    the linear tier runs (see {!Estimator_linear.estimate}); other
+    tiers ignore it.  Raises [Invalid_argument] on malformed specs and
+    {!Rgleak_num.Guard.Error} on numerical breakdown in the selected
+    estimator tier. *)
 
 val run_result :
+  ?lin_memo:Estimator_linear.memo ->
   ?method_:method_selector ->
   ?with_vt:bool ->
   context ->

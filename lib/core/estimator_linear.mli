@@ -8,19 +8,52 @@
 
 type result = { mean : float; variance : float; std : float }
 
+(** {2 F memo}
+
+    The per-offset F values are a pure function of (layout shape,
+    correlation model, RG correlation structure).  A {!memo} makes that
+    table a first-class value so callers can reuse it across estimates
+    of the same scenario — and the batch engine can persist it in the
+    content-addressed cache.  A memo pre-filled from a previous run
+    replays the {e stored} values, so cached and uncached estimates are
+    bit-identical. *)
+
+type memo
+
+val memo_create : rows:int -> cols:int -> memo
+(** An empty memo for a [rows × cols] site grid (see
+    {!Rgleak_circuit.Layout.rows}); {!estimate} fills it as it runs.
+    Raises [Invalid_argument] on non-positive dimensions. *)
+
+val memo_shape : memo -> int * int
+(** [(rows, cols)] the memo was created for. *)
+
+val memo_to_list : memo -> (int * float) list
+(** Filled entries as [(offset index, F value)] in increasing index
+    order — the offset index of [(di, dj)] is [|dj| · cols + |di|].
+    Serialization order is deterministic. *)
+
+val memo_set : memo -> idx:int -> value:float -> unit
+(** Restores one entry (marks it filled).  Raises [Invalid_argument]
+    when [idx] is outside the memo's shape. *)
+
 val estimate :
+  ?memo:memo ->
   corr:Rgleak_process.Corr_model.t ->
   rgcorr:Rg_correlation.t ->
   layout:Rgleak_circuit.Layout.t ->
   unit ->
   result
 (** Mean is n·μ_{X_I} (Eq. 13); variance is Eq. 17 with the diagonal
-    offset contributing n·σ²_{X_I} (Eq. 11).  Raises
-    [Invalid_argument] on malformed inputs and
-    {!Rgleak_num.Guard.Error} ([Numeric]) if a non-finite moment
-    reaches the estimator boundary. *)
+    offset contributing n·σ²_{X_I} (Eq. 11).  [memo], when given, must
+    have the layout's [(rows, cols)] shape ([Invalid_argument]
+    otherwise): pre-filled entries are reused verbatim and missing ones
+    are computed and recorded into it.  Raises [Invalid_argument] on
+    malformed inputs and {!Rgleak_num.Guard.Error} ([Numeric]) if a
+    non-finite moment reaches the estimator boundary. *)
 
 val estimate_result :
+  ?memo:memo ->
   corr:Rgleak_process.Corr_model.t ->
   rgcorr:Rg_correlation.t ->
   layout:Rgleak_circuit.Layout.t ->

@@ -17,6 +17,10 @@ let prepare ~chars ~corr ~p placed =
   Obs.span "mc.prepare" @@ fun () ->
   let netlist = placed.Placer.netlist in
   let n = Netlist.size netlist in
+  (* A zero-gate design has no leakage distribution to sample; without
+     this guard the Cholesky/accumulator path below degenerates into
+     meaningless zero statistics instead of a typed diagnostic. *)
+  if n = 0 then Guard.invalid "Mc_reference.prepare: empty design (zero gates)";
   let locations =
     Array.init n (fun i ->
         let x, y = Placer.location placed i in

@@ -22,7 +22,9 @@ val prepare :
   Rgleak_circuit.Placer.placed ->
   t
 (** Builds the correlated-field sampler for the design's gate locations.
-    [p] is the signal probability used to draw input states. *)
+    [p] is the signal probability used to draw input states.  Raises
+    {!Rgleak_num.Guard.Error} ([Invalid_input]) on an empty (zero-gate)
+    design — there is no leakage distribution to sample. *)
 
 val gate_count : t -> int
 

@@ -189,6 +189,59 @@ let create ?(mapping = Exact) ?(points = 65) ~chars ~rg ~p () =
 let mapping t = t.mapping
 let rg t = t.rg
 
+(* ---------- table export/import (for the content-addressed cache) ---------- *)
+
+type tables = {
+  t_mapping : mapping;
+  t_points : int;
+  t_support_cells : int array;
+  t_f_table : float array;
+  t_pair_tables : float array array;
+  t_sigma_bar : float;
+}
+
+let tables t =
+  {
+    t_mapping = t.mapping;
+    t_points = t.points;
+    t_support_cells = Array.copy t.support_cells;
+    t_f_table = Array.copy t.f_table;
+    t_pair_tables = Array.map Array.copy t.pair_tables;
+    t_sigma_bar = t.sigma_bar;
+  }
+
+let of_tables ~rg (tb : tables) =
+  let ns = Array.length tb.t_support_cells in
+  if tb.t_points < 2 then
+    invalid_arg "Rg_correlation.of_tables: need >= 2 grid points";
+  if Array.length tb.t_f_table <> tb.t_points then
+    invalid_arg "Rg_correlation.of_tables: F table length mismatch";
+  if Array.length tb.t_pair_tables <> ns * ns then
+    invalid_arg "Rg_correlation.of_tables: pair table count mismatch";
+  Array.iter
+    (fun table ->
+      if Array.length table <> tb.t_points then
+        invalid_arg "Rg_correlation.of_tables: pair table length mismatch")
+    tb.t_pair_tables;
+  let support_index = Array.make Library.size (-1) in
+  Array.iteri
+    (fun dense ci ->
+      if ci < 0 || ci >= Library.size then
+        invalid_arg "Rg_correlation.of_tables: support cell outside the library";
+      support_index.(ci) <- dense)
+    tb.t_support_cells;
+  {
+    mapping = tb.t_mapping;
+    rg;
+    points = tb.t_points;
+    step = 1.0 /. float_of_int (tb.t_points - 1);
+    f_table = Array.copy tb.t_f_table;
+    support_index;
+    support_cells = Array.copy tb.t_support_cells;
+    pair_tables = Array.map Array.copy tb.t_pair_tables;
+    sigma_bar = tb.t_sigma_bar;
+  }
+
 let f t ~rho_l =
   if not (rho_l >= 0.0 && rho_l <= 1.0) then
     invalid_arg "Rg_correlation.f: rho out of [0,1]";

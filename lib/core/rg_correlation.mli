@@ -53,6 +53,38 @@ val in_support : t -> int -> bool
 val sigma_bar : t -> float
 (** Σ w_m σ_m — the aggregate used by the simplified mapping. *)
 
+(** {2 Table export/import}
+
+    The tabulated structure (F table, per-cell-pair covariance tables)
+    is the expensive part of {!create} and a pure function of the
+    characterized library, cell mix, signal probability and mapping —
+    exactly what the content-addressed cache keys on.  {!tables}
+    exports it as plain arrays; {!of_tables} rebuilds a [t] around a
+    freshly constructed {!Random_gate.t} (cheap) {e without}
+    re-tabulating.  A round trip is bit-identical: [of_tables ~rg
+    (tables t)] evaluates {!f} and {!cell_pair_covariance} to the same
+    floats as [t]. *)
+
+type tables = {
+  t_mapping : mapping;
+  t_points : int;
+  t_support_cells : int array;  (** canonical library cell indices *)
+  t_f_table : float array;  (** length [t_points] *)
+  t_pair_tables : float array array;
+      (** dense [si * ns + sj] indexing over support cells; each table
+          has length [t_points] *)
+  t_sigma_bar : float;
+}
+
+val tables : t -> tables
+(** A deep copy of the tabulated structure. *)
+
+val of_tables : rg:Random_gate.t -> tables -> t
+(** Rebuilds a correlation structure from exported tables.  [rg] must
+    be the random gate the tables were built for (the cache key
+    guarantees this; only shape invariants are checked here).  Raises
+    [Invalid_argument] on malformed table shapes. *)
+
 (** {2 Cross-RG covariance}
 
     For hierarchical (multi-region) estimation: the covariance between

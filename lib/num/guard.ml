@@ -44,7 +44,7 @@ let check_finite ~site ~name v =
 module Fault = struct
   type spec = { site : string; prob : float; seed : int }
 
-  let known_sites = [ "parallel"; "cholesky"; "quadrature"; "linear.f" ]
+  let known_sites = [ "parallel"; "cholesky"; "quadrature"; "linear.f"; "cache" ]
 
   type site_state = { prob : float; seed : int; counter : int Atomic.t }
 

@@ -76,8 +76,10 @@ module Fault : sig
   val known_sites : string list
   (** Compiled-in probe points: ["parallel"] (pool task entry),
       ["cholesky"] (factorization attempt), ["quadrature"] (forces the
-      Gauss–Legendre convergence check to fail) and ["linear.f"]
-      (poisons the linear estimator's F memo with NaN). *)
+      Gauss–Legendre convergence check to fail), ["linear.f"]
+      (poisons the linear estimator's F memo with NaN) and ["cache"]
+      (makes a content-addressed cache read behave as corrupt, forcing
+      the recompute fallback). *)
 
   val parse_spec : string -> (spec, string) result
   (** Parses ["site:prob:seed"] — a known site, a probability in

@@ -1,0 +1,94 @@
+let expected_schema = "rgleak-bench-estimators/3"
+
+type finding = {
+  estimator : string;
+  n : int;
+  base_seconds : float;
+  cur_seconds : float;
+  ratio : float;
+  level : [ `Warn | `Fail ];
+}
+
+type verdict = {
+  schema_ok : bool;
+  missing : (string * int) list;
+  compared : int;
+  findings : finding list;
+  pass : bool;
+}
+
+let entries_of doc =
+  Vjson.arr (Vjson.get "entries" doc)
+  |> List.map (fun e ->
+         let estimator = Vjson.str (Vjson.get "estimator" e) in
+         let n = int_of_float (Vjson.num (Vjson.get "n" e)) in
+         let seconds = Vjson.num (Vjson.get "seconds" e) in
+         ((estimator, n), seconds))
+
+let compare ?(warn_ratio = 1.5) ?(fail_ratio = 3.0) ~baseline ~current () =
+  if warn_ratio <= 0.0 || fail_ratio < warn_ratio then
+    invalid_arg "Bench_gate.compare: need 0 < warn_ratio <= fail_ratio";
+  let schema doc = Vjson.str (Vjson.get "schema" doc) in
+  let schema_ok =
+    schema baseline = expected_schema && schema current = expected_schema
+  in
+  let base = entries_of baseline in
+  let cur = entries_of current in
+  let missing =
+    List.filter_map
+      (fun (k, _) -> if List.mem_assoc k cur then None else Some k)
+      base
+  in
+  let findings = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun ((estimator, n), base_seconds) ->
+      match List.assoc_opt (estimator, n) cur with
+      | None -> ()
+      | Some cur_seconds ->
+        incr compared;
+        (* A baseline entry of ~0 s would make any ratio explode; floor
+           both sides at 1 ms so only meaningful timings gate. *)
+        let floor_s = 1e-3 in
+        let ratio =
+          Float.max cur_seconds floor_s /. Float.max base_seconds floor_s
+        in
+        if ratio > warn_ratio then
+          findings :=
+            {
+              estimator;
+              n;
+              base_seconds;
+              cur_seconds;
+              ratio;
+              level = (if ratio > fail_ratio then `Fail else `Warn);
+            }
+            :: !findings)
+    base;
+  let findings =
+    List.sort (fun a b -> Stdlib.compare b.ratio a.ratio) !findings
+  in
+  let hard =
+    (not schema_ok)
+    || missing <> []
+    || List.exists (fun f -> f.level = `Fail) findings
+  in
+  { schema_ok; missing; compared = !compared; findings; pass = not hard }
+
+let pp fmt v =
+  if not v.schema_ok then
+    Format.fprintf fmt "FAIL: schema mismatch (want %s in both documents)@."
+      expected_schema;
+  List.iter
+    (fun (e, n) ->
+      Format.fprintf fmt "FAIL: baseline entry (%s, n=%d) missing from current run@." e n)
+    v.missing;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%s: %s n=%d is %.2fx slower (%.4f s -> %.4f s)@."
+        (match f.level with `Fail -> "FAIL" | `Warn -> "warn")
+        f.estimator f.n f.ratio f.base_seconds f.cur_seconds)
+    v.findings;
+  Format.fprintf fmt "bench gate: %d entries compared, %d finding(s): %s@."
+    v.compared (List.length v.findings)
+    (if v.pass then "PASS" else "FAIL")

@@ -1,0 +1,50 @@
+(** Performance-regression gate over [rgleak-bench-estimators/3]
+    timing documents.
+
+    Compares a freshly measured bench document against the committed
+    baseline.  Two kinds of findings:
+
+    - {b Hard failures} — the schema string differs, or an
+      (estimator, n) entry present in the baseline is missing from the
+      current run, or an entry slowed down by more than [fail_ratio]
+      (default 3×).  These indicate a broken harness or a gross
+      regression and should fail CI even on noisy shared runners.
+    - {b Warnings} — an entry slowed down by more than [warn_ratio]
+      (default 1.5×) but within [fail_ratio].  On shared CI runners
+      wall-clock noise of this size is routine, so warnings are
+      reported but do not gate.
+
+    Speed-ups and new entries are never findings.  Comparison uses the
+    [seconds] field (the multi-job wall time); the deterministic work
+    counters are not compared — they are covered by the golden and
+    unit gates. *)
+
+type finding = {
+  estimator : string;
+  n : int;
+  base_seconds : float;
+  cur_seconds : float;
+  ratio : float;  (** current / baseline *)
+  level : [ `Warn | `Fail ];
+}
+
+type verdict = {
+  schema_ok : bool;
+  missing : (string * int) list;  (** baseline entries absent from current *)
+  compared : int;  (** entries present in both documents *)
+  findings : finding list;  (** slowdowns beyond [warn_ratio], worst first *)
+  pass : bool;  (** no hard failure (warnings allowed) *)
+}
+
+val compare :
+  ?warn_ratio:float ->
+  ?fail_ratio:float ->
+  baseline:Vjson.t ->
+  current:Vjson.t ->
+  unit ->
+  verdict
+(** Raises {!Vjson.Parse_error} when either document is not a bench
+    timing document (missing schema/entries or malformed entries). *)
+
+val pp : Format.formatter -> verdict -> unit
+(** One line per finding plus a summary verdict line. *)

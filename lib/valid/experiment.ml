@@ -336,6 +336,12 @@ let run_point ?jobs ~chars ~confidence ~budgets ~seed ~index pt =
   { point = pt; width; height; mc; tiers; point_pass }
 
 let run ?jobs ?(chars = Characterize.default_library ()) ~seed (sweep : sweep) =
+  (* A zero-point sweep would vacuously "pass" (List.for_all on []) —
+     surface it as a typed input error instead of a hollow green. *)
+  if sweep.points = [] then
+    Guard.invalid
+      (Printf.sprintf "sweep %S has no points: nothing to validate"
+         sweep.sweep_name);
   let point_reports =
     List.mapi
       (fun index pt ->

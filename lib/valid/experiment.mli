@@ -113,6 +113,8 @@ val run :
   seed:int ->
   sweep ->
   report
+(** Raises {!Rgleak_num.Guard.Error} ([Invalid_input]) on a sweep with
+    no points — an empty sweep would otherwise vacuously pass. *)
 
 val to_json : report -> Vjson.t
 (** The [rgleak-validate/1] document; deterministic member order, no

@@ -98,6 +98,103 @@ let test_fault_determinism () =
       Alcotest.(check string) "byte-identical stdout" (read_file t1)
         (read_file t2))
 
+(* ---------- batch ---------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rgleak_cli_batch_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let batch_manifest =
+  {|{"id": "a", "n": 300, "mix": "INV_X1:3,NAND2_X1:2", "corr": "spherical:120", "tier": "linear", "seed": 7}
+{"id": "b", "n": 120, "mix": "INV_X1:1,NOR2_X1:1", "corr": "spherical:120", "tier": "mc", "seed": 5, "replicas": 24}
+|}
+
+(* batch reports must be bit-identical across --jobs values *)
+let test_batch_jobs_determinism () =
+  with_temp_dir @@ fun dir ->
+  let manifest = Filename.concat dir "m.jsonl" in
+  write_file manifest batch_manifest;
+  let out_of jobs =
+    let out = Filename.concat dir (Printf.sprintf "out_j%d.jsonl" jobs) in
+    let code =
+      run
+        [ "batch"; manifest; "--no-cache"; "--jobs"; string_of_int jobs;
+          "--out"; out ]
+    in
+    Alcotest.(check int) (Printf.sprintf "jobs %d exits 0" jobs) 0 code;
+    read_file out
+  in
+  Alcotest.(check string)
+    "reports identical across --jobs 1/4" (out_of 1) (out_of 4)
+
+(* cold and warm cache runs must produce byte-identical reports, and
+   the warm run must actually hit the cache *)
+let test_batch_cold_warm () =
+  with_temp_dir @@ fun dir ->
+  let manifest = Filename.concat dir "m.jsonl" in
+  write_file manifest batch_manifest;
+  let go tag =
+    let out = Filename.concat dir (tag ^ ".jsonl") in
+    let metrics = Filename.concat dir (tag ^ "-metrics.json") in
+    let code =
+      run
+        [ "batch"; manifest; "--cache-dir"; Filename.concat dir "cache";
+          "--out"; out; "--metrics-json"; metrics ]
+    in
+    Alcotest.(check int) (tag ^ " exits 0") 0 code;
+    (read_file out, read_file metrics)
+  in
+  let cold, _ = go "cold" in
+  let warm, warm_metrics = go "warm" in
+  Alcotest.(check string) "cold and warm reports identical" cold warm;
+  let hit_line =
+    String.split_on_char '\n' warm_metrics
+    |> List.exists (fun l ->
+           let t = String.trim l in
+           String.length t > 13
+           && String.sub t 0 13 = {|"cache.hits":|}
+           &&
+           let v = String.trim (String.sub t 13 (String.length t - 13)) in
+           v <> "0" && v <> "0,")
+  in
+  Alcotest.(check bool) "warm run recorded cache hits" true hit_line
+
+(* manifest-level errors exit 2 before any scenario runs *)
+let test_batch_manifest_errors () =
+  with_temp_dir @@ fun dir ->
+  let path name contents =
+    let p = Filename.concat dir name in
+    write_file p contents;
+    p
+  in
+  let empty = path "empty.jsonl" "# only a comment\n\n" in
+  Alcotest.(check int) "empty manifest exits 2" 2
+    (run [ "batch"; empty; "--no-cache" ]);
+  let bad = path "bad.jsonl" {|{"n": 10, "mix": "INV_X1:1"}|} in
+  Alcotest.(check int) "missing corr field exits 2" 2
+    (run [ "batch"; bad; "--no-cache" ]);
+  Alcotest.(check int) "missing manifest file exits 2" 2
+    (run [ "batch"; Filename.concat dir "nosuch.jsonl"; "--no-cache" ])
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -110,5 +207,12 @@ let () =
           case "numeric breakdown exits 3 under --strict" test_numeric_strict;
           case "best-effort degradation exits 0" test_best_effort_degradation;
           case "fault runs are deterministic" test_fault_determinism;
+        ] );
+      ( "batch",
+        [
+          case "reports identical across --jobs" test_batch_jobs_determinism;
+          case "cold/warm cache runs identical with hits"
+            test_batch_cold_warm;
+          case "manifest errors exit 2" test_batch_manifest_errors;
         ] );
     ]

@@ -1,0 +1,49 @@
+(* CI perf-regression gate: compare a fresh BENCH_estimators.json
+   against the committed baseline.
+
+     bench_gate --baseline BENCH_committed.json --current BENCH_estimators.json
+
+   Exit 0 when no hard failure (schema mismatch, missing entry, or a
+   slowdown beyond --fail-ratio); warnings between --warn-ratio and
+   --fail-ratio print but do not gate — shared-runner wall clocks are
+   noisy.  Exit 2 on malformed inputs. *)
+
+module Vjson = Rgleak_valid.Vjson
+module Bench_gate = Rgleak_valid.Bench_gate
+
+let () =
+  let baseline = ref "" in
+  let current = ref "" in
+  let warn_ratio = ref 1.5 in
+  let fail_ratio = ref 3.0 in
+  let args =
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE committed bench document");
+      ("--current", Arg.Set_string current, "FILE freshly measured document");
+      ( "--warn-ratio",
+        Arg.Set_float warn_ratio,
+        "R report slowdowns beyond R (default 1.5)" );
+      ( "--fail-ratio",
+        Arg.Set_float fail_ratio,
+        "R hard-fail slowdowns beyond R (default 3.0)" );
+    ]
+  in
+  let usage = "bench_gate --baseline FILE --current FILE [options]" in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !baseline = "" || !current = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  match
+    let baseline = Vjson.parse_file !baseline in
+    let current = Vjson.parse_file !current in
+    Bench_gate.compare ~warn_ratio:!warn_ratio ~fail_ratio:!fail_ratio
+      ~baseline ~current ()
+  with
+  | exception (Sys_error msg | Vjson.Parse_error msg | Invalid_argument msg)
+    ->
+    Printf.eprintf "bench_gate: %s\n" msg;
+    exit 2
+  | verdict ->
+    Format.printf "%a" Bench_gate.pp verdict;
+    exit (if verdict.Bench_gate.pass then 0 else 1)
