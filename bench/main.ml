@@ -419,6 +419,9 @@ type timing_entry = {
   seconds_1job : float;
   counters : (string * int) list;
   gauges : (string * float) list;
+  alloc : (string * float) list;
+      (** normalized minor-heap allocation (words per unit of work),
+          measured on a dedicated single-domain pass *)
 }
 
 let speedup e = if e.seconds > 0.0 then e.seconds_1job /. e.seconds else 1.0
@@ -435,9 +438,10 @@ let nproc () = Domain.recommended_domain_count ()
 let write_bench_json ~path ~jobs entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/3\",\n";
+  Printf.fprintf oc "  \"schema\": \"rgleak-bench-estimators/4\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"nproc\": %d,\n" (nproc ());
+  Printf.fprintf oc "  \"kernel_isa\": %S,\n" (Pair_kernel.selected_isa ());
   Printf.fprintf oc "  \"fast\": %b,\n" !fast;
   Printf.fprintf oc "  \"entries\": [\n";
   let last = List.length entries - 1 in
@@ -453,9 +457,12 @@ let write_bench_json ~path ~jobs entries =
       Printf.fprintf oc "      \"counters\": {%s},\n"
         (String.concat ", "
            (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) e.counters));
-      Printf.fprintf oc "      \"gauges\": {%s} }%s\n"
+      Printf.fprintf oc "      \"gauges\": {%s},\n"
         (String.concat ", "
-           (List.map (fun (k, v) -> Printf.sprintf "%S: %.6g" k v) e.gauges))
+           (List.map (fun (k, v) -> Printf.sprintf "%S: %.6g" k v) e.gauges));
+      Printf.fprintf oc "      \"alloc\": {%s} }%s\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%S: %.6g" k v) e.alloc))
         (if i = last then "" else ","))
     entries;
   Printf.fprintf oc "  ]\n}\n";
@@ -501,15 +508,34 @@ let run_timing () =
     let snap = Obs.snapshot () in
     (snap.Obs.counters, snap.Obs.gauges)
   in
-  let bench ~estimator ~n ~equal run =
+  (* Normalized minor-heap allocation from a dedicated warm pass at one
+     domain with telemetry off: at jobs = 1 every word lands on the
+     submitting domain's minor counter, so unlike the multi-domain
+     *.minor_words gauges the delta is exact, and dividing by the work
+     units (pairs, samples) makes it host-independent. *)
+  let alloc_of ~units ~metric run =
+    Parallel.set_default_jobs 1;
+    ignore (run ());
+    let w0 = Gc.minor_words () in
+    ignore (run ());
+    let dw = Gc.minor_words () -. w0 in
+    Parallel.set_default_jobs jobs;
+    [ (metric, dw /. units) ]
+  in
+  let bench ~estimator ~n ?alloc ~equal run =
     let r1, t1 = timed_at ~j:1 run in
     let rj, tj = timed_at ~j:jobs run in
     if not (equal r1 rj) then
       failwith (estimator ^ ": jobs=1 and parallel results differ");
+    let alloc =
+      match alloc with
+      | None -> []
+      | Some (metric, units) -> alloc_of ~units ~metric run
+    in
     let counters, gauges = observe run in
     let e =
       { estimator; n; jobs_used = jobs; cpus = nproc (); seconds = tj;
-        seconds_1job = t1; counters; gauges }
+        seconds_1job = t1; counters; gauges; alloc }
     in
     entries := e :: !entries;
     Printf.printf "%-12s n=%8d   1 job %8.3f s   %2d jobs %8.3f s   %s\n%!"
@@ -522,6 +548,9 @@ let run_timing () =
   let n_exact = if !fast then 5_000 else 20_000 in
   let placed = Generator.random_placed ~histogram:hist ~n:n_exact ~rng () in
   bench ~estimator:"exact" ~n:n_exact
+    ~alloc:
+      ( "minor_words_per_pair",
+        float_of_int n_exact *. float_of_int (n_exact - 1) /. 2.0 )
     ~equal:(fun a b ->
       bits a.Estimator_exact.std = bits b.Estimator_exact.std)
     (fun () -> Estimator_exact.estimate ~corr:corr_default ~rgcorr placed);
@@ -533,8 +562,10 @@ let run_timing () =
     Mc_reference.prepare ~chars ~corr:corr_default ~p:(Estimate.signal_p ctx)
       placed_mc
   in
-  bench ~estimator:"mc" ~n:n_mc ~equal:( = ) (fun () ->
-      Mc_reference.moments_stream mc ~seed:910 ~count);
+  bench ~estimator:"mc" ~n:n_mc
+    ~alloc:("minor_words_per_sample", float_of_int count)
+    ~equal:( = )
+    (fun () -> Mc_reference.moments_stream mc ~seed:910 ~count);
   (* Library characterization across the pool. *)
   let l_points = 33 and mc_samples = if !fast then 1_000 else 5_000 in
   bench ~estimator:"characterize" ~n:Library.size
@@ -616,11 +647,13 @@ let run_overhead () =
   let counter name =
     match List.assoc_opt name snap.Obs.counters with Some v -> v | None -> 0
   in
-  (* Sites per run: one guarded counter bump per pair row, ~4 probes per
-     pool band (task count, busy gauge, span open/close) and a handful
-     of top-level spans and counters. *)
+  (* Sites per run: one counter bump per 256-row kernel tile (the old
+     per-row bump went away with the flat kernel — pair counting is now
+     a single bulk count), ~4 probes per pool band (task count, busy
+     gauge, span open/close) and a handful of top-level spans and
+     counters. *)
   let sites =
-    float_of_int (counter "exact.gates")
+    float_of_int (counter "exact.tiles")
     +. (4.0 *. float_of_int (counter "pool.bands"))
     +. 16.0
   in

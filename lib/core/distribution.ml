@@ -18,7 +18,9 @@ let of_moments ?(shape = Lognormal) ~mean ~std () =
      required), so they are always computed — no NaN sentinel whose
      accidental use would propagate silently. *)
   let cv2 = std *. std /. (mean *. mean) in
-  let sigma_ln2 = log (1.0 +. cv2) in
+  (* log1p: forming 1 + cv² first loses up to half the digits of a
+     small coefficient of variation. *)
+  let sigma_ln2 = Float.log1p cv2 in
   let mu_ln = log mean -. (0.5 *. sigma_ln2) in
   { mean; std; shape; mu_ln; sigma_ln = sqrt sigma_ln2 }
 

@@ -10,9 +10,19 @@
     upper triangle of type pairs is tabulated (covariance is symmetric).
 
     The pair loop runs on the {!Rgleak_num.Parallel} domain pool over
-    balanced triangular row bands.  The banding and the reduction order
-    depend only on the gate count, so the result is bit-identical for
-    every job count. *)
+    balanced triangular row bands, each band split into fixed-size row
+    tiles handed to the allocation-free flat
+    {!Rgleak_num.Pair_kernel}.  Band and tile boundaries, the kernel's
+    8-lane summation contract and the in-order band combine depend only
+    on the gate count, so the result is bit-identical for every job
+    count (and across SIMD ISAs).
+
+    Telemetry: counters [exact.gates], [exact.types], [exact.pairs]
+    (bulk), [exact.tiles] (kernel calls — all jobs-invariant), plus
+    gauges [exact.pairs_per_s] and [exact.minor_words]
+    (submitting-domain minor allocation across the pair loop — stays
+    O(bands) because the kernel allocates nothing, but varies with the
+    job count like the other pool gauges). *)
 
 type result = { mean : float; variance : float; std : float }
 
@@ -32,6 +42,19 @@ val estimate :
     {!Rgleak_num.Guard.Error} ([Numeric]) if a non-finite moment
     reaches the estimator boundary, or if a pool fault is injected at
     site ["parallel"]. *)
+
+val estimate_reference :
+  ?distance_points:int ->
+  ?jobs:int ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  Rgleak_circuit.Placer.placed ->
+  result
+(** Historical row-at-a-time implementation over boxed tables, kept as
+    the oracle for the flat kernel.  Same tables, same moments, same
+    per-pair arithmetic; differs from {!estimate} only by summation
+    order (documented reassociation contract), so results agree to
+    ~1e-14 relative, not bitwise. *)
 
 val estimate_result :
   ?distance_points:int ->

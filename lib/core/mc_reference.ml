@@ -51,16 +51,42 @@ let draw_state t rng gate =
   !idx
 
 let total_with_states t lengths state_of_gate =
-  let total = ref 0.0 in
+  (* One-slot float array, not a [ref]: without flambda a float ref
+     boxes every accumulation, i.e. O(gates) minor words per replica. *)
+  let acc = Array.make 1 0.0 in
   for g = 0 to t.n - 1 do
     let sc = t.gate_states.(g).(state_of_gate g) in
-    total := !total +. Characterize.leakage_at sc lengths.(g)
+    acc.(0) <- acc.(0) +. Characterize.leakage_at sc lengths.(g)
   done;
-  !total
+  acc.(0)
+
+(* Per-domain sampling scratch: replica sampling is the MC hot path and
+   runs on every pool domain, so the per-replica float arrays (normals,
+   WID field, lengths) are preallocated once per domain and grown on
+   demand.  Domain.DLS keeps them race-free without locks; the arrays
+   never shrink, which is fine for validation-scale designs. *)
+type scratch = {
+  mutable z : float array;
+  mutable wid : float array;
+  mutable lengths : float array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { z = [||]; wid = [||]; lengths = [||] })
+
+let scratch_for n =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.z < n then begin
+    s.z <- Array.make n 0.0;
+    s.wid <- Array.make n 0.0;
+    s.lengths <- Array.make n 0.0
+  end;
+  s
 
 let sample t rng =
-  let lengths = Variation.sample t.sampler rng in
-  total_with_states t lengths (draw_state t rng)
+  let s = scratch_for t.n in
+  Variation.sample_into t.sampler rng ~z:s.z ~wid:s.wid ~out:s.lengths;
+  total_with_states t s.lengths (draw_state t rng)
 
 let sample_many t rng ~count = Array.init count (fun _ -> sample t rng)
 
@@ -111,12 +137,18 @@ let sample_many_stream ?jobs t ~seed ~count =
   Obs.span "mc.samples" @@ fun () ->
   Obs.count "mc.replicas" count;
   let out = Array.make count 0.0 in
+  let words0 = if Obs.enabled () then Gc.minor_words () else 0.0 in
   Parallel.using ?jobs (fun pool ->
       let chunks = chunks_for ~jobs:(Parallel.jobs pool) ~count in
       Parallel.parallel_for_reduce ~chunks ~label:"mc.chunk" pool ~n:count
         ~init:(fun () -> ())
         ~body:(fun () i -> out.(i) <- timed_sample t ~seed i)
         ~combine:(fun () () -> ()));
+  (* Submitting-domain minor words over the replica fill (a gauge, not
+     a counter: pool bookkeeping makes it vary with the job count).
+     With the per-domain scratch this is O(count), not O(count * n). *)
+  if Obs.enabled () then
+    Obs.gauge_max "mc.minor_words" (Gc.minor_words () -. words0);
   out
 
 let moments_stream ?jobs t ~seed ~count =
@@ -143,5 +175,6 @@ let moments_stream ?jobs t ~seed ~count =
 let fixed_state_sample t rng ~state_seed =
   let state_rng = Rng.create ~seed:state_seed () in
   let states = Array.init t.n (fun g -> draw_state t state_rng g) in
-  let lengths = Variation.sample t.sampler rng in
-  total_with_states t lengths (fun g -> states.(g))
+  let s = scratch_for t.n in
+  Variation.sample_into t.sampler rng ~z:s.z ~wid:s.wid ~out:s.lengths;
+  total_with_states t s.lengths (fun g -> states.(g))

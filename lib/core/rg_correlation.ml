@@ -264,6 +264,38 @@ let cell_pair_covariance t ~ci ~cj ~rho_l =
   uniform_eval ~step:t.step ~table:t.pair_tables.((si * ns) + sj) rho_l
 
 let sigma_bar t = t.sigma_bar
+let support_size t = Array.length t.support_cells
+
+let support_dense t ci =
+  if ci < 0 || ci >= Array.length t.support_index then -1
+  else t.support_index.(ci)
+
+let binned_pair_tables t ~used ~distance_points ~dstep ~rho_of_d =
+  if distance_points < 2 then
+    invalid_arg "Rg_correlation.binned_pair_tables: need >= 2 distance points";
+  let nu = Array.length used in
+  let tri = Rgleak_num.Parallel.tri_size nu in
+  let cov =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+      (Stdlib.max 1 (tri * distance_points))
+  in
+  (* Same traversal (ti <= tj, k ascending), evaluator and telemetry as
+     the historical per-estimate cov_tri build: the packed bigarray is a
+     bit-for-bit relayout, not a numerical change. *)
+  for ti = 0 to nu - 1 do
+    for tj = ti to nu - 1 do
+      let off =
+        Rgleak_num.Parallel.tri_index ~n:nu ~i:ti ~j:tj * distance_points
+      in
+      for k = 0 to distance_points - 1 do
+        let d = float_of_int k *. dstep in
+        let rho_l = rho_of_d d in
+        Bigarray.Array1.unsafe_set cov (off + k)
+          (cell_pair_covariance t ~ci:used.(ti) ~cj:used.(tj) ~rho_l)
+      done
+    done
+  done;
+  cov
 
 type cross = { cross_step : float; cross_table : float array }
 

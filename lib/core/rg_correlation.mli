@@ -53,6 +53,34 @@ val in_support : t -> int -> bool
 val sigma_bar : t -> float
 (** Σ w_m σ_m — the aggregate used by the simplified mapping. *)
 
+val support_size : t -> int
+(** Number of support cells (the dense index range of
+    {!support_dense}). *)
+
+val support_dense : t -> int -> int
+(** [support_dense t ci] is the dense support index of library cell
+    [ci], or [-1] when the cell is outside the support.  Built once per
+    correlation structure (hence once per characterized library via the
+    content-addressed cache) — estimators use it instead of rescanning
+    the full library per call. *)
+
+val binned_pair_tables :
+  t ->
+  used:int array ->
+  distance_points:int ->
+  dstep:float ->
+  rho_of_d:(float -> float) ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Distance-binned covariance tables for the exact kernel, packed over
+    the upper triangle of the [used] type pairs: entry
+    [tri_index (ti, tj) * distance_points + k] holds
+    [cell_pair_covariance ~ci:used.(ti) ~cj:used.(tj)
+     ~rho_l:(rho_of_d (k * dstep))].  Evaluation order, values and
+    telemetry ([rgcorr.pair_cov_evals]) are identical to calling
+    {!cell_pair_covariance} directly in the same ti <= tj, ascending-k
+    loop; only the memory layout is flat.  Raises [Invalid_argument]
+    for cells outside the support or [distance_points < 2]. *)
+
 (** {2 Table export/import}
 
     The tabulated structure (F table, per-cell-pair covariance tables)

@@ -126,15 +126,20 @@ let solve l b =
   done;
   x
 
+let sample_into l rng ~z ~out =
+  let n = Matrix.rows l in
+  if Array.length z < n || Array.length out < n then
+    invalid_arg "Cholesky.sample_into: scratch shorter than the factor";
+  for i = 0 to n - 1 do
+    z.(i) <- Rng.gaussian rng
+  done;
+  Matrix.lower_mul_vec_into l z out
+
 let sample l rng =
   let n = Matrix.rows l in
-  let z = Array.init n (fun _ -> Rng.gaussian rng) in
-  Array.init n (fun i ->
-      let s = ref 0.0 in
-      for k = 0 to i do
-        s := !s +. (Matrix.get l i k *. z.(k))
-      done;
-      !s)
+  let z = Array.make n 0.0 and out = Array.make n 0.0 in
+  sample_into l rng ~z ~out;
+  out
 
 let log_det l =
   let n = Matrix.rows l in

@@ -45,5 +45,13 @@ val sample : Matrix.t -> Rng.t -> Vector.t
 (** [sample l rng] draws a zero-mean Gaussian vector with covariance
     [l lᵀ] (one standard normal per component, transformed by [l]). *)
 
+val sample_into : Matrix.t -> Rng.t -> z:float array -> out:float array -> unit
+(** Allocation-free {!sample}: the standard normals land in [z] and the
+    transformed vector in [out] (both of length >= the factor size;
+    only the first [n] entries are touched).  Bit-identical to
+    {!sample} — same draw order (ascending component), same
+    accumulation order — so callers can swap freely between the two.
+    Raises [Invalid_argument] when a scratch array is too short. *)
+
 val log_det : Matrix.t -> float
 (** Log-determinant of [l lᵀ] given the factor [l]. *)

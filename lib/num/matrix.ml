@@ -22,6 +22,26 @@ let get m i j =
     invalid_arg "Matrix.get: index out of bounds";
   m.data.((i * m.cols) + j)
 
+(* Lower-triangular matrix-vector product into caller storage:
+   out_i = Σ_{k<=i} m[i,k]·z[k], accumulated in ascending k.  Lives
+   here so the loop runs on the raw data array — without flambda a
+   cross-module element accessor boxes every returned float, which in
+   per-replica hot loops costs one minor allocation per multiply-add. *)
+let lower_mul_vec_into m z out =
+  let n = m.rows in
+  if Array.length z < n || Array.length out < n then
+    invalid_arg "Matrix.lower_mul_vec_into: vector shorter than the matrix";
+  let data = m.data in
+  for i = 0 to n - 1 do
+    let row = i * m.cols in
+    Array.unsafe_set out i 0.0;
+    for k = 0 to i do
+      Array.unsafe_set out i
+        (Array.unsafe_get out i
+        +. (Array.unsafe_get data (row + k) *. Array.unsafe_get z k))
+    done
+  done
+
 let set m i j v =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
     invalid_arg "Matrix.set: index out of bounds";

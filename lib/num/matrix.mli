@@ -10,6 +10,14 @@ val identity : int -> t
 val rows : t -> int
 val cols : t -> int
 val get : t -> int -> int -> float
+
+(** [lower_mul_vec_into m z out] sets [out.(i) = Σ_{k<=i} m[i,k]·z.(k)]
+    for each row [i], accumulating in ascending [k] — the
+    lower-triangular product used to color Gaussian samples through a
+    Cholesky factor.  Allocation-free: results land in [out] (length >=
+    the row count, like [z]).  Raises [Invalid_argument] on short
+    vectors. *)
+val lower_mul_vec_into : t -> Vector.t -> Vector.t -> unit
 val set : t -> int -> int -> float -> unit
 val copy : t -> t
 val transpose : t -> t

@@ -1,0 +1,340 @@
+/* Flat pair-sum kernel for the exact O(n²) estimator.
+
+   The OCaml side stages the design into flat buffers (cells sorted by
+   (type, original index)) and calls [rgleak_pair_sum] once per row
+   tile.  For every ordered pair (a, b) with lo <= a < hi, a < b < n,
+   the kernel evaluates the binned covariance table of the two cell
+   types at their Euclidean distance by linear interpolation and
+   accumulates the values into a fixed set of EIGHT lane accumulators.
+
+   Determinism contract (mirrored bit-for-bit by Pair_kernel.sum_ocaml
+   and relied on by the cross-ISA and cross-jobs equality tests):
+
+   - Per (row, type-segment), pairs are consumed in blocks of 8; the
+     j-th pair of a block goes to lane j.  The < 8 trailing pairs of a
+     segment go to a second bank of 8 remainder lanes, again j-th pair
+     to lane j.
+   - The call's result is sum_{j=0..7} (lane[j] + rem[j]), summed in
+     increasing j, each parenthesized exactly like that.
+   - Per-pair arithmetic is plain IEEE double +, -, *, sqrt (correctly
+     rounded everywhere), with FMA contraction disabled — so the SSE,
+     AVX2 and AVX-512 code paths produce identical bits and only the
+     instruction count changes.
+
+   Everything the kernel reads lives in caller-owned bigarrays; the
+   kernel allocates nothing and never touches the OCaml heap, so calls
+   need no GC cooperation beyond returning one boxed float. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define RGLEAK_LANES 8
+
+#define RGLEAK_ISA_AUTO 0
+#define RGLEAK_ISA_SCALAR 1
+#define RGLEAK_ISA_AVX2 2
+#define RGLEAK_ISA_AVX512 3
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define RGLEAK_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define RGLEAK_X86_DISPATCH 0
+#endif
+
+/* ---------- scalar reference (every platform) ---------- */
+
+static double pair_sum_scalar(intnat n, const double *xs, const double *ys,
+                              const intnat *ty, const intnat *seg,
+                              const intnat *base, const double *cov,
+                              intnat nu, double inv_dstep, intnat kmax,
+                              intnat lo, intnat hi)
+{
+  double acc[RGLEAK_LANES];
+  double rem[RGLEAK_LANES];
+  intnat a, t, j;
+  memset(acc, 0, sizeof acc);
+  memset(rem, 0, sizeof rem);
+  (void) n;
+  for (a = lo; a < hi; a++) {
+    double xa = xs[a], ya = ys[a];
+    const intnat *rowbase = base + ty[a] * nu;
+    for (t = 0; t < nu; t++) {
+      intnat b = seg[t] > a + 1 ? seg[t] : a + 1;
+      intnat e = seg[t + 1];
+      const double *tbl = cov + rowbase[t];
+      for (; b + RGLEAK_LANES <= e; b += RGLEAK_LANES) {
+        for (j = 0; j < RGLEAK_LANES; j++) {
+          double dx = xs[b + j] - xa, dy = ys[b + j] - ya;
+          double d = sqrt(dx * dx + dy * dy);
+          double pos = d * inv_dstep;
+          intnat k = (intnat) pos;
+          k = k < 0 ? 0 : (k > kmax ? kmax : k);
+          {
+            double t0 = tbl[k], t1 = tbl[k + 1];
+            acc[j] += t0 + (pos - (double) k) * (t1 - t0);
+          }
+        }
+      }
+      for (j = 0; b < e; b++, j++) {
+        double dx = xs[b] - xa, dy = ys[b] - ya;
+        double d = sqrt(dx * dx + dy * dy);
+        double pos = d * inv_dstep;
+        intnat k = (intnat) pos;
+        k = k < 0 ? 0 : (k > kmax ? kmax : k);
+        {
+          double t0 = tbl[k], t1 = tbl[k + 1];
+          rem[j] += t0 + (pos - (double) k) * (t1 - t0);
+        }
+      }
+    }
+  }
+  {
+    double s = 0.0;
+    for (j = 0; j < RGLEAK_LANES; j++)
+      s += acc[j] + rem[j];
+    return s;
+  }
+}
+
+#if RGLEAK_X86_DISPATCH
+
+/* ---------- AVX2: 4-wide halves of the same 8-lane contract ---------- */
+
+__attribute__((target("avx2")))
+static double pair_sum_avx2(intnat n, const double *xs, const double *ys,
+                            const intnat *ty, const intnat *seg,
+                            const intnat *base, const double *cov,
+                            intnat nu, double inv_dstep, intnat kmax,
+                            intnat lo, intnat hi)
+{
+  /* lanes 0-3 / 4-7 of the scalar contract */
+  __m256d accl = _mm256_setzero_pd(), acch = _mm256_setzero_pd();
+  __m256d vinv = _mm256_set1_pd(inv_dstep);
+  __m128i vkmax = _mm_set1_epi32((int) kmax);
+  __m128i vzero = _mm_setzero_si128();
+  double rem[RGLEAK_LANES];
+  intnat a, t, j;
+  memset(rem, 0, sizeof rem);
+  (void) n;
+  for (a = lo; a < hi; a++) {
+    double xa = xs[a], ya = ys[a];
+    const intnat *rowbase = base + ty[a] * nu;
+    __m256d vxa = _mm256_set1_pd(xa), vya = _mm256_set1_pd(ya);
+    for (t = 0; t < nu; t++) {
+      intnat b = seg[t] > a + 1 ? seg[t] : a + 1;
+      intnat e = seg[t + 1];
+      const double *tbl = cov + rowbase[t];
+#define RGLEAK_AVX2_BODY(ACC, BB)                                          \
+      {                                                                    \
+        __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + (BB)), vxa);       \
+        __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + (BB)), vya);       \
+        __m256d d = _mm256_sqrt_pd(                                        \
+            _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));  \
+        __m256d pos = _mm256_mul_pd(d, vinv);                              \
+        __m128i k = _mm256_cvttpd_epi32(pos);                              \
+        k = _mm_max_epi32(_mm_min_epi32(k, vkmax), vzero);                 \
+        {                                                                  \
+          __m256d t0 = _mm256_i32gather_pd(tbl, k, 8);                     \
+          __m256d t1 = _mm256_i32gather_pd(                                \
+              tbl, _mm_add_epi32(k, _mm_set1_epi32(1)), 8);                \
+          __m256d frac = _mm256_sub_pd(pos, _mm256_cvtepi32_pd(k));        \
+          ACC = _mm256_add_pd(                                             \
+              ACC, _mm256_add_pd(                                          \
+                       t0, _mm256_mul_pd(frac, _mm256_sub_pd(t1, t0))));   \
+        }                                                                  \
+      }
+      for (; b + RGLEAK_LANES <= e; b += RGLEAK_LANES) {
+        RGLEAK_AVX2_BODY(accl, b)
+        RGLEAK_AVX2_BODY(acch, b + 4)
+      }
+#undef RGLEAK_AVX2_BODY
+      for (j = 0; b < e; b++, j++) {
+        double dx = xs[b] - xa, dy = ys[b] - ya;
+        double d = sqrt(dx * dx + dy * dy);
+        double pos = d * inv_dstep;
+        intnat k = (intnat) pos;
+        k = k < 0 ? 0 : (k > kmax ? kmax : k);
+        {
+          double t0 = tbl[k], t1 = tbl[k + 1];
+          rem[j] += t0 + (pos - (double) k) * (t1 - t0);
+        }
+      }
+    }
+  }
+  {
+    double l0[4], l1[4], s = 0.0;
+    _mm256_storeu_pd(l0, accl);
+    _mm256_storeu_pd(l1, acch);
+    for (j = 0; j < 4; j++)
+      s += l0[j] + rem[j];
+    for (j = 0; j < 4; j++)
+      s += l1[j] + rem[4 + j];
+    return s;
+  }
+}
+
+/* ---------- AVX-512: one 8-wide block per iteration ---------- */
+
+__attribute__((target("avx2,avx512f,avx512dq,avx512vl")))
+static double pair_sum_avx512(intnat n, const double *xs, const double *ys,
+                              const intnat *ty, const intnat *seg,
+                              const intnat *base, const double *cov,
+                              intnat nu, double inv_dstep, intnat kmax,
+                              intnat lo, intnat hi)
+{
+  __m512d vacc = _mm512_setzero_pd();
+  __m512d vinv = _mm512_set1_pd(inv_dstep);
+  __m256i vkmax = _mm256_set1_epi32((int) kmax);
+  __m256i vzero = _mm256_setzero_si256();
+  double rem[RGLEAK_LANES];
+  intnat a, t, j;
+  memset(rem, 0, sizeof rem);
+  (void) n;
+  for (a = lo; a < hi; a++) {
+    double xa = xs[a], ya = ys[a];
+    const intnat *rowbase = base + ty[a] * nu;
+    __m512d vxa = _mm512_set1_pd(xa), vya = _mm512_set1_pd(ya);
+    for (t = 0; t < nu; t++) {
+      intnat b = seg[t] > a + 1 ? seg[t] : a + 1;
+      intnat e = seg[t + 1];
+      const double *tbl = cov + rowbase[t];
+      for (; b + RGLEAK_LANES <= e; b += RGLEAK_LANES) {
+        __m512d dx = _mm512_sub_pd(_mm512_loadu_pd(xs + b), vxa);
+        __m512d dy = _mm512_sub_pd(_mm512_loadu_pd(ys + b), vya);
+        __m512d d = _mm512_sqrt_pd(
+            _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)));
+        __m512d pos = _mm512_mul_pd(d, vinv);
+        __m256i k = _mm512_cvttpd_epi32(pos);
+        k = _mm256_max_epi32(_mm256_min_epi32(k, vkmax), vzero);
+        {
+          __m512d t0 = _mm512_i32gather_pd(k, tbl, 8);
+          __m512d t1 = _mm512_i32gather_pd(
+              _mm256_add_epi32(k, _mm256_set1_epi32(1)), tbl, 8);
+          __m512d frac = _mm512_sub_pd(pos, _mm512_cvtepi32_pd(k));
+          vacc = _mm512_add_pd(
+              vacc,
+              _mm512_add_pd(t0, _mm512_mul_pd(frac, _mm512_sub_pd(t1, t0))));
+        }
+      }
+      for (j = 0; b < e; b++, j++) {
+        double dx = xs[b] - xa, dy = ys[b] - ya;
+        double d = sqrt(dx * dx + dy * dy);
+        double pos = d * inv_dstep;
+        intnat k = (intnat) pos;
+        k = k < 0 ? 0 : (k > kmax ? kmax : k);
+        {
+          double t0 = tbl[k], t1 = tbl[k + 1];
+          rem[j] += t0 + (pos - (double) k) * (t1 - t0);
+        }
+      }
+    }
+  }
+  {
+    double lane[RGLEAK_LANES], s = 0.0;
+    _mm512_storeu_pd(lane, vacc);
+    for (j = 0; j < RGLEAK_LANES; j++)
+      s += lane[j] + rem[j];
+    return s;
+  }
+}
+
+#endif /* RGLEAK_X86_DISPATCH */
+
+/* ---------- dispatch ---------- */
+
+static int isa_supported(int isa)
+{
+  switch (isa) {
+  case RGLEAK_ISA_SCALAR:
+    return 1;
+#if RGLEAK_X86_DISPATCH
+  case RGLEAK_ISA_AVX2:
+    return __builtin_cpu_supports("avx2") != 0;
+  case RGLEAK_ISA_AVX512:
+    return __builtin_cpu_supports("avx512f")
+           && __builtin_cpu_supports("avx512dq")
+           && __builtin_cpu_supports("avx512vl");
+#endif
+  default:
+    return 0;
+  }
+}
+
+static int best_isa(void)
+{
+  /* Idempotent, so the unsynchronized cache is benign across domains. */
+  static int cached = 0;
+  int isa = cached;
+  if (isa == 0) {
+    isa = RGLEAK_ISA_SCALAR;
+    if (isa_supported(RGLEAK_ISA_AVX2)) isa = RGLEAK_ISA_AVX2;
+    if (isa_supported(RGLEAK_ISA_AVX512)) isa = RGLEAK_ISA_AVX512;
+    cached = isa;
+  }
+  return isa;
+}
+
+CAMLprim value rgleak_pair_isa_supported(value visa)
+{
+  return Val_bool(isa_supported(Int_val(visa)));
+}
+
+CAMLprim value rgleak_pair_best_isa(value unit)
+{
+  (void) unit;
+  return Val_int(best_isa());
+}
+
+CAMLprim value rgleak_pair_sum(value vxs, value vys, value vty, value vseg,
+                               value vbase, value vcov, value vnu,
+                               value vinv, value vkmax, value vlo, value vhi,
+                               value visa)
+{
+  const double *xs = (const double *) Caml_ba_data_val(vxs);
+  const double *ys = (const double *) Caml_ba_data_val(vys);
+  const intnat *ty = (const intnat *) Caml_ba_data_val(vty);
+  const intnat *seg = (const intnat *) Caml_ba_data_val(vseg);
+  const intnat *base = (const intnat *) Caml_ba_data_val(vbase);
+  const double *cov = (const double *) Caml_ba_data_val(vcov);
+  intnat n = Caml_ba_array_val(vxs)->dim[0];
+  intnat nu = Long_val(vnu);
+  double inv_dstep = Double_val(vinv);
+  intnat kmax = Long_val(vkmax);
+  intnat lo = Long_val(vlo);
+  intnat hi = Long_val(vhi);
+  int isa = Int_val(visa);
+  double s;
+  if (isa == RGLEAK_ISA_AUTO) isa = best_isa();
+  if (!isa_supported(isa)) isa = RGLEAK_ISA_SCALAR;
+  switch (isa) {
+#if RGLEAK_X86_DISPATCH
+  case RGLEAK_ISA_AVX2:
+    s = pair_sum_avx2(n, xs, ys, ty, seg, base, cov, nu, inv_dstep, kmax,
+                      lo, hi);
+    break;
+  case RGLEAK_ISA_AVX512:
+    s = pair_sum_avx512(n, xs, ys, ty, seg, base, cov, nu, inv_dstep, kmax,
+                        lo, hi);
+    break;
+#endif
+  default:
+    s = pair_sum_scalar(n, xs, ys, ty, seg, base, cov, nu, inv_dstep, kmax,
+                        lo, hi);
+    break;
+  }
+  return caml_copy_double(s);
+}
+
+CAMLprim value rgleak_pair_sum_bc(value *argv, int argn)
+{
+  (void) argn;
+  return rgleak_pair_sum(argv[0], argv[1], argv[2], argv[3], argv[4],
+                         argv[5], argv[6], argv[7], argv[8], argv[9],
+                         argv[10], argv[11]);
+}

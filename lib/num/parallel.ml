@@ -301,6 +301,23 @@ let triangle_reduce ?bands ?(label = "band") pool ~n ~init ~row ~combine =
     !total
   end
 
+let triangle_band_reduce ?bands ?(label = "band") pool ~n ~init ~band ~combine
+    =
+  let ranges = triangle_bands ?bands n in
+  if Array.length ranges = 0 then init ()
+  else begin
+    Obs.count "pool.bands" (Array.length ranges);
+    let accs =
+      run_thunks ~label pool
+        (Array.map (fun (lo, hi) () -> band (init ()) ~lo ~hi) ranges)
+    in
+    let total = ref accs.(0) in
+    for c = 1 to Array.length accs - 1 do
+      total := combine !total accs.(c)
+    done;
+    !total
+  end
+
 let tri_size n = n * (n + 1) / 2
 
 let tri_index ~n ~i ~j =

@@ -115,6 +115,22 @@ val triangle_reduce :
     folds one outer index [a] (the caller iterates [b > a] inside),
     bands run in parallel and combine in band order. *)
 
+val triangle_band_reduce :
+  ?bands:int ->
+  ?label:string ->
+  pool ->
+  n:int ->
+  init:(unit -> 'acc) ->
+  band:('acc -> lo:int -> hi:int -> 'acc) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Band-granular variant of {!triangle_reduce} for callers that
+    consume whole row ranges at once (e.g. handing [\[lo, hi)] to a
+    flat kernel): [band] folds one {!triangle_bands} range from a fresh
+    [init ()], bands run in parallel and combine in band order.  Same
+    determinism contract — band boundaries depend only on [n] and
+    [bands], never on the pool size. *)
+
 val tri_size : int -> int
 (** [tri_size n] = [n (n+1) / 2], the packed upper-triangle length. *)
 

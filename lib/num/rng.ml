@@ -1,10 +1,25 @@
+(* State lives in an int64 bigarray rather than mutable record fields:
+   bigarray loads/stores compile to raw unboxed memory accesses, while
+   assigning a mutable int64 field boxes the value — four minor
+   allocations per drawn word, which dominated the Monte-Carlo
+   replica loop's allocation profile.  Same for the polar method's
+   cached deviate: a one-slot float array stores it unboxed where the
+   previous [float option] allocated per pair of draws. *)
+type state = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
-  mutable spare : float option; (* cached second deviate of the polar method *)
+  st : state; (* xoshiro256++ state: slots 0-3 *)
+  spare : float array; (* cached second deviate of the polar method *)
+  mutable has_spare : bool;
 }
+
+let make_state s0 s1 s2 s3 =
+  let st = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 4 in
+  Bigarray.Array1.unsafe_set st 0 s0;
+  Bigarray.Array1.unsafe_set st 1 s1;
+  Bigarray.Array1.unsafe_set st 2 s2;
+  Bigarray.Array1.unsafe_set st 3 s3;
+  st
 
 (* SplitMix64 step: expands a seed into well-distributed initial state. *)
 let splitmix64 state =
@@ -28,23 +43,44 @@ let create ?(seed = 42) () =
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3; spare = None }
+  { st = make_state s0 s1 s2 s3; spare = [| 0.0 |]; has_spare = false }
 
-let copy t = { t with spare = t.spare }
+let copy t =
+  {
+    st =
+      make_state
+        (Bigarray.Array1.get t.st 0)
+        (Bigarray.Array1.get t.st 1)
+        (Bigarray.Array1.get t.st 2)
+        (Bigarray.Array1.get t.st 3);
+    spare = [| t.spare.(0) |];
+    has_spare = t.has_spare;
+  }
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
+(* Same xoshiro256++ arithmetic as the historical record-field version,
+   statement for statement, so streams are bit-identical. *)
 let bits64 t =
+  let st = t.st in
   let open Int64 in
-  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = Bigarray.Array1.unsafe_get st 0 in
+  let s1 = Bigarray.Array1.unsafe_get st 1 in
+  let s2 = Bigarray.Array1.unsafe_get st 2 in
+  let s3 = Bigarray.Array1.unsafe_get st 3 in
+  let result = add (rotl (add s0 s3) 23) s0 in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  Bigarray.Array1.unsafe_set st 0 s0;
+  Bigarray.Array1.unsafe_set st 1 s1;
+  Bigarray.Array1.unsafe_set st 2 s2;
+  Bigarray.Array1.unsafe_set st 3 s3;
   result
 
 let split t =
@@ -53,7 +89,7 @@ let split t =
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3; spare = None }
+  { st = make_state s0 s1 s2 s3; spare = [| 0.0 |]; has_spare = false }
 
 let stream ~seed i =
   if i < 0 then invalid_arg "Rng.stream: stream index must be non-negative";
@@ -67,7 +103,7 @@ let stream ~seed i =
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3; spare = None }
+  { st = make_state s0 s1 s2 s3; spare = [| 0.0 |]; has_spare = false }
 
 let uniform t =
   (* Top 53 bits scaled to [0,1). *)
@@ -83,20 +119,22 @@ let int t bound =
   Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int bound))
 
 let rec gaussian t =
-  match t.spare with
-  | Some g ->
-    t.spare <- None;
-    g
-  | None ->
+  if t.has_spare then begin
+    t.has_spare <- false;
+    t.spare.(0)
+  end
+  else begin
     let u = (2.0 *. uniform t) -. 1.0 in
     let v = (2.0 *. uniform t) -. 1.0 in
     let s = (u *. u) +. (v *. v) in
     if s >= 1.0 || s = 0.0 then gaussian t
     else begin
       let f = sqrt (-2.0 *. log s /. s) in
-      t.spare <- Some (v *. f);
+      t.spare.(0) <- v *. f;
+      t.has_spare <- true;
       u *. f
     end
+  end
 
 let gaussian_mu_sigma t ~mu ~sigma = mu +. (sigma *. gaussian t)
 

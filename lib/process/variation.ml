@@ -28,12 +28,26 @@ let prepare model locations =
   let { Cholesky.factor; _ } = Cholesky.decompose_robust corr in
   { model; factor; n }
 
-let sample t rng =
+(* Draw order is part of the sampling contract: one D2D gaussian first,
+   then the WID field's standard normals in ascending component order —
+   [sample] and [sample_into] consume identical RNG streams. *)
+let sample_into t rng ~z ~wid ~out =
+  if Array.length wid < t.n || Array.length out < t.n then
+    invalid_arg "Variation.sample_into: scratch shorter than the field";
   let p = Corr_model.param t.model in
   let d2d = Rng.gaussian rng *. p.Process_param.sigma_d2d in
-  let wid = Cholesky.sample t.factor rng in
-  Array.init t.n (fun i ->
-      p.Process_param.nominal +. d2d +. (p.Process_param.sigma_wid *. wid.(i)))
+  Cholesky.sample_into t.factor rng ~z ~out:wid;
+  for i = 0 to t.n - 1 do
+    Array.unsafe_set out i
+      (p.Process_param.nominal +. d2d
+      +. (p.Process_param.sigma_wid *. Array.unsafe_get wid i))
+  done
+
+let sample t rng =
+  let z = Array.make t.n 0.0 and wid = Array.make t.n 0.0 in
+  let out = Array.make t.n 0.0 in
+  sample_into t rng ~z ~wid ~out;
+  out
 
 let sample_pair model ~rho_wid rng =
   if not (rho_wid >= -1.0 && rho_wid <= 1.0) then

@@ -28,6 +28,20 @@ val sample : sampler -> Rgleak_num.Rng.t -> float array
 (** Draws one die: returns the parameter value at each location
     (nominal + shared D2D offset + correlated WID deviation). *)
 
+val sample_into :
+  sampler ->
+  Rgleak_num.Rng.t ->
+  z:float array ->
+  wid:float array ->
+  out:float array ->
+  unit
+(** Allocation-free {!sample} into caller scratch: [z] receives the
+    standard normals, [wid] the correlated WID field, [out] the per
+    location parameter values (each of length >= the location count).
+    Consumes the same RNG stream in the same order as {!sample} and
+    performs identical arithmetic, so the two are bit-interchangeable.
+    Raises [Invalid_argument] when a scratch array is too short. *)
+
 val sample_pair :
   Corr_model.t -> rho_wid:float -> Rgleak_num.Rng.t -> float * float
 (** Draws the parameter at two locations whose WID correlation is

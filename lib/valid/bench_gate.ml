@@ -1,4 +1,4 @@
-let expected_schema = "rgleak-bench-estimators/3"
+let expected_schema = "rgleak-bench-estimators/4"
 
 type finding = {
   estimator : string;
@@ -9,13 +9,51 @@ type finding = {
   level : [ `Warn | `Fail ];
 }
 
+type alloc_finding = {
+  estimator : string;
+  n : int;
+  metric : string;
+  value : float;  (** nan when the metric is missing from the entry *)
+  budget : float;
+}
+
 type verdict = {
   schema_ok : bool;
   missing : (string * int) list;
   compared : int;
   findings : finding list;
+  alloc_findings : alloc_finding list;
+  best_ratio : float;
   pass : bool;
 }
+
+(* The exact tier is the headline kernel: its wall time is dominated by
+   a deterministic pair loop with no I/O, so a 2x regression is a code
+   change, not runner noise.  The other tiers keep the looser default
+   because they mix RNG-heavy and malloc-heavy phases that shared
+   runners disturb more. *)
+let tightened_fail_ratio = [ ("exact", 2.0) ]
+
+let fail_ratio_for ~default estimator =
+  match List.assoc_opt estimator tightened_fail_ratio with
+  | Some r -> Float.min r default
+  | None -> default
+
+(* Allocation budgets, in minor-heap words per unit of work, checked on
+   the current run only (they are absolute, not relative).  The flat
+   kernel leaves the exact pair loop allocation-free — measured ~0.001
+   words/pair including staging — so 0.05 words/pair flags any boxed
+   value sneaking back into the loop while tolerating harness noise.
+   The streaming MC replica loop allocates ~16 words per gate per
+   sample (boxed transients at draw sites); 64·n words/sample is four
+   times that profile. *)
+let alloc_budgets ~estimator ~n =
+  match estimator with
+  | "exact" -> [ ("minor_words_per_pair", 0.05) ]
+  | "mc" -> [ ("minor_words_per_sample", 64.0 *. float_of_int n) ]
+  | _ -> []
+
+type entry = { seconds : float; alloc : (string * float) list }
 
 let entries_of doc =
   Vjson.arr (Vjson.get "entries" doc)
@@ -23,7 +61,14 @@ let entries_of doc =
          let estimator = Vjson.str (Vjson.get "estimator" e) in
          let n = int_of_float (Vjson.num (Vjson.get "n" e)) in
          let seconds = Vjson.num (Vjson.get "seconds" e) in
-         ((estimator, n), seconds))
+         let alloc =
+           match Vjson.mem "alloc" e with
+           | Some (Vjson.Obj kvs) ->
+             List.map (fun (k, v) -> (k, Vjson.num v)) kvs
+           | Some _ -> raise (Vjson.Parse_error "\"alloc\" is not an object")
+           | None -> []
+         in
+         ((estimator, n), { seconds; alloc }))
 
 let compare ?(warn_ratio = 1.5) ?(fail_ratio = 3.0) ~baseline ~current () =
   if warn_ratio <= 0.0 || fail_ratio < warn_ratio then
@@ -41,11 +86,12 @@ let compare ?(warn_ratio = 1.5) ?(fail_ratio = 3.0) ~baseline ~current () =
   in
   let findings = ref [] in
   let compared = ref 0 in
+  let best_ratio = ref infinity in
   List.iter
-    (fun ((estimator, n), base_seconds) ->
+    (fun ((estimator, n), { seconds = base_seconds; _ }) ->
       match List.assoc_opt (estimator, n) cur with
       | None -> ()
-      | Some cur_seconds ->
+      | Some { seconds = cur_seconds; _ } ->
         incr compared;
         (* A baseline entry of ~0 s would make any ratio explode; floor
            both sides at 1 ms so only meaningful timings gate. *)
@@ -53,6 +99,7 @@ let compare ?(warn_ratio = 1.5) ?(fail_ratio = 3.0) ~baseline ~current () =
         let ratio =
           Float.max cur_seconds floor_s /. Float.max base_seconds floor_s
         in
+        best_ratio := Float.min !best_ratio ratio;
         if ratio > warn_ratio then
           findings :=
             {
@@ -61,19 +108,55 @@ let compare ?(warn_ratio = 1.5) ?(fail_ratio = 3.0) ~baseline ~current () =
               base_seconds;
               cur_seconds;
               ratio;
-              level = (if ratio > fail_ratio then `Fail else `Warn);
+              level =
+                (if ratio > fail_ratio_for ~default:fail_ratio estimator then
+                   `Fail
+                 else `Warn);
             }
             :: !findings)
     base;
   let findings =
     List.sort (fun a b -> Stdlib.compare b.ratio a.ratio) !findings
   in
+  (* Allocation regressions: every budgeted metric must be present in
+     the current entry and within budget.  A missing metric is a
+     harness break (someone dropped the measurement), not a pass. *)
+  let alloc_findings =
+    List.concat_map
+      (fun ((estimator, n), { alloc; _ }) ->
+        List.filter_map
+          (fun (metric, budget) ->
+            match List.assoc_opt metric alloc with
+            | Some value when value <= budget -> None
+            | Some value -> Some { estimator; n; metric; value; budget }
+            | None -> Some { estimator; n; metric; value = Float.nan; budget })
+          (alloc_budgets ~estimator ~n))
+      cur
+  in
   let hard =
     (not schema_ok)
     || missing <> []
+    || alloc_findings <> []
     || List.exists (fun f -> f.level = `Fail) findings
   in
-  { schema_ok; missing; compared = !compared; findings; pass = not hard }
+  {
+    schema_ok;
+    missing;
+    compared = !compared;
+    findings;
+    alloc_findings;
+    best_ratio = (if !compared = 0 then 1.0 else !best_ratio);
+    pass = not hard;
+  }
+
+(* Ratchet policy: adopt the current run as the new committed baseline
+   only when it is a clean, meaningful improvement — nothing slowed
+   past the warn threshold (adopting would enshrine the slowdown) and
+   at least one entry got >= 10% faster (anything less is wall-clock
+   noise that would make the baseline drift downward run over run). *)
+let should_adopt v =
+  v.pass && v.findings = [] && v.missing = [] && v.compared > 0
+  && v.best_ratio <= 0.9
 
 let pp fmt v =
   if not v.schema_ok then
@@ -89,6 +172,17 @@ let pp fmt v =
         (match f.level with `Fail -> "FAIL" | `Warn -> "warn")
         f.estimator f.n f.ratio f.base_seconds f.cur_seconds)
     v.findings;
+  List.iter
+    (fun (a : alloc_finding) ->
+      if Float.is_nan a.value then
+        Format.fprintf fmt "FAIL: %s n=%d lacks required alloc metric %s@."
+          a.estimator a.n a.metric
+      else
+        Format.fprintf fmt
+          "FAIL: %s n=%d %s = %g exceeds budget %g words@." a.estimator a.n
+          a.metric a.value a.budget)
+    v.alloc_findings;
   Format.fprintf fmt "bench gate: %d entries compared, %d finding(s): %s@."
-    v.compared (List.length v.findings)
+    v.compared
+    (List.length v.findings + List.length v.alloc_findings)
     (if v.pass then "PASS" else "FAIL")

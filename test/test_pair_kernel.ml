@@ -1,0 +1,359 @@
+(* The flat pair kernel's contract is threefold: the C stub (scalar or
+   SIMD) is bit-identical to the pure-OCaml lane-contract mirror, the
+   binned covariance tables reproduce the direct per-pair evaluation,
+   and the whole exact estimator built on top is allocation-free in
+   its inner loop and bit-stable across runs and job counts. *)
+
+open Rgleak_num
+open Rgleak_process
+open Rgleak_cells
+open Rgleak_circuit
+open Rgleak_core
+open Testutil
+
+let bits = Int64.bits_of_float
+
+let check_bits name expected actual =
+  if bits expected <> bits actual then
+    Alcotest.failf "%s: %.17g and %.17g differ bitwise" name expected actual
+
+(* --- synthetic buffers (kernel-level tests) ----------------------- *)
+
+(* Random staged geometry, built exactly the way the estimator stages a
+   placed design: cells counting-sorted by type, packed tables indexed
+   through a dense nu x nu base map. *)
+let make_buffers ~seed ~n ~nu ~distance_points =
+  let rng = Rng.create ~seed () in
+  let dmax = (sqrt 2.0 *. 100.0) +. 1e-9 in
+  let dstep = dmax /. float_of_int (distance_points - 1) in
+  let cell_ty = Array.init n (fun _ -> Rng.int rng nu) in
+  let px = Array.init n (fun _ -> Rng.float rng 100.0) in
+  let py = Array.init n (fun _ -> Rng.float rng 100.0) in
+  let seg = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (nu + 1) in
+  let next = Array.make nu 0 in
+  Array.iter (fun t -> next.(t) <- next.(t) + 1) cell_ty;
+  let start = ref 0 in
+  Bigarray.Array1.set seg 0 0;
+  for t = 0 to nu - 1 do
+    let c = next.(t) in
+    next.(t) <- !start;
+    start := !start + c;
+    Bigarray.Array1.set seg (t + 1) !start
+  done;
+  let xs = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  let ys = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  let ty = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    let t = cell_ty.(i) in
+    let pos = next.(t) in
+    next.(t) <- pos + 1;
+    Bigarray.Array1.set xs pos px.(i);
+    Bigarray.Array1.set ys pos py.(i);
+    Bigarray.Array1.set ty pos t
+  done;
+  let tri = Parallel.tri_size nu in
+  let cov =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+      (tri * distance_points)
+  in
+  for i = 0 to (tri * distance_points) - 1 do
+    Bigarray.Array1.set cov i (Rng.float rng 2.0 -. 1.0)
+  done;
+  let base = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (nu * nu) in
+  for idx = 0 to (nu * nu) - 1 do
+    let ti = idx / nu and tj = idx mod nu in
+    let i = Stdlib.min ti tj and j = Stdlib.max ti tj in
+    Bigarray.Array1.set base idx
+      (Parallel.tri_index ~n:nu ~i ~j * distance_points)
+  done;
+  {
+    Pair_kernel.xs;
+    ys;
+    ty;
+    seg;
+    base;
+    cov;
+    nu;
+    inv_dstep = 1.0 /. dstep;
+    kmax = distance_points - 2;
+  }
+
+let test_stub_matches_ocaml_mirror =
+  qcheck ~count:60 "C scalar kernel is bitwise the OCaml lane mirror"
+    QCheck2.Gen.(
+      quad (int_range 2 120) (int_range 1 5) (int_range 4 32) (int_range 0 1000))
+    (fun (n, nu, distance_points, seed) ->
+      let b = make_buffers ~seed ~n ~nu ~distance_points in
+      let lo = seed mod n and span = 1 + (seed mod 17) in
+      let hi = Stdlib.min n (lo + span) in
+      bits (Pair_kernel.sum ~isa:Scalar b ~lo:0 ~hi:n)
+      = bits (Pair_kernel.sum_ocaml b ~lo:0 ~hi:n)
+      && bits (Pair_kernel.sum ~isa:Scalar b ~lo ~hi)
+         = bits (Pair_kernel.sum_ocaml b ~lo ~hi))
+
+let test_simd_matches_scalar () =
+  (* Auto plus every ISA the host supports must reproduce the scalar
+     bits exactly (fixed 8-lane summation order, no FMA contraction). *)
+  let b = make_buffers ~seed:7 ~n:1500 ~nu:5 ~distance_points:64 in
+  let reference = Pair_kernel.sum ~isa:Scalar b ~lo:0 ~hi:1500 in
+  List.iter
+    (fun isa ->
+      if Pair_kernel.available isa then
+        check_bits
+          (Printf.sprintf "%s vs scalar" (Pair_kernel.isa_name isa))
+          reference
+          (Pair_kernel.sum ~isa b ~lo:0 ~hi:1500))
+    [ Pair_kernel.Auto; Pair_kernel.Avx2; Pair_kernel.Avx512 ];
+  (* Tiled subranges sum to the full range bitwise only when the tile
+     boundaries match; here just confirm each subrange is ISA-stable. *)
+  List.iter
+    (fun (lo, hi) ->
+      check_bits
+        (Printf.sprintf "auto vs scalar rows [%d, %d)" lo hi)
+        (Pair_kernel.sum ~isa:Scalar b ~lo ~hi)
+        (Pair_kernel.sum ~isa:Auto b ~lo ~hi))
+    [ (0, 1); (17, 63); (256, 512); (1499, 1500) ]
+
+let test_validate_rejects () =
+  let b = make_buffers ~seed:3 ~n:50 ~nu:3 ~distance_points:8 in
+  let expect_invalid name f =
+    match f () with
+    | (_ : float) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "bad row range" (fun () ->
+      Pair_kernel.sum b ~lo:0 ~hi:51);
+  expect_invalid "negative lo" (fun () -> Pair_kernel.sum b ~lo:(-1) ~hi:10);
+  expect_invalid "seg not ending at n" (fun () ->
+      let seg = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 4 in
+      Bigarray.Array1.fill seg 0;
+      Pair_kernel.sum { b with Pair_kernel.seg } ~lo:0 ~hi:50);
+  expect_invalid "kmax beyond table" (fun () ->
+      Pair_kernel.sum
+        { b with Pair_kernel.kmax = Bigarray.Array1.dim b.Pair_kernel.cov }
+        ~lo:0 ~hi:50)
+
+(* --- binned covariance tables (estimator staging) ----------------- *)
+
+let param = Process_param.default_channel_length
+let corr = lazy (Corr_model.create (Corr_model.Spherical { dmax = 120.0 }) param)
+
+let hist =
+  lazy
+    (Histogram.of_weights
+       [ ("INV_X1", 20.0); ("NAND2_X1", 18.0); ("NOR2_X1", 8.0); ("DFF_X1", 9.0) ])
+
+let fixture =
+  lazy
+    (let chars = Characterize.default_library () in
+     let corr = Lazy.force corr in
+     let ctx =
+       Estimate.context ~p:0.5 ~chars ~corr ~histogram:(Lazy.force hist) ()
+     in
+     let rng = Rng.create ~seed:77 () in
+     let placed =
+       Generator.random_placed ~histogram:(Lazy.force hist) ~n:600 ~rng ()
+     in
+     (corr, Estimate.correlation ctx, placed))
+
+let used_of placed =
+  Array.of_list
+    (List.sort_uniq compare
+       (Array.to_list
+          (Array.map
+             (fun inst -> inst.Netlist.cell_index)
+             placed.Placer.netlist.Netlist.instances)))
+
+let test_binned_tables_match_direct () =
+  let corr, rgcorr, placed = Lazy.force fixture in
+  let used = used_of placed in
+  let nu = Array.length used in
+  let distance_points = 512 in
+  let dstep = 120.0 /. float_of_int (distance_points - 1) in
+  let cov =
+    Rg_correlation.binned_pair_tables rgcorr ~used ~distance_points ~dstep
+      ~rho_of_d:(fun d -> Corr_model.total corr d)
+  in
+  (* Grid nodes are exact: the table holds the direct evaluation. *)
+  for ti = 0 to nu - 1 do
+    for tj = ti to nu - 1 do
+      let base = Parallel.tri_index ~n:nu ~i:ti ~j:tj * distance_points in
+      List.iter
+        (fun k ->
+          let d = float_of_int k *. dstep in
+          check_bits
+            (Printf.sprintf "node (%d,%d) k=%d" ti tj k)
+            (Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(ti)
+               ~cj:used.(tj)
+               ~rho_l:(Corr_model.total corr d))
+            (Bigarray.Array1.get cov (base + k)))
+        [ 0; 1; distance_points / 2; distance_points - 1 ]
+    done
+  done;
+  (* Off-node distances: linear interpolation tracks the direct value
+     to bin tolerance.  The scale is the d = 0 covariance (the largest
+     entry); at 512 bins over a smooth spherical model the interp
+     error is far below 1e-3 of that scale. *)
+  let scale =
+    Float.abs
+      (Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(0) ~cj:used.(0)
+         ~rho_l:(Corr_model.total corr 0.0))
+  in
+  let rng = Rng.create ~seed:5 () in
+  for _ = 1 to 200 do
+    let d = Rng.float rng 120.0 in
+    let ti = Rng.int rng nu and tj = Rng.int rng nu in
+    let i = Stdlib.min ti tj and j = Stdlib.max ti tj in
+    let base = Parallel.tri_index ~n:nu ~i ~j * distance_points in
+    let pos = d /. dstep in
+    let k = int_of_float pos in
+    let k = Stdlib.min k (distance_points - 2) in
+    let t0 = Bigarray.Array1.get cov (base + k) in
+    let t1 = Bigarray.Array1.get cov (base + k + 1) in
+    let interp = t0 +. ((pos -. float_of_int k) *. (t1 -. t0)) in
+    let direct =
+      Rg_correlation.cell_pair_covariance rgcorr ~ci:used.(i) ~cj:used.(j)
+        ~rho_l:(Corr_model.total corr d)
+    in
+    check_close ~tol:(1e-3 *. scale)
+      (Printf.sprintf "interp d=%.3f types (%d,%d)" d i j)
+      direct interp
+  done
+
+(* --- whole-estimator determinism ---------------------------------- *)
+
+let test_estimate_cold_warm_and_jobs () =
+  let corr, rgcorr, placed = Lazy.force fixture in
+  let cold = Estimator_exact.estimate ~jobs:1 ~corr ~rgcorr placed in
+  let warm = Estimator_exact.estimate ~jobs:1 ~corr ~rgcorr placed in
+  check_bits "cold vs warm mean" cold.Estimator_exact.mean
+    warm.Estimator_exact.mean;
+  check_bits "cold vs warm variance" cold.Estimator_exact.variance
+    warm.Estimator_exact.variance;
+  List.iter
+    (fun jobs ->
+      let r = Estimator_exact.estimate ~jobs ~corr ~rgcorr placed in
+      check_bits
+        (Printf.sprintf "jobs=1 vs jobs=%d variance" jobs)
+        cold.Estimator_exact.variance r.Estimator_exact.variance;
+      check_bits
+        (Printf.sprintf "jobs=1 vs jobs=%d std" jobs)
+        cold.Estimator_exact.std r.Estimator_exact.std)
+    [ 2; 4 ]
+
+let test_estimate_matches_reference () =
+  (* The historical row-at-a-time oracle: same staging, same tables,
+     same clamp; differs only by summation order, so the means are
+     bitwise equal and the variances agree to reassociation level. *)
+  let corr, rgcorr, placed = Lazy.force fixture in
+  let flat = Estimator_exact.estimate ~jobs:1 ~corr ~rgcorr placed in
+  let oracle = Estimator_exact.estimate_reference ~jobs:1 ~corr ~rgcorr placed in
+  check_bits "mean vs reference" oracle.Estimator_exact.mean
+    flat.Estimator_exact.mean;
+  check_rel ~tol:1e-12 "variance vs reference" oracle.Estimator_exact.variance
+    flat.Estimator_exact.variance;
+  check_rel ~tol:1e-12 "std vs reference" oracle.Estimator_exact.std
+    flat.Estimator_exact.std
+
+(* --- allocation discipline ---------------------------------------- *)
+
+let minor_words_of f =
+  ignore (f ());
+  (* warm: lazy tables, pool setup *)
+  let w0 = Gc.minor_words () in
+  ignore (f ());
+  Gc.minor_words () -. w0
+
+let test_kernel_allocation_free () =
+  let b = make_buffers ~seed:11 ~n:2000 ~nu:5 ~distance_points:64 in
+  let dw = minor_words_of (fun () -> Pair_kernel.sum b ~lo:0 ~hi:2000) in
+  if dw > 256.0 then
+    Alcotest.failf "kernel call allocated %.0f minor words (want ~0)" dw
+
+let test_estimate_allocation_budget () =
+  (* Whole estimate at n = 2000 on one domain with telemetry off: only
+     the O(n + nu^2) staging may allocate; amortized over the n(n-1)/2
+     pairs that is well under 0.05 minor words per pair (the bench-gate
+     budget).  Any boxed value reintroduced into the pair loop would
+     blow this up by orders of magnitude. *)
+  let corr, rgcorr, _ = Lazy.force fixture in
+  let rng = Rng.create ~seed:99 () in
+  let placed =
+    Generator.random_placed ~histogram:(Lazy.force hist) ~n:2000 ~rng ()
+  in
+  let enabled_before = Rgleak_obs.Obs.enabled () in
+  Rgleak_obs.Obs.set_enabled false;
+  let dw =
+    minor_words_of (fun () ->
+        Estimator_exact.estimate ~jobs:1 ~corr ~rgcorr placed)
+  in
+  Rgleak_obs.Obs.set_enabled enabled_before;
+  let pairs = float_of_int (2000 * 1999 / 2) in
+  let per_pair = dw /. pairs in
+  if per_pair > 0.05 then
+    Alcotest.failf "estimate allocated %.4f minor words/pair (budget 0.05)"
+      per_pair
+
+let test_mc_allocation_budget () =
+  (* Streaming MC on one domain: per-sample allocation is bounded by
+     the per-draw transients (~16 words per gate), far below the
+     64 words/gate bench-gate budget; the DLS scratch amortizes the
+     per-replica arrays away. *)
+  let corr, _, _ = Lazy.force fixture in
+  let chars = Characterize.default_library () in
+  let rng = Rng.create ~seed:41 () in
+  let placed =
+    Generator.random_placed ~histogram:(Lazy.force hist) ~n:600 ~rng ()
+  in
+  let mc = Mc_reference.prepare ~chars ~corr ~p:0.5 placed in
+  let count = 50 in
+  let dw =
+    minor_words_of (fun () ->
+        Mc_reference.sample_many_stream ~jobs:1 mc ~seed:910 ~count)
+  in
+  let per_sample = dw /. float_of_int count in
+  if per_sample > 64.0 *. 600.0 then
+    Alcotest.failf "MC allocated %.0f minor words/sample (budget %d)"
+      per_sample
+      (64 * 600)
+
+(* --- allocation-free staging of the samplers ---------------------- *)
+
+let test_variation_sample_into_bitwise () =
+  let corr = Lazy.force corr in
+  let rng = Rng.create ~seed:123 () in
+  let locations =
+    Array.init 40 (fun _ ->
+        { Variation.x = Rng.float rng 100.0; y = Rng.float rng 100.0 })
+  in
+  let sampler = Variation.prepare corr locations in
+  let n = Variation.locations_count sampler in
+  let r1 = Rng.create ~seed:321 () and r2 = Rng.create ~seed:321 () in
+  let z = Array.make n 0.0 in
+  let wid = Array.make n 0.0 in
+  let out = Array.make n 0.0 in
+  for round = 1 to 3 do
+    let a = Variation.sample sampler r1 in
+    Variation.sample_into sampler r2 ~z ~wid ~out;
+    Array.iteri
+      (fun i v ->
+        check_bits (Printf.sprintf "round %d location %d" round i) v out.(i))
+      a
+  done;
+  (* Both paths consumed the identical RNG stream. *)
+  check_bits "rng streams still aligned" (Rng.uniform r1) (Rng.uniform r2)
+
+let suite =
+  ( "pair_kernel",
+    [
+      test_stub_matches_ocaml_mirror;
+      case "SIMD paths match scalar bitwise" test_simd_matches_scalar;
+      case "buffer validation rejects bad shapes" test_validate_rejects;
+      case "binned tables match direct covariance" test_binned_tables_match_direct;
+      case "estimate: cold/warm and jobs 1/2/4 bitwise" test_estimate_cold_warm_and_jobs;
+      case "estimate matches row-at-a-time oracle" test_estimate_matches_reference;
+      case "kernel call allocates nothing" test_kernel_allocation_free;
+      case "estimate stays under the per-pair budget" test_estimate_allocation_budget;
+      case "MC stays under the per-sample budget" test_mc_allocation_budget;
+      case "Variation.sample_into is bitwise sample" test_variation_sample_into_bitwise;
+    ] )

@@ -3,19 +3,36 @@
 
      bench_gate --baseline BENCH_committed.json --current BENCH_estimators.json
 
-   Exit 0 when no hard failure (schema mismatch, missing entry, or a
-   slowdown beyond --fail-ratio); warnings between --warn-ratio and
-   --fail-ratio print but do not gate — shared-runner wall clocks are
-   noisy.  Exit 2 on malformed inputs. *)
+   Exit 0 when no hard failure (schema mismatch, missing entry, a
+   slowdown beyond the fail threshold — 3x by default, tightened per
+   estimator in Bench_gate — or an allocation metric over budget);
+   warnings between --warn-ratio and the fail threshold print but do
+   not gate — shared-runner wall clocks are noisy.  Exit 2 on
+   malformed inputs.
+
+   --ratchet additionally adopts the current document as the new
+   baseline (overwriting the --baseline file) when the run is a clean,
+   meaningful improvement (see Bench_gate.should_adopt); the gate's
+   exit code is unchanged by adoption. *)
 
 module Vjson = Rgleak_valid.Vjson
 module Bench_gate = Rgleak_valid.Bench_gate
+
+let copy_file ~src ~dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
 
 let () =
   let baseline = ref "" in
   let current = ref "" in
   let warn_ratio = ref 1.5 in
   let fail_ratio = ref 3.0 in
+  let ratchet = ref false in
   let args =
     [
       ("--baseline", Arg.Set_string baseline, "FILE committed bench document");
@@ -25,7 +42,11 @@ let () =
         "R report slowdowns beyond R (default 1.5)" );
       ( "--fail-ratio",
         Arg.Set_float fail_ratio,
-        "R hard-fail slowdowns beyond R (default 3.0)" );
+        "R hard-fail slowdowns beyond R (default 3.0; exact tier is \
+         tightened to 2.0)" );
+      ( "--ratchet",
+        Arg.Set ratchet,
+        " adopt current as the new baseline when meaningfully faster" );
     ]
   in
   let usage = "bench_gate --baseline FILE --current FILE [options]" in
@@ -46,4 +67,17 @@ let () =
     exit 2
   | verdict ->
     Format.printf "%a" Bench_gate.pp verdict;
+    if !ratchet then
+      if Bench_gate.should_adopt verdict then begin
+        copy_file ~src:!current ~dst:!baseline;
+        Printf.printf
+          "ratchet: adopted current run as the new baseline (best ratio \
+           %.2fx)\n"
+          verdict.Bench_gate.best_ratio
+      end
+      else
+        Printf.printf
+          "ratchet: kept existing baseline (best ratio %.2fx; adoption \
+           needs a clean >= 10%% improvement)\n"
+          verdict.Bench_gate.best_ratio;
     exit (if verdict.Bench_gate.pass then 0 else 1)
