@@ -2,7 +2,8 @@
 
 .PHONY: all build test bench examples clean doc bench-json microbench \
         trace metrics overhead check fault-matrix validate golden-check \
-        golden-update batch-demo batch-smoke bench-gate bench-ratchet
+        golden-update batch-demo batch-smoke bench-gate bench-ratchet \
+        report-demo flamegraph
 
 all: check
 
@@ -92,22 +93,34 @@ golden-check: build
 batch-demo: build
 	$(RGLEAK) batch examples/batch_manifest.jsonl --cache-dir /tmp/rgleak_batch_demo_cache
 
-# Cold run, warm run, byte-compare the reports, and assert the warm run
-# actually hit the cache (via --metrics-json counters).
+# Cold run, warm run, byte-compare the reports, assert the warm run
+# actually hit the cache (via --metrics-json counters), then aggregate
+# the shared run ledger into fleet telemetry with `rgleak report` and
+# assert the window's cache hit rate.  The warm run also writes a
+# collapsed-stack profile for flamegraph.pl / speedscope.
 batch-smoke: build
 	@rm -rf /tmp/rgleak_batch_smoke; mkdir -p /tmp/rgleak_batch_smoke
 	$(RGLEAK) batch examples/batch_manifest.jsonl \
 	  --cache-dir /tmp/rgleak_batch_smoke/cache \
 	  --out /tmp/rgleak_batch_smoke/cold.jsonl \
-	  --metrics-json /tmp/rgleak_batch_smoke/cold-metrics.json
+	  --metrics-json /tmp/rgleak_batch_smoke/cold-metrics.json \
+	  --ledger /tmp/rgleak_batch_smoke/ledger.jsonl
 	$(RGLEAK) batch examples/batch_manifest.jsonl \
 	  --cache-dir /tmp/rgleak_batch_smoke/cache \
 	  --out /tmp/rgleak_batch_smoke/warm.jsonl \
-	  --metrics-json /tmp/rgleak_batch_smoke/warm-metrics.json
+	  --metrics-json /tmp/rgleak_batch_smoke/warm-metrics.json \
+	  --trace-folded /tmp/rgleak_batch_smoke/warm.folded \
+	  --ledger /tmp/rgleak_batch_smoke/ledger.jsonl
 	cmp /tmp/rgleak_batch_smoke/cold.jsonl /tmp/rgleak_batch_smoke/warm.jsonl
 	@grep -E '"cache.hits": [1-9]' /tmp/rgleak_batch_smoke/warm-metrics.json \
 	  || { echo "FAIL: warm run had no cache hits"; exit 1; }
-	@echo "batch smoke passed: cold and warm reports identical, warm run hit the cache"
+	$(RGLEAK) report /tmp/rgleak_batch_smoke/ledger.jsonl \
+	  --json /tmp/rgleak_batch_smoke/report.json
+	@grep -E '"hit_rate": 0\.[1-9]' /tmp/rgleak_batch_smoke/report.json \
+	  || { echo "FAIL: fleet report shows no cache hit rate"; exit 1; }
+	@test -s /tmp/rgleak_batch_smoke/warm.folded \
+	  || { echo "FAIL: collapsed-stack profile is empty"; exit 1; }
+	@echo "batch smoke passed: identical reports, warm cache hits, fleet report aggregates the ledger"
 
 # Perf-regression gate: fresh timing pass vs the committed baseline.
 # Warnings (1.5x+ on noisy runners) pass; schema breaks, missing
@@ -157,9 +170,26 @@ metrics:
 	dune exec bin/rgleak.exe -- estimate -n 2000 --metrics-json metrics.json
 	@cat metrics.json
 
-# Asserts disabled instrumentation costs < 1% on the exact hot loop.
+# Asserts disabled instrumentation (span, histogram and fault probes)
+# costs < 1% on the exact hot loop, then re-checks the written
+# rgleak-overhead/3 document through the gate's reader.
 overhead:
 	dune exec bench/main.exe -- --run overhead --fast
+	dune exec tools/bench_gate.exe -- --overhead BENCH_overhead.json
+
+# Fleet-telemetry demo: a few runs appending to a throwaway ledger,
+# then the aggregated service-level report (QPS, per-tier latency
+# quantiles, cache hit rate, exit classes).
+report-demo: build
+	@rm -f /tmp/rgleak_report_demo.jsonl
+	$(RGLEAK) estimate -n 1000 --ledger /tmp/rgleak_report_demo.jsonl
+	$(RGLEAK) estimate -n 2000 --ledger /tmp/rgleak_report_demo.jsonl
+	$(RGLEAK) report /tmp/rgleak_report_demo.jsonl
+
+# Collapsed stacks for flamegraph.pl or speedscope.
+flamegraph: build
+	$(RGLEAK) estimate -n 2000 --trace-folded rgleak.folded
+	@echo "wrote rgleak.folded; render with: flamegraph.pl rgleak.folded > flame.svg"
 
 examples:
 	@for e in quickstart early_planning late_signoff signal_probability \

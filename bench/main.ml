@@ -618,6 +618,15 @@ let run_overhead () =
   let site_ns =
     Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. float_of_int probes
   in
+  (* Disabled histogram-record probe: like every other primitive it
+     must reduce to one atomic load and a branch. *)
+  let t0 = Obs.now_ns () in
+  for _ = 1 to probes do
+    Obs.hist_record "overhead.hist" 1.0
+  done;
+  let hist_site_ns =
+    Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. float_of_int probes
+  in
   (* Same discipline for a disarmed fault probe: one atomic load and a
      branch.  Accumulate the results so the loop cannot be dropped. *)
   let fired = ref 0 in
@@ -657,17 +666,23 @@ let run_overhead () =
     +. (4.0 *. float_of_int (counter "pool.bands"))
     +. 16.0
   in
+  (* Histogram-record sites per exact run: the per-band kernel timer
+     adds two enabled-checks (clock gate + record gate) per band;
+     price both at the measured hist-probe cost. *)
+  let hist_sites = 2.0 *. float_of_int (counter "pool.bands") in
   (* Fault probes per exact run: one "parallel" probe at every pool-band
      task entry. *)
   let fault_sites = float_of_int (counter "pool.bands") in
   let telemetry_overhead = sites *. site_ns /. 1e9 /. seconds in
+  let hist_overhead = hist_sites *. hist_site_ns /. 1e9 /. seconds in
   let fault_overhead = fault_sites *. fault_ns /. 1e9 /. seconds in
-  let overhead = telemetry_overhead +. fault_overhead in
+  let overhead = telemetry_overhead +. hist_overhead +. fault_overhead in
   let budget = 0.01 in
   Printf.printf "disabled obs probe    : %.2f ns/site\n" site_ns;
+  Printf.printf "disabled hist probe   : %.2f ns/site\n" hist_site_ns;
   Printf.printf "disarmed fault probe  : %.2f ns/site\n" fault_ns;
-  Printf.printf "sites per exact run   : %.0f obs + %.0f fault (n=%d)\n" sites
-    fault_sites n;
+  Printf.printf "sites per exact run   : %.0f obs + %.0f hist + %.0f fault (n=%d)\n"
+    sites hist_sites fault_sites n;
   Printf.printf "exact runtime         : %.4f s\n" seconds;
   Printf.printf "overhead              : %.5f%% of runtime (budget %.1f%%)\n"
     (100.0 *. overhead) (100.0 *. budget);
@@ -675,21 +690,25 @@ let run_overhead () =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"rgleak-overhead/2\",\n\
+    \  \"schema\": \"rgleak-overhead/3\",\n\
     \  \"site_ns\": %.4f,\n\
+    \  \"hist_site_ns\": %.4f,\n\
     \  \"fault_probe_ns\": %.4f,\n\
     \  \"sites_per_run\": %.0f,\n\
+    \  \"hist_sites_per_run\": %.0f,\n\
     \  \"fault_sites_per_run\": %.0f,\n\
     \  \"exact_n\": %d,\n\
     \  \"exact_seconds\": %.6f,\n\
     \  \"telemetry_overhead_fraction\": %.8f,\n\
+    \  \"hist_overhead_fraction\": %.8f,\n\
     \  \"fault_overhead_fraction\": %.8f,\n\
     \  \"overhead_fraction\": %.8f,\n\
     \  \"budget_fraction\": %.3f,\n\
     \  \"pass\": %b\n\
      }\n"
-    site_ns fault_ns sites fault_sites n seconds telemetry_overhead
-    fault_overhead overhead budget (overhead < budget);
+    site_ns hist_site_ns fault_ns sites hist_sites fault_sites n seconds
+    telemetry_overhead hist_overhead fault_overhead overhead budget
+    (overhead < budget);
   close_out oc;
   Printf.printf "wrote %s\n" path;
   if overhead >= budget then

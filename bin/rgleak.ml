@@ -128,13 +128,19 @@ let apply_jobs jobs = Option.iter Parallel.set_default_jobs jobs
 module Obs = Rgleak_obs.Obs
 module Obs_export = Rgleak_obs.Export
 
+module Ledger = Rgleak_obs.Ledger
+
 type trace_opts = {
   trace : bool;
   trace_json : string option;
+  trace_folded : string option;
   metrics_json : string option;
+  ledger : string option;
 }
 
-let trace_active t = t.trace || t.trace_json <> None || t.metrics_json <> None
+let trace_active t =
+  t.trace || t.trace_json <> None || t.trace_folded <> None
+  || t.metrics_json <> None || t.ledger <> None
 
 let trace_term =
   let trace =
@@ -154,6 +160,15 @@ let trace_term =
             "Enable telemetry and write a Chrome trace-event file (open in \
              chrome://tracing or ui.perfetto.dev).")
   in
+  let trace_folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-folded" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write collapsed stacks (span self-times) \
+             for flamegraph.pl or speedscope.")
+  in
   let metrics_json =
     Arg.(
       value
@@ -161,30 +176,99 @@ let trace_term =
       & info [ "metrics-json" ] ~docv:"FILE"
           ~doc:"Enable telemetry and write a flat metrics JSON document.")
   in
+  let ledger =
+    Arg.(
+      value
+      & opt ~vopt:(Some Ledger.default_path) (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            (Printf.sprintf
+               "Enable telemetry and append one compact rgleak-run/1 record \
+                (counters, histogram summaries, exit class) to $(docv) \
+                (default %s) when the run finishes.  Aggregate with $(b,rgleak \
+                report)."
+               Ledger.default_path))
+  in
   Term.(
-    const (fun trace trace_json metrics_json ->
-        { trace; trace_json; metrics_json })
-    $ trace $ trace_json $ metrics_json)
+    const (fun trace trace_json trace_folded metrics_json ledger ->
+        { trace; trace_json; trace_folded; metrics_json; ledger })
+    $ trace $ trace_json $ trace_folded $ metrics_json $ ledger)
+
+(* The ledger records the subcommand by name: the first non-flag
+   argument is exactly cmdliner's group selector. *)
+let subcommand_of_argv () =
+  let rec find i =
+    if i >= Array.length Sys.argv then "rgleak"
+    else if String.length Sys.argv.(i) > 0 && Sys.argv.(i).[0] <> '-' then
+      Sys.argv.(i)
+    else find (i + 1)
+  in
+  find 1
 
 let with_telemetry t run =
   if not (trace_active t) then run ()
   else begin
     Obs.reset ();
     Obs.set_enabled true;
-    Fun.protect run ~finally:(fun () ->
-        Obs.set_enabled false;
-        let snap = Obs.snapshot () in
-        if t.trace then Obs_export.report stderr snap;
-        Option.iter
-          (fun path ->
-            Obs_export.write_chrome_trace ~path snap;
-            Printf.eprintf "trace: wrote Chrome trace to %s\n%!" path)
-          t.trace_json;
-        Option.iter
-          (fun path ->
-            Obs_export.write_metrics_json ~path snap;
-            Printf.eprintf "trace: wrote metrics to %s\n%!" path)
-          t.metrics_json)
+    (* Classified before with_diagnostics sees the exception, so the
+       ledger can record the exit class of a failed run. *)
+    let exit_class = function
+      | Guard.Error d -> Guard.class_name d
+      | Invalid_argument _ | Failure _ -> "invalid-input"
+      | _ -> "internal"
+    in
+    let finish class_ =
+      Obs.set_enabled false;
+      let snap = Obs.snapshot () in
+      if snap.Obs.dropped_spans > 0 then
+        Printf.eprintf
+          "rgleak: warning: telemetry dropped %d spans (per-domain cap); \
+           span totals are incomplete\n\
+           %!"
+          snap.Obs.dropped_spans;
+      if snap.Obs.dropped_tracks > 0 then
+        Printf.eprintf
+          "rgleak: warning: telemetry dropped %d track samples (per-domain \
+           cap)\n\
+           %!"
+          snap.Obs.dropped_tracks;
+      if t.trace then Obs_export.report stderr snap;
+      Option.iter
+        (fun path ->
+          Obs_export.write_chrome_trace ~path snap;
+          Printf.eprintf "trace: wrote Chrome trace to %s\n%!" path)
+        t.trace_json;
+      Option.iter
+        (fun path ->
+          Obs_export.write_folded ~path snap;
+          Printf.eprintf "trace: wrote collapsed stacks to %s\n%!" path)
+        t.trace_folded;
+      Option.iter
+        (fun path ->
+          Obs_export.write_metrics_json ~path snap;
+          Printf.eprintf "trace: wrote metrics to %s\n%!" path)
+        t.metrics_json;
+      Option.iter
+        (fun path ->
+          let line =
+            Ledger.line
+              ~subcommand:(subcommand_of_argv ())
+              ~args:(List.tl (Array.to_list Sys.argv))
+              ~exit_class:class_ ~t:(Unix.gettimeofday ()) snap
+          in
+          match Ledger.append ~path line with
+          | Ok () -> ()
+          | Error msg ->
+            Printf.eprintf "rgleak: warning: ledger append failed: %s\n%!" msg)
+        t.ledger
+    in
+    match run () with
+    | v ->
+      finish "ok";
+      v
+    | exception e ->
+      finish (exit_class e);
+      raise e
   end
 
 (* ---------- robustness flags (shared by every subcommand) ---------- *)
@@ -1099,6 +1183,104 @@ let batch_cmd =
       const run $ manifest_arg $ out_arg $ cache_dir_arg $ no_cache_arg
       $ jobs_arg $ robust_term $ trace_term)
 
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let module Report = Rgleak_valid.Report in
+  let module Vjson = Rgleak_valid.Vjson in
+  let ledgers_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"LEDGER"
+          ~doc:
+            "rgleak-run/1 JSONL ledger files (written by the --ledger flag of \
+             any subcommand).  All records from all files are pooled into one \
+             window.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Also fold a --metrics-json document (rgleak-metrics/1 or /2) \
+             into the window.  Repeatable.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the aggregated rgleak-report/1 document to $(docv) ('-' \
+             for stdout).")
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"BASELEDGER"
+          ~doc:
+            "Compare the window against a baseline ledger: histogram p50/p99 \
+             ratios >= 2x (and cache hit-rate drops >= 0.20) are regressions \
+             and exit 1; >= 1.5x ratios warn.")
+  in
+  let run ledgers metrics json diff ro =
+    with_diagnostics ro @@ fun () ->
+    if ledgers = [] && metrics = [] then
+      Guard.invalid "rgleak report: need at least one LEDGER or --metrics file";
+    let parse_ledger path =
+      try Report.parse_ledger_file path with
+      | Sys_error msg -> Guard.invalid msg
+      | Vjson.Parse_error msg ->
+        Guard.invalid (Printf.sprintf "%s: %s" path msg)
+    in
+    let parse_metrics path =
+      try Report.parse_metrics_file path with
+      | Sys_error msg -> Guard.invalid msg
+      | Vjson.Parse_error msg ->
+        Guard.invalid (Printf.sprintf "%s: %s" path msg)
+    in
+    let entries =
+      List.concat_map parse_ledger ledgers @ List.map parse_metrics metrics
+    in
+    let agg = Report.aggregate entries in
+    let write_json () =
+      Option.iter
+        (fun path ->
+          let doc = Vjson.to_string ~indent:2 (Report.to_json agg) in
+          if path = "-" then print_string doc
+          else begin
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc doc);
+            Printf.eprintf "report: wrote %s\n%!" path
+          end)
+        json
+    in
+    match diff with
+    | None ->
+      Report.pp stdout agg;
+      write_json ()
+    | Some base_path ->
+      let baseline = Report.aggregate (parse_ledger base_path) in
+      let findings = Report.diff ~baseline ~current:agg in
+      Report.pp_diff stdout findings;
+      write_json ();
+      if Report.has_regression findings then exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate run ledgers and metrics files into service-level fleet \
+          telemetry: QPS, latency quantiles per tier (recomputed exactly from \
+          pooled histogram buckets), cache hit rate, and exit-class counts; \
+          --diff attributes latency and hit-rate regressions between two \
+          windows.")
+    Term.(
+      const run $ ledgers_arg $ metrics_arg $ json_arg $ diff_arg
+      $ robust_term)
+
 let () =
   let info =
     Cmd.info "rgleak" ~version:"1.0.0"
@@ -1111,4 +1293,4 @@ let () =
        (Cmd.group info
           [ cells_cmd; characterize_cmd; estimate_cmd; signoff_cmd; yield_cmd;
             sensitivity_cmd; corners_cmd; profile_cmd; map_cmd; sleep_cmd;
-            convert_cmd; validate_cmd; batch_cmd ]))
+            convert_cmd; validate_cmd; batch_cmd; report_cmd ]))

@@ -16,6 +16,7 @@ module Estimator_exact = Rgleak_core.Estimator_exact
 module Mc_reference = Rgleak_core.Mc_reference
 module Vt_correction = Rgleak_core.Vt_correction
 module Vjson = Rgleak_valid.Vjson
+module Obs = Rgleak_obs.Obs
 
 type tier = Auto | Linear | Integral_2d | Integral_polar | Exact | Mc
 
@@ -469,7 +470,14 @@ let run ?cache scenarios =
   in
   List.map
     (fun scen ->
-      match Guard.protect (fun () -> run_scenario state scen) with
+      (* Per-scenario latency distributions, overall and per tier —
+         the service-level histograms `rgleak report` aggregates. *)
+      let timed () =
+        Obs.hist_time "batch.scenario_s" @@ fun () ->
+        Obs.hist_time ("batch.tier." ^ tier_name scen.s_tier ^ "_s")
+        @@ fun () -> run_scenario state scen
+      in
+      match Guard.protect timed with
       | Ok json -> { o_id = scen.s_id; o_json = json; o_code = 0 }
       | Error d ->
         {

@@ -84,11 +84,15 @@ let record_hit t n =
   t.n_hits <- t.n_hits + 1;
   t.n_bytes_read <- t.n_bytes_read + n;
   Obs.count "cache.hits" 1;
-  Obs.count "cache.bytes_read" n
+  Obs.count "cache.bytes_read" n;
+  (* Cumulative running total as a timeline track: renders as a
+     monotone staircase in the Chrome trace. *)
+  Obs.track "cache.hits" (float_of_int t.n_hits)
 
 let record_miss t =
   t.n_misses <- t.n_misses + 1;
-  Obs.count "cache.misses" 1
+  Obs.count "cache.misses" 1;
+  Obs.track "cache.misses" (float_of_int t.n_misses)
 
 let record_corrupt t ~path detail =
   t.n_corrupt <- t.n_corrupt + 1;
@@ -124,6 +128,7 @@ let parse_entry ~kind ~version contents =
     | _ -> Error "malformed header")
 
 let get t ~kind ~version ~key =
+  Obs.hist_time "cache.get_s" @@ fun () ->
   let path = entry_path t ~kind ~version ~key in
   match read_file path with
   | exception Sys_error _ ->
@@ -146,6 +151,7 @@ let get t ~kind ~version ~key =
         None)
 
 let put t ~kind ~version ~key payload =
+  Obs.hist_time "cache.put_s" @@ fun () ->
   let path = entry_path t ~kind ~version ~key in
   try
     mkdir_p (Filename.dirname path);

@@ -116,6 +116,10 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
   in
   if Obs.enabled () then Obs.count "exact.pairs" (n * (n - 1) / 2);
   let kernel_band acc ~lo ~hi =
+    (* Per-band kernel time distribution: 64 fixed bands per estimate,
+       so the tail (p99 vs p50) exposes band-size imbalance and NUMA /
+       frequency effects that the aggregate pairs/s gauge hides. *)
+    let t0 = if Obs.enabled () then Obs.now_ns () else 0L in
     let acc = ref acc in
     let tlo = ref lo in
     while !tlo < hi do
@@ -124,6 +128,9 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
       acc := !acc +. Pair_kernel.sum buffers ~lo:!tlo ~hi:thi;
       tlo := thi
     done;
+    if Obs.enabled () then
+      Obs.hist_record "exact.band_s"
+        (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9);
     !acc
   in
   let t_pairs = if Obs.enabled () then Obs.now_ns () else 0L in

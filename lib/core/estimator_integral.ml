@@ -9,7 +9,12 @@ type result = { mean : float; variance : float; std : float }
 let counting_evals tally f = fun x -> incr tally; f x
 
 let flush_evals tally =
-  if !tally > 0 then Obs.count "integral.evals" !tally
+  if !tally > 0 then begin
+    Obs.count "integral.evals" !tally;
+    (* Eval counts are work items (pure function of the problem), so
+       this histogram is jobs-invariant, unlike the time ones. *)
+    Obs.hist_record "integral.evals" (float_of_int !tally)
+  end
 
 let check_inputs ~n ~width ~height =
   if n <= 0 then invalid_arg "Estimator_integral: need a positive gate count";
@@ -44,6 +49,7 @@ let rect_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
      (or the "quadrature" fault site) takes the adaptive-Simpson
      fallback instead of silently returning garbage. *)
   let integral =
+    Obs.hist_time "integral.quad_s" @@ fun () ->
     Quadrature.gauss_legendre_2d_guarded ~order integrand ~x_lo:0.0
       ~x_hi:width ~y_lo:0.0 ~y_hi:height
   in
@@ -62,6 +68,7 @@ let polar_2d ?(order = 96) ~corr ~rgcorr ~n ~width ~height () =
   (* The outer (angular) integral carries the guardrail; each angular
      evaluation runs the plain radial rule. *)
   let integral =
+    Obs.hist_time "integral.quad_s" @@ fun () ->
     Quadrature.gauss_legendre_guarded ~order
       (fun theta ->
         let c = cos theta and s = sin theta in
@@ -115,6 +122,7 @@ let polar ?(order = 128) ~corr ~rgcorr ~n ~width ~height () =
     if Obs.enabled () then counting_evals evals integrand else integrand
   in
   let radial =
+    Obs.hist_time "integral.quad_s" @@ fun () ->
     Quadrature.gauss_legendre_guarded ~order integrand ~lo:0.0 ~hi:dmax
   in
   flush_evals evals;

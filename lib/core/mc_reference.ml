@@ -103,16 +103,19 @@ let moments t rng ~count =
 
 let sample_stream t ~seed i = sample t (Rng.stream ~seed i)
 
-(* Per-replica wall time, accumulated into a sum gauge: with the
-   mc.replicas counter this yields the mean sample cost; the two clock
-   reads are negligible against one die sample. *)
+(* Per-replica wall time: the sum gauge with the mc.replicas counter
+   yields the mean sample cost, and the histogram exposes the tail
+   (p99 sample time vs median — GC pauses and cold caches show up
+   here).  The two clock reads are negligible against one die
+   sample. *)
 let timed_sample t ~seed i =
   if not (Obs.enabled ()) then sample_stream t ~seed i
   else begin
     let t0 = Obs.now_ns () in
     let x = sample_stream t ~seed i in
-    Obs.gauge_add "mc.sample_s"
-      (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9);
+    let dt = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+    Obs.gauge_add "mc.sample_s" dt;
+    Obs.hist_record "mc.sample_s" dt;
     x
   end
 

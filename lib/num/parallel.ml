@@ -196,6 +196,9 @@ let run_thunks ?(label = "task") pool fs =
       Condition.broadcast pool.has_work;
       Mutex.unlock pool.mutex;
       Obs.gauge_max "pool.queue_max" (float_of_int depth);
+      (* Timeline samples: depth at submit, zero once this batch has
+         fully drained — renders as a sawtooth counter track. *)
+      Obs.track "pool.queue_depth" (float_of_int depth);
       (* The submitting domain drains the queue alongside the workers. *)
       let rec help () =
         Mutex.lock pool.mutex;
@@ -216,7 +219,8 @@ let run_thunks ?(label = "task") pool fs =
         Condition.wait all_done done_mutex
       done;
       Mutex.unlock done_mutex;
-      record_idle t_wait
+      record_idle t_wait;
+      Obs.track "pool.queue_depth" 0.0
     end;
     (match Atomic.get error with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results

@@ -27,40 +27,97 @@ let last_segment path =
   | None -> path
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
 
+let parent_path path =
+  match String.rindex_opt path '/' with
+  | None -> None
+  | Some i -> Some (String.sub path 0 i)
+
 let path_depth path =
   String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 path
 
-(* Aggregate spans by full path, keeping (count, total_ns); sorted by
-   path, which interleaves children directly under their parents. *)
+(* Aggregate spans by full path, keeping (count, total_ns, minor_words);
+   sorted by path, which interleaves children directly under their
+   parents. *)
 let aggregate_spans (s : Obs.snapshot) =
-  let tbl : (string, int ref * int64 ref) Hashtbl.t = Hashtbl.create 64 in
+  let tbl : (string, int ref * int64 ref * float ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
   List.iter
     (fun (e : Obs.span_event) ->
       match Hashtbl.find_opt tbl e.Obs.path with
-      | Some (n, total) ->
+      | Some (n, total, mw) ->
         incr n;
-        total := Int64.add !total e.Obs.dur_ns
-      | None -> Hashtbl.add tbl e.Obs.path (ref 1, ref e.Obs.dur_ns))
+        total := Int64.add !total e.Obs.dur_ns;
+        mw := !mw +. e.Obs.minor_words
+      | None ->
+        Hashtbl.add tbl e.Obs.path
+          (ref 1, ref e.Obs.dur_ns, ref e.Obs.minor_words))
     s.Obs.spans;
-  Hashtbl.fold (fun path (n, total) acc -> (path, !n, !total) :: acc) tbl []
+  Hashtbl.fold (fun path (n, total, mw) acc -> (path, !n, !total, !mw) :: acc) tbl []
   |> List.sort compare
 
+(* Self time per path: total minus the total of direct children.
+   Pool-task spans attach under their submitter's path but may run
+   concurrently on other domains, so a parent's children can sum to
+   more than the parent — clamp at zero rather than report negative
+   self time. *)
+let self_times (s : Obs.snapshot) =
+  let aggs = aggregate_spans s in
+  let child_total : (string, int64 ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (path, _, total, _) ->
+      match parent_path path with
+      | None -> ()
+      | Some parent -> (
+        match Hashtbl.find_opt child_total parent with
+        | Some r -> r := Int64.add !r total
+        | None -> Hashtbl.add child_total parent (ref total)))
+    aggs;
+  List.map
+    (fun (path, n, total, mw) ->
+      let children =
+        match Hashtbl.find_opt child_total path with
+        | Some r -> !r
+        | None -> 0L
+      in
+      let self = Int64.sub total children in
+      let self = if Int64.compare self 0L < 0 then 0L else self in
+      (path, n, total, self, mw))
+    aggs
+
 (* ---------- human-readable report ---------- *)
+
+let hist_summary (h : Obs.hist) =
+  ( h.Obs.h_count,
+    Obs.hist_quantile h 0.50,
+    Obs.hist_quantile h 0.90,
+    Obs.hist_quantile h 0.99,
+    h.Obs.h_max )
 
 let report oc (s : Obs.snapshot) =
   let p fmt = Printf.fprintf oc fmt in
   p "== telemetry (%.3f s window) ==\n" (ns_to_s s.Obs.elapsed_ns);
-  let aggs = aggregate_spans s in
-  if aggs <> [] then begin
-    p "-- spans %-30s %8s %12s %12s\n" "" "count" "total s" "mean ms";
+  let selfs = self_times s in
+  if selfs <> [] then begin
+    p "-- spans %-30s %8s %12s %12s %12s\n" "" "count" "total s" "self s"
+      "mean ms";
     List.iter
-      (fun (path, n, total) ->
+      (fun (path, n, total, self, _) ->
         let indent = String.make (2 * path_depth path) ' ' in
-        p "   %-39s %8d %12.6f %12.4f\n"
+        p "   %-39s %8d %12.6f %12.6f %12.4f\n"
           (indent ^ last_segment path)
-          n (ns_to_s total)
+          n (ns_to_s total) (ns_to_s self)
           (ns_to_s total *. 1e3 /. float_of_int n))
-      aggs
+      selfs
+  end;
+  if s.Obs.hists <> [] then begin
+    p "-- hists %-27s %8s %10s %10s %10s %10s\n" "" "count" "p50" "p90" "p99"
+      "max";
+    List.iter
+      (fun (name, h) ->
+        let n, p50, p90, p99, mx = hist_summary h in
+        p "   %-36s %8d %10.3g %10.3g %10.3g %10.3g\n" name n p50 p90 p99 mx)
+      s.Obs.hists
   end;
   if s.Obs.counters <> [] then begin
     p "-- counters\n";
@@ -70,8 +127,13 @@ let report oc (s : Obs.snapshot) =
     p "-- gauges\n";
     List.iter (fun (name, v) -> p "   %-42s %14.6f\n" name v) s.Obs.gauges
   end;
+  if s.Obs.gc_minor_words > 0.0 || s.Obs.gc_major_words > 0.0 then
+    p "-- gc: %.0f minor words, %.0f major words (over root spans)\n"
+      s.Obs.gc_minor_words s.Obs.gc_major_words;
   if s.Obs.dropped_spans > 0 then
     p "-- dropped spans: %d (per-domain cap)\n" s.Obs.dropped_spans;
+  if s.Obs.dropped_tracks > 0 then
+    p "-- dropped track samples: %d (per-domain cap)\n" s.Obs.dropped_tracks;
   flush oc
 
 (* ---------- Chrome trace events ---------- *)
@@ -100,12 +162,20 @@ let chrome_trace (s : Obs.snapshot) =
   List.iter
     (fun (e : Obs.span_event) ->
       event
-        "{\"name\":\"%s\",\"cat\":\"rgleak\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"path\":\"%s\"}}"
+        "{\"name\":\"%s\",\"cat\":\"rgleak\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"path\":\"%s\",\"minor_words\":%.9g}}"
         (json_escape (last_segment e.Obs.path))
         e.Obs.domain (ns_to_us e.Obs.start_ns) (ns_to_us e.Obs.dur_ns)
-        (json_escape e.Obs.path))
+        (json_escape e.Obs.path) e.Obs.minor_words)
     s.Obs.spans;
-  (* Pool utilization and work counters as Chrome counter events. *)
+  (* Time-stamped counter tracks (cache hits/misses, queue depth...):
+     one "C" event per recorded sample so they render as timelines. *)
+  List.iter
+    (fun (t : Obs.track_event) ->
+      event
+        "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%.3f,\"args\":{\"value\":%.9g}}"
+        (json_escape t.Obs.t_name) (ns_to_us t.Obs.t_ns) t.Obs.t_value)
+    s.Obs.tracks;
+  (* Pool utilization and work counters as final-total counter events. *)
   let ts_end = ns_to_us s.Obs.elapsed_ns in
   List.iter
     (fun (name, v) ->
@@ -122,15 +192,45 @@ let chrome_trace (s : Obs.snapshot) =
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 
+(* ---------- collapsed stacks (flamegraph.pl / speedscope) ---------- *)
+
+(* Frames may not contain the separator or spaces in the folded
+   format; metric names are code-controlled but sanitize anyway. *)
+let folded_frame seg =
+  String.map (fun c -> match c with ';' -> ':' | ' ' -> '_' | c -> c) seg
+
+let folded (s : Obs.snapshot) =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (path, _, _, self, _) ->
+      let us = Int64.to_float self /. 1e3 in
+      let us = int_of_float (Float.round us) in
+      if us > 0 then begin
+        let frames = String.split_on_char '/' path in
+        Buffer.add_string b
+          (String.concat ";" (List.map folded_frame frames));
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int us);
+        Buffer.add_char b '\n'
+      end)
+    (self_times s);
+  Buffer.contents b
+
 (* ---------- flat metrics ---------- *)
 
+(* Schema history: rgleak-metrics/1 (PR 2) had elapsed_s /
+   dropped_spans / counters / gauges / spans.  Version 2 keeps every
+   v1 field with the same shape (v1 consumers that tolerate unknown
+   keys keep working) and adds "hists", "gc", "dropped_tracks", and a
+   "self_s" field on span aggregates. *)
 let metrics_json (s : Obs.snapshot) =
   let b = Buffer.create 2048 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   p "{\n";
-  p "  \"schema\": \"rgleak-metrics/1\",\n";
+  p "  \"schema\": \"rgleak-metrics/2\",\n";
   p "  \"elapsed_s\": %.9f,\n" (ns_to_s s.Obs.elapsed_ns);
   p "  \"dropped_spans\": %d,\n" s.Obs.dropped_spans;
+  p "  \"dropped_tracks\": %d,\n" s.Obs.dropped_tracks;
   let obj last items print_one =
     List.iteri
       (fun i item ->
@@ -147,10 +247,27 @@ let metrics_json (s : Obs.snapshot) =
   obj () s.Obs.gauges (fun (name, v) ->
       p "    \"%s\": %.9g" (json_escape name) v);
   p "  },\n";
+  p "  \"hists\": {\n";
+  obj () s.Obs.hists (fun (name, h) ->
+      let n, p50, p90, p99, mx = hist_summary h in
+      p "    \"%s\": { \"count\": %d, \"sum\": %.9g, \"min\": %.9g,\n"
+        (json_escape name) n h.Obs.h_sum h.Obs.h_min;
+      p "      \"p50\": %.9g, \"p90\": %.9g, \"p99\": %.9g, \"max\": %.9g,\n"
+        p50 p90 p99 mx;
+      p "      \"buckets\": { %s } }"
+        (String.concat ", "
+           (List.map
+              (fun (i, c) -> Printf.sprintf "\"%d\": %d" i c)
+              h.Obs.h_buckets)));
+  p "  },\n";
+  p "  \"gc\": { \"minor_words\": %.9g, \"major_words\": %.9g },\n"
+    s.Obs.gc_minor_words s.Obs.gc_major_words;
   p "  \"spans\": [\n";
-  obj () (aggregate_spans s) (fun (path, n, total) ->
-      p "    { \"path\": \"%s\", \"count\": %d, \"total_s\": %.9f }"
-        (json_escape path) n (ns_to_s total));
+  obj () (self_times s) (fun (path, n, total, self, mw) ->
+      p
+        "    { \"path\": \"%s\", \"count\": %d, \"total_s\": %.9f, \
+         \"self_s\": %.9f, \"minor_words\": %.9g }"
+        (json_escape path) n (ns_to_s total) (ns_to_s self) mw);
   p "  ]\n";
   p "}\n";
   Buffer.contents b
@@ -163,3 +280,4 @@ let write_file ~path contents =
 
 let write_chrome_trace ~path s = write_file ~path (chrome_trace s)
 let write_metrics_json ~path s = write_file ~path (metrics_json s)
+let write_folded ~path s = write_file ~path (folded s)

@@ -1,0 +1,83 @@
+(* Persistent run ledger: one compact JSON line per CLI run, appended
+   with O_APPEND so concurrent writers interleave whole lines.  The
+   reader side (Rgleak_valid.Report) re-aggregates histograms exactly
+   from the sparse bucket counts carried here. *)
+
+let schema = "rgleak-run/1"
+let default_path = ".rgleak/ledger.jsonl"
+
+let args_digest args =
+  (* Length-safe canonical form: arguments joined on NUL can never
+     collide across different splits. *)
+  Digest.to_hex (Digest.string (String.concat "\x00" args))
+
+let line ~subcommand ~args ~exit_class ?(t = 0.0) (s : Obs.snapshot) =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let obj items print_one =
+    List.iteri
+      (fun i item ->
+        if i > 0 then p ",";
+        print_one item)
+      items
+  in
+  p "{\"schema\":\"%s\"" schema;
+  p ",\"t\":%.3f" t;
+  p ",\"subcommand\":\"%s\"" (Export.json_escape subcommand);
+  p ",\"args_digest\":\"%s\"" (args_digest args);
+  p ",\"metrics_schema\":\"rgleak-metrics/2\"";
+  p ",\"exit_class\":\"%s\"" (Export.json_escape exit_class);
+  p ",\"elapsed_s\":%.9f" (Int64.to_float s.Obs.elapsed_ns /. 1e9);
+  p ",\"counters\":{";
+  obj s.Obs.counters (fun (name, v) ->
+      p "\"%s\":%d" (Export.json_escape name) v);
+  p "},\"gauges\":{";
+  obj s.Obs.gauges (fun (name, v) ->
+      p "\"%s\":%.9g" (Export.json_escape name) v);
+  p "},\"hists\":{";
+  obj s.Obs.hists (fun (name, h) ->
+      p
+        "\"%s\":{\"count\":%d,\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p90\":%.9g,\"p99\":%.9g,\"buckets\":{"
+        (Export.json_escape name) h.Obs.h_count h.Obs.h_sum h.Obs.h_min
+        h.Obs.h_max
+        (Obs.hist_quantile h 0.50)
+        (Obs.hist_quantile h 0.90)
+        (Obs.hist_quantile h 0.99);
+      obj h.Obs.h_buckets (fun (i, c) -> p "\"%d\":%d" i c);
+      p "}}");
+  p "},\"gc\":{\"minor_words\":%.9g,\"major_words\":%.9g}"
+    s.Obs.gc_minor_words s.Obs.gc_major_words;
+  p ",\"dropped_spans\":%d,\"dropped_tracks\":%d" s.Obs.dropped_spans
+    s.Obs.dropped_tracks;
+  p "}";
+  Buffer.contents b
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let append ~path line =
+  try
+    mkdir_p (Filename.dirname path);
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        (* One write call for the whole record: O_APPEND makes the
+           (offset choice + write) atomic, so concurrently appending
+           processes can never interleave within a line. *)
+        let data = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length data in
+        let n = Unix.write fd data 0 len in
+        if n <> len then Error (Printf.sprintf "short write to %s" path)
+        else Ok ())
+  with
+  | Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | Sys_error msg -> Error msg

@@ -21,10 +21,119 @@ type span_event = {
   start_ns : int64;
   dur_ns : int64;
   domain : int;
+  minor_words : float;
+  major_words : float;
+}
+
+type track_event = {
+  t_name : string;
+  t_ns : int64;
+  t_value : float;
+  t_domain : int;
 }
 
 (* Raw per-domain record: timestamps are absolute until snapshot time. *)
-type raw_span = { r_path : string; r_depth : int; r_t0 : int64; r_t1 : int64 }
+type raw_span = {
+  r_path : string;
+  r_depth : int;
+  r_t0 : int64;
+  r_t1 : int64;
+  r_minor : float;
+  r_major : float;
+}
+
+type raw_track = { k_name : string; k_t : int64; k_value : float }
+
+(* ---------- histogram bucketing ---------- *)
+
+(* Fixed log-bucketed (HDR-style) layout shared by every histogram:
+   [sub] geometric sub-buckets per power of two over octaves
+   [2^(emin-1), 2^emax), plus an underflow bucket 0 (v <= 0 or below
+   range) and a final overflow bucket.  Bucket boundaries are exact
+   dyadic rationals ([ldexp] of small integers), and the index
+   computation uses only exact float operations ([frexp], multiply by
+   a power of two, floor), so any given value lands in the same bucket
+   on every platform — bucket counts are integers and merge exactly. *)
+module Hist = struct
+  let sub = 8
+  let emin = -40 (* lowest octave: [2^-41, 2^-40)  ~ 4.5e-13 .. 9.1e-13 *)
+  let emax = 24 (* highest octave: [2^23, 2^24)   ~ 8.4e6 .. 1.7e7 *)
+  let n_buckets = 2 + ((emax - emin + 1) * sub)
+  let overflow = n_buckets - 1
+
+  let bucket_of v =
+    if not (v > 0.0) then 0 (* <= 0 and NaN *)
+    else if v = Float.infinity then overflow (* frexp has no exponent here *)
+    else begin
+      let m, e = Float.frexp v in
+      (* v = m * 2^e with m in [0.5, 1), i.e. v in [2^(e-1), 2^e). *)
+      if e < emin then 0
+      else if e > emax then overflow
+      else begin
+        (* m*2 - 1 in [0, 1); scaling by [sub] and flooring picks the
+           geometric sub-bucket.  All steps are exact. *)
+        let s = int_of_float ((m *. 2.0 -. 1.0) *. float_of_int sub) in
+        let s = if s >= sub then sub - 1 else s in
+        1 + ((e - emin) * sub) + s
+      end
+    end
+
+  (* Lower/upper bound of a bucket.  Bucket 0 is (-inf, lowest); the
+     overflow bucket is [highest, inf). *)
+  let bounds i =
+    if i <= 0 then (neg_infinity, Float.ldexp 1.0 (emin - 1))
+    else if i >= overflow then (Float.ldexp 1.0 emax, infinity)
+    else begin
+      let o = ((i - 1) / sub) + emin in
+      let s = (i - 1) mod sub in
+      let lo = Float.ldexp (1.0 +. (float_of_int s /. float_of_int sub)) (o - 1) in
+      let hi =
+        Float.ldexp (1.0 +. (float_of_int (s + 1) /. float_of_int sub)) (o - 1)
+      in
+      (lo, hi)
+    end
+end
+
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (int * int) list; (* sparse nonzero buckets, by index *)
+}
+
+let hist_quantile h q =
+  if h.h_count <= 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let rec walk cum = function
+      | [] -> h.h_max
+      | (i, c) :: tl ->
+        let cum = cum + c in
+        if cum >= rank then begin
+          if i = 0 then h.h_min
+          else if i >= Hist.overflow then h.h_max
+          else begin
+            let _, hi = Hist.bounds i in
+            Float.min hi h.h_max
+          end
+        end
+        else walk cum tl
+    in
+    walk 0 h.h_buckets
+  end
+
+(* Per-domain mutable histogram. *)
+type hrec = {
+  buckets : int array;
+  mutable c_count : int;
+  mutable c_sum : float;
+  mutable c_min : float;
+  mutable c_max : float;
+}
 
 type local = {
   slot : int;
@@ -32,14 +141,22 @@ type local = {
   mutable spans : raw_span list; (* newest first *)
   mutable span_count : int;
   mutable dropped : int;
+  mutable tracks : raw_track list; (* newest first *)
+  mutable track_count : int;
+  mutable dropped_tracks : int;
   counters : (string, int ref) Hashtbl.t;
   sums : (string, float ref) Hashtbl.t;
   maxes : (string, float ref) Hashtbl.t;
+  hists : (string, hrec) Hashtbl.t;
 }
 
 (* A domain holds at most this many spans; beyond it we count drops so
    runaway instrumentation degrades gracefully instead of OOMing. *)
 let max_spans_per_domain = 1 lsl 18
+
+(* Counter-track samples are denser than spans in steady state but
+   much smaller; cap them separately. *)
+let max_tracks_per_domain = 1 lsl 16
 
 let registry : local list ref = ref []
 let registry_mutex = Mutex.create ()
@@ -53,9 +170,13 @@ let make_local () =
       spans = [];
       span_count = 0;
       dropped = 0;
+      tracks = [];
+      track_count = 0;
+      dropped_tracks = 0;
       counters = Hashtbl.create 32;
       sums = Hashtbl.create 16;
       maxes = Hashtbl.create 8;
+      hists = Hashtbl.create 8;
     }
   in
   Mutex.lock registry_mutex;
@@ -77,30 +198,48 @@ let reset () =
       l.spans <- [];
       l.span_count <- 0;
       l.dropped <- 0;
+      l.tracks <- [];
+      l.track_count <- 0;
+      l.dropped_tracks <- 0;
       Hashtbl.reset l.counters;
       Hashtbl.reset l.sums;
-      Hashtbl.reset l.maxes)
+      Hashtbl.reset l.maxes;
+      Hashtbl.reset l.hists)
     locals;
   Atomic.set epoch (now_ns ())
 
 (* ---------- recording ---------- *)
 
-let record_span l ~path ~depth ~t0 ~t1 =
+let record_span l ~path ~depth ~t0 ~t1 ~minor ~major =
   if l.span_count >= max_spans_per_domain then l.dropped <- l.dropped + 1
   else begin
-    l.spans <- { r_path = path; r_depth = depth; r_t0 = t0; r_t1 = t1 } :: l.spans;
+    l.spans <-
+      {
+        r_path = path;
+        r_depth = depth;
+        r_t0 = t0;
+        r_t1 = t1;
+        r_minor = minor;
+        r_major = major;
+      }
+      :: l.spans;
     l.span_count <- l.span_count + 1
   end
 
 let run_span l path f =
   let depth = List.length l.stack in
   l.stack <- path :: l.stack;
+  (* [Gc.counters] reads this domain's allocation counters; the delta
+     over the span body makes allocation hot spots visible next to
+     wall time.  Enabled-only, so the disabled path is untouched. *)
+  let m0, _, j0 = Gc.counters () in
   let t0 = now_ns () in
   Fun.protect
     ~finally:(fun () ->
       let t1 = now_ns () in
+      let m1, _, j1 = Gc.counters () in
       (match l.stack with _ :: tl -> l.stack <- tl | [] -> ());
-      record_span l ~path ~depth ~t0 ~t1)
+      record_span l ~path ~depth ~t0 ~t1 ~minor:(m1 -. m0) ~major:(j1 -. j0))
     f
 
 let span name f =
@@ -153,14 +292,68 @@ let gauge_max name v =
     | None -> Hashtbl.add l.maxes name (ref v)
   end
 
+let hist_record name v =
+  if Atomic.get enabled_flag then begin
+    let l = local () in
+    let h =
+      match Hashtbl.find_opt l.hists name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            buckets = Array.make Hist.n_buckets 0;
+            c_count = 0;
+            c_sum = 0.0;
+            c_min = infinity;
+            c_max = neg_infinity;
+          }
+        in
+        Hashtbl.add l.hists name h;
+        h
+    in
+    let i = Hist.bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.c_count <- h.c_count + 1;
+    h.c_sum <- h.c_sum +. v;
+    if v < h.c_min then h.c_min <- v;
+    if v > h.c_max then h.c_max <- v
+  end
+
+let hist_time name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9 in
+        hist_record name dt)
+      f
+  end
+
+let track name v =
+  if Atomic.get enabled_flag then begin
+    let l = local () in
+    if l.track_count >= max_tracks_per_domain then
+      l.dropped_tracks <- l.dropped_tracks + 1
+    else begin
+      l.tracks <- { k_name = name; k_t = now_ns (); k_value = v } :: l.tracks;
+      l.track_count <- l.track_count + 1
+    end
+  end
+
 (* ---------- snapshot ---------- *)
 
 type snapshot = {
   elapsed_ns : int64;
   counters : (string * int) list;
   gauges : (string * float) list;
+  hists : (string * hist) list;
   spans : span_event list;
+  tracks : track_event list;
   dropped_spans : int;
+  dropped_tracks : int;
+  gc_minor_words : float;
+  gc_major_words : float;
 }
 
 let snapshot () =
@@ -175,11 +368,17 @@ let snapshot () =
   let t0 = if t0 = 0L then t_now else t0 in
   let merged_counters : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let merged_gauges : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let merged_hists : (string, hrec) Hashtbl.t = Hashtbl.create 16 in
   let dropped = ref 0 in
+  let dropped_tracks = ref 0 in
   let spans = ref [] in
+  let tracks = ref [] in
+  let gc_minor = ref 0.0 in
+  let gc_major = ref 0.0 in
   List.iter
     (fun l ->
       dropped := !dropped + l.dropped;
+      dropped_tracks := !dropped_tracks + l.dropped_tracks;
       Hashtbl.iter
         (fun name r ->
           let prev = Option.value ~default:0 (Hashtbl.find_opt merged_counters name) in
@@ -201,8 +400,39 @@ let snapshot () =
           in
           Hashtbl.replace merged_gauges name v)
         l.maxes;
+      Hashtbl.iter
+        (fun name h ->
+          match Hashtbl.find_opt merged_hists name with
+          | None ->
+            Hashtbl.add merged_hists name
+              {
+                buckets = Array.copy h.buckets;
+                c_count = h.c_count;
+                c_sum = h.c_sum;
+                c_min = h.c_min;
+                c_max = h.c_max;
+              }
+          | Some m ->
+            (* Bucket counts add exactly (integers), so the merged
+               histogram is invariant under any redistribution of the
+               same recorded values across domains.  The float sum
+               merges in slot order; like gauges it is not promised
+               jobs-invariant. *)
+            Array.iteri (fun i c -> m.buckets.(i) <- m.buckets.(i) + c) h.buckets;
+            m.c_count <- m.c_count + h.c_count;
+            m.c_sum <- m.c_sum +. h.c_sum;
+            if h.c_min < m.c_min then m.c_min <- h.c_min;
+            if h.c_max > m.c_max then m.c_max <- h.c_max)
+        l.hists;
       List.iter
         (fun r ->
+          (* Depth-0 spans on each domain are disjoint in time, so
+             summing their GC deltas totals instrumented allocation
+             without double counting nested spans. *)
+          if r.r_depth = 0 then begin
+            gc_minor := !gc_minor +. r.r_minor;
+            gc_major := !gc_major +. r.r_major
+          end;
           spans :=
             {
               path = r.r_path;
@@ -210,17 +440,50 @@ let snapshot () =
               start_ns = Int64.sub r.r_t0 t0;
               dur_ns = Int64.sub r.r_t1 r.r_t0;
               domain = l.slot;
+              minor_words = r.r_minor;
+              major_words = r.r_major;
             }
             :: !spans)
-        l.spans)
+        l.spans;
+      List.iter
+        (fun k ->
+          tracks :=
+            {
+              t_name = k.k_name;
+              t_ns = Int64.sub k.k_t t0;
+              t_value = k.k_value;
+              t_domain = l.slot;
+            }
+            :: !tracks)
+        l.tracks)
     locals;
   let assoc_sorted tbl =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let hists =
+    Hashtbl.fold
+      (fun name h acc ->
+        let sparse = ref [] in
+        for i = Array.length h.buckets - 1 downto 0 do
+          if h.buckets.(i) > 0 then sparse := (i, h.buckets.(i)) :: !sparse
+        done;
+        ( name,
+          {
+            h_count = h.c_count;
+            h_sum = h.c_sum;
+            h_min = h.c_min;
+            h_max = h.c_max;
+            h_buckets = !sparse;
+          } )
+        :: acc)
+      merged_hists []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   {
     elapsed_ns = Int64.sub t_now t0;
     counters = assoc_sorted merged_counters;
     gauges = assoc_sorted merged_gauges;
+    hists;
     spans =
       List.sort
         (fun a b ->
@@ -228,5 +491,15 @@ let snapshot () =
           | 0 -> compare a.domain b.domain
           | c -> c)
         !spans;
+    tracks =
+      List.sort
+        (fun a b ->
+          match Int64.compare a.t_ns b.t_ns with
+          | 0 -> compare (a.t_domain, a.t_name) (b.t_domain, b.t_name)
+          | c -> c)
+        !tracks;
     dropped_spans = !dropped;
+    dropped_tracks = !dropped_tracks;
+    gc_minor_words = !gc_minor;
+    gc_major_words = !gc_major;
   }

@@ -2,17 +2,21 @@
 
     The estimator pipeline is instrumented with {e spans} (nested
     monotonic-clock intervals), {e counters} (named integers counting
-    work items) and {e gauges} (named floats).  All instrumentation is
-    behind a single global switch: with telemetry disabled (the
-    default) every call site reduces to one atomic load and a branch,
-    so the hot loops pay well under 1% (see [bench --run overhead]).
+    work items), {e gauges} (named floats), {e histograms} (fixed
+    log-bucketed latency/size distributions) and {e tracks}
+    (time-stamped counter samples for timeline rendering).  All
+    instrumentation is behind a single global switch: with telemetry
+    disabled (the default) every call site reduces to one atomic load
+    and a branch, so the hot loops pay well under 1% (see
+    [bench --run overhead]).
 
     {b Storage model.}  Each domain records into its own local buffers
     (via [Domain.DLS]), registered once in a global list, so recording
     is lock-free after first touch and safe from pool workers.
     {!snapshot} merges the per-domain buffers deterministically:
     counters and sum-gauges by exact integer/float addition over
-    domains in registration order, max-gauges by [max], spans by
+    domains in registration order, max-gauges by [max], histogram
+    bucket counts by exact integer addition, spans and tracks by
     start-time order.
 
     {b Determinism contract.}  Telemetry never feeds back into any
@@ -20,8 +24,14 @@
     bitwise unchanged.  Counters count {e work items} whose
     decomposition depends only on the problem size (chunk and band
     boundaries, like [Parallel] reductions), so merged counter values
-    are bit-identical across job counts.  Span durations and gauges
-    carry wall-clock time and are {e not} expected to be reproducible.
+    are bit-identical across job counts.  Histogram {e bucket counts}
+    (and count/min/max) inherit the same contract whenever the
+    recorded values themselves are jobs-invariant: bucketing is a pure
+    function of the value and buckets merge by integer addition, so
+    the merged histogram does not depend on which domain recorded
+    which value.  Span durations, gauges, histogram float sums of
+    wall-clock samples, and GC deltas are {e not} expected to be
+    reproducible.
 
     {b Concurrency.}  Recording may happen from any domain.
     {!set_enabled}, {!reset} and {!snapshot} must be called from the
@@ -42,8 +52,9 @@ val enabled : unit -> bool
     check it themselves (and are no-ops when disabled). *)
 
 val reset : unit -> unit
-(** Clears all recorded spans, counters and gauges on every registered
-    domain and re-anchors the trace epoch at [now_ns ()]. *)
+(** Clears all recorded spans, counters, gauges, histograms and tracks
+    on every registered domain and re-anchors the trace epoch at
+    [now_ns ()]. *)
 
 val domain_slot : unit -> int
 (** Dense id of the calling domain's telemetry buffer (registration
@@ -55,8 +66,9 @@ val domain_slot : unit -> int
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside a named span.  Spans nest: the path
     of a span is [parent-path ^ "/" ^ name].  The span is closed (and
-    recorded) even if [f] raises.  When disabled this is exactly
-    [f ()]. *)
+    recorded) even if [f] raises.  Each recorded span carries the
+    domain-local [Gc.counters] minor/major-words delta over its body.
+    When disabled this is exactly [f ()]. *)
 
 val span_under : parent:string -> string -> (unit -> 'a) -> 'a
 (** [span_under ~parent name f]: like {!span}, but when the calling
@@ -79,6 +91,50 @@ val gauge_max : string -> float -> unit
 (** [gauge_max name v] raises a max-gauge to at least [v] (e.g. peak
     queue depth). *)
 
+val hist_record : string -> float -> unit
+(** [hist_record name v] adds one sample to the named histogram on
+    this domain.  Values [<= 0] (and NaN) land in the underflow
+    bucket; values beyond the top octave clamp into the overflow
+    bucket.  Exact min/max are tracked alongside the buckets. *)
+
+val hist_time : string -> (unit -> 'a) -> 'a
+(** [hist_time name f] runs [f] and records its wall-clock duration in
+    seconds into the named histogram (even if [f] raises).  When
+    disabled this is exactly [f ()]. *)
+
+val track : string -> float -> unit
+(** [track name v] records a time-stamped sample of a counter-like
+    quantity (queue depth, cumulative cache hits...).  Rendered as a
+    ["ph":"C"] counter track by the Chrome exporter.  Samples beyond
+    the per-domain cap are counted as dropped. *)
+
+(** {2 Histogram layout}
+
+    Shared fixed bucketing for every histogram: {!Hist.sub} geometric
+    sub-buckets per power of two across octaves
+    [2^(emin-1), 2^emax) (relative bucket width 1/sub, ~9% error at
+    sub = 8), bucket [0] for underflow and a final overflow bucket.
+    Boundaries are exact dyadic rationals, so bucket assignment is
+    platform-independent and merged bucket counts are exact. *)
+module Hist : sig
+  val sub : int
+  (** Sub-buckets per octave. *)
+
+  val n_buckets : int
+  (** Total bucket count including underflow and overflow. *)
+
+  val overflow : int
+  (** Index of the overflow bucket ([n_buckets - 1]). *)
+
+  val bucket_of : float -> int
+  (** Bucket index of a value. *)
+
+  val bounds : int -> float * float
+  (** [(lower, upper)] bound of a bucket; bucket [0] is
+      [(neg_infinity, lowest)], the overflow bucket
+      [(highest, infinity)]. *)
+end
+
 (** {2 Snapshots} *)
 
 type span_event = {
@@ -87,14 +143,44 @@ type span_event = {
   start_ns : int64;  (** relative to the trace epoch *)
   dur_ns : int64;
   domain : int;  (** recording domain's {!domain_slot} *)
+  minor_words : float;  (** domain-local minor allocation over the span *)
+  major_words : float;  (** domain-local major allocation over the span *)
 }
+
+type track_event = {
+  t_name : string;
+  t_ns : int64;  (** relative to the trace epoch *)
+  t_value : float;
+  t_domain : int;
+}
+
+type hist = {
+  h_count : int;  (** total samples *)
+  h_sum : float;  (** sum of raw values (merge-order dependent) *)
+  h_min : float;  (** exact minimum ([infinity] when empty) *)
+  h_max : float;  (** exact maximum ([neg_infinity] when empty) *)
+  h_buckets : (int * int) list;
+      (** sparse nonzero (bucket index, count), sorted by index *)
+}
+
+val hist_quantile : hist -> float -> float
+(** [hist_quantile h q] for [q] in [0, 1]: the upper bound of the
+    bucket containing the rank-[ceil q*count] sample, clamped to the
+    exact max (bucket resolution ~9%; underflow ranks report the exact
+    min).  NaN on an empty histogram.  Deterministic: a pure function
+    of the bucket counts and min/max. *)
 
 type snapshot = {
   elapsed_ns : int64;  (** epoch to snapshot time *)
   counters : (string * int) list;  (** merged, sorted by name *)
   gauges : (string * float) list;  (** merged sums and maxes, sorted *)
+  hists : (string * hist) list;  (** merged histograms, sorted by name *)
   spans : span_event list;  (** sorted by (start, domain) *)
+  tracks : track_event list;  (** sorted by (time, domain, name) *)
   dropped_spans : int;  (** spans lost to the per-domain cap *)
+  dropped_tracks : int;  (** track samples lost to the per-domain cap *)
+  gc_minor_words : float;  (** minor words over all depth-0 spans *)
+  gc_major_words : float;  (** major words over all depth-0 spans *)
 }
 
 val snapshot : unit -> snapshot

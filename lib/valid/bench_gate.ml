@@ -186,3 +186,35 @@ let pp fmt v =
     v.compared
     (List.length v.findings + List.length v.alloc_findings)
     (if v.pass then "PASS" else "FAIL")
+
+(* ---------- overhead documents ---------- *)
+
+let overhead_schema = "rgleak-overhead/3"
+
+(* Validates a BENCH_overhead.json produced by `bench --run overhead`:
+   current schema, the histogram-probe fields present (guarding
+   against the hist cost being silently dropped from the harness), and
+   the recorded total under its budget. *)
+let check_overhead doc =
+  let get name =
+    match Vjson.mem name doc with
+    | Some v -> v
+    | None -> raise (Vjson.Parse_error (Printf.sprintf "missing field %S" name))
+  in
+  match Vjson.str (get "schema") with
+  | s when s <> overhead_schema ->
+    Error (Printf.sprintf "overhead schema %S, want %S" s overhead_schema)
+  | _ ->
+    let overhead = Vjson.num (get "overhead_fraction") in
+    let budget = Vjson.num (get "budget_fraction") in
+    let hist_ns = Vjson.num (get "hist_site_ns") in
+    let hist_frac = Vjson.num (get "hist_overhead_fraction") in
+    if not (Vjson.bool (get "pass")) then
+      Error "overhead document records pass=false"
+    else if not (overhead < budget) then
+      Error
+        (Printf.sprintf "overhead fraction %.6f not under budget %.3f" overhead
+           budget)
+    else if not (hist_ns >= 0.0 && hist_frac >= 0.0) then
+      Error "malformed histogram overhead fields"
+    else Ok ()

@@ -77,3 +77,13 @@ val should_adopt : verdict -> bool
 
 val pp : Format.formatter -> verdict -> unit
 (** One line per finding plus a summary verdict line. *)
+
+val overhead_schema : string
+(** ["rgleak-overhead/3"]. *)
+
+val check_overhead : Vjson.t -> (unit, string) result
+(** Validates a [BENCH_overhead.json] document (written by
+    [bench --run overhead]): current schema, histogram-probe fields
+    present, recorded pass flag true, and the total disabled-cost
+    fraction strictly under its budget.  Raises {!Vjson.Parse_error}
+    on missing or mis-typed fields. *)

@@ -195,6 +195,73 @@ let test_batch_manifest_errors () =
   Alcotest.(check int) "missing manifest file exits 2" 2
     (run [ "batch"; Filename.concat dir "nosuch.jsonl"; "--no-cache" ])
 
+(* ---------- run ledger and fleet report ---------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in:\n%s" name needle hay
+
+(* every run with --ledger appends one parseable rgleak-run/1 record *)
+let test_ledger_written () =
+  with_temp_dir @@ fun dir ->
+  let ledger = Filename.concat (Filename.concat dir "sub") "ledger.jsonl" in
+  let go () =
+    Alcotest.(check int) "estimate with --ledger exits 0" 0
+      (run
+         [ "estimate"; "-n"; "200"; "--method"; "linear"; "--ledger"; ledger ])
+  in
+  go ();
+  go ();
+  let lines =
+    read_file ledger |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one record per run" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      check_contains "run schema" l {|"schema":"rgleak-run/1"|};
+      check_contains "subcommand recorded" l {|"subcommand":"estimate"|};
+      check_contains "exit class recorded" l {|"exit_class":"ok"|})
+    lines
+
+(* a failing run still lands in the ledger, with its diagnostic class *)
+let test_ledger_records_failures () =
+  with_temp_dir @@ fun dir ->
+  let ledger = Filename.concat dir "ledger.jsonl" in
+  Alcotest.(check int) "invalid input exits 2" 2
+    (run
+       [ "estimate"; "-n"; "200"; "--method"; "bogus"; "--ledger"; ledger ]);
+  check_contains "failure recorded" (read_file ledger)
+    {|"exit_class":"invalid-input"|}
+
+let test_report_over_ledger () =
+  with_temp_dir @@ fun dir ->
+  let ledger = Filename.concat dir "ledger.jsonl" in
+  Alcotest.(check int) "run one" 0
+    (run [ "estimate"; "-n"; "200"; "--method"; "linear"; "--ledger"; ledger ]);
+  Alcotest.(check int) "run two" 0
+    (run [ "estimate"; "-n"; "150"; "--method"; "linear"; "--ledger"; ledger ]);
+  let json = Filename.concat dir "report.json" in
+  Alcotest.(check int) "report exits 0" 0
+    (run [ "report"; ledger; "--json"; json ]);
+  let doc = read_file json in
+  check_contains "report schema" doc {|"schema": "rgleak-report/1"|};
+  check_contains "both runs counted" doc {|"runs": 2|};
+  check_contains "runs attributed to estimate" doc {|"estimate": 2|};
+  (* a window diffed against itself never regresses *)
+  Alcotest.(check int) "self-diff exits 0" 0
+    (run [ "report"; ledger; "--diff"; ledger ])
+
+let test_report_missing_input () =
+  Alcotest.(check int) "missing ledger exits 2" 2
+    (run [ "report"; "/nonexistent/ledger.jsonl" ]);
+  Alcotest.(check int) "no inputs at all exits 2" 2 (run [ "report" ])
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -214,5 +281,13 @@ let () =
           case "cold/warm cache runs identical with hits"
             test_batch_cold_warm;
           case "manifest errors exit 2" test_batch_manifest_errors;
+        ] );
+      ( "ledger",
+        [
+          case "--ledger appends one record per run" test_ledger_written;
+          case "failing runs land with their diagnostic class"
+            test_ledger_records_failures;
+          case "report aggregates a ledger window" test_report_over_ledger;
+          case "report rejects missing inputs" test_report_missing_input;
         ] );
     ]

@@ -300,6 +300,104 @@ let test_characterize_counters_invariant () =
         (Characterize.characterize_library ~l_points:9 ~mc_samples:40 ~jobs
            ~param:Process_param.default_channel_length ~seed:5 ()))
 
+(* ---------- histograms ---------- *)
+
+let test_hist_bucketing () =
+  let module H = Obs.Hist in
+  (* non-positive and NaN values land in the underflow bucket *)
+  check_true "zero is underflow" (H.bucket_of 0.0 = 0);
+  check_true "negative is underflow" (H.bucket_of (-3.5) = 0);
+  check_true "nan is underflow" (H.bucket_of Float.nan = 0);
+  (* values beyond the top octave clamp into the overflow bucket *)
+  check_true "huge is overflow" (H.bucket_of 1e300 = H.overflow);
+  check_true "infinity is overflow" (H.bucket_of Float.infinity = H.overflow);
+  (* every ordinary value lands inside its bucket's bounds *)
+  List.iter
+    (fun v ->
+      let b = H.bucket_of v in
+      let lo, hi = H.bounds b in
+      if b <= 0 || b >= H.overflow then
+        Alcotest.failf "value %g unexpectedly out of the ordinary range" v;
+      if not (v >= lo && v < hi) then
+        Alcotest.failf "value %g outside bucket %d bounds [%g, %g)" v b lo hi)
+    [ 1e-9; 2.5e-6; 1e-3; 0.5; 1.0; 1.125; 1.5; 3.0; 7.7; 1e3; 1e6 ];
+  (* ordinary bucket boundaries are contiguous and strictly increasing *)
+  for b = 1 to H.overflow - 2 do
+    let lo, hi = H.bounds b in
+    let lo', _ = H.bounds (b + 1) in
+    if not (lo < hi) then Alcotest.failf "bucket %d is empty" b;
+    if bits hi <> bits lo' then
+      Alcotest.failf "buckets %d and %d are not contiguous" b (b + 1)
+  done
+
+let test_hist_quantiles () =
+  let s =
+    with_telemetry @@ fun () ->
+    for i = 1 to 100 do
+      Obs.hist_record "lat" (float_of_int i)
+    done;
+    Obs.snapshot ()
+  in
+  let h = List.assoc "lat" s.Obs.hists in
+  check_true "count" (h.Obs.h_count = 100);
+  check_bits "exact min tracked" 1.0 h.Obs.h_min;
+  check_bits "exact max tracked" 100.0 h.Obs.h_max;
+  let q p = Obs.hist_quantile h p in
+  (* the rank-50 sample is 50; its bucket upper bound is within the
+     1/sub relative bucket width *)
+  check_true "p50 within one bucket of the true median"
+    (q 0.5 >= 50.0 && q 0.5 <= 50.0 *. (1.0 +. 2.0 /. float_of_int Obs.Hist.sub));
+  check_true "quantiles are monotone"
+    (q 0.1 <= q 0.5 && q 0.5 <= q 0.9 && q 0.9 <= q 0.99);
+  check_bits "p100 is the exact max" 100.0 (q 1.0);
+  check_true "p0 is bounded by the first bucket"
+    (q 0.0 >= 1.0 && q 0.0 <= 1.0 *. (1.0 +. 2.0 /. float_of_int Obs.Hist.sub))
+
+(* The deterministic projection of a histogram — bucket counts, count,
+   min, max — must be bit-identical across job counts when the recorded
+   values are; h_sum merges in registration order and is exempt, like
+   gauges. *)
+let hist_with_jobs j =
+  with_telemetry @@ fun () ->
+  Parallel.with_pool ~jobs:j (fun pool ->
+      ignore
+        (Parallel.parallel_for_reduce ~label:"hist-probe" pool ~n:1000
+           ~init:(fun () -> 0)
+           ~body:(fun acc i ->
+             Obs.hist_record "probe.value"
+               (float_of_int (1 + (i * 7 mod 97)));
+             acc + 1)
+           ~combine:( + )));
+  let s = Obs.snapshot () in
+  let h = List.assoc "probe.value" s.Obs.hists in
+  (h.Obs.h_count, bits h.Obs.h_min, bits h.Obs.h_max, h.Obs.h_buckets)
+
+let test_hist_merge_invariant () =
+  match List.map hist_with_jobs [ 1; 2; 4 ] with
+  | [ h1; h2; h4 ] ->
+    if h1 <> h2 || h1 <> h4 then
+      Alcotest.fail "histogram bucket merge varies with job count";
+    let count, _, _, buckets = h1 in
+    check_true "all samples recorded" (count = 1000);
+    check_true "buckets are sparse and sorted"
+      (List.sort compare buckets = buckets && buckets <> [])
+  | _ -> assert false
+
+(* ---------- tracks and caps ---------- *)
+
+let test_dropped_tracks_counted () =
+  let cap = 1 lsl 16 in
+  let s =
+    with_telemetry @@ fun () ->
+    for i = 1 to cap + 10 do
+      Obs.track "flood" (float_of_int i)
+    done;
+    Obs.snapshot ()
+  in
+  check_true "tracks stop at the per-domain cap"
+    (List.length s.Obs.tracks = cap);
+  check_true "excess samples counted as dropped" (s.Obs.dropped_tracks = 10)
+
 (* ---------- tracing never changes results ---------- *)
 
 let test_estimators_bitwise_with_tracing () =
@@ -342,6 +440,9 @@ let sample_snapshot () =
   Obs.span "alpha" (fun () ->
       Obs.count "work.items" 3;
       Obs.gauge_add "busy_s" 1.5;
+      Obs.hist_record "lat_s" 0.25;
+      Obs.hist_record "lat_s" 0.5;
+      Obs.track "depth" 2.0;
       Obs.span "beta" (fun () -> Obs.count "work.items" 4));
   Obs.gauge_max "queue_max" 7.0;
   Obs.snapshot ()
@@ -370,6 +471,21 @@ let test_chrome_trace_valid () =
     (List.exists
        (fun e -> Json.str (Json.get "name" e) = "work.items")
        counter_events);
+  (* every recorded track sample becomes a timeline counter event *)
+  let depth_samples =
+    List.filter
+      (fun e -> Json.str (Json.get "name" e) = "depth")
+      counter_events
+  in
+  check_true "track sample rendered as a C event"
+    (List.length depth_samples = 1);
+  List.iter
+    (fun e ->
+      check_true "track C event carries its value"
+        (Json.num (Json.get "value" (Json.get "args" e)) = 2.0);
+      check_true "track C event is time-stamped"
+        (Json.num (Json.get "ts" e) >= 0.0))
+    depth_samples;
   (* round-trip: serialize the parsed document and parse it again *)
   check_true "chrome trace round-trips"
     (Json.parse (Json.to_string json) = json)
@@ -378,7 +494,8 @@ let test_metrics_json_valid () =
   let s = sample_snapshot () in
   let json = Json.parse (Export.metrics_json s) in
   check_true "schema tag"
-    (Json.str (Json.get "schema" json) = "rgleak-metrics/1");
+    (Json.str (Json.get "schema" json) = "rgleak-metrics/2");
+  (* every v1 field keeps its v1 shape *)
   let counters = Json.get "counters" json in
   check_true "counter merged across spans"
     (Json.num (Json.get "work.items" counters) = 7.0);
@@ -391,7 +508,65 @@ let test_metrics_json_valid () =
   let span_paths = List.map (fun e -> Json.str (Json.get "path" e)) spans in
   check_true "span aggregate paths"
     (List.mem "alpha" span_paths && List.mem "alpha/beta" span_paths);
+  (* v2 additions: histogram summaries with sparse buckets, GC totals *)
+  let lat = Json.get "lat_s" (Json.get "hists" json) in
+  check_true "hist count exported" (Json.num (Json.get "count" lat) = 2.0);
+  check_true "hist min exported" (Json.num (Json.get "min" lat) = 0.25);
+  check_true "hist max exported" (Json.num (Json.get "max" lat) = 0.5);
+  let buckets =
+    match Json.get "buckets" lat with
+    | Json.Obj kvs -> kvs
+    | _ -> Alcotest.fail "buckets is not an object"
+  in
+  check_true "sparse buckets sum to count"
+    (List.fold_left (fun acc (_, c) -> acc + int_of_float (Json.num c)) 0 buckets
+    = 2);
+  let gc = Json.get "gc" json in
+  check_true "gc totals exported" (Json.num (Json.get "minor_words" gc) >= 0.0);
   check_true "metrics round-trips" (Json.parse (Json.to_string json) = json)
+
+(* ---------- collapsed-stack export ---------- *)
+
+let spin ns =
+  let t0 = Obs.now_ns () in
+  while Int64.sub (Obs.now_ns ()) t0 < ns do
+    ()
+  done
+
+let test_folded_export () =
+  let s =
+    with_telemetry @@ fun () ->
+    (* spans long enough that self time survives microsecond rounding;
+       the root's name exercises frame sanitization *)
+    Obs.span "root one" (fun () ->
+        spin 400_000L;
+        Obs.span "leaf" (fun () -> spin 400_000L));
+    Obs.snapshot ()
+  in
+  let out = Export.folded s in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  let value_of stack =
+    let prefix = stack ^ " " in
+    let plen = String.length prefix in
+    match
+      List.find_opt
+        (fun l -> String.length l > plen && String.sub l 0 plen = prefix)
+        lines
+    with
+    | None -> Alcotest.failf "no folded line for stack %S in:\n%s" stack out
+    | Some l -> (
+      match int_of_string_opt (String.sub l plen (String.length l - plen)) with
+      | Some v -> v
+      | None -> Alcotest.failf "folded value is not an integer: %S" l)
+  in
+  (* space in the span name is sanitized to '_' *)
+  let root = value_of "root_one" and leaf = value_of "root_one;leaf" in
+  (* each frame spun for 400 us of its own; self time excludes the
+     child's share, so both frames report roughly their own spin *)
+  check_true "root self time covers its own spin" (root >= 300);
+  check_true "leaf self time covers its own spin" (leaf >= 300)
 
 let test_pool_metrics_recorded () =
   let s =
@@ -429,11 +604,19 @@ let suite =
         test_mc_counters_invariant;
       case "characterize counters identical across jobs 1/2/4"
         test_characterize_counters_invariant;
+      case "histogram buckets cover and clamp values" test_hist_bucketing;
+      case "histogram quantiles bound the true ranks" test_hist_quantiles;
+      case "histogram merge identical across jobs 1/2/4"
+        test_hist_merge_invariant;
+      case "track samples beyond the cap are counted dropped"
+        test_dropped_tracks_counted;
       case "estimator results bitwise unchanged by tracing"
         test_estimators_bitwise_with_tracing;
       case "chrome trace is valid JSON with nested spans"
         test_chrome_trace_valid;
       case "metrics JSON matches the snapshot" test_metrics_json_valid;
+      case "folded stacks carry sanitized frames and self time"
+        test_folded_export;
       case "pool records chunk/task counters and worker gauges"
         test_pool_metrics_recorded;
     ] )

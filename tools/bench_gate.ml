@@ -33,10 +33,15 @@ let () =
   let warn_ratio = ref 1.5 in
   let fail_ratio = ref 3.0 in
   let ratchet = ref false in
+  let overhead = ref "" in
   let args =
     [
       ("--baseline", Arg.Set_string baseline, "FILE committed bench document");
       ("--current", Arg.Set_string current, "FILE freshly measured document");
+      ( "--overhead",
+        Arg.Set_string overhead,
+        "FILE validate a BENCH_overhead.json (rgleak-overhead/3) instead: \
+         schema, histogram fields, and the disabled-cost budget" );
       ( "--warn-ratio",
         Arg.Set_float warn_ratio,
         "R report slowdowns beyond R (default 1.5)" );
@@ -49,8 +54,23 @@ let () =
         " adopt current as the new baseline when meaningfully faster" );
     ]
   in
-  let usage = "bench_gate --baseline FILE --current FILE [options]" in
+  let usage =
+    "bench_gate --baseline FILE --current FILE [options]\n\
+     bench_gate --overhead FILE"
+  in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !overhead <> "" then begin
+    match Bench_gate.check_overhead (Vjson.parse_file !overhead) with
+    | Ok () ->
+      Printf.printf "overhead gate: %s PASS\n" !overhead;
+      exit 0
+    | Error msg ->
+      Printf.eprintf "overhead gate: FAIL: %s\n" msg;
+      exit 1
+    | exception (Sys_error msg | Vjson.Parse_error msg) ->
+      Printf.eprintf "bench_gate: %s\n" msg;
+      exit 2
+  end;
   if !baseline = "" || !current = "" then begin
     prerr_endline usage;
     exit 2
