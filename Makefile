@@ -3,7 +3,7 @@
 .PHONY: all build test bench examples clean doc bench-json microbench \
         trace metrics overhead check fault-matrix validate golden-check \
         golden-update batch-demo batch-smoke bench-gate bench-ratchet \
-        report-demo flamegraph
+        report-demo flamegraph tail-demo
 
 all: check
 
@@ -67,11 +67,17 @@ fault-matrix: build
 validate: build
 	$(RGLEAK) validate --sweep default --seed 42
 
+# The canonical arguments of the committed tail baseline
+# (data/golden/tail_quick.json): a 192-gate scenario with the budget at
+# roughly mean + 2.5 sigma, 500 importance-sampled replicas.
+TAIL_QUICK := tail -n 192 --budget 0.85 --replicas 500 --seed 42
+
 # Regenerate the committed golden baselines after an intentional
 # harness or estimator change; commit the resulting JSON.
 golden-update: build
 	$(RGLEAK) validate --sweep quick --seed 42 --json data/golden/validate_quick.json
 	$(RGLEAK) validate --sweep default --seed 42 --json data/golden/validate_default.json
+	$(RGLEAK) $(TAIL_QUICK) --json data/golden/tail_quick.json
 
 # Both sweeps must reproduce their committed baselines (drift within MC
 # sampling noise is tolerated, anything else fails), and a deliberately
@@ -80,6 +86,8 @@ golden-update: build
 golden-check: build
 	$(RGLEAK) validate --sweep quick --seed 42 --golden data/golden/validate_quick.json
 	$(RGLEAK) validate --sweep default --seed 42 --golden data/golden/validate_default.json
+	$(RGLEAK) $(TAIL_QUICK) --golden data/golden/tail_quick.json >/dev/null
+	$(RGLEAK) $(TAIL_QUICK) --jobs 4 --golden data/golden/tail_quick.json >/dev/null
 	@got=0; $(RGLEAK) validate --sweep quick --seed 42 \
 	  --fault-spec linear.f:1:1 --golden data/golden/validate_quick.json \
 	  >/tmp/rgleak_golden_neg.out 2>&1 || got=$$?; \
@@ -88,6 +96,12 @@ golden-check: build
 	grep -q "BREAKING" /tmp/rgleak_golden_neg.out || { \
 	  echo "FAIL: faulted drift not classified as breaking"; exit 1; }; \
 	echo "ok: golden gate rejects a poisoned estimator (exit $$got, breaking drift)"
+
+# Tail-risk demo: importance-sampled exceedance at the canonical quick
+# scenario, report written next to the other telemetry artifacts.
+tail-demo: build
+	$(RGLEAK) $(TAIL_QUICK) --json tail_demo.json
+	@echo "wrote tail_demo.json"
 
 # Run the checked-in example manifest on a throwaway cache.
 batch-demo: build

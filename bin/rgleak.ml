@@ -43,25 +43,24 @@ let parse_corr s =
           gauss:80, spherical:120, texp:60:120)"
          s)
 
-let parse_mix s =
+let parse_mix_pairs s =
   let entries = String.split_on_char ',' (String.trim s) in
-  let pairs =
-    List.map
-      (fun entry ->
-        match String.split_on_char ':' (String.trim entry) with
-        | [ name; w ] -> (
-          match float_of_string_opt w with
-          | Some w -> (String.trim name, w)
-          | None ->
-            Guard.invalid
-              (Printf.sprintf "bad weight in mix entry %S (want CELL:WEIGHT)"
-                 entry))
-        | _ ->
+  List.map
+    (fun entry ->
+      match String.split_on_char ':' (String.trim entry) with
+      | [ name; w ] -> (
+        match float_of_string_opt w with
+        | Some w -> (String.trim name, w)
+        | None ->
           Guard.invalid
-            (Printf.sprintf "bad mix entry %S (want CELL:WEIGHT)" entry))
-      entries
-  in
-  Histogram.of_weights pairs
+            (Printf.sprintf "bad weight in mix entry %S (want CELL:WEIGHT)"
+               entry))
+      | _ ->
+        Guard.invalid
+          (Printf.sprintf "bad mix entry %S (want CELL:WEIGHT)" entry))
+    entries
+
+let parse_mix s = Histogram.of_weights (parse_mix_pairs s)
 
 let corr_arg =
   let doc =
@@ -1081,6 +1080,184 @@ let validate_cmd =
       const run $ sweep_arg $ seed_arg $ json_arg $ golden_arg $ jobs_arg
       $ robust_term $ trace_term)
 
+(* ---------- tail ---------- *)
+
+let tail_cmd =
+  let module Tail_test = Rgleak_valid.Tail_test in
+  let module Golden_diff = Rgleak_valid.Golden_diff in
+  let module Vjson = Rgleak_valid.Vjson in
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let budget_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"UA"
+          ~doc:
+            "Leakage budget in microamperes; the subcommand estimates \
+             P(leakage > budget).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "replicas" ] ~docv:"DIES"
+          ~doc:"Importance-sampled replicas (each one full correlated die).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed.  The whole report is a pure function of the \
+             arguments: reruns and different $(b,--jobs) values reproduce \
+             it bit for bit.")
+  in
+  let shift_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shift" ] ~docv:"NM"
+          ~doc:
+            "Manual uniform channel-length shift of the proposal (nm, \
+             usually negative: shorter channels leak more).  Omit to \
+             calibrate automatically so the budget sits near the proposal \
+             median (~50% hit rate).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the rgleak-tail/1 report to $(docv).")
+  in
+  let golden_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"PATH"
+          ~doc:
+            "Diff the report against the committed baseline at $(docv).  \
+             Drift of the exceedance probability within the baseline's own \
+             CI is benign; structural changes or drift beyond it exit \
+             non-zero.")
+  in
+  let run n mix corr p budget replicas seed shift char_file json golden jobs ro
+      tr =
+    with_diagnostics ro @@ fun () ->
+    apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
+    (* Argument validation first: bad budgets/shifts are invalid-input
+       diagnostics (exit 2), never NaN reports. *)
+    if n <= 0 then Guard.invalid "gate count must be positive";
+    if not (budget > 0.0 && Float.is_finite budget) then
+      Guard.invalid "--budget must be a positive finite current in uA";
+    if replicas < 2 then Guard.invalid "--replicas must be at least 2";
+    Option.iter
+      (fun d ->
+        if not (Float.is_finite d && Float.abs d <= 30.0) then
+          Guard.invalid
+            "--shift must be a finite channel-length offset within +/-30 nm \
+             (the characterization grid spans about +/-25 nm)")
+      shift;
+    (match p with
+    | Some p when not (p >= 0.0 && p <= 1.0) ->
+      Guard.invalid "p must be in [0, 1]"
+    | _ -> ());
+    let mix_pairs = parse_mix_pairs mix in
+    let family = parse_corr corr in
+    let chars = chars_of char_file in
+    let p =
+      match p with
+      | Some p -> p
+      | None ->
+        Signal_prob.maximizing_p chars
+          ~weights:(Histogram.to_array (Histogram.of_weights mix_pairs))
+    in
+    let scenario =
+      {
+        Tail_test.sc_n = n;
+        sc_family = family;
+        sc_p = p;
+        sc_mix_name = mix;
+        sc_mix = mix_pairs;
+      }
+    in
+    let setup = Tail_test.prepare ~chars ~seed scenario in
+    let budget_na = budget *. 1000.0 in
+    let confidence = 0.95 in
+    let r =
+      Tail_test.run ?jobs ~confidence ?shift_delta:shift ~budget:budget_na
+        ~replicas setup
+    in
+    let analytic_p = Tail_test.analytic_exceedance setup ~budget:budget_na in
+    Format.printf "%a@." Rgleak_core.Tail.pp r;
+    List.iter
+      (fun (q : Rgleak_core.Tail.quantile) ->
+        Printf.printf "  P%-7g quantile : %10.2f uA\n"
+          (100.0 *. q.Rgleak_core.Tail.level)
+          (q.Rgleak_core.Tail.value /. 1000.0))
+      r.Rgleak_core.Tail.quantiles;
+    Printf.printf "analytic lognormal P(> budget): %.4g\n" analytic_p;
+    let doc =
+      Tail_test.to_json
+        {
+          Tail_test.doc_n = n;
+          doc_corr = corr;
+          doc_mix = mix;
+          doc_p = p;
+          doc_seed = seed;
+          doc_confidence = confidence;
+          doc_analytic_p = Some analytic_p;
+        }
+        r
+    in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Vjson.to_string ~indent:2 doc));
+        Printf.printf "report written to %s\n" path)
+      json;
+    let golden_ok =
+      match golden with
+      | None -> true
+      | Some path ->
+        let baseline =
+          try Vjson.parse_file path with
+          | Sys_error msg -> Guard.invalid msg
+          | Vjson.Parse_error msg ->
+            Guard.invalid (Printf.sprintf "bad golden file %s: %s" path msg)
+        in
+        let diff =
+          try Golden_diff.compare_tail ~baseline ~current:doc
+          with Vjson.Parse_error msg ->
+            Guard.invalid
+              (Printf.sprintf "golden file %s is not a tail report: %s" path
+                 msg)
+        in
+        Format.printf "%a" Golden_diff.pp diff;
+        diff.Golden_diff.severity <> Golden_diff.Breaking
+    in
+    if not golden_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Tail-risk estimation: importance-sampled P(leakage > budget) with \
+          high quantiles, confidence intervals and ESS diagnostics")
+    Term.(
+      const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg
+      $ replicas_arg $ seed_arg $ shift_arg $ char_arg $ json_arg $ golden_arg
+      $ jobs_arg $ robust_term $ trace_term)
+
 (* ---------- batch ---------- *)
 
 let batch_cmd =
@@ -1293,4 +1470,4 @@ let () =
        (Cmd.group info
           [ cells_cmd; characterize_cmd; estimate_cmd; signoff_cmd; yield_cmd;
             sensitivity_cmd; corners_cmd; profile_cmd; map_cmd; sleep_cmd;
-            convert_cmd; validate_cmd; batch_cmd; report_cmd ]))
+            convert_cmd; validate_cmd; tail_cmd; batch_cmd; report_cmd ]))

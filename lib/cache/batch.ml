@@ -14,11 +14,12 @@ module Random_gate = Rgleak_core.Random_gate
 module Estimate = Rgleak_core.Estimate
 module Estimator_exact = Rgleak_core.Estimator_exact
 module Mc_reference = Rgleak_core.Mc_reference
+module Tail = Rgleak_core.Tail
 module Vt_correction = Rgleak_core.Vt_correction
 module Vjson = Rgleak_valid.Vjson
 module Obs = Rgleak_obs.Obs
 
-type tier = Auto | Linear | Integral_2d | Integral_polar | Exact | Mc
+type tier = Auto | Linear | Integral_2d | Integral_polar | Exact | Mc | Tail
 
 type scenario = {
   s_id : string;
@@ -34,6 +35,8 @@ type scenario = {
   s_vt : bool;
   s_replicas : int;
   s_temp : float option;
+  s_budget : float option;
+  s_shift : float option;
 }
 
 let tier_name = function
@@ -43,6 +46,7 @@ let tier_name = function
   | Integral_polar -> "polar"
   | Exact -> "exact"
   | Mc -> "mc"
+  | Tail -> "tail"
 
 let tier_of_name line = function
   | "auto" -> Auto
@@ -51,11 +55,12 @@ let tier_of_name line = function
   | "polar" -> Integral_polar
   | "exact" -> Exact
   | "mc" -> Mc
+  | "tail" -> Tail
   | s ->
     Guard.invalid
       (Printf.sprintf
          "manifest line %d: unknown tier %S (want auto, linear, int2d, \
-          polar, exact or mc)"
+          polar, exact, mc or tail)"
          line s)
 
 (* Canonical spellings use hex floats so a key never depends on decimal
@@ -94,6 +99,16 @@ let scenario_key_parts s =
     ]
   @ (match s.s_tier with
     | Mc -> [ Printf.sprintf "replicas=%d" s.s_replicas ]
+    | Tail ->
+      [
+        Printf.sprintf "replicas=%d" s.s_replicas;
+        (match s.s_budget with
+        | Some b -> Printf.sprintf "budget=%h" b
+        | None -> "budget=none");
+        (match s.s_shift with
+        | Some d -> Printf.sprintf "shift=%h" d
+        | None -> "shift=auto");
+      ]
     | _ -> [])
 
 let derived_id s = String.sub (Cache.key (scenario_key_parts s)) 0 12
@@ -103,7 +118,7 @@ let derived_id s = String.sub (Cache.key (scenario_key_parts s)) 0 12
 let known_fields =
   [
     "id"; "n"; "mix"; "corr"; "p"; "tier"; "seed"; "aspect"; "width";
-    "height"; "vt"; "replicas"; "temp";
+    "height"; "vt"; "replicas"; "temp"; "budget"; "shift";
   ]
 
 let fail_line line fmt =
@@ -237,6 +252,26 @@ let parse_scenario ~line json =
       r
   in
   let s_temp = Option.map (num "temp") (field "temp") in
+  (* Tail-only fields: [budget] (µA, required for the tail tier) and
+     [shift] (nm, optional manual override of the calibrated shift). *)
+  let s_budget =
+    Option.map
+      (fun v ->
+        let b = num "budget" v in
+        if not (b > 0.0) then fail_line line "budget must be positive";
+        b)
+      (field "budget")
+  in
+  let s_shift = Option.map (num "shift") (field "shift") in
+  (match s_tier with
+  | Tail ->
+    if s_budget = None then
+      fail_line line "tail tier requires a budget field (uA)"
+  | _ ->
+    if s_budget <> None then
+      fail_line line "field \"budget\" only applies to the tail tier";
+    if s_shift <> None then
+      fail_line line "field \"shift\" only applies to the tail tier");
   let s =
     {
       s_id = "";
@@ -252,6 +287,8 @@ let parse_scenario ~line json =
       s_vt;
       s_replicas;
       s_temp;
+      s_budget;
+      s_shift;
     }
   in
   let s_id =
@@ -409,7 +446,7 @@ let run_scenario state scen =
       | Linear -> Estimate.Linear
       | Integral_2d -> Estimate.Integral_2d
       | Integral_polar -> Estimate.Integral_polar
-      | Exact | Mc -> assert false
+      | Exact | Mc | Tail -> assert false
     in
     let ctx =
       Estimate.context_with ~corr ~rgcorr:ctx_e.e_rgcorr
@@ -459,6 +496,56 @@ let run_scenario state scen =
     in
     ok_record scen ~p:ctx_e.e_p ~layout ~replicas:scen.s_replicas ~mean ~std
       ~method_used:"monte-carlo reference" ()
+  | Tail ->
+    let placed = placed_of scen ~histogram:ctx_e.e_histogram layout in
+    let mc =
+      Mc_reference.prepare ~chars:ctx_e.e_chars ~corr ~p:ctx_e.e_p placed
+    in
+    let budget_na =
+      match scen.s_budget with
+      | Some b -> b *. 1000.0 (* manifest budgets are µA; totals are nA *)
+      | None -> assert false (* enforced at parse time *)
+    in
+    let delta =
+      match scen.s_shift with
+      | Some d -> d
+      | None -> Mc_reference.calibrate_shift mc ~budget:budget_na
+    in
+    let shift = Mc_reference.uniform_shift mc ~delta in
+    let r =
+      Tail.estimate ~mc ~budget:budget_na ~shift ~seed:(mc_seed scen)
+        ~replicas:scen.s_replicas ()
+    in
+    let quantile name level =
+      match
+        List.find_opt (fun (q : Tail.quantile) -> q.Tail.level = level)
+          r.Tail.quantiles
+      with
+      | Some q -> [ (name, Vjson.Num q.Tail.value) ]
+      | None -> []
+    in
+    Vjson.Obj
+      ([
+         ("id", Vjson.Str scen.s_id);
+         ("status", Vjson.Str "ok");
+         ("tier", Vjson.Str (tier_name scen.s_tier));
+         ("n", Vjson.Num (float_of_int scen.s_n));
+         ("seed", Vjson.Num (float_of_int scen.s_seed));
+         ("p", Vjson.Num ctx_e.e_p);
+         ("width", Vjson.Num (Layout.width layout));
+         ("height", Vjson.Num (Layout.height layout));
+         ("replicas", Vjson.Num (float_of_int scen.s_replicas));
+         ("budget_na", Vjson.Num budget_na);
+         ("delta_nm", Vjson.Num r.Tail.delta);
+         ("p_exceed", Vjson.Num r.Tail.p_exceed);
+         ("se", Vjson.Num r.Tail.se);
+         ("ess", Vjson.Num r.Tail.ess);
+         ("hits", Vjson.Num (float_of_int r.Tail.hits));
+       ]
+      @ quantile "p99_na" 0.99
+      @ quantile "p999_na" 0.999
+      @ quantile "p9999_na" 0.9999
+      @ [ ("method", Vjson.Str "importance-sampled tail") ])
 
 type outcome = { o_id : string; o_json : Vjson.t; o_code : int }
 

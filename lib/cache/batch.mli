@@ -13,11 +13,14 @@
     [corr] (correlation spec as in the CLI, required); optional [id]
     (defaults to a content-derived hash), [p] (signal probability;
     default: the conservative maximizing setting), [tier] ("auto",
-    "linear", "int2d", "polar", "exact", "mc"; default "auto"),
+    "linear", "int2d", "polar", "exact", "mc", "tail"; default "auto"),
     [seed] (default 0), [aspect] (default 1), [width]/[height] (µm,
     both or neither; override [aspect]), [vt] (default false),
-    [replicas] (MC dies, default 400, [mc] only), [temp] (junction
-    temperature in °C; default: the library's 300 K).
+    [replicas] (MC dies, default 400, [mc] and [tail] only), [temp]
+    (junction temperature in °C; default: the library's 300 K),
+    [budget] (µA, required for the [tail] tier: the exceedance
+    threshold) and [shift] (nm, [tail] only: manual proposal shift
+    overriding the automatic budget calibration).
 
     Malformed JSON, unknown fields, unknown cells and out-of-range
     values are {e manifest} errors: parsing raises
@@ -35,7 +38,7 @@
     warm caches, and scenario records are invariant under manifest
     reordering (only the record order follows the manifest). *)
 
-type tier = Auto | Linear | Integral_2d | Integral_polar | Exact | Mc
+type tier = Auto | Linear | Integral_2d | Integral_polar | Exact | Mc | Tail
 
 type scenario = {
   s_id : string;  (** explicit id, or derived from the content key *)
@@ -51,6 +54,8 @@ type scenario = {
   s_vt : bool;
   s_replicas : int;
   s_temp : float option;  (** °C; [None] = default 300 K library *)
+  s_budget : float option;  (** µA; required for the [tail] tier *)
+  s_shift : float option;  (** nm; [None] = calibrate at the budget *)
 }
 
 val tier_name : tier -> string

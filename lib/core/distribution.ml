@@ -50,6 +50,18 @@ let pdf t x =
       Special.normal_pdf ((log x -. t.mu_ln) /. t.sigma_ln)
       /. (x *. t.sigma_ln)
 
+(* Upper-tail probability through the survival function: [1. -. cdf]
+   cancels to zero once the standardized budget passes ~8σ, exactly the
+   regime tail estimation cares about. *)
+let exceedance t ~budget =
+  match t.shape with
+  | Normal -> Special.normal_sf ((budget -. t.mean) /. Float.max t.std 1e-300)
+  | Lognormal ->
+    if budget <= 0.0 then 1.0
+    else
+      Special.normal_sf
+        ((log budget -. t.mu_ln) /. Float.max t.sigma_ln 1e-300)
+
 let yield t ~budget = cdf t budget
 let budget_for_yield t ~yield = quantile t yield
 

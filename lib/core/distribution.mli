@@ -34,6 +34,11 @@ val quantile : t -> float -> float
 val cdf : t -> float -> float
 val pdf : t -> float -> float
 
+val exceedance : t -> budget:float -> float
+(** [P(X > budget)] through {!Rgleak_num.Special.normal_sf}, so it
+    keeps full relative accuracy in the far tail where
+    [1. -. cdf t budget] cancels to zero. *)
+
 val yield : t -> budget:float -> float
 (** Fraction of dies with leakage at or below [budget]. *)
 

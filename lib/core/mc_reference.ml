@@ -175,6 +175,79 @@ let moments_stream ?jobs t ~seed ~count =
   let var = Float.max 0.0 ((!s2 -. (!s *. !s /. nf)) /. (nf -. 1.0)) in
   (mean, sqrt var)
 
+(* --- Importance-sampled replicas ------------------------------------- *)
+
+let uniform_shift t ~delta = Variation.uniform_shift t.sampler ~delta
+
+(* Expected full-chip leakage when every gate's channel length sits at
+   nominal + delta, with states weighted by their Bernoulli
+   probabilities — the deterministic calibration objective for picking
+   a shift (no pilot MC, so calibration is exactly reproducible). *)
+let expected_at_uniform t ~delta =
+  let p = Variation.param t.sampler in
+  let l = p.Process_param.nominal +. delta in
+  let acc = Array.make 1 0.0 in
+  for g = 0 to t.n - 1 do
+    let states = t.gate_states.(g) in
+    let bits = t.gate_inputs.(g) in
+    for s = 0 to Array.length states - 1 do
+      let w = Signal_prob.state_probability ~num_inputs:bits ~p:t.p s in
+      acc.(0) <- acc.(0) +. (w *. Characterize.leakage_at states.(s) l)
+    done
+  done;
+  acc.(0)
+
+(* Span of shifts the calibration searches: inside the ±6σ
+   characterization grid, so [leakage_at] never extrapolates. *)
+let calibration_span_sigmas = 5.0
+
+let calibrate_shift t ~budget =
+  if not (budget > 0.0 && Float.is_finite budget) then
+    invalid_arg "Mc_reference.calibrate_shift: budget must be positive and finite";
+  let p = Variation.param t.sampler in
+  let sigma = Process_param.sigma_total p in
+  let span = calibration_span_sigmas *. sigma in
+  (* Leakage is decreasing in channel length, so f is monotone
+     increasing in -delta; Brent needs only the bracket. *)
+  let f delta = expected_at_uniform t ~delta -. budget in
+  let f_lo = f (-.span) and f_hi = f span in
+  if f_lo <= 0.0 then -.span (* budget above the reachable range: max shift *)
+  else if f_hi >= 0.0 then span (* budget below the nominal-ish range *)
+  else Rootfind.brent ~tol:1e-9 f ~lo:(-.span) ~hi:span
+
+let sample_shifted t rng ~shift =
+  let s = scratch_for t.n in
+  let log_w =
+    Variation.sample_shifted_into t.sampler rng ~shift ~z:s.z ~wid:s.wid
+      ~out:s.lengths
+  in
+  let v = total_with_states t s.lengths (draw_state t rng) in
+  (v, log_w)
+
+type weighted = { values : float array; log_weights : float array }
+
+(* Same replica-stream + disjoint-slot-fill structure as
+   [sample_many_stream]: replica i's value and log-weight depend only
+   on (seed, i), so the pair of arrays is bit-identical for any job
+   count. *)
+let sample_weighted_stream ?jobs t ~shift ~seed ~count =
+  if count < 0 then
+    invalid_arg "Mc_reference.sample_weighted_stream: negative count";
+  Obs.span "tail.samples" @@ fun () ->
+  Obs.count "tail.replicas" count;
+  let values = Array.make count 0.0 in
+  let log_weights = Array.make count 0.0 in
+  Parallel.using ?jobs (fun pool ->
+      let chunks = chunks_for ~jobs:(Parallel.jobs pool) ~count in
+      Parallel.parallel_for_reduce ~chunks ~label:"tail.chunk" pool ~n:count
+        ~init:(fun () -> ())
+        ~body:(fun () i ->
+          let v, lw = sample_shifted t (Rng.stream ~seed i) ~shift in
+          values.(i) <- v;
+          log_weights.(i) <- lw)
+        ~combine:(fun () () -> ()));
+  { values; log_weights }
+
 let fixed_state_sample t rng ~state_seed =
   let state_rng = Rng.create ~seed:state_seed () in
   let states = Array.init t.n (fun g -> draw_state t state_rng g) in

@@ -64,6 +64,57 @@ val moments_stream : ?jobs:int -> t -> seed:int -> count:int -> float * float
     array reduced sequentially in replica order, hence bit-identical
     for any job count.  [count] must be at least 2. *)
 
+(** {2 Importance-sampled replicas}
+
+    Tail probabilities P(leakage > budget) are rare events under the
+    nominal measure; these entry points draw from a mean-shifted
+    proposal (every gate's channel length moved by the same Δ, realized
+    as a minimum-norm shift in the whitened Gaussian space — see
+    {!Rgleak_process.Variation.uniform_shift}) and return the exact
+    Gaussian log likelihood ratio per replica, so downstream reductions
+    can reweight back to the nominal measure without bias. *)
+
+val uniform_shift : t -> delta:float -> Rgleak_process.Variation.shift
+(** The minimum-norm whitened shift moving every gate's length by
+    [delta] (nm).  Propagates {!Rgleak_process.Variation.uniform_shift}
+    errors. *)
+
+val expected_at_uniform : t -> delta:float -> float
+(** Expected full-chip leakage (nA) with every gate's length at
+    nominal + [delta] and states weighted by their Bernoulli
+    probabilities — the deterministic calibration objective. *)
+
+val calibrate_shift : t -> budget:float -> float
+(** The [delta] (nm) at which {!expected_at_uniform} equals [budget],
+    found by Brent's method and clamped to ±5 σ_total so the
+    characterization tables never extrapolate.  Sampling at this shift
+    puts roughly half the proposal mass above the budget.  Raises
+    [Invalid_argument] on a non-positive or non-finite budget. *)
+
+val sample_shifted :
+  t -> Rgleak_num.Rng.t -> shift:Rgleak_process.Variation.shift -> float * float
+(** One die from the shifted proposal: [(total leakage, log weight)].
+    States are drawn from the nominal signal probabilities (the shift
+    tilts only the Gaussian field, so the likelihood ratio is purely
+    Gaussian). *)
+
+type weighted = {
+  values : float array;  (** per-replica total leakage (nA) *)
+  log_weights : float array;  (** per-replica log likelihood ratio *)
+}
+
+val sample_weighted_stream :
+  ?jobs:int ->
+  t ->
+  shift:Rgleak_process.Variation.shift ->
+  seed:int ->
+  count:int ->
+  weighted
+(** [count] importance-sampled replicas with the same replica-stream /
+    disjoint-slot-fill contract as {!sample_many_stream}: slot [i] is a
+    pure function of [(seed, i)], so both arrays are bit-identical for
+    any job count. *)
+
 val fixed_state_sample : t -> Rgleak_num.Rng.t -> state_seed:int -> float
 (** Like {!sample} but with the per-gate input states frozen by
     [state_seed] while the process variations vary — used to separate

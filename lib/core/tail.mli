@@ -1,0 +1,73 @@
+(** Tail-risk estimation: importance-sampled exceedance probabilities.
+
+    Sign-off asks P(leakage > budget), a rare event that brute-force MC
+    resolves only with millions of replicas.  The estimator here draws
+    replicas from a mean-shifted proposal
+    ({!Mc_reference.sample_weighted_stream}) whose shift is calibrated
+    so the budget sits near the proposal median, reweights each replica
+    by its exact Gaussian likelihood ratio, and reduces exceedance
+    indicators, weighted tail quantiles, and effective-sample-size
+    diagnostics sequentially in replica order — so the result is a pure
+    function of (design, budget, shift, seed, replicas), bit-identical
+    across [--jobs] and cold/warm caches. *)
+
+type ci = { lo : float; hi : float }
+
+type quantile = { level : float; value : float }
+
+type result = {
+  budget : float;  (** exceedance threshold (nA) *)
+  replicas : int;
+  seed : int;
+  delta : float;  (** uniform channel-length shift of the proposal (nm) *)
+  shift_norm2 : float;  (** |θ|² of the whitened shift *)
+  p_exceed : float;  (** IS estimate of P(leakage > budget) *)
+  se : float;  (** delta-method standard error *)
+  ci_delta : ci;  (** delta-method interval, clamped to [0,1] *)
+  ci_wilson : ci;  (** Wilson interval on ESS-scaled pseudo-counts *)
+  hits : int;  (** replicas above budget under the proposal *)
+  hit_rate : float;  (** [hits/replicas]; ~0.5 when well calibrated *)
+  ess : float;  (** effective sample size (Σw)²/Σw² *)
+  mean_weight : float;  (** Σw/n; ≈ 1 when the proposal is healthy *)
+  max_weight : float;
+  quantiles : quantile list;  (** leakage at the requested levels *)
+}
+
+val default_quantile_levels : float list
+(** [0.99; 0.999; 0.9999]. *)
+
+val estimate :
+  ?jobs:int ->
+  ?confidence:float ->
+  ?quantile_levels:float list ->
+  mc:Mc_reference.t ->
+  budget:float ->
+  shift:Rgleak_process.Variation.shift ->
+  seed:int ->
+  replicas:int ->
+  unit ->
+  result
+(** Runs the importance-sampled tail estimate.  [confidence] (default
+    0.95) sets both intervals' critical value.  Raises
+    {!Rgleak_num.Guard.Error}: [Invalid_input] on a bad budget, replica
+    count or quantile level; [Numeric] at site ["tail"] when the
+    weights degenerate — non-finite or all-underflowed weights (weight
+    blowup/collapse) or an effective sample size below 8 (ESS
+    collapse).  Degenerate shifts therefore surface as typed
+    diagnostics, never as NaN fields. *)
+
+val estimate_result :
+  ?jobs:int ->
+  ?confidence:float ->
+  ?quantile_levels:float list ->
+  mc:Mc_reference.t ->
+  budget:float ->
+  shift:Rgleak_process.Variation.shift ->
+  seed:int ->
+  replicas:int ->
+  unit ->
+  (result, Rgleak_num.Guard.diagnostic) Result.t
+(** {!estimate} with every failure folded into a diagnostic
+    ({!Rgleak_num.Guard.protect}). *)
+
+val pp : Format.formatter -> result -> unit

@@ -81,6 +81,52 @@ let normal_quantile p =
   let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
   x -. (u /. (1.0 +. (x *. u /. 2.0)))
 
+(* Upper-tail probability P(Z > x).  Going through erfc keeps full
+   relative accuracy in the far tail, where [1 -. normal_cdf x] would
+   cancel to zero beyond x ~ 8. *)
+let normal_sf x = 0.5 *. erfc (x /. sqrt2)
+
+(* Upper-tail quantile: the z with P(Z > z) = q.  For moderate q this
+   is [-normal_quantile q]; the point of a separate entry is the far
+   tail, where the seed comes from Acklam's tail branch evaluated on q
+   directly (no 1 - q cancellation) and the Halley refinement targets
+   the survival function instead of the CDF.  Usable down to the
+   smallest q where exp(-z²/2) is representable (q ~ 1e-300). *)
+let normal_tail_quantile q =
+  if not (q > 0.0 && q < 1.0) then
+    invalid_arg "Special.normal_tail_quantile: argument must be in (0,1)";
+  if q >= 0.5 then -.normal_quantile q
+  else begin
+    (* Acklam tail seed for the lower-tail quantile of q, negated. *)
+    let c =
+      [| -7.784894002430293e-03; -3.223964580411365e-01;
+         -2.400758277161838e+00; -2.549732539343734e+00;
+         4.374664141464968e+00; 2.938163982698783e+00 |]
+    and d =
+      [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+         3.754408661907416e+00 |]
+    in
+    let r = sqrt (-2.0 *. log q) in
+    let num =
+      ((((c.(0) *. r +. c.(1)) *. r +. c.(2)) *. r +. c.(3)) *. r +. c.(4))
+      *. r
+      +. c.(5)
+    and den =
+      (((d.(0) *. r +. d.(1)) *. r +. d.(2)) *. r +. d.(3)) *. r +. 1.0
+    in
+    let x = -.(num /. den) in
+    (* Halley step against the survival function: sf' = -pdf.  The
+       ratio (sf x - q) / pdf x is well-scaled even when both terms
+       underflow-adjacent, because they shrink together. *)
+    let e = normal_sf x -. q in
+    let pdf = normal_pdf x in
+    if pdf > 0.0 then begin
+      let u = e /. pdf in
+      x +. (u /. (1.0 -. (x *. u /. 2.0)))
+    end
+    else x
+  end
+
 let log_sum_exp a =
   if Array.length a = 0 then invalid_arg "Special.log_sum_exp: empty array";
   let m = Array.fold_left Float.max neg_infinity a in

@@ -17,5 +17,17 @@ val normal_quantile : float -> float
 (** Inverse standard normal CDF (Acklam's rational approximation with a
     Halley refinement step); raises [Invalid_argument] outside (0, 1). *)
 
+val normal_sf : float -> float
+(** Upper-tail probability [P(Z > x)] (survival function), computed
+    through [erfc] so it keeps full relative accuracy in the far tail
+    where [1. -. normal_cdf x] cancels to zero (beyond x ~ 8). *)
+
+val normal_tail_quantile : float -> float
+(** Upper-tail quantile: the [z] with [P(Z > z) = q].  Stable for tiny
+    [q] (down to ~1e-300): the seed is Acklam's tail branch on [q]
+    itself and the Halley refinement targets [normal_sf], so no
+    [1. -. q] cancellation occurs anywhere.  Raises [Invalid_argument]
+    outside (0, 1). *)
+
 val log_sum_exp : float array -> float
 (** Numerically stable [log (sum_i exp a_i)]. *)

@@ -159,3 +159,24 @@ let kurtosis xs =
 let z_score ~value ~center ~se =
   if not (se > 0.0) then invalid_arg "Stats.z_score: need a positive SE";
   (value -. center) /. se
+
+(* Wilson score interval for a binomial proportion.  Unlike the Wald
+   interval it never produces endpoints outside [0,1] and keeps close
+   to nominal coverage at small hit counts — exactly the regime of
+   exceedance estimation, where hits may be a handful out of many. *)
+let wilson_interval ~hits ~count ~z =
+  if count <= 0 then invalid_arg "Stats.wilson_interval: need count > 0";
+  if hits < 0 || hits > count then
+    invalid_arg "Stats.wilson_interval: hits outside [0, count]";
+  if not (z > 0.0 && Float.is_finite z) then
+    invalid_arg "Stats.wilson_interval: need a positive finite z";
+  let n = float_of_int count in
+  let p = float_of_int hits /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom
+    *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))

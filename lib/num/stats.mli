@@ -85,3 +85,10 @@ val kurtosis : float array -> float
 
 val z_score : value:float -> center:float -> se:float -> float
 (** [(value - center) / se]; raises unless [se > 0]. *)
+
+val wilson_interval : hits:int -> count:int -> z:float -> float * float
+(** Wilson score interval [(lo, hi)] for a binomial proportion at
+    two-sided critical value [z].  Stays inside [0,1] and keeps near
+    nominal coverage even at a handful of hits, unlike the Wald
+    interval.  Raises [Invalid_argument] on [count <= 0], hits outside
+    [0, count], or a non-positive [z]. *)

@@ -106,7 +106,17 @@ let hist_quantile h q =
   if h.h_count <= 0 then Float.nan
   else begin
     let rank =
-      let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+      (* ceil(q·count), but snap near-integer products first: 0.9999 ·
+         10000 rounds to 9999.000000000000002 in binary, and a bare
+         ceil would inflate the rank to 10000 — at extreme quantiles
+         that skips the correct bucket and always reports the max. *)
+      let t = q *. float_of_int h.h_count in
+      let nearest = Float.round t in
+      let r =
+        if Float.abs (t -. nearest) <= 1e-9 *. Float.max 1.0 nearest then
+          int_of_float nearest
+        else int_of_float (Float.ceil t)
+      in
       if r < 1 then 1 else if r > h.h_count then h.h_count else r
     in
     let rec walk cum = function

@@ -167,8 +167,11 @@ val hist_quantile : hist -> float -> float
 (** [hist_quantile h q] for [q] in [0, 1]: the upper bound of the
     bucket containing the rank-[ceil q*count] sample, clamped to the
     exact max (bucket resolution ~9%; underflow ranks report the exact
-    min).  NaN on an empty histogram.  Deterministic: a pure function
-    of the bucket counts and min/max. *)
+    min).  The rank product snaps to the nearest integer before the
+    ceiling, so extreme quantiles (p999/p9999) hit their true rank
+    instead of overshooting by one on float rounding.  NaN on an empty
+    histogram.  Deterministic: a pure function of the bucket counts and
+    min/max. *)
 
 type snapshot = {
   elapsed_ns : int64;  (** epoch to snapshot time *)

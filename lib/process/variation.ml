@@ -49,6 +49,95 @@ let sample t rng =
   sample_into t rng ~z ~wid ~out;
   out
 
+(* Importance-sampling mean shift in the whitened space.
+
+   The sampling model is  out_i = nominal + a·z₀ + b·(F·z)_i  with
+   a = σ_d2d, b = σ_wid, F the Cholesky factor and (z₀, z) standard
+   normals.  A proposal that shifts every location's parameter by the
+   same Δ must satisfy  a·θ₀ + b·(F·θ_w)_i = Δ for all i; taking
+   F·θ_w = c·1 (i.e. θ_w = c·v with v = F⁻¹·1) and minimizing the
+   whitened norm θ₀² + c²·|v|² subject to a·θ₀ + b·c = Δ gives the
+   closed form below.  Because F·θ_w is exactly the constant c, the
+   shifted WID field is just (wid_i + c) — the Cholesky coloring is
+   untouched — and only the likelihood ratio needs the O(n) dot
+   product v·z per replica. *)
+type shift = {
+  sh_delta : float; (* uniform parameter shift applied to every location *)
+  sh_d2d : float; (* θ₀: whitened shift on the shared D2D normal *)
+  sh_field : float; (* c: uniform offset of the colored WID field *)
+  sh_dir : float array; (* v = F⁻¹·1, for the per-replica dot product *)
+  sh_norm2 : float; (* |θ|² = θ₀² + c²·|v|² *)
+}
+
+let shift_delta s = s.sh_delta
+let shift_norm2 s = s.sh_norm2
+
+let uniform_shift t ~delta =
+  if not (Float.is_finite delta) then
+    invalid_arg "Variation.uniform_shift: shift must be finite";
+  let p = Corr_model.param t.model in
+  let a = p.Process_param.sigma_d2d and b = p.Process_param.sigma_wid in
+  if not (a > 0.0 || b > 0.0) then
+    invalid_arg "Variation.uniform_shift: model has no process variation";
+  (* Forward substitution F·v = 1.  A (near-)zero pivot means the
+     factor is singular — perfectly correlated locations from a
+     semidefinite repair — and no uniform whitened shift exists. *)
+  let v = Array.make t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    let acc = ref 1.0 in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Matrix.get t.factor i k *. v.(k))
+    done;
+    let d = Matrix.get t.factor i i in
+    if Float.abs d < 1e-12 then
+      Guard.numeric ~site:"tail.shift"
+        (Printf.sprintf
+           "Variation.uniform_shift: singular correlation factor (zero \
+            pivot at row %d — perfectly correlated locations); no \
+            uniform whitened shift exists"
+           i);
+    v.(i) <- !acc /. d
+  done;
+  let q = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v in
+  (* Minimum-norm split of Δ between the D2D and WID channels:
+     θ₀ = Δ·a / (a² + b²/Q)  and  c = Δ·b / (Q·a² + b²); either
+     formula degrades gracefully when one σ is zero. *)
+  let theta0 = if a = 0.0 then 0.0 else delta *. a /. ((a *. a) +. (b *. b /. q)) in
+  let c = if b = 0.0 then 0.0 else delta *. b /. ((q *. a *. a) +. (b *. b)) in
+  let norm2 = (theta0 *. theta0) +. (c *. c *. q) in
+  { sh_delta = delta; sh_d2d = theta0; sh_field = c; sh_dir = v; sh_norm2 = norm2 }
+
+(* Shifted variant of [sample_into]: identical RNG stream (one D2D
+   gaussian, then the WID normals), the proposal mean added on top.
+   Returns the log likelihood ratio  log(p/q) = -θ·z - |θ|²/2  of the
+   nominal density over the proposal at the drawn point — the exact
+   Gaussian IS weight, computed in the whitened space where both
+   densities are standard normals. *)
+let sample_shifted_into t rng ~shift ~z ~wid ~out =
+  if Array.length wid < t.n || Array.length out < t.n then
+    invalid_arg "Variation.sample_shifted_into: scratch shorter than the field";
+  if Array.length shift.sh_dir <> t.n then
+    invalid_arg "Variation.sample_shifted_into: shift built for another sampler";
+  let p = Corr_model.param t.model in
+  let z0 = Rng.gaussian rng in
+  Cholesky.sample_into t.factor rng ~z ~out:wid;
+  let dot = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    dot := !dot +. (Array.unsafe_get shift.sh_dir i *. Array.unsafe_get z i)
+  done;
+  let d2d = p.Process_param.sigma_d2d *. (z0 +. shift.sh_d2d) in
+  for i = 0 to t.n - 1 do
+    Array.unsafe_set out i
+      (p.Process_param.nominal +. d2d
+      +. (p.Process_param.sigma_wid
+         *. (Array.unsafe_get wid i +. shift.sh_field)))
+  done;
+  (* the trailing +. 0.0 normalizes the identity proposal's -0.0 to
+     +0.0, keeping zero-shift weights bitwise exact *)
+  -.((shift.sh_d2d *. z0) +. (shift.sh_field *. !dot))
+  -. (0.5 *. shift.sh_norm2)
+  +. 0.0
+
 let sample_pair model ~rho_wid rng =
   if not (rho_wid >= -1.0 && rho_wid <= 1.0) then
     invalid_arg "Variation.sample_pair: correlation out of range";
@@ -63,3 +152,4 @@ let sample_pair model ~rho_wid rng =
   (v1, v2)
 
 let locations_count t = t.n
+let param t = Corr_model.param t.model

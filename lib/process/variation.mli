@@ -42,6 +42,48 @@ val sample_into :
     performs identical arithmetic, so the two are bit-interchangeable.
     Raises [Invalid_argument] when a scratch array is too short. *)
 
+type shift
+(** A precomputed importance-sampling mean shift in the whitened
+    Gaussian space, built so every location's parameter moves by the
+    same amount while the proposal stays as close as possible to the
+    nominal density (minimum whitened norm). *)
+
+val uniform_shift : sampler -> delta:float -> shift
+(** [uniform_shift t ~delta] builds the minimum-norm whitened shift
+    that moves the sampled parameter at {e every} location by [delta]:
+    the D2D normal shifts by [θ₀ = Δ·a/(a² + b²/Q)] and the colored
+    WID field by the constant [c = Δ·b/(Q·a² + b²)], where [a]/[b] are
+    the D2D/WID sigmas and [Q = |F⁻¹·1|²] comes from one forward
+    substitution against the Cholesky factor (O(n²), once per shift).
+    Raises [Invalid_argument] on a non-finite [delta] or a
+    variation-free model, and {!Rgleak_num.Guard.Error} ([Numeric],
+    site ["tail.shift"]) when the factor is singular (perfectly
+    correlated locations). *)
+
+val shift_delta : shift -> float
+(** The uniform parameter displacement the shift realizes. *)
+
+val shift_norm2 : shift -> float
+(** [|θ|²], the squared whitened norm of the shift — the exponential
+    tilt paid per replica ([E_q[w²] = exp |θ|²] for a pure mean
+    shift). *)
+
+val sample_shifted_into :
+  sampler ->
+  Rgleak_num.Rng.t ->
+  shift:shift ->
+  z:float array ->
+  wid:float array ->
+  out:float array ->
+  float
+(** Like {!sample_into} but draws from the shifted proposal and
+    returns the log likelihood ratio [log(nominal/proposal)] =
+    [-θ·z - |θ|²/2] of the drawn point — the exact Gaussian
+    importance weight in log space.  Consumes the RNG stream in the
+    same order as {!sample_into}; with a [delta = 0] shift it performs
+    the same arithmetic and returns [0.].  Raises [Invalid_argument]
+    on short scratch or a shift built for a different sampler. *)
+
 val sample_pair :
   Corr_model.t -> rho_wid:float -> Rgleak_num.Rng.t -> float * float
 (** Draws the parameter at two locations whose WID correlation is
@@ -49,3 +91,6 @@ val sample_pair :
     which sweeps correlation rather than distance. *)
 
 val locations_count : sampler -> int
+
+val param : sampler -> Process_param.t
+(** The process parameter the sampler realizes (nominal and sigmas). *)

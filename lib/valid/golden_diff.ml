@@ -261,6 +261,105 @@ let compare ~baseline ~current =
   in
   { severity; findings }
 
+(* ---------- tail documents (rgleak-tail/1) ---------- *)
+
+(* Same classification philosophy as the validation reports: scenario
+   identity and integer counts are structural (Breaking on any change);
+   the probability estimate is judged against the *baseline's own*
+   delta-method CI (drift within it is sampling-noise-equivalent, so
+   Benign); every other numeric field gets the bit-stability fallback,
+   since in steady state the document is a pure function of its
+   arguments. *)
+
+let tail_schema = "rgleak-tail/1"
+
+let compare_tail ~baseline ~current =
+  let findings =
+    let acc = [] in
+    let acc =
+      diff_string ~path:"" "schema" (jstr baseline "schema")
+        (jstr current "schema") acc
+    in
+    if acc <> [] then acc
+    else begin
+      let acc =
+        List.fold_left
+          (fun acc key ->
+            diff_string ~path:"" key (jstr baseline key) (jstr current key)
+              acc)
+          acc [ "corr"; "mix" ]
+      in
+      let acc =
+        List.fold_left
+          (fun acc key ->
+            diff_number ~path:"" ~tol:None key (opt_num baseline key)
+              (opt_num current key) acc)
+          acc
+          [ "n"; "p"; "seed"; "replicas"; "confidence"; "budget_na"; "hits" ]
+      in
+      let p_tol =
+        match (opt_num baseline "se", opt_num baseline "confidence") with
+        | Some se, Some conf when se > 0.0 ->
+          let z =
+            Rgleak_num.Special.normal_quantile (0.5 +. (conf /. 2.0))
+          in
+          Some (z *. se)
+        | _ -> None
+      in
+      let acc =
+        diff_number ~path:"" ~tol:p_tol "p_exceed"
+          (opt_num baseline "p_exceed") (opt_num current "p_exceed") acc
+      in
+      let acc =
+        List.fold_left
+          (fun acc key ->
+            diff_number ~path:"" ~tol:None key (opt_num baseline key)
+              (opt_num current key) acc)
+          acc
+          [
+            "se"; "ci_lo"; "ci_hi"; "wilson_lo"; "wilson_hi"; "hit_rate";
+            "ess"; "mean_weight"; "max_weight"; "delta_nm"; "shift_norm2";
+            "analytic_p";
+          ]
+      in
+      let base_qs = jarr baseline "quantiles"
+      and cur_qs = jarr current "quantiles" in
+      if List.length base_qs <> List.length cur_qs then
+        breaking "quantiles"
+          (Printf.sprintf "quantile count %d -> %d" (List.length base_qs)
+             (List.length cur_qs))
+        :: acc
+      else
+        List.fold_left2
+          (fun (acc, i) b c ->
+            let path = Printf.sprintf "quantiles/%d" i in
+            let acc =
+              diff_number ~path ~tol:None "level" (opt_num b "level")
+                (opt_num c "level") acc
+            in
+            let acc =
+              diff_number ~path ~tol:None "leakage_na"
+                (opt_num b "leakage_na") (opt_num c "leakage_na") acc
+            in
+            (acc, i + 1))
+          (acc, 0) base_qs cur_qs
+        |> fst
+    end
+  in
+  let findings = List.rev findings in
+  let severity =
+    List.fold_left (fun s f -> worst s f.kind) Identical findings
+  in
+  { severity; findings }
+
+(* Schema-dispatching entry point: tail documents route to the tail
+   comparator, everything else to the validation-report comparator. *)
+let compare_document ~baseline ~current =
+  match Vjson.mem "schema" baseline with
+  | Some (Vjson.Str s) when String.equal s tail_schema ->
+    compare_tail ~baseline ~current
+  | _ -> compare ~baseline ~current
+
 let pp fmt d =
   (match d.severity with
   | Identical -> Format.fprintf fmt "golden: identical@."

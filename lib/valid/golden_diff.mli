@@ -30,4 +30,18 @@ val compare : baseline:Vjson.t -> current:Vjson.t -> diff
 (** Diffs two parsed reports.  Raises {!Vjson.Parse_error} if either
     document does not have the [rgleak-validate/1] shape. *)
 
+val tail_schema : string
+(** ["rgleak-tail/1"]. *)
+
+val compare_tail : baseline:Vjson.t -> current:Vjson.t -> diff
+(** Diffs two [rgleak-tail/1] documents: scenario identity and counts
+    are structural (Breaking), [p_exceed] drift is judged against the
+    baseline's own delta-method CI (Benign within it), all other
+    numerics use the bit-stability fallback.  Raises
+    {!Vjson.Parse_error} on documents without the tail shape. *)
+
+val compare_document : baseline:Vjson.t -> current:Vjson.t -> diff
+(** Dispatches on the baseline's ["schema"] field: [rgleak-tail/1]
+    documents go to {!compare_tail}, everything else to {!compare}. *)
+
 val pp : Format.formatter -> diff -> unit

@@ -206,6 +206,61 @@ let check_contains name hay needle =
   if not (contains hay needle) then
     Alcotest.failf "%s: %S not found in:\n%s" name needle hay
 
+(* ---------- tail ---------- *)
+
+let tail_args = [ "tail"; "-n"; "120"; "--budget"; "0.5"; "--replicas"; "200" ]
+
+(* the rgleak-tail/1 report carries every contract field *)
+let test_tail_schema () =
+  with_temp_dir @@ fun dir ->
+  let json = Filename.concat dir "tail.json" in
+  Alcotest.(check int) "tail exits 0" 0 (run (tail_args @ [ "--json"; json ]));
+  let doc = read_file json in
+  List.iter
+    (fun field -> check_contains "tail report field" doc ("\"" ^ field ^ "\""))
+    [ "schema"; "n"; "corr"; "mix"; "p"; "seed"; "replicas"; "confidence";
+      "budget_na"; "delta_nm"; "shift_norm2"; "p_exceed"; "se"; "ci_lo";
+      "ci_hi"; "wilson_lo"; "wilson_hi"; "hits"; "hit_rate"; "ess";
+      "mean_weight"; "max_weight"; "analytic_p"; "quantiles"; "level";
+      "leakage_na" ];
+  check_contains "schema id" doc {|"schema": "rgleak-tail/1"|}
+
+(* invalid budgets and shifts are input diagnostics: exit 2 before any
+   factorization or sampling *)
+let test_tail_invalid_input () =
+  check_exit "zero budget" 2
+    [ "tail"; "-n"; "120"; "--budget"; "0"; "--replicas"; "200" ];
+  check_exit "negative budget" 2
+    [ "tail"; "-n"; "120"; "--budget=-2"; "--replicas"; "200" ];
+  check_exit "nan budget" 2
+    [ "tail"; "-n"; "120"; "--budget"; "nan"; "--replicas"; "200" ];
+  check_exit "shift beyond the characterization grid" 2
+    (tail_args @ [ "--shift"; "99" ]);
+  check_exit "one replica" 2
+    [ "tail"; "-n"; "120"; "--budget"; "0.5"; "--replicas"; "1" ];
+  check_exit "bad signal probability" 2 (tail_args @ [ "-p"; "1.5" ])
+
+(* an injected cholesky fault surfaces as a numeric diagnostic *)
+let test_tail_fault_exit () =
+  check_exit "cholesky fault exits 3" 3
+    (tail_args @ [ "--fault-spec"; "cholesky:1:1" ])
+
+(* the report is a pure function of the arguments: reruns and --jobs
+   variations are byte-identical *)
+let test_tail_determinism () =
+  with_temp_dir @@ fun dir ->
+  let go tag jobs =
+    let out = Filename.concat dir (tag ^ ".json") in
+    let code =
+      run (tail_args @ [ "--jobs"; string_of_int jobs; "--json"; out ])
+    in
+    Alcotest.(check int) (tag ^ " exits 0") 0 code;
+    read_file out
+  in
+  let a = go "a" 1 in
+  Alcotest.(check string) "rerun byte-identical" a (go "b" 1);
+  Alcotest.(check string) "jobs 4 byte-identical" a (go "j4" 4)
+
 (* every run with --ledger appends one parseable rgleak-run/1 record *)
 let test_ledger_written () =
   with_temp_dir @@ fun dir ->
@@ -281,6 +336,13 @@ let () =
           case "cold/warm cache runs identical with hits"
             test_batch_cold_warm;
           case "manifest errors exit 2" test_batch_manifest_errors;
+        ] );
+      ( "tail",
+        [
+          case "report carries the rgleak-tail/1 contract" test_tail_schema;
+          case "invalid budget/shift exit 2" test_tail_invalid_input;
+          case "injected cholesky fault exits 3" test_tail_fault_exit;
+          case "byte-identical across reruns and --jobs" test_tail_determinism;
         ] );
       ( "ledger",
         [

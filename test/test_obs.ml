@@ -353,6 +353,61 @@ let test_hist_quantiles () =
   check_true "p0 is bounded by the first bucket"
     (q 0.0 >= 1.0 && q 0.0 <= 1.0 *. (1.0 +. 2.0 /. float_of_int Obs.Hist.sub))
 
+(* Extreme quantiles are where the old ceil-based rank overshot: for
+   10_000 samples, 0.9999 *. 10000. rounds to 9999.000000000002, whose
+   ceiling is rank 10_000 — silently reporting the max instead of the
+   rank-9999 sample.  The near-integer snap must keep p999/p9999 inside
+   their own buckets. *)
+let test_hist_extreme_quantiles () =
+  let s =
+    with_telemetry @@ fun () ->
+    for i = 1 to 10_000 do
+      Obs.hist_record "tailq" (float_of_int i)
+    done;
+    Obs.snapshot ()
+  in
+  let h = List.assoc "tailq" s.Obs.hists in
+  let q p = Obs.hist_quantile h p in
+  let rel = 2.0 /. float_of_int Obs.Hist.sub in
+  (* rank 0.999 * 10000 = 9990, rank 0.9999 * 10000 = 9999: both must
+     resolve below the exact max, within one bucket of the true sample *)
+  check_true "p999 within one bucket of rank 9990"
+    (q 0.999 >= 9990.0 *. (1.0 -. rel) && q 0.999 <= 9990.0 *. (1.0 +. rel));
+  check_true "p9999 within one bucket of rank 9999"
+    (q 0.9999 >= 9999.0 *. (1.0 -. rel) && q 0.9999 <= 9999.0 *. (1.0 +. rel));
+  check_true "p9999 below the exact max" (q 0.9999 < 10_000.0);
+  check_bits "p100 still the exact max" 10_000.0 (q 1.0)
+
+let test_hist_quantile_overflow_clamp () =
+  let s =
+    with_telemetry @@ fun () ->
+    Obs.hist_record "ovf" 1.0;
+    Obs.hist_record "ovf" 1e300;
+    Obs.hist_record "ovf" Float.infinity;
+    Obs.snapshot ()
+  in
+  let h = List.assoc "ovf" s.Obs.hists in
+  (* quantiles landing in the overflow bucket clamp to the tracked max,
+     never to a bucket bound beyond it *)
+  check_bits "overflow quantile clamps to exact max" Float.infinity
+    (Obs.hist_quantile h 0.99);
+  check_true "low quantile still finite" (Obs.hist_quantile h 0.1 < 2.0)
+
+let test_hist_single_value () =
+  let s =
+    with_telemetry @@ fun () ->
+    Obs.hist_record "one" 42.0;
+    Obs.snapshot ()
+  in
+  let h = List.assoc "one" s.Obs.hists in
+  List.iter
+    (fun p ->
+      let v = Obs.hist_quantile h p in
+      if not (v >= 42.0 *. 0.99 && v <= 42.0 *. 1.01) then
+        Alcotest.failf "single-value hist quantile %g gave %g" p v)
+    [ 0.0; 0.5; 0.999; 0.9999; 1.0 ];
+  check_bits "p100 of single value exact" 42.0 (Obs.hist_quantile h 1.0)
+
 (* The deterministic projection of a histogram — bucket counts, count,
    min, max — must be bit-identical across job counts when the recorded
    values are; h_sum merges in registration order and is exempt, like

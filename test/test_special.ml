@@ -47,6 +47,61 @@ let test_quantile_domain () =
     (Invalid_argument "Special.normal_quantile: argument must be in (0,1)")
     (fun () -> ignore (Special.normal_quantile 1.0))
 
+(* Reference survival-function values computed with 50-digit erfc
+   (mpmath-style evaluation of Q(x) = erfc(x/sqrt 2)/2).  The erfc
+   engine is the NR Chebyshev fit, so the checks run at its documented
+   ~1.2e-7 *relative* accuracy — the point being that the error stays
+   relative all the way into the deep tail, where an absolute-accuracy
+   path through the CDF loses every significant digit. *)
+let test_sf_values () =
+  check_rel ~tol:2e-7 "sf 0" 0.5 (Special.normal_sf 0.0);
+  check_rel ~tol:2e-7 "sf 0.5" 0.3085375387259869 (Special.normal_sf 0.5);
+  check_rel ~tol:2e-7 "sf 1" 0.15865525393145707 (Special.normal_sf 1.0);
+  check_rel ~tol:2e-7 "sf 2" 0.02275013194817922 (Special.normal_sf 2.0);
+  check_rel ~tol:2e-7 "sf 3" 0.0013498980316300957 (Special.normal_sf 3.0);
+  check_rel ~tol:2e-7 "sf 4" 3.1671241833119965e-05 (Special.normal_sf 4.0);
+  check_rel ~tol:2e-7 "sf 6" 9.865876450377012e-10 (Special.normal_sf 6.0);
+  check_rel ~tol:2e-7 "sf 8" 6.220960574271819e-16 (Special.normal_sf 8.0);
+  check_rel ~tol:2e-7 "sf 10" 7.619853024160593e-24 (Special.normal_sf 10.0);
+  check_rel ~tol:2e-7 "sf 20" 2.7536241186063314e-89 (Special.normal_sf 20.0);
+  check_rel ~tol:2e-7 "sf -1" 0.8413447460685429 (Special.normal_sf (-1.0));
+  check_rel ~tol:2e-7 "sf -3" 0.9986501019683699 (Special.normal_sf (-3.0))
+
+(* The naive 1 - cdf(x) dies at x ~ 8.3 where the cdf rounds to 1;
+   normal_sf must keep full relative precision far beyond. *)
+let test_sf_beats_cdf_complement () =
+  check_true "1 - cdf underflows at 9" (1.0 -. Special.normal_cdf 9.0 = 0.0);
+  check_true "sf still accurate at 9" (Special.normal_sf 9.0 > 1e-19);
+  check_true "sf positive at 35" (Special.normal_sf 35.0 > 0.0);
+  check_true "sf monotone deep" (Special.normal_sf 30.0 > Special.normal_sf 35.0)
+
+let test_tail_quantile_known () =
+  check_close ~tol:1e-7 "tail quantile 0.5" 0.0 (Special.normal_tail_quantile 0.5);
+  check_rel ~tol:2e-7 "tail quantile 0.025" 1.9599639845400545
+    (Special.normal_tail_quantile 0.025);
+  check_rel ~tol:1e-12 "tail quantile matches quantile in the bulk"
+    (Special.normal_quantile 0.9) (-.Special.normal_tail_quantile 0.9)
+
+let test_tail_quantile_roundtrip =
+  (* log-uniform tail probabilities down to 1e-280: sf (tail_quantile q)
+     must reproduce q to high relative accuracy -- exactly the regime
+     where normal_quantile's absolute tolerance is useless. *)
+  qcheck ~count:500 "sf (tail_quantile q) = q into the deep tail"
+    QCheck2.Gen.(float_range (-280.0) (-1.0))
+    (fun lq ->
+      let q = 10.0 ** lq in
+      let x = Special.normal_tail_quantile q in
+      let q' = Special.normal_sf x in
+      Float.abs (q' -. q) /. q < 1e-9)
+
+let test_tail_quantile_domain () =
+  Alcotest.check_raises "tail quantile rejects 0"
+    (Invalid_argument "Special.normal_tail_quantile: argument must be in (0,1)")
+    (fun () -> ignore (Special.normal_tail_quantile 0.0));
+  Alcotest.check_raises "tail quantile rejects 1"
+    (Invalid_argument "Special.normal_tail_quantile: argument must be in (0,1)")
+    (fun () -> ignore (Special.normal_tail_quantile 1.0))
+
 let test_log_sum_exp () =
   check_close ~tol:1e-12 "lse of single" 3.0 (Special.log_sum_exp [| 3.0 |]);
   check_close ~tol:1e-12 "lse of equal pair" (log 2.0)
@@ -75,6 +130,11 @@ let suite =
       case "quantile known values" test_quantile_known;
       test_quantile_roundtrip;
       case "quantile domain" test_quantile_domain;
+      case "survival function reference values" test_sf_values;
+      case "survival function deep-tail precision" test_sf_beats_cdf_complement;
+      case "tail quantile known values" test_tail_quantile_known;
+      test_tail_quantile_roundtrip;
+      case "tail quantile domain" test_tail_quantile_domain;
       case "log-sum-exp" test_log_sum_exp;
       test_lse_matches_direct;
     ] )

@@ -1,0 +1,204 @@
+(* Tail estimation: importance-sampling weights, determinism, the
+   degenerate-shift guards and the IS-vs-brute-force equivalence gate.
+
+   Everything runs on one shared small validation setup (192 gates,
+   spherical(120)) so the O(n^3) preparation happens once. *)
+
+open Rgleak_num
+open Rgleak_core
+open Rgleak_valid
+open Testutil
+
+let setup = lazy (Tail_test.prepare ~seed:42 Tail_test.default_scenario)
+let bits = Int64.bits_of_float
+
+let check_bits name expected actual =
+  if bits expected <> bits actual then
+    Alcotest.failf "%s: expected %h, got %h" name expected actual
+
+(* A zero shift is the identity proposal: every log weight must be
+   exactly 0.0 (not just close), and the estimate must degenerate to
+   plain Monte Carlo hit counting. *)
+let test_zero_shift_unit_weights () =
+  let s = Lazy.force setup in
+  let shift = Mc_reference.uniform_shift s.Tail_test.mc ~delta:0.0 in
+  let w =
+    Mc_reference.sample_weighted_stream s.Tail_test.mc ~shift ~seed:7
+      ~count:64
+  in
+  Array.iteri
+    (fun i lw ->
+      if bits lw <> bits 0.0 then
+        Alcotest.failf "zero-shift log weight %d is %h, not +0.0" i lw)
+    w.Mc_reference.log_weights;
+  let budget = Tail_test.budget_at s ~level:0.9 in
+  let r =
+    Tail.estimate ~mc:s.Tail_test.mc ~budget ~shift ~seed:7 ~replicas:200 ()
+  in
+  check_bits "zero-shift p_exceed is the plain MC hit fraction"
+    (float_of_int r.Tail.hits /. 200.0)
+    r.Tail.p_exceed;
+  check_bits "zero-shift mean weight is exactly 1" 1.0 r.Tail.mean_weight
+
+(* E[w] = 1 under the proposal: the calibrated run's mean weight must
+   sit near unity — far off means the likelihood ratio is wrong. *)
+let test_mean_weight_near_unity () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.99 in
+  let r = Tail_test.run ~budget ~replicas:400 s in
+  check_in_range "mean weight near 1" ~lo:0.5 ~hi:2.0 r.Tail.mean_weight;
+  check_true "p_exceed positive" (r.Tail.p_exceed > 0.0);
+  check_true "p_exceed below 1" (r.Tail.p_exceed < 1.0);
+  check_true "delta-method CI ordered"
+    (r.Tail.ci_delta.Tail.lo <= r.Tail.p_exceed
+    && r.Tail.p_exceed <= r.Tail.ci_delta.Tail.hi);
+  check_true "wilson CI ordered"
+    (r.Tail.ci_wilson.Tail.lo <= r.Tail.ci_wilson.Tail.hi);
+  (* the quantile walk is on the same weighted sample: levels ascend,
+     leakages ascend with them *)
+  let qs = r.Tail.quantiles in
+  List.iteri
+    (fun i (q : Tail.quantile) ->
+      if i > 0 then begin
+        let prev = List.nth qs (i - 1) in
+        check_true "quantile levels ascend" (q.Tail.level > prev.Tail.level);
+        check_true "quantile values ascend" (q.Tail.value >= prev.Tail.value)
+      end)
+    qs
+
+(* The calibration targets the proposal median at the budget: the hit
+   rate must land in a broad band around 1/2 — the whole point of the
+   shift is that exceedances stop being rare under the proposal. *)
+let test_calibration_hit_rate () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.999 in
+  let r = Tail_test.run ~budget ~replicas:400 s in
+  check_in_range "calibrated hit rate near 1/2" ~lo:0.2 ~hi:0.8
+    r.Tail.hit_rate;
+  check_true "shift pushes toward shorter channels" (r.Tail.delta < 0.0)
+
+(* Bit-identical across --jobs: the replica-indexed streams and the
+   sequential reduction must make every field reproduce exactly. *)
+let test_jobs_determinism () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.99 in
+  let runs =
+    List.map (fun jobs -> Tail_test.run ~jobs ~budget ~replicas:300 s) [ 1; 2; 4 ]
+  in
+  match runs with
+  | r1 :: rest ->
+    List.iteri
+      (fun i r ->
+        let tag = Printf.sprintf "jobs run %d" (i + 2) in
+        if bits r.Tail.p_exceed <> bits r1.Tail.p_exceed then
+          Alcotest.failf "%s: p_exceed differs" tag;
+        if bits r.Tail.se <> bits r1.Tail.se then
+          Alcotest.failf "%s: se differs" tag;
+        if bits r.Tail.ess <> bits r1.Tail.ess then
+          Alcotest.failf "%s: ess differs" tag;
+        if bits r.Tail.max_weight <> bits r1.Tail.max_weight then
+          Alcotest.failf "%s: max_weight differs" tag;
+        if r.Tail.hits <> r1.Tail.hits then Alcotest.failf "%s: hits differ" tag;
+        List.iter2
+          (fun (a : Tail.quantile) (b : Tail.quantile) ->
+            if bits a.Tail.value <> bits b.Tail.value then
+              Alcotest.failf "%s: quantile %g differs" tag a.Tail.level)
+          r.Tail.quantiles r1.Tail.quantiles)
+      rest
+  | [] -> assert false
+
+(* A pathological shift must surface as a typed numeric diagnostic at
+   site "tail" (ESS collapse), never as NaN in the report. *)
+let test_degenerate_shift_guard () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.99 in
+  match Tail_test.run ~shift_delta:(-28.0) ~budget ~replicas:100 s with
+  | r -> Alcotest.failf "degenerate shift produced p=%g" r.Tail.p_exceed
+  | exception Guard.Error (Guard.Numeric { site = "tail"; _ }) -> ()
+
+let test_degenerate_shift_result () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.99 in
+  let shift = Mc_reference.uniform_shift s.Tail_test.mc ~delta:(-28.0) in
+  match
+    Tail.estimate_result ~mc:s.Tail_test.mc ~budget ~shift ~seed:1
+      ~replicas:100 ()
+  with
+  | Ok r -> Alcotest.failf "degenerate shift produced p=%g" r.Tail.p_exceed
+  | Error (Guard.Numeric { site = "tail"; detail }) ->
+    check_true "diagnostic names the collapse"
+      (String.length detail > 0)
+  | Error d -> Alcotest.failf "wrong diagnostic class: %s" (Guard.to_string d)
+
+let test_invalid_arguments () =
+  let s = Lazy.force setup in
+  let shift = Mc_reference.uniform_shift s.Tail_test.mc ~delta:(-5.0) in
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: accepted" name
+    | exception Guard.Error (Guard.Invalid_input _) -> ()
+  in
+  expect_invalid "one replica" (fun () ->
+      Tail.estimate ~mc:s.Tail_test.mc ~budget:500.0 ~shift ~seed:1
+        ~replicas:1 ());
+  expect_invalid "negative budget" (fun () ->
+      Tail.estimate ~mc:s.Tail_test.mc ~budget:(-1.0) ~shift ~seed:1
+        ~replicas:10 ());
+  expect_invalid "nan budget" (fun () ->
+      Tail.estimate ~mc:s.Tail_test.mc ~budget:Float.nan ~shift ~seed:1
+        ~replicas:10 ());
+  expect_invalid "bad quantile level" (fun () ->
+      Tail.estimate ~quantile_levels:[ 1.5 ] ~mc:s.Tail_test.mc ~budget:500.0
+        ~shift ~seed:1 ~replicas:10 ())
+
+(* The acceptance gate: the IS estimate with n replicas lands inside
+   the Wilson 95% CI of a brute-force run with 10n replicas. *)
+let test_equivalence_gate () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.99 in
+  let eq =
+    Tail_test.equivalence ~budget ~bf_replicas:2000 ~is_replicas:200 s
+  in
+  check_true "10x asymmetry recorded"
+    (eq.Tail_test.eq_bf_replicas = 10 * eq.Tail_test.eq_is_replicas);
+  if not eq.Tail_test.eq_pass then
+    Alcotest.failf
+      "IS %.4g outside brute-force Wilson CI [%.4g, %.4g] (bf p %.4g)"
+      eq.Tail_test.eq_is_p eq.Tail_test.eq_bf_lo eq.Tail_test.eq_bf_hi
+      eq.Tail_test.eq_bf_p
+
+let test_equivalence_asymmetry_guard () =
+  let s = Lazy.force setup in
+  match Tail_test.equivalence ~budget:500.0 ~bf_replicas:100 ~is_replicas:50 s with
+  | _ -> Alcotest.fail "accepted a 2x replica asymmetry"
+  | exception Invalid_argument _ -> ()
+
+(* The analytic lognormal-sum cross-check at a calibrated budget. *)
+let test_analytic_gate () =
+  let s = Lazy.force setup in
+  let budget = Tail_test.budget_at s ~level:0.99 in
+  let a = Tail_test.analytic ~budget ~replicas:400 s in
+  if not a.Tail_test.an_pass then
+    Alcotest.failf "IS %.4g vs analytic %.4g: log10 ratio %.3f exceeds %.2f"
+      a.Tail_test.an_is_p a.Tail_test.an_cs_p a.Tail_test.an_log10_ratio
+      Tail_test.analytic_tolerance_log10
+
+let suite =
+  ( "tail",
+    [
+      case "zero shift has exactly unit weights" test_zero_shift_unit_weights;
+      case "mean weight near unity" test_mean_weight_near_unity;
+      case "calibration puts the budget near the proposal median"
+        test_calibration_hit_rate;
+      case "bit-identical across jobs 1/2/4" test_jobs_determinism;
+      case "degenerate shift raises a typed tail guard"
+        test_degenerate_shift_guard;
+      case "degenerate shift folds into a diagnostic result"
+        test_degenerate_shift_result;
+      case "invalid arguments rejected" test_invalid_arguments;
+      case "IS matches brute force with 10x fewer replicas"
+        test_equivalence_gate;
+      case "equivalence gate insists on the asymmetry"
+        test_equivalence_asymmetry_guard;
+      case "IS matches the lognormal-sum analytic tail" test_analytic_gate;
+    ] )
