@@ -3,7 +3,7 @@
 .PHONY: all build test bench examples clean doc bench-json microbench \
         trace metrics overhead check fault-matrix validate golden-check \
         golden-update batch-demo batch-smoke bench-gate bench-ratchet \
-        report-demo flamegraph tail-demo
+        report-demo flamegraph tail-demo optimize-demo bench-delta
 
 all: check
 
@@ -72,12 +72,19 @@ validate: build
 # roughly mean + 2.5 sigma, 500 importance-sampled replicas.
 TAIL_QUICK := tail -n 192 --budget 0.85 --replicas 500 --seed 42
 
+# The canonical arguments of the committed optimizer baseline
+# (data/golden/optimize_quick.json): 400 gates starting all-LVT with a
+# 30-unit slack budget; fully deterministic, so the golden compares at
+# numeric-epsilon tolerance only.
+OPTIMIZE_QUICK := optimize -n 400 --budget 30 --seed 7
+
 # Regenerate the committed golden baselines after an intentional
 # harness or estimator change; commit the resulting JSON.
 golden-update: build
 	$(RGLEAK) validate --sweep quick --seed 42 --json data/golden/validate_quick.json
 	$(RGLEAK) validate --sweep default --seed 42 --json data/golden/validate_default.json
 	$(RGLEAK) $(TAIL_QUICK) --json data/golden/tail_quick.json
+	$(RGLEAK) $(OPTIMIZE_QUICK) --json data/golden/optimize_quick.json
 
 # Both sweeps must reproduce their committed baselines (drift within MC
 # sampling noise is tolerated, anything else fails), and a deliberately
@@ -88,6 +95,8 @@ golden-check: build
 	$(RGLEAK) validate --sweep default --seed 42 --golden data/golden/validate_default.json
 	$(RGLEAK) $(TAIL_QUICK) --golden data/golden/tail_quick.json >/dev/null
 	$(RGLEAK) $(TAIL_QUICK) --jobs 4 --golden data/golden/tail_quick.json >/dev/null
+	$(RGLEAK) $(OPTIMIZE_QUICK) --golden data/golden/optimize_quick.json >/dev/null
+	$(RGLEAK) $(OPTIMIZE_QUICK) --jobs 4 --golden data/golden/optimize_quick.json >/dev/null
 	@got=0; $(RGLEAK) validate --sweep quick --seed 42 \
 	  --fault-spec linear.f:1:1 --golden data/golden/validate_quick.json \
 	  >/tmp/rgleak_golden_neg.out 2>&1 || got=$$?; \
@@ -102,6 +111,12 @@ golden-check: build
 tail-demo: build
 	$(RGLEAK) $(TAIL_QUICK) --json tail_demo.json
 	@echo "wrote tail_demo.json"
+
+# Multi-Vt optimizer demo: greedy LVT downgrades at the canonical quick
+# scenario, driven by the incremental delta estimator.
+optimize-demo: build
+	$(RGLEAK) $(OPTIMIZE_QUICK) --json optimize_demo.json
+	@echo "wrote optimize_demo.json"
 
 # Run the checked-in example manifest on a throwaway cache.
 batch-demo: build
@@ -168,9 +183,18 @@ bench-fast:
 timing:
 	dune exec bench/main.exe -- --run timing
 
-# Fast timing pass; writes BENCH_estimators.json in the working directory.
+# Fast timing pass; writes BENCH_estimators.json in the working
+# directory.  The timing run rewrites the document from scratch, so
+# ext-delta (which merges its delta-swap row into the same file) must
+# run second — the bench gate fails on any missing baseline entry.
 bench-json:
 	dune exec bench/main.exe -- --run timing --fast
+	dune exec bench/main.exe -- --run ext-delta --fast
+
+# Full-size delta benchmark: asserts the >= 50x swap-vs-full-estimate
+# speedup at n = 100k gates and refreshes the delta-swap bench entry.
+bench-delta:
+	dune exec bench/main.exe -- --run ext-delta
 
 microbench:
 	dune exec bench/main.exe -- --run microbench

@@ -1258,6 +1258,256 @@ let tail_cmd =
       $ replicas_arg $ seed_arg $ shift_arg $ char_arg $ json_arg $ golden_arg
       $ jobs_arg $ robust_term $ trace_term)
 
+(* ---------- optimize ---------- *)
+
+let optimize_cmd =
+  let module Golden_diff = Rgleak_valid.Golden_diff in
+  let module Vjson = Rgleak_valid.Vjson in
+  let module Cache = Rgleak_cache.Cache in
+  let module Memo = Rgleak_cache.Memo in
+  let n_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "n" ] ~docv:"GATES" ~doc:"Gate count.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "INV_X1:20,NAND2_X1:18,NOR2_X1:8,XOR2_X1:4,DFF_X1:9"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Cell-usage mix as CELL:WEIGHT pairs.")
+  in
+  let budget_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SLACK"
+          ~doc:
+            "Timing-slack proxy budget the greedy downgrade may spend: each \
+             applied move costs the flavor delay-factor difference \
+             (LVT$(i,->)SVT 0.15, SVT$(i,->)HVT 0.25).")
+  in
+  let start_arg =
+    Arg.(
+      value
+      & opt string "lvt"
+      & info [ "start" ] ~docv:"FLAVOR"
+          ~doc:
+            "Initial flavor of every cell: $(b,lvt) (the classic \
+             fast-but-leaky starting point), $(b,svt) or $(b,hvt).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Placement seed.  The whole report is a pure function of the \
+             arguments: reruns and different $(b,--jobs) values reproduce it \
+             byte for byte.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the rgleak-optimize/1 report to $(docv).")
+  in
+  let golden_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"PATH"
+          ~doc:
+            "Diff the report against the committed baseline at $(docv).  The \
+             report is deterministic, so any drift beyond bit-stability \
+             epsilon (or any structural change) exits non-zero.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Memoize the packed per-(type-pair, distance-bin) covariance \
+             tables in the content-addressed cache at $(docv).  Cached and \
+             uncached runs are bit-identical (hex-float payload).")
+  in
+  let run n mix corr p budget start seed char_file cache_dir json golden jobs
+      ro tr =
+    with_diagnostics ro @@ fun () ->
+    apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
+    if n <= 0 then Guard.invalid "gate count must be positive";
+    (match p with
+    | Some p when not (p >= 0.0 && p <= 1.0) ->
+      Guard.invalid "p must be in [0, 1]"
+    | _ -> ());
+    let start_flavor =
+      match Vt_correction.flavor_of_string start with
+      | Some f -> f
+      | None ->
+        Guard.invalid
+          (Printf.sprintf "unknown flavor %S (expected lvt, svt or hvt)" start)
+    in
+    let mix_pairs = parse_mix_pairs mix in
+    let histogram = Histogram.of_weights mix_pairs in
+    let corr_model = corr_of corr in
+    let chars = chars_of char_file in
+    let p =
+      match p with
+      | Some p -> p
+      | None ->
+        Signal_prob.maximizing_p chars ~weights:(Histogram.to_array histogram)
+    in
+    let rng = Rng.create ~seed () in
+    let placed = Generator.random_placed ~histogram ~n ~rng () in
+    let rg = Random_gate.create ~chars ~histogram ~p () in
+    let rgcorr = Rg_correlation.create ~chars ~rg ~p () in
+    let distance_points = 512 in
+    let cov =
+      match cache_dir with
+      | None -> None
+      | Some dir ->
+        let cache =
+          Cache.open_
+            ~on_corrupt:(fun d ->
+              Printf.eprintf "rgleak: warning: %s\n%!" (Guard.to_string d))
+            ~dir ()
+        in
+        let used =
+          Array.of_list
+            (List.sort_uniq compare
+               (Array.to_list
+                  (Array.map
+                     (fun inst -> inst.Netlist.cell_index)
+                     placed.Placer.netlist.Netlist.instances)))
+        in
+        let dstep =
+          Estimator_exact.distance_grid ~distance_points placed.Placer.layout
+        in
+        Some
+          (Memo.delta_tables ~cache ~corr:corr_model ~rgcorr ~used
+             ~distance_points ~dstep
+             ~key_parts:[ "corr=" ^ corr ]
+             ())
+    in
+    let st =
+      Delta.create ~distance_points ?cov ?jobs
+        ~flavors:(Array.make n start_flavor) ~corr:corr_model ~rgcorr placed
+    in
+    let r = Optimize.run ~budget st in
+    let transition_count from_f to_f =
+      List.length
+        (List.filter
+           (fun m ->
+             m.Optimize.mv_from = from_f && m.Optimize.mv_to = to_f)
+           r.Optimize.moves)
+    in
+    let reduction =
+      let i = r.Optimize.initial.Delta.exact.Delta.mean in
+      if i = 0.0 then 0.0
+      else (i -. r.Optimize.final.Delta.exact.Delta.mean) /. i
+    in
+    Printf.printf "greedy multi-Vt downgrade (%d gates, start %s)\n" n
+      (Vt_correction.flavor_name start_flavor);
+    Printf.printf "  moves applied  : %d (LVT->SVT %d, LVT->HVT %d, SVT->HVT \
+                   %d)\n"
+      (List.length r.Optimize.moves)
+      (transition_count Vt_correction.Lvt Vt_correction.Svt)
+      (transition_count Vt_correction.Lvt Vt_correction.Hvt)
+      (transition_count Vt_correction.Svt Vt_correction.Hvt);
+    Printf.printf "  budget spent   : %.4g of %.4g\n" r.Optimize.spent
+      r.Optimize.budget;
+    Printf.printf "  mean leakage   : %.6g -> %.6g nA (-%.2f%%)\n"
+      r.Optimize.initial.Delta.exact.Delta.mean
+      r.Optimize.final.Delta.exact.Delta.mean
+      (100.0 *. reduction);
+    Printf.printf "  std deviation  : %.6g -> %.6g nA\n"
+      r.Optimize.initial.Delta.exact.Delta.std
+      r.Optimize.final.Delta.exact.Delta.std;
+    let tier_fields prefix (t : Delta.tier) =
+      [
+        (prefix ^ "_mean", Vjson.Num t.Delta.mean);
+        (prefix ^ "_std", Vjson.Num t.Delta.std);
+      ]
+    in
+    let doc =
+      Vjson.Obj
+        ([
+           ("schema", Vjson.Str Golden_diff.optimize_schema);
+           ("n", Vjson.Num (float_of_int n));
+           ("corr", Vjson.Str corr);
+           ("mix", Vjson.Str mix);
+           ("p", Vjson.Num p);
+           ("seed", Vjson.Num (float_of_int seed));
+           ("start", Vjson.Str (Vt_correction.flavor_name start_flavor));
+           ("method", Vjson.Str "greedy-density");
+           ("budget", Vjson.Num budget);
+           ("spent", Vjson.Num r.Optimize.spent);
+           ("swaps", Vjson.Num (float_of_int (List.length r.Optimize.moves)));
+           ( "moves_lvt_svt",
+             Vjson.Num
+               (float_of_int
+                  (transition_count Vt_correction.Lvt Vt_correction.Svt)) );
+           ( "moves_lvt_hvt",
+             Vjson.Num
+               (float_of_int
+                  (transition_count Vt_correction.Lvt Vt_correction.Hvt)) );
+           ( "moves_svt_hvt",
+             Vjson.Num
+               (float_of_int
+                  (transition_count Vt_correction.Svt Vt_correction.Hvt)) );
+           ("leakage_reduction", Vjson.Num reduction);
+         ]
+        @ tier_fields "exact_initial" r.Optimize.initial.Delta.exact
+        @ tier_fields "exact_final" r.Optimize.final.Delta.exact
+        @ tier_fields "linear_initial" r.Optimize.initial.Delta.linear
+        @ tier_fields "linear_final" r.Optimize.final.Delta.linear
+        @ tier_fields "integral_initial" r.Optimize.initial.Delta.integral
+        @ tier_fields "integral_final" r.Optimize.final.Delta.integral)
+    in
+    Option.iter
+      (fun path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Vjson.to_string ~indent:2 doc));
+        Printf.printf "report written to %s\n" path)
+      json;
+    let golden_ok =
+      match golden with
+      | None -> true
+      | Some path ->
+        let baseline =
+          try Vjson.parse_file path with
+          | Sys_error msg -> Guard.invalid msg
+          | Vjson.Parse_error msg ->
+            Guard.invalid (Printf.sprintf "bad golden file %s: %s" path msg)
+        in
+        let diff =
+          try Golden_diff.compare_optimize ~baseline ~current:doc
+          with Vjson.Parse_error msg ->
+            Guard.invalid
+              (Printf.sprintf "golden file %s is not an optimize report: %s"
+                 path msg)
+        in
+        Format.printf "%a" Golden_diff.pp diff;
+        diff.Golden_diff.severity <> Golden_diff.Breaking
+    in
+    if not golden_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Greedy multi-Vt leakage optimization on the incremental delta \
+          estimator: downgrade cells toward slower flavors under a \
+          timing-slack proxy budget, each swap re-estimated in O(n) and \
+          bit-identical to a cold rebuild")
+    Term.(
+      const run $ n_arg $ mix_arg $ corr_arg $ p_arg $ budget_arg $ start_arg
+      $ seed_arg $ char_arg $ cache_dir_arg $ json_arg $ golden_arg $ jobs_arg
+      $ robust_term $ trace_term)
+
 (* ---------- batch ---------- *)
 
 let batch_cmd =
@@ -1470,4 +1720,5 @@ let () =
        (Cmd.group info
           [ cells_cmd; characterize_cmd; estimate_cmd; signoff_cmd; yield_cmd;
             sensitivity_cmd; corners_cmd; profile_cmd; map_cmd; sleep_cmd;
-            convert_cmd; validate_cmd; tail_cmd; batch_cmd; report_cmd ]))
+            convert_cmd; validate_cmd; tail_cmd; optimize_cmd; batch_cmd;
+            report_cmd ]))

@@ -48,6 +48,12 @@ let tier_name = function
   | Mc -> "mc"
   | Tail -> "tail"
 
+let () =
+  Obs.declare_hist ~owner:"batch" "batch.scenario_s";
+  List.iter
+    (fun t -> Obs.declare_hist ~owner:"batch" ("batch.tier." ^ t ^ "_s"))
+    [ "auto"; "linear"; "int2d"; "polar"; "exact"; "mc"; "tail" ]
+
 let tier_of_name line = function
   | "auto" -> Auto
   | "linear" -> Linear

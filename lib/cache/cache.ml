@@ -1,6 +1,10 @@
 module Guard = Rgleak_num.Guard
 module Obs = Rgleak_obs.Obs
 
+let () =
+  Obs.declare_hist ~owner:"cache" "cache.get_s";
+  Obs.declare_hist ~owner:"cache" "cache.put_s"
+
 type stats = {
   hits : int;
   misses : int;

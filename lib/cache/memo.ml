@@ -13,6 +13,7 @@ module Estimator_linear = Rgleak_core.Estimator_linear
 let chars_version = 1
 let rgcorr_version = 1
 let linmemo_version = 1
+let deltacov_version = 1
 
 let library_fingerprint =
   let fp = lazy (
@@ -265,6 +266,93 @@ let parse_memo payload ~rows ~cols =
     consume rest 0;
     memo
   | _ -> fail "malformed linmemo payload"
+
+(* Delta covariance tables: the packed per-(type-pair, distance-bin)
+   f_{m,n}(ρ) bigarray the delta estimator stages once per chip.  The
+   payload is line-oriented hex floats, so a warm load replays the cold
+   run's exact bits — which is what keeps the delta battery's bitwise
+   guarantees intact across cache hits.
+
+     rgleak-deltacov 1
+     dim <len>
+     <%h>                        (len lines, bin-major packed order)
+     end
+
+   The key combines the correlation structure's own table fingerprint
+   (every float the tables derive from), the binning geometry, the used
+   cell set, and caller key parts naming the spatial model — the full
+   input closure of [binned_pair_tables]. *)
+
+let render_deltacov cov =
+  let len = Bigarray.Array1.dim cov in
+  let b = Buffer.create (len * 16) in
+  Buffer.add_string b "rgleak-deltacov 1\n";
+  Printf.bprintf b "dim %d\n" len;
+  for i = 0 to len - 1 do
+    Printf.bprintf b "%h\n" (Bigarray.Array1.unsafe_get cov i)
+  done;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let parse_deltacov payload ~len =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt in
+  let lines =
+    String.split_on_char '\n' payload |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | "rgleak-deltacov 1" :: dim :: rest ->
+    (match String.split_on_char ' ' dim with
+    | [ "dim"; d ] when int_of_string_opt d = Some len -> ()
+    | _ -> fail "deltacov dim mismatch");
+    let cov = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+    let rec consume rest i =
+      match rest with
+      | [ "end" ] -> if i <> len then fail "deltacov value count mismatch"
+      | v :: tl ->
+        if i >= len then fail "deltacov value count mismatch";
+        (match float_of_string_opt v with
+        | Some x -> Bigarray.Array1.unsafe_set cov i x
+        | None -> fail "bad deltacov value %S" v);
+        consume tl (i + 1)
+      | [] -> fail "deltacov missing end"
+    in
+    consume rest 0;
+    cov
+  | _ -> fail "malformed deltacov payload"
+
+let delta_tables ?cache ~corr ~rgcorr ~used ~distance_points ~dstep ~key_parts
+    () =
+  let compute () =
+    Rg_correlation.binned_pair_tables rgcorr ~used ~distance_points ~dstep
+      ~rho_of_d:(fun d -> Rgleak_process.Corr_model.total corr d)
+  in
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+    let nu = Array.length used in
+    let len = Rgleak_num.Parallel.tri_size nu * distance_points in
+    let key =
+      Cache.key
+        ("deltacov"
+        :: ("tables=" ^ Rg_correlation.table_fingerprint rgcorr)
+        :: Printf.sprintf "points=%d" distance_points
+        :: Printf.sprintf "dstep=%h" dstep
+        :: ("used="
+           ^ String.concat ","
+               (Array.to_list (Array.map string_of_int used)))
+        :: key_parts)
+    in
+    let store cov =
+      Cache.put c ~kind:"deltacov" ~version:deltacov_version ~key
+        (render_deltacov cov);
+      cov
+    in
+    match Cache.get c ~kind:"deltacov" ~version:deltacov_version ~key with
+    | Some payload -> (
+      match parse_deltacov payload ~len with
+      | cov -> cov
+      | exception Parse _ -> store (compute ()))
+    | None -> store (compute ()))
 
 let with_linear_memo ?cache ~key_parts ~rows ~cols f =
   match cache with

@@ -58,6 +58,27 @@ val correlation :
     cell mix, signal probability, RG mode, mapping) — the batch engine
     derives them from the scenario. *)
 
+val delta_tables :
+  ?cache:Cache.t ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rgleak_core.Rg_correlation.t ->
+  used:int array ->
+  distance_points:int ->
+  dstep:float ->
+  key_parts:string list ->
+  unit ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The packed per-(type-pair, distance-bin) covariance tables the
+    delta estimator stages
+    ({!Rgleak_core.Rg_correlation.binned_pair_tables}): restored from
+    the cache when possible, else computed and stored.  The key closes
+    over every input of the computation — the correlation structure's
+    {!Rgleak_core.Rg_correlation.table_fingerprint}, the bin geometry
+    ([distance_points], [dstep]), the [used] cell set — plus
+    [key_parts], which must name the spatial correlation model.
+    Payload floats are hex literals, so warm and cold runs hand the
+    delta estimator bit-identical tables. *)
+
 val with_linear_memo :
   ?cache:Cache.t ->
   key_parts:string list ->

@@ -1,0 +1,223 @@
+open Rgleak_num
+open Rgleak_circuit
+module Obs = Rgleak_obs.Obs
+
+let () = Obs.declare_hist ~owner:"delta" "delta.swap_s"
+
+type tier = { mean : float; variance : float; std : float }
+
+type result = { exact : tier; linear : tier; integral : tier }
+
+let n_flavors = Array.length Vt_correction.all_flavors
+
+(* Everything invariant under flavor swaps: the staged kernel buffers,
+   per-type moments, the flavor scale table, and the scale-free
+   baselines of the linear and integral tiers. *)
+type shared = {
+  staged : Estimator_exact.staged;
+  mu_t : float array;  (** per dense type: mean leakage at SVT *)
+  mvar_t : float array;  (** per dense type: mixture variance at SVT *)
+  fscale : float array;  (** per flavor index: leakage scale *)
+  rg_mu : float;
+  rg_var : float;
+  offdiag_lin : float;  (** linear tier off-diagonal sum at unit scale *)
+  int_mean0 : float;  (** integral tier mean at unit scale *)
+  int_var0 : float;  (** integral tier variance at unit scale *)
+  self0 : float;  (** diagonal n·σ² term *)
+}
+
+(* Immutable snapshot: every swap copies the mutable pieces (O(n)),
+   so old states remain valid — the revert/equivalence battery walks
+   arbitrary state DAGs. *)
+type state = {
+  sh : shared;
+  flavors : int array;  (** per instance (original order): flavor index *)
+  counts : int array;  (** [ty * n_flavors + f] population counts *)
+  scale : Pair_kernel.f64;  (** per sorted kernel row: leakage scale *)
+  acc : Xsum.t;  (** exact Σ_{a<b} s_a s_b cov_ab *)
+}
+
+let copy_f64 (a : Pair_kernel.f64) =
+  let n = Bigarray.Array1.dim a in
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.blit a b;
+  b
+
+let create ?distance_points ?cov ?jobs ?memo ?(integral_order = 96) ?flavors
+    ~corr ~rgcorr placed =
+  Obs.span "delta.create" @@ fun () ->
+  let staged =
+    Estimator_exact.stage_buffers ?distance_points ?cov ~corr ~rgcorr placed
+  in
+  let n = staged.Estimator_exact.sg_n in
+  let nu = staged.Estimator_exact.sg_nu in
+  let used = staged.Estimator_exact.sg_used in
+  let cell_ty = staged.Estimator_exact.sg_cell_ty in
+  let perm = staged.Estimator_exact.sg_perm in
+  let rg = Rg_correlation.rg rgcorr in
+  let svt = Vt_correction.flavor_index Vt_correction.Svt in
+  let flavors =
+    match flavors with
+    | None -> Array.make n svt
+    | Some fs ->
+      if Array.length fs <> n then
+        invalid_arg "Delta.create: flavor array length mismatch";
+      Array.map Vt_correction.flavor_index fs
+  in
+  let fscale = Array.map Vt_correction.leakage_scale Vt_correction.all_flavors in
+  let mu_t = Array.map (fun ci -> Random_gate.mean_of_cell rg ci) used in
+  let mvar_t =
+    Array.map (fun ci -> Random_gate.mixture_variance_of_cell rg ci) used
+  in
+  let counts = Array.make (nu * n_flavors) 0 in
+  let scale = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    let f = flavors.(i) in
+    let slot = (cell_ty.(i) * n_flavors) + f in
+    counts.(slot) <- counts.(slot) + 1;
+    Bigarray.Array1.unsafe_set scale perm.(i) fscale.(f)
+  done;
+  let acc =
+    Obs.span "delta.pair_loop" (fun () ->
+        Parallel.using ?jobs (fun pool ->
+            Parallel.triangle_band_reduce ~label:"delta.band" pool ~n
+              ~init:Xsum.create
+              ~band:(fun acc ~lo ~hi ->
+                Pair_kernel.acc_band staged.Estimator_exact.sg_buffers ~scale
+                  ~acc ~lo ~hi;
+                acc)
+              ~combine:(fun a b ->
+                Xsum.merge ~into:a b;
+                a)))
+  in
+  if Obs.enabled () then Obs.count "exact.pairs" (n * (n - 1) / 2);
+  let layout = placed.Placer.layout in
+  let offdiag_lin = Estimator_linear.offdiag_sum ?memo ~corr ~rgcorr ~layout () in
+  let int0 =
+    Estimator_integral.rect_2d ~order:integral_order ~corr ~rgcorr ~n
+      ~width:(Layout.width layout) ~height:(Layout.height layout) ()
+  in
+  let sh =
+    {
+      staged;
+      mu_t;
+      mvar_t;
+      fscale;
+      rg_mu = rg.Random_gate.mu;
+      rg_var = rg.Random_gate.variance;
+      offdiag_lin;
+      int_mean0 = int0.Estimator_integral.mean;
+      int_var0 = int0.Estimator_integral.variance;
+      self0 = Estimator_integral.self_variance ~rgcorr ~n;
+    }
+  in
+  { sh; flavors; counts; scale; acc }
+
+let tier mean variance =
+  let mean = Guard.check_finite ~site:"delta" ~name:"mean" mean in
+  let variance = Guard.check_finite ~site:"delta" ~name:"variance" variance in
+  { mean; variance; std = sqrt (Float.max 0.0 variance) }
+
+(* Recombination: every tier is a pure function of (shared baseline,
+   counts, exact accumulator), evaluated in one fixed (type asc,
+   flavor asc) loop order — so equal flavor assignments yield equal
+   bits no matter how the state was reached. *)
+let result st =
+  let sh = st.sh in
+  let nu = sh.staged.Estimator_exact.sg_nu in
+  let nf = float_of_int sh.staged.Estimator_exact.sg_n in
+  let msum = ref 0.0
+  and vsum = ref 0.0
+  and s1 = ref 0.0
+  and s2 = ref 0.0 in
+  for t = 0 to nu - 1 do
+    for f = 0 to n_flavors - 1 do
+      let c = st.counts.((t * n_flavors) + f) in
+      if c > 0 then begin
+        let cf = float_of_int c and s = sh.fscale.(f) in
+        s1 := !s1 +. (cf *. s);
+        s2 := !s2 +. (cf *. (s *. s));
+        msum := !msum +. (cf *. (s *. sh.mu_t.(t)));
+        vsum := !vsum +. (cf *. (s *. s *. sh.mvar_t.(t)))
+      end
+    done
+  done;
+  let pair2 =
+    Guard.Fault.corrupt_nan "delta" (2.0 *. Xsum.value st.acc)
+  in
+  let exact = tier !msum (!vsum +. pair2) in
+  let sbar = !s1 /. nf and s2bar = !s2 /. nf in
+  let linear =
+    tier (!s1 *. sh.rg_mu)
+      ((!s2 *. sh.rg_var) +. (sbar *. sbar *. sh.offdiag_lin))
+  in
+  (* At the all-SVT state sbar = s2bar = 1 exactly, so this reproduces
+     the continuum estimator bit for bit; heterogeneous scales weight
+     the diagonal by Σs²/n and the off-diagonal continuum by (Σs/n)². *)
+  let integral =
+    tier (sbar *. sh.int_mean0)
+      ((sbar *. sbar *. sh.int_var0)
+      +. ((s2bar -. (sbar *. sbar)) *. sh.self0))
+  in
+  { exact; linear; integral }
+
+let apply_swap st ~cell ~flavor =
+  Obs.span "delta.swap" @@ fun () ->
+  let track = Obs.enabled () in
+  let t0 = if track then Obs.now_ns () else 0L in
+  let sh = st.sh in
+  let n = sh.staged.Estimator_exact.sg_n in
+  if cell < 0 || cell >= n then
+    invalid_arg "Delta.apply_swap: cell out of range";
+  let fnew = Vt_correction.flavor_index flavor in
+  let fold = st.flavors.(cell) in
+  let ty = sh.staged.Estimator_exact.sg_cell_ty.(cell) in
+  let row = sh.staged.Estimator_exact.sg_perm.(cell) in
+  let s_old = sh.fscale.(fold) and s_new = sh.fscale.(fnew) in
+  let flavors = Array.copy st.flavors in
+  let counts = Array.copy st.counts in
+  let scale = copy_f64 st.scale in
+  let acc = Xsum.copy st.acc in
+  let buffers = sh.staged.Estimator_exact.sg_buffers in
+  (* Retract the row at the old scale, re-add at the new one.  Both
+     passes produce the same per-pair term doubles as a cold band pass
+     (symmetric distances and tables, commutative multiply; the sign
+     flip is exact), so the accumulator lands on exactly the limbs a
+     cold build of the new assignment would produce. *)
+  Pair_kernel.acc_row buffers ~scale ~acc ~row ~srow:(-.s_old);
+  Bigarray.Array1.set scale row s_new;
+  Pair_kernel.acc_row buffers ~scale ~acc ~row ~srow:s_new;
+  flavors.(cell) <- fnew;
+  counts.((ty * n_flavors) + fold) <- counts.((ty * n_flavors) + fold) - 1;
+  counts.((ty * n_flavors) + fnew) <- counts.((ty * n_flavors) + fnew) + 1;
+  let st' = { st with flavors; counts; scale; acc } in
+  let r = result st' in
+  if track then begin
+    Obs.count "delta.swaps" 1;
+    Obs.count "exact.pairs" (2 * (n - 1));
+    Obs.hist_record "delta.swap_s"
+      (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9)
+  end;
+  (st', r)
+
+let n st = st.sh.staged.Estimator_exact.sg_n
+
+let flavor_of st i =
+  if i < 0 || i >= n st then invalid_arg "Delta.flavor_of: cell out of range";
+  Vt_correction.all_flavors.(st.flavors.(i))
+
+let flavors st = Array.map (fun f -> Vt_correction.all_flavors.(f)) st.flavors
+
+let mean_delta st ~cell ~flavor =
+  if cell < 0 || cell >= n st then
+    invalid_arg "Delta.mean_delta: cell out of range";
+  let sh = st.sh in
+  let ty = sh.staged.Estimator_exact.sg_cell_ty.(cell) in
+  let s_old = sh.fscale.(st.flavors.(cell)) in
+  let s_new = sh.fscale.(Vt_correction.flavor_index flavor) in
+  (s_new -. s_old) *. sh.mu_t.(ty)
+
+let cell_mean st i =
+  if i < 0 || i >= n st then invalid_arg "Delta.cell_mean: cell out of range";
+  let sh = st.sh in
+  sh.fscale.(st.flavors.(i)) *. sh.mu_t.(sh.staged.Estimator_exact.sg_cell_ty.(i))

@@ -1,0 +1,97 @@
+(** Incremental delta re-estimation for multi-Vt optimization.
+
+    A {!state} freezes one full-chip estimation — staged pair-kernel
+    buffers, per-(type, flavor) population counts, the linear tier's
+    off-diagonal sum, and the continuum (integral) baseline — together
+    with a per-cell Vt flavor assignment.  {!apply_swap} produces the
+    state and full three-tier result after changing one cell's flavor:
+
+    - {b exact tier in O(n)}: a flavor swap multiplies one cell's
+      leakage by a scale factor, so only that cell's row/column of the
+      pairwise covariance sum changes.  The pair sum is held in an
+      exact superaccumulator ({!Rgleak_num.Xsum}); the swap retracts
+      the row at the old scale and re-adds it at the new one — exactly
+      — so the updated state is {e bit-identical} to a cold {!create}
+      of the same flavor assignment, at any job count, along any swap
+      path (including self-swaps and swap-then-revert).
+    - {b linear tier in O(#types·#flavors)}: the homogeneous offset sum
+      is computed once; scales re-enter through Σsᵢ and Σsᵢ² recombined
+      from the population counts.
+    - {b mean / integral / Vt terms in O(1)} (given the counts).
+
+    Results are pure functions of (shared baseline, counts, pair
+    accumulator), so any two states with equal flavor assignments
+    report equal bits — the invariant test/test_delta.ml pins down.
+
+    Telemetry: spans [delta.create] / [delta.swap], counters
+    [delta.swaps] and [exact.pairs] (a swap adds 2(n−1) pair visits —
+    the O(n)-not-O(n²) witness), histogram [delta.swap_s].  Guard
+    fault site ["delta"] poisons the recombined exact variance ahead
+    of its finiteness check. *)
+
+type tier = { mean : float; variance : float; std : float }
+
+type result = {
+  exact : tier;  (** pairwise-covariance tier (O(n) per swap) *)
+  linear : tier;  (** offset-sum tier (O(#bins) per swap) *)
+  integral : tier;  (** continuum tier (O(1) per swap) *)
+}
+
+type state
+
+val create :
+  ?distance_points:int ->
+  ?cov:Rgleak_num.Pair_kernel.f64 ->
+  ?jobs:int ->
+  ?memo:Estimator_linear.memo ->
+  ?integral_order:int ->
+  ?flavors:Vt_correction.flavor array ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  Rgleak_circuit.Placer.placed ->
+  state
+(** Cold build: stages the design ({!Estimator_exact.stage_buffers},
+    honouring [?cov] from the table memo), runs the scaled pair loop
+    on the domain pool into the exact accumulator, computes the linear
+    off-diagonal sum (reusing [?memo]) and the integral baseline
+    ({!Estimator_integral.rect_2d} at [?integral_order], default 96).
+    [?flavors] assigns initial per-instance flavors (default: all
+    [Svt], whose leakage scale is exactly 1).  Raises
+    [Invalid_argument] on shape errors (empty netlist, flavor array
+    length, cell outside RG support). *)
+
+val result : state -> result
+(** The three-tier estimate of the state's flavor assignment.  Pure:
+    recombined from counts and the exact accumulator on each call,
+    identical bits for identical assignments.  Raises
+    {!Rgleak_num.Guard.Error} ([Numeric], site ["delta"]) on a
+    non-finite recombination or an injected ["delta"] fault. *)
+
+val apply_swap :
+  state -> cell:int -> flavor:Vt_correction.flavor -> state * result
+(** [apply_swap st ~cell ~flavor] is the state (and its {!result})
+    after reassigning instance [cell] to [flavor].  O(n): two row
+    passes against the staged buffers plus O(n) snapshot copies.  The
+    input state is untouched (immutable snapshots; copy-on-write of
+    the scale vector and accumulator).  A self-swap (same flavor)
+    retracts and re-adds identical terms and is bit-neutral.  Raises
+    [Invalid_argument] when [cell] is outside [0, n). *)
+
+val n : state -> int
+(** Instance count. *)
+
+val flavor_of : state -> int -> Vt_correction.flavor
+(** Current flavor of one instance. *)
+
+val flavors : state -> Vt_correction.flavor array
+(** Snapshot of the full assignment (fresh array). *)
+
+val mean_delta : state -> cell:int -> flavor:Vt_correction.flavor -> float
+(** Predicted O(1) change of the exact-tier mean if [cell] moved to
+    [flavor]: [(s_new − s_old) · μ_type(cell)].  Exact for the mean
+    (it is linear in the per-cell scales); the optimizer ranks
+    candidates with this without touching the pair sum. *)
+
+val cell_mean : state -> int -> float
+(** Current mean-leakage contribution of one instance,
+    [s_flavor · μ_type]. *)

@@ -57,16 +57,40 @@ let distance_grid ~distance_points layout =
   in
   dmax /. float_of_int (distance_points - 1)
 
-let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
-  Obs.span "exact.estimate" @@ fun () ->
+type staged = {
+  sg_n : int;
+  sg_used : int array;
+  sg_nu : int;
+  sg_cell_ty : int array;
+  sg_mean : float;
+  sg_mixture_variance : float;
+  sg_perm : int array;
+  sg_buffers : Pair_kernel.buffers;
+  sg_distance_points : int;
+  sg_dstep : float;
+}
+
+(* Full staging: moments plus the flat kernel buffers.  Shared by
+   [estimate] and by the delta estimator, which additionally needs the
+   instance -> sorted-row permutation to address one cell's row.
+   [?cov] lets a caller supply the packed covariance tables (e.g. from
+   the on-disk memo) instead of rebuilding them. *)
+let stage_buffers ?(distance_points = 512) ?cov ~corr ~rgcorr placed =
   let n, used, nu, cell_ty, mean, variance = stage ~rgcorr placed in
   let dstep = distance_grid ~distance_points placed.Placer.layout in
   Obs.count "exact.gates" n;
   Obs.count "exact.types" nu;
   let cov =
-    Obs.span "exact.cov_tables" (fun () ->
-        Rg_correlation.binned_pair_tables rgcorr ~used ~distance_points ~dstep
-          ~rho_of_d:(fun d -> Corr_model.total corr d))
+    match cov with
+    | Some c ->
+      if Bigarray.Array1.dim c <> Parallel.tri_size nu * distance_points then
+        invalid_arg "Estimator_exact: supplied cov tables have wrong size";
+      c
+    | None ->
+      Obs.span "exact.cov_tables" (fun () ->
+          Rg_correlation.binned_pair_tables rgcorr ~used ~distance_points
+            ~dstep
+            ~rho_of_d:(fun d -> Corr_model.total corr d))
   in
   (* Cells sorted by (dense type, original index): each row's partners
      then split into <= nu contiguous segments, one L1-resident table
@@ -85,10 +109,12 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
   let xs = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
   let ys = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
   let ty = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  let perm = Array.make n 0 in
   for i = 0 to n - 1 do
     let t = cell_ty.(i) in
     let pos = next.(t) in
     next.(t) <- pos + 1;
+    perm.(i) <- pos;
     let x, y = Placer.location placed i in
     Bigarray.Array1.unsafe_set xs pos x;
     Bigarray.Array1.unsafe_set ys pos y;
@@ -114,6 +140,27 @@ let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
       kmax = distance_points - 2;
     }
   in
+  {
+    sg_n = n;
+    sg_used = used;
+    sg_nu = nu;
+    sg_cell_ty = cell_ty;
+    sg_mean = mean;
+    sg_mixture_variance = variance;
+    sg_perm = perm;
+    sg_buffers = buffers;
+    sg_distance_points = distance_points;
+    sg_dstep = dstep;
+  }
+
+let () = Obs.declare_hist ~owner:"exact" "exact.band_s"
+
+let estimate ?(distance_points = 512) ?jobs ~corr ~rgcorr placed =
+  Obs.span "exact.estimate" @@ fun () ->
+  let staged = stage_buffers ~distance_points ~corr ~rgcorr placed in
+  let n = staged.sg_n in
+  let mean = staged.sg_mean and variance = staged.sg_mixture_variance in
+  let buffers = staged.sg_buffers in
   if Obs.enabled () then Obs.count "exact.pairs" (n * (n - 1) / 2);
   let kernel_band acc ~lo ~hi =
     (* Per-band kernel time distribution: 64 fixed bands per estimate,

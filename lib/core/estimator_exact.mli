@@ -26,6 +26,45 @@
 
 type result = { mean : float; variance : float; std : float }
 
+(** Everything [estimate] stages before entering the pair loop, shared
+    with the delta estimator (which additionally needs the instance →
+    sorted-row permutation to address one cell's row/column of the pair
+    sum). *)
+type staged = {
+  sg_n : int;  (** instance count *)
+  sg_used : int array;  (** dense type → library cell index *)
+  sg_nu : int;  (** number of distinct types *)
+  sg_cell_ty : int array;  (** dense type per instance, original order *)
+  sg_mean : float;  (** Σ μ_type(a) over instances, staging order *)
+  sg_mixture_variance : float;  (** Σ Var_mix(type(a)), staging order *)
+  sg_perm : int array;  (** instance index → sorted kernel row *)
+  sg_buffers : Rgleak_num.Pair_kernel.buffers;
+  sg_distance_points : int;
+  sg_dstep : float;  (** distance bin width *)
+}
+
+val distance_grid :
+  distance_points:int -> Rgleak_circuit.Layout.t -> float
+(** The distance-bin width staging uses for a layout: the die diagonal
+    (plus a guard epsilon) divided into [distance_points - 1] bins.
+    Exposed so cache keys for prebuilt covariance tables can name the
+    exact binning without re-staging. *)
+
+val stage_buffers :
+  ?distance_points:int ->
+  ?cov:Rgleak_num.Pair_kernel.f64 ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  Rgleak_circuit.Placer.placed ->
+  staged
+(** Stage a placed design into flat kernel buffers without running the
+    pair loop.  [?cov] supplies prebuilt packed covariance tables
+    (e.g. from the on-disk memo) — they must match
+    [tri_size nu * distance_points] elements — otherwise the tables
+    are built via {!Rg_correlation.binned_pair_tables}.  Raises
+    [Invalid_argument] on an empty netlist, a cell outside the RG
+    support, or wrongly-sized tables. *)
+
 val estimate :
   ?distance_points:int ->
   ?jobs:int ->

@@ -2,6 +2,10 @@ open Rgleak_num
 open Rgleak_process
 module Obs = Rgleak_obs.Obs
 
+let () =
+  Obs.declare_hist ~owner:"integral" "integral.evals";
+  Obs.declare_hist ~owner:"integral" "integral.quad_s"
+
 type result = { mean : float; variance : float; std : float }
 
 (* Quadrature-evaluation counting: the integrand is wrapped only when
@@ -23,6 +27,9 @@ let check_inputs ~n ~width ~height =
 
 let mean_of rgcorr n =
   float_of_int n *. (Rg_correlation.rg rgcorr).Random_gate.mu
+
+let self_variance ~rgcorr ~n =
+  float_of_int n *. (Rg_correlation.rg rgcorr).Random_gate.variance
 
 (* Boundary guardrail: quadrature breakdown must surface as a typed
    diagnostic, never as a silent NaN in a result record. *)

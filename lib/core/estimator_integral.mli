@@ -44,6 +44,13 @@ val polar_applicable :
 (** True when the WID correlation has a finite zero-crossing below
     min(width, height). *)
 
+val self_variance : rgcorr:Rg_correlation.t -> n:int -> float
+(** The diagonal (same-site) variance term [n · σ²_{X_I}] (Eq. 11).
+    The continuum estimators fold it into the n² scaling; the delta
+    estimator needs it separately because per-cell leakage scales
+    weight the diagonal by [Σ s_i²] but the off-diagonal continuum by
+    [(Σ s_i / n)²]. *)
+
 val polar :
   ?order:int ->
   corr:Rgleak_process.Corr_model.t ->

@@ -46,16 +46,14 @@ let memo_set m ~idx ~value =
   m.values.(idx) <- value;
   Bytes.set m.seen idx '\001'
 
-let estimate ?memo ~corr ~rgcorr ~layout () =
-  Obs.span "linear.estimate" @@ fun () ->
+(* Shared off-diagonal offset loop: folds occ(di,dj) · F(ρ_L(d)) over
+   every nonzero offset of the site grid onto [init], in fixed
+   (dj, di) raster order so the float association is a pure function
+   of (layout, init).  [estimate] seeds it with the diagonal term; the
+   delta estimator seeds it with 0 to get the bare off-diagonal sum it
+   rescales per swap. *)
+let fold_offsets ?memo ~corr ~rgcorr ~layout ~init () =
   let track = Obs.enabled () in
-  let rg = Rg_correlation.rg rgcorr in
-  let n = Layout.site_count layout in
-  let nf = float_of_int n in
-  let mean = nf *. rg.Random_gate.mu in
-  (* Diagonal offset (0,0): n self-pairs, each contributing the full RG
-     variance (Eq. 11, same-location branch). *)
-  let variance = ref (nf *. rg.Random_gate.variance) in
   let rows = Layout.rows layout in
   let cols = layout.Layout.cols in
   let m =
@@ -86,25 +84,43 @@ let estimate ?memo ~corr ~rgcorr ~layout () =
       f_memo.(idx)
     end
   in
+  let acc = ref init in
   for dj = -(rows - 1) to rows - 1 do
     for di = -(cols - 1) to cols - 1 do
       if not (di = 0 && dj = 0) then begin
         let occ = Layout.occurrences layout ~di ~dj in
-        if occ > 0 then
-          variance := !variance +. (float_of_int occ *. f_at ~di ~dj)
+        if occ > 0 then acc := !acc +. (float_of_int occ *. f_at ~di ~dj)
       end
     done
   done;
   if track then begin
-    Obs.count "linear.sites" n;
     Obs.count "linear.memo_hits" !memo_hits;
     Obs.count "linear.memo_misses" !memo_misses
   end;
-  let mean = Guard.check_finite ~site:"linear" ~name:"mean" mean in
+  !acc
+
+let estimate ?memo ~corr ~rgcorr ~layout () =
+  Obs.span "linear.estimate" @@ fun () ->
+  let rg = Rg_correlation.rg rgcorr in
+  let n = Layout.site_count layout in
+  let nf = float_of_int n in
+  let mean = nf *. rg.Random_gate.mu in
+  (* Diagonal offset (0,0): n self-pairs, each contributing the full RG
+     variance (Eq. 11, same-location branch) — seeded as the fold's
+     init so the float association matches the historical in-loop
+     accumulation bit for bit. *)
   let variance =
-    Guard.check_finite ~site:"linear" ~name:"variance" !variance
+    fold_offsets ?memo ~corr ~rgcorr ~layout
+      ~init:(nf *. rg.Random_gate.variance) ()
   in
+  if Obs.enabled () then Obs.count "linear.sites" n;
+  let mean = Guard.check_finite ~site:"linear" ~name:"mean" mean in
+  let variance = Guard.check_finite ~site:"linear" ~name:"variance" variance in
   { mean; variance; std = sqrt (Float.max 0.0 variance) }
+
+let offdiag_sum ?memo ~corr ~rgcorr ~layout () =
+  Obs.span "linear.offdiag" @@ fun () ->
+  fold_offsets ?memo ~corr ~rgcorr ~layout ~init:0.0 ()
 
 let estimate_result ?memo ~corr ~rgcorr ~layout () =
   Guard.protect (estimate ?memo ~corr ~rgcorr ~layout)

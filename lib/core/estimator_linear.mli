@@ -61,3 +61,19 @@ val estimate_result :
   (result, Rgleak_num.Guard.diagnostic) Stdlib.result
 (** Non-raising entry point: {!estimate} under
     {!Rgleak_num.Guard.protect}. *)
+
+val offdiag_sum :
+  ?memo:memo ->
+  corr:Rgleak_process.Corr_model.t ->
+  rgcorr:Rg_correlation.t ->
+  layout:Rgleak_circuit.Layout.t ->
+  unit ->
+  float
+(** The bare off-diagonal covariance sum Σ_{(di,dj)≠0} occ·F(ρ_L(d))
+    — {!estimate}'s variance without the diagonal n·σ² term, for unit
+    per-site leakage scale.  The delta estimator computes this once
+    and rescales it per swap in O(1) (per-cell scales enter the
+    homogeneous offset sum only through the mean scale).  Same memo
+    semantics and fault site (["linear.f"]) as {!estimate}; same fixed
+    fold order, so the value is bit-stable across calls and memo
+    warmth. *)

@@ -4,6 +4,8 @@ open Rgleak_cells
 open Rgleak_circuit
 module Obs = Rgleak_obs.Obs
 
+let () = Obs.declare_hist ~owner:"mc" "mc.sample_s"
+
 type t = {
   sampler : Variation.sampler;
   p : float;

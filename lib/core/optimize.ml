@@ -1,0 +1,137 @@
+open Rgleak_num
+module Obs = Rgleak_obs.Obs
+
+let () = Obs.declare_hist ~owner:"optimize" "opt.swap_s"
+
+type move = {
+  mv_cell : int;
+  mv_from : Vt_correction.flavor;
+  mv_to : Vt_correction.flavor;
+  mv_gain : float;
+  mv_cost : float;
+}
+
+type report = {
+  initial : Delta.result;
+  final : Delta.result;
+  budget : float;
+  spent : float;
+  moves : move list;
+  state : Delta.state;
+}
+
+(* A candidate is one (cell, from → to) downgrade along the delay
+   chain Lvt < Svt < Hvt.  Gains are additive across cells and static
+   over the run (the mean is linear in per-cell scales and a swap
+   never changes another cell's μ or scale), so all candidates can be
+   ranked once.  Within one cell the chain is consumed in density
+   order — Lvt→Svt always dominates Lvt→Hvt, which dominates Svt→Hvt,
+   for every type (μ cancels in same-type comparisons) — so the
+   eligibility check (entry's [from] must equal the cell's current
+   flavor) reproduces per-move greedy exactly. *)
+type cand = {
+  c_cell : int;
+  c_from : int;  (* flavor index *)
+  c_to : int;
+  c_gain : float;
+  c_cost : float;
+  c_density : float;
+}
+
+let run ~budget st0 =
+  Obs.span "opt.run" @@ fun () ->
+  if not (Float.is_finite budget && budget > 0.0) then
+    Guard.invalid
+      (Printf.sprintf "optimize: budget must be positive and finite (got %g)"
+         budget);
+  let n = Delta.n st0 in
+  let flavors = Vt_correction.all_flavors in
+  let nfl = Array.length flavors in
+  let cands = ref [] in
+  for cell = n - 1 downto 0 do
+    let cur = Vt_correction.flavor_index (Delta.flavor_of st0 cell) in
+    for f_from = cur to nfl - 2 do
+      for f_to = f_from + 1 to nfl - 1 do
+        (* gain(from → to) from the O(1) predictor, both legs relative
+           to the current flavor; exact since the mean is linear. *)
+        let gain =
+          -.(Delta.mean_delta st0 ~cell ~flavor:flavors.(f_to)
+            -. Delta.mean_delta st0 ~cell ~flavor:flavors.(f_from))
+        in
+        let cost =
+          Vt_correction.delay_factor flavors.(f_to)
+          -. Vt_correction.delay_factor flavors.(f_from)
+        in
+        if gain > 0.0 && cost > 0.0 then
+          cands :=
+            {
+              c_cell = cell;
+              c_from = f_from;
+              c_to = f_to;
+              c_gain = gain;
+              c_cost = cost;
+              c_density = gain /. cost;
+            }
+            :: !cands
+      done
+    done
+  done;
+  let cands = Array.of_list !cands in
+  if Array.length cands = 0 then
+    Guard.invalid
+      "optimize: no candidate moves (every cell is already at the slowest \
+       flavor, or all gains are zero)";
+  if Obs.enabled () then Obs.count "opt.candidates" (Array.length cands);
+  (* Total order: density desc, gain desc, cell asc, target asc. *)
+  Array.sort
+    (fun a b ->
+      let c = Float.compare b.c_density a.c_density in
+      if c <> 0 then c
+      else
+        let c = Float.compare b.c_gain a.c_gain in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.c_cell b.c_cell in
+          if c <> 0 then c else Int.compare a.c_to b.c_to)
+    cands;
+  let track = Obs.enabled () in
+  let initial = Delta.result st0 in
+  if track then Obs.count "opt.delta_calls" 1;
+  let st = ref st0 in
+  let spent = ref 0.0 in
+  let moves = ref [] in
+  Array.iter
+    (fun c ->
+      let cur = Vt_correction.flavor_index (Delta.flavor_of !st c.c_cell) in
+      if cur = c.c_from && c.c_cost <= budget -. !spent then begin
+        let t0 = if track then Obs.now_ns () else 0L in
+        let st', _r = Delta.apply_swap !st ~cell:c.c_cell ~flavor:flavors.(c.c_to) in
+        st := st';
+        spent := !spent +. c.c_cost;
+        moves :=
+          {
+            mv_cell = c.c_cell;
+            mv_from = flavors.(c.c_from);
+            mv_to = flavors.(c.c_to);
+            mv_gain = c.c_gain;
+            mv_cost = c.c_cost;
+          }
+          :: !moves;
+        if track then begin
+          Obs.count "opt.swaps" 1;
+          Obs.count "opt.delta_calls" 1;
+          Obs.hist_record "opt.swap_s"
+            (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9)
+        end
+      end)
+    cands;
+  let final = if !moves = [] then initial else Delta.result !st in
+  if track then Obs.count "opt.delta_calls" 1;
+  {
+    initial;
+    final;
+    budget;
+    spent = !spent;
+    moves = List.rev !moves;
+    state = !st;
+  }

@@ -1,0 +1,55 @@
+(** Greedy multi-Vt leakage optimizer on the delta estimator.
+
+    The classic post-synthesis flow: cells start on the fast, leaky
+    flavor (LVT) and are downgraded toward SVT/HVT to cut leakage,
+    spending a timing-slack proxy budget — Σ over applied moves of
+    [delay_factor target − delay_factor current]
+    ({!Vt_correction.delay_factor} units).  Each candidate move's
+    leakage gain is the O(1) {!Delta.mean_delta}; gains are additive
+    across cells (the mean is linear in per-cell scales), so a static
+    gain/cost-density ranking is optimal within the greedy family and
+    every applied move strictly decreases the mean — the monotone
+    descent the tests assert.  Each applied move re-estimates through
+    {!Delta.apply_swap} (O(n)), so the whole run is O(swaps · n), not
+    O(swaps · n²).
+
+    Determinism: candidates are ordered by (density desc, gain desc,
+    cell asc, flavor index desc) — a total order — so the swap
+    sequence and final report are pure functions of (state, budget),
+    independent of the job count.
+
+    Typed diagnostics ({!Rgleak_num.Guard.Error} with
+    [Invalid_input]): non-positive/non-finite budget; an initial
+    assignment with no downgradable cell (empty candidate set).
+    Numeric faults injected at site ["delta"] surface through
+    {!Delta.result} during the run (exit code 3 at the CLI).
+
+    Telemetry: span [opt.run], counters [opt.swaps] /
+    [opt.delta_calls] / [opt.candidates], histogram [opt.swap_s]
+    (per-applied-move latency, including the delta update). *)
+
+type move = {
+  mv_cell : int;
+  mv_from : Vt_correction.flavor;
+  mv_to : Vt_correction.flavor;
+  mv_gain : float;  (** exact-tier mean leakage reduction (> 0) *)
+  mv_cost : float;  (** slack-proxy budget spent (> 0) *)
+}
+
+type report = {
+  initial : Delta.result;  (** before any move *)
+  final : Delta.result;  (** after the last applied move *)
+  budget : float;
+  spent : float;  (** Σ costs of applied moves, ≤ budget *)
+  moves : move list;  (** in application order *)
+  state : Delta.state;  (** final assignment *)
+}
+
+val run : budget:float -> Delta.state -> report
+(** Greedy descent from the given state.  Stops when no remaining
+    positive-gain move fits the remaining budget.  A run that applies
+    zero moves because the budget cannot afford even the cheapest
+    candidate reports [spent = 0] with empty [moves] — budget
+    exhaustion is normal termination, but a budget that is
+    non-positive or non-finite, and a state with {e no} candidate
+    moves at all, raise [Invalid_input]. *)

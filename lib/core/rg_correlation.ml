@@ -242,6 +242,24 @@ let of_tables ~rg (tb : tables) =
     sigma_bar = tb.t_sigma_bar;
   }
 
+(* Content fingerprint of the correlation structure, for cache keys:
+   every table the estimators read, rendered with exact float bits so
+   any numerical change (library, process params, grid resolution)
+   changes the digest. *)
+let table_fingerprint t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (match t.mapping with Exact -> "exact" | Simplified -> "simplified");
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int t.points);
+  Array.iter (fun ci -> Buffer.add_string b ("," ^ string_of_int ci))
+    t.support_cells;
+  let add_f v = Buffer.add_int64_le b (Int64.bits_of_float v) in
+  add_f t.sigma_bar;
+  Array.iter add_f t.f_table;
+  Array.iter (fun tbl -> Array.iter add_f tbl) t.pair_tables;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
+
 let f t ~rho_l =
   if not (rho_l >= 0.0 && rho_l <= 1.0) then
     invalid_arg "Rg_correlation.f: rho out of [0,1]";

@@ -107,6 +107,14 @@ type tables = {
 val tables : t -> tables
 (** A deep copy of the tabulated structure. *)
 
+val table_fingerprint : t -> string
+(** A hex content digest of the tabulated structure (mapping, grid
+    size, support cells, exact float bits of every table).  Two
+    structures with equal fingerprints evaluate {!f} and
+    {!cell_pair_covariance} identically, so the digest is a sound
+    cache-key component for anything derived from the tables (e.g.
+    the delta estimator's packed distance-binned covariance). *)
+
 val of_tables : rg:Random_gate.t -> tables -> t
 (** Rebuilds a correlation structure from exported tables.  [rg] must
     be the random gate the tables were built for (the cache key

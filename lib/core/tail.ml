@@ -1,6 +1,8 @@
 open Rgleak_num
 module Obs = Rgleak_obs.Obs
 
+let () = Obs.declare_hist ~owner:"tail" "tail.weight"
+
 (* Tail-risk estimation: P(total leakage > budget) and high quantiles
    from importance-sampled replicas.
 

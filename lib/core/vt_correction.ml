@@ -31,3 +31,38 @@ let variance_ratio ~rg ~rgcorr ~corr ~layout ?(sigma_vt = default_sigma_vt) () =
   let vt_var = chip_variance_from_vt ~rg ~n ~sigma_vt () in
   let l_var = (Estimator_linear.estimate ~corr ~rgcorr ~layout ()).Estimator_linear.variance in
   if l_var = 0.0 then infinity else vt_var /. l_var
+
+(* ---------- multi-Vt flavors ----------
+
+   A flavor is a library-wide threshold shift: the foundry's LVT / SVT
+   / HVT implant variants of the same footprint.  Subthreshold leakage
+   goes as exp(−V_th / q), so a ΔV_th offset multiplies every state's
+   leakage by exp(−ΔV_th / q) while leaving the variation statistics
+   (driven by L, not the implant) untouched — which is what lets the
+   delta estimator treat a flavor swap as a pure per-cell scale
+   change.  The delay factors are the usual coarse proxy: lower V_th
+   switches faster. *)
+
+type flavor = Lvt | Svt | Hvt
+
+let all_flavors = [| Lvt; Svt; Hvt |]
+
+let flavor_index = function Lvt -> 0 | Svt -> 1 | Hvt -> 2
+
+let flavor_name = function Lvt -> "lvt" | Svt -> "svt" | Hvt -> "hvt"
+
+let flavor_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "lvt" -> Some Lvt
+  | "svt" -> Some Svt
+  | "hvt" -> Some Hvt
+  | _ -> None
+
+let vth_offset = function Lvt -> -0.05 | Svt -> 0.0 | Hvt -> 0.05
+
+let leakage_scale ?env ?n_swing flavor =
+  match flavor with
+  | Svt -> 1.0 (* exactly: the baseline library is characterized at SVT *)
+  | f -> exp (-.vth_offset f /. q_of ?env ?n_swing ())
+
+let delay_factor = function Lvt -> 0.85 | Svt -> 1.0 | Hvt -> 1.25

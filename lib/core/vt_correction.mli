@@ -34,3 +34,42 @@ val variance_ratio :
 (** Ratio of the V_t-driven chip variance to the correlated-L-driven
     chip variance for a given die; the paper's claim is that this
     vanishes as n grows. *)
+
+(** {1 Multi-Vt flavors}
+
+    Foundry implant variants of the same cell footprint.  A flavor
+    shifts every state's threshold by a fixed ΔV_th, multiplying its
+    subthreshold leakage by [exp(−ΔV_th / q)] with [q = n·v_T] while
+    leaving the length-variation statistics untouched — a flavor swap
+    is a pure per-cell leakage scale, which is what the delta
+    estimator exploits. *)
+
+type flavor = Lvt | Svt | Hvt
+
+val all_flavors : flavor array
+(** [\[| Lvt; Svt; Hvt |\]], in {!flavor_index} order. *)
+
+val flavor_index : flavor -> int
+(** Dense index: Lvt = 0, Svt = 1, Hvt = 2. *)
+
+val flavor_name : flavor -> string
+(** ["lvt"], ["svt"], ["hvt"]. *)
+
+val flavor_of_string : string -> flavor option
+(** Case-insensitive inverse of {!flavor_name}. *)
+
+val vth_offset : flavor -> float
+(** Threshold shift vs the SVT baseline, in volts: −50 mV for LVT,
+    0 for SVT, +50 mV for HVT. *)
+
+val leakage_scale :
+  ?env:Rgleak_device.Mosfet.env -> ?n_swing:float -> flavor -> float
+(** [exp(−vth_offset / q)]: the factor multiplying a cell's leakage in
+    every input state.  Exactly [1.0] for [Svt]; ≈4.2 for [Lvt] and
+    ≈0.24 for [Hvt] at the default 300 K subthreshold swing. *)
+
+val delay_factor : flavor -> float
+(** Coarse timing proxy: relative cell delay vs SVT (0.85 / 1.0 /
+    1.25).  Downgrading a cell to a slower flavor spends
+    [delay_factor Hvt − delay_factor current] of its path's slack
+    budget in the optimizer's units. *)

@@ -44,7 +44,8 @@ let check_finite ~site ~name v =
 module Fault = struct
   type spec = { site : string; prob : float; seed : int }
 
-  let known_sites = [ "parallel"; "cholesky"; "quadrature"; "linear.f"; "cache" ]
+  let known_sites =
+    [ "parallel"; "cholesky"; "quadrature"; "linear.f"; "cache"; "delta" ]
 
   type site_state = { prob : float; seed : int; counter : int Atomic.t }
 

@@ -77,9 +77,11 @@ module Fault : sig
   (** Compiled-in probe points: ["parallel"] (pool task entry),
       ["cholesky"] (factorization attempt), ["quadrature"] (forces the
       Gauss–Legendre convergence check to fail), ["linear.f"]
-      (poisons the linear estimator's F memo with NaN) and ["cache"]
+      (poisons the linear estimator's F memo with NaN), ["cache"]
       (makes a content-addressed cache read behave as corrupt, forcing
-      the recompute fallback). *)
+      the recompute fallback) and ["delta"] (poisons an incremental
+      delta re-estimation result with NaN before its finiteness
+      check). *)
 
   val parse_spec : string -> (spec, string) result
   (** Parses ["site:prob:seed"] — a known site, a probability in

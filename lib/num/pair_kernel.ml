@@ -75,6 +75,56 @@ let sum ?(isa = Auto) b ~lo ~hi =
   sum_stub b.xs b.ys b.ty b.seg b.base b.cov b.nu b.inv_dstep b.kmax lo hi
     (isa_code isa)
 
+external acc_stub :
+  f64 ->
+  f64 ->
+  idx ->
+  idx ->
+  idx ->
+  f64 ->
+  f64 ->
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  float ->
+  int ->
+  int ->
+  int ->
+  unit = "rgleak_pair_acc_bc" "rgleak_pair_acc"
+
+external acc_row_stub :
+  f64 ->
+  f64 ->
+  idx ->
+  idx ->
+  idx ->
+  f64 ->
+  f64 ->
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  float ->
+  int ->
+  int ->
+  float ->
+  unit = "rgleak_pair_acc_row_bc" "rgleak_pair_acc_row"
+
+let validate_scale b scale =
+  if Bigarray.Array1.dim scale <> Bigarray.Array1.dim b.xs then
+    invalid_arg "Pair_kernel: scale length mismatch"
+
+let acc_band b ~scale ~acc ~lo ~hi =
+  validate b ~lo ~hi;
+  validate_scale b scale;
+  acc_stub b.xs b.ys b.ty b.seg b.base b.cov scale (Xsum.raw acc) b.nu
+    b.inv_dstep b.kmax lo hi
+
+let acc_row b ~scale ~acc ~row ~srow =
+  validate b ~lo:0 ~hi:(Bigarray.Array1.dim b.xs);
+  validate_scale b scale;
+  if row < 0 || row >= Bigarray.Array1.dim b.xs then
+    invalid_arg "Pair_kernel: row out of range";
+  acc_row_stub b.xs b.ys b.ty b.seg b.base b.cov scale (Xsum.raw acc) b.nu
+    b.inv_dstep b.kmax row srow
+
 let lanes = 8
 
 (* Pure-OCaml mirror of the scalar C kernel, kept as the readable

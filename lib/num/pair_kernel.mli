@@ -57,3 +57,22 @@ val sum_ocaml : buffers -> lo:int -> hi:int -> float
 (** Pure-OCaml mirror of the scalar kernel, bit-identical to [sum] by
     the lane contract.  Test oracle; roughly 3x slower than the C
     scalar path. *)
+
+val acc_band :
+  buffers -> scale:f64 -> acc:Xsum.t -> lo:int -> hi:int -> unit
+(** [acc_band b ~scale ~acc ~lo ~hi] accumulates, exactly into [acc],
+    the term [(scale.(a) *. scale.(b)) *. w_ab] for every pair with
+    [lo <= a < hi] and [a < b], where [w_ab] is the same interpolated
+    covariance as {!sum} computes.  Because the accumulation is exact,
+    the represented value is independent of band split and iteration
+    order — [Xsum.merge] of disjoint bands equals one full pass. *)
+
+val acc_row :
+  buffers -> scale:f64 -> acc:Xsum.t -> row:int -> srow:float -> unit
+(** [acc_row b ~scale ~acc ~row ~srow] accumulates
+    [(srow *. scale.(b)) *. w_rb] for every partner [b <> row].  The
+    per-pair term doubles are identical to {!acc_band}'s for the same
+    pair when [srow = scale.(row)] (distance and table lookups are
+    symmetric; IEEE multiplication commutes), so passing
+    [-.scale.(row)] retracts a row exactly and passing a new scale
+    re-adds it — the O(n) swap update of the delta estimator. *)

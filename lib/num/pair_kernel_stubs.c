@@ -338,3 +338,241 @@ CAMLprim value rgleak_pair_sum_bc(value *argv, int argn)
                          argv[5], argv[6], argv[7], argv[8], argv[9],
                          argv[10], argv[11]);
 }
+
+/* ---------- exact fixed-point accumulator (Xsum) ----------
+
+   A Kulisch-style superaccumulator: the running sum is held as an
+   exact fixed-point integer in base 2^20, one signed int64 per limb,
+   spanning the full double range (bit positions 0 .. ~2100 of the
+   2^-1074-anchored frame) plus headroom limbs for intermediate
+   magnitude growth.  Each add splits the 53-bit mantissa over at most
+   four limbs (carry-save, signed), so a limb grows by < 2^20 per add
+   and stays inside int64 for ~2^42 adds — far beyond any pair loop
+   here.  Because integer addition is associative and commutative, the
+   represented value after any sequence of adds and subtracts is a
+   pure function of the term multiset: retracting one row of a pair
+   sum and re-adding it at a new scale leaves bits identical to a cold
+   rebuild, which is the property the delta estimator's equivalence
+   battery pins down.
+
+   Extraction first normalizes (carry-propagates) the limbs into a
+   canonical representation — a pure function of the exact value — and
+   then rounds by summing limbs most-significant first, so the
+   extracted double is deterministic across add orders, job counts and
+   merge shapes.  Slot XS_LIMBS counts non-finite adds; any makes the
+   extracted value NaN (caught by the Guard at the "delta" site). */
+
+#define XS_W 20
+#define XS_MASK ((uint64_t) ((1u << XS_W) - 1))
+#define XS_LIMBS 110
+#define XS_DIM (XS_LIMBS + 1)
+
+static inline void xs_add1(int64_t *a, double v)
+{
+  union { double d; uint64_t u; } bits;
+  uint64_t m;
+  int e, q, r, bitpos;
+  unsigned __int128 p;
+  bits.d = v;
+  e = (int) ((bits.u >> 52) & 0x7ff);
+  m = bits.u & 0xfffffffffffffULL;
+  if (e == 0x7ff) { /* NaN or infinity: poison the accumulator */
+    a[XS_LIMBS] += 1;
+    return;
+  }
+  if (e == 0) {
+    if (m == 0) return; /* +-0.0 */
+    bitpos = 0;         /* subnormal: m * 2^-1074 */
+  } else {
+    m |= 1ULL << 52;    /* normal: m * 2^(e - 1075) */
+    bitpos = e - 1;
+  }
+  q = bitpos / XS_W;
+  r = bitpos % XS_W;
+  p = ((unsigned __int128) m) << r; /* <= 72 bits: four 20-bit pieces */
+  if (bits.u >> 63) {
+    a[q + 0] -= (int64_t) ((uint64_t) p & XS_MASK);
+    a[q + 1] -= (int64_t) ((uint64_t) (p >> XS_W) & XS_MASK);
+    a[q + 2] -= (int64_t) ((uint64_t) (p >> (2 * XS_W)) & XS_MASK);
+    a[q + 3] -= (int64_t) ((uint64_t) (p >> (3 * XS_W)) & XS_MASK);
+  } else {
+    a[q + 0] += (int64_t) ((uint64_t) p & XS_MASK);
+    a[q + 1] += (int64_t) ((uint64_t) (p >> XS_W) & XS_MASK);
+    a[q + 2] += (int64_t) ((uint64_t) (p >> (2 * XS_W)) & XS_MASK);
+    a[q + 3] += (int64_t) ((uint64_t) (p >> (3 * XS_W)) & XS_MASK);
+  }
+}
+
+static void xs_carry(int64_t *t)
+{
+  intnat i;
+  for (i = 0; i < XS_LIMBS - 1; i++) {
+    int64_t c = t[i] >> XS_W; /* arithmetic shift: floor division */
+    t[i] -= c << XS_W;
+    t[i + 1] += c;
+  }
+}
+
+static double xs_value(const int64_t *a)
+{
+  int64_t t[XS_LIMBS];
+  intnat i, top;
+  int neg = 0;
+  double v;
+  if (a[XS_LIMBS] != 0) return (double) NAN;
+  memcpy(t, a, sizeof t);
+  xs_carry(t); /* canonical: limbs in [0, 2^20), signed top limb */
+  if (t[XS_LIMBS - 1] < 0) {
+    neg = 1;
+    for (i = 0; i < XS_LIMBS; i++) t[i] = -t[i];
+    xs_carry(t);
+  }
+  top = XS_LIMBS - 1;
+  while (top > 0 && t[top] == 0) top--;
+  v = 0.0;
+  for (i = top; i >= 0; i--)
+    v += ldexp((double) t[i], (int) (i * XS_W) - 1074);
+  return neg ? -v : v;
+}
+
+CAMLprim value rgleak_xsum_dim(value unit)
+{
+  (void) unit;
+  return Val_int(XS_DIM);
+}
+
+CAMLprim value rgleak_xsum_add(value vacc, value vx)
+{
+  int64_t *a = (int64_t *) Caml_ba_data_val(vacc);
+  xs_add1(a, Double_val(vx));
+  return Val_unit;
+}
+
+CAMLprim value rgleak_xsum_value(value vacc)
+{
+  return caml_copy_double(xs_value((const int64_t *) Caml_ba_data_val(vacc)));
+}
+
+/* ---------- scaled pair accumulation into an Xsum ----------
+
+   Same traversal and per-pair interpolation arithmetic as the summing
+   kernel above, but each pair's table value is weighted by the product
+   of the two cells' scale factors — (scale[a] * scale[b]) * w, exactly
+   that association — and accumulated exactly.  No lane contract is
+   needed: the superaccumulator makes the result independent of
+   iteration order by construction.
+
+   rgleak_pair_acc covers rows [lo, hi) (cold build / band task);
+   rgleak_pair_acc_row covers every partner of one row at an explicit
+   row scale [srow] (pass -old_scale then +new_scale to retarget one
+   cell).  Both compute identical per-pair term doubles: the distance
+   is symmetric, the type-pair table offsets are symmetric by
+   construction, and IEEE multiplication commutes. */
+
+static void pair_acc_rows(const double *xs, const double *ys,
+                          const intnat *ty, const intnat *seg,
+                          const intnat *base, const double *cov,
+                          const double *scale, int64_t *acc,
+                          intnat nu, double inv_dstep, intnat kmax,
+                          intnat lo, intnat hi)
+{
+  intnat a, t, b;
+  for (a = lo; a < hi; a++) {
+    double xa = xs[a], ya = ys[a], sa = scale[a];
+    const intnat *rowbase = base + ty[a] * nu;
+    for (t = 0; t < nu; t++) {
+      intnat e = seg[t + 1];
+      const double *tbl = cov + rowbase[t];
+      for (b = seg[t] > a + 1 ? seg[t] : a + 1; b < e; b++) {
+        double dx = xs[b] - xa, dy = ys[b] - ya;
+        double d = sqrt(dx * dx + dy * dy);
+        double pos = d * inv_dstep;
+        intnat k = (intnat) pos;
+        k = k < 0 ? 0 : (k > kmax ? kmax : k);
+        {
+          double t0 = tbl[k], t1 = tbl[k + 1];
+          double w = t0 + (pos - (double) k) * (t1 - t0);
+          xs_add1(acc, (sa * scale[b]) * w);
+        }
+      }
+    }
+  }
+}
+
+CAMLprim value rgleak_pair_acc(value vxs, value vys, value vty, value vseg,
+                               value vbase, value vcov, value vscale,
+                               value vacc, value vnu, value vinv,
+                               value vkmax, value vlo, value vhi)
+{
+  pair_acc_rows((const double *) Caml_ba_data_val(vxs),
+                (const double *) Caml_ba_data_val(vys),
+                (const intnat *) Caml_ba_data_val(vty),
+                (const intnat *) Caml_ba_data_val(vseg),
+                (const intnat *) Caml_ba_data_val(vbase),
+                (const double *) Caml_ba_data_val(vcov),
+                (const double *) Caml_ba_data_val(vscale),
+                (int64_t *) Caml_ba_data_val(vacc),
+                Long_val(vnu), Double_val(vinv), Long_val(vkmax),
+                Long_val(vlo), Long_val(vhi));
+  return Val_unit;
+}
+
+CAMLprim value rgleak_pair_acc_bc(value *argv, int argn)
+{
+  (void) argn;
+  return rgleak_pair_acc(argv[0], argv[1], argv[2], argv[3], argv[4],
+                         argv[5], argv[6], argv[7], argv[8], argv[9],
+                         argv[10], argv[11], argv[12]);
+}
+
+CAMLprim value rgleak_pair_acc_row(value vxs, value vys, value vty,
+                                   value vseg, value vbase, value vcov,
+                                   value vscale, value vacc, value vnu,
+                                   value vinv, value vkmax, value vrow,
+                                   value vsrow)
+{
+  const double *xs = (const double *) Caml_ba_data_val(vxs);
+  const double *ys = (const double *) Caml_ba_data_val(vys);
+  const intnat *ty = (const intnat *) Caml_ba_data_val(vty);
+  const intnat *seg = (const intnat *) Caml_ba_data_val(vseg);
+  const intnat *base = (const intnat *) Caml_ba_data_val(vbase);
+  const double *cov = (const double *) Caml_ba_data_val(vcov);
+  const double *scale = (const double *) Caml_ba_data_val(vscale);
+  int64_t *acc = (int64_t *) Caml_ba_data_val(vacc);
+  intnat nu = Long_val(vnu);
+  double inv_dstep = Double_val(vinv);
+  intnat kmax = Long_val(vkmax);
+  intnat c = Long_val(vrow);
+  double sc = Double_val(vsrow);
+  double xc = xs[c], yc = ys[c];
+  const intnat *rowbase = base + ty[c] * nu;
+  intnat t, b;
+  for (t = 0; t < nu; t++) {
+    intnat e = seg[t + 1];
+    const double *tbl = cov + rowbase[t];
+    for (b = seg[t]; b < e; b++) {
+      double dx, dy, d, pos, w, t0, t1;
+      intnat k;
+      if (b == c) continue;
+      dx = xs[b] - xc;
+      dy = ys[b] - yc;
+      d = sqrt(dx * dx + dy * dy);
+      pos = d * inv_dstep;
+      k = (intnat) pos;
+      k = k < 0 ? 0 : (k > kmax ? kmax : k);
+      t0 = tbl[k];
+      t1 = tbl[k + 1];
+      w = t0 + (pos - (double) k) * (t1 - t0);
+      xs_add1(acc, (sc * scale[b]) * w);
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value rgleak_pair_acc_row_bc(value *argv, int argn)
+{
+  (void) argn;
+  return rgleak_pair_acc_row(argv[0], argv[1], argv[2], argv[3], argv[4],
+                             argv[5], argv[6], argv[7], argv[8], argv[9],
+                             argv[10], argv[11], argv[12]);
+}

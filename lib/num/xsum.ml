@@ -1,0 +1,29 @@
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external dim : unit -> int = "rgleak_xsum_dim"
+
+external add : t -> float -> unit = "rgleak_xsum_add" [@@noalloc]
+
+external value : t -> float = "rgleak_xsum_value"
+
+let limbs = dim ()
+
+let create () =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout limbs in
+  Bigarray.Array1.fill a 0L;
+  a
+
+let copy t =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout limbs in
+  Bigarray.Array1.blit t a;
+  a
+
+let merge ~into src =
+  for i = 0 to limbs - 1 do
+    Bigarray.Array1.unsafe_set into i
+      (Int64.add
+         (Bigarray.Array1.unsafe_get into i)
+         (Bigarray.Array1.unsafe_get src i))
+  done
+
+let raw t = t

@@ -172,6 +172,33 @@ let registry : local list ref = ref []
 let registry_mutex = Mutex.create ()
 let next_slot = Atomic.make 0
 
+(* ---------- histogram site registry ----------
+
+   Histogram names are flat strings merged across domains by name, so
+   two subsystems picking the same name silently pool their samples
+   into one distribution.  Sites that publish a histogram declare it
+   once with an owner tag; a second declaration by a different owner is
+   a programming error and fails loudly at module init.  Declarations
+   survive [reset]: ownership is static, samples are not. *)
+
+let hist_sites : (string, string) Hashtbl.t = Hashtbl.create 16
+let hist_sites_mutex = Mutex.create ()
+
+let declare_hist ~owner name =
+  Mutex.lock hist_sites_mutex;
+  let prev = Hashtbl.find_opt hist_sites name in
+  if prev = None then Hashtbl.replace hist_sites name owner;
+  Mutex.unlock hist_sites_mutex;
+  match prev with
+  | None -> ()
+  | Some other when String.equal other owner -> ()
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf
+         "Obs.declare_hist: histogram site %S already owned by %S \
+          (requested by %S)"
+         name other owner)
+
 let make_local () =
   let l =
     {

@@ -91,6 +91,16 @@ val gauge_max : string -> float -> unit
 (** [gauge_max name v] raises a max-gauge to at least [v] (e.g. peak
     queue depth). *)
 
+val declare_hist : owner:string -> string -> unit
+(** [declare_hist ~owner name] registers [name] as a histogram site
+    published by [owner] (a module or subsystem tag).  Snapshots merge
+    histograms across domains by name, so an accidental name reuse
+    silently pools two unrelated distributions; declaring sites makes
+    the collision loud instead.  Re-declaring with the same owner is a
+    no-op; declaring a name another owner holds raises
+    [Invalid_argument].  Declarations are process-global and survive
+    {!reset}. *)
+
 val hist_record : string -> float -> unit
 (** [hist_record name v] adds one sample to the named histogram on
     this domain.  Values [<= 0] (and NaN) land in the underflow

@@ -29,10 +29,12 @@ type verdict = {
 
 (* The exact tier is the headline kernel: its wall time is dominated by
    a deterministic pair loop with no I/O, so a 2x regression is a code
-   change, not runner noise.  The other tiers keep the looser default
-   because they mix RNG-heavy and malloc-heavy phases that shared
-   runners disturb more. *)
-let tightened_fail_ratio = [ ("exact", 2.0) ]
+   change, not runner noise.  The delta-swap tier is the same pair
+   arithmetic over a single row, timed across a whole swap plan, so it
+   gets the same tightened threshold.  The other tiers keep the looser
+   default because they mix RNG-heavy and malloc-heavy phases that
+   shared runners disturb more. *)
+let tightened_fail_ratio = [ ("exact", 2.0); ("delta-swap", 2.0) ]
 
 let fail_ratio_for ~default estimator =
   match List.assoc_opt estimator tightened_fail_ratio with

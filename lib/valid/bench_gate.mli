@@ -9,7 +9,7 @@
       current run, or an entry slowed down beyond its fail threshold.
       The default [fail_ratio] is 3x, but tiers whose wall time is a
       deterministic compute loop are tightened per estimator (the
-      exact tier fails at 2x).  These indicate a broken harness or a
+      exact and delta-swap tiers fail at 2x).  These indicate a broken harness or a
       gross regression and should fail CI even on noisy shared
       runners.
     - {b Allocation failures} — a budgeted [alloc] metric of the

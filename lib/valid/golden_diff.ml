@@ -352,12 +352,65 @@ let compare_tail ~baseline ~current =
   in
   { severity; findings }
 
-(* Schema-dispatching entry point: tail documents route to the tail
-   comparator, everything else to the validation-report comparator. *)
+(* ---------- optimize documents (rgleak-optimize/1) ---------- *)
+
+(* The optimizer report is fully deterministic — a pure function of
+   (scenario, seed, budget) with no Monte Carlo noise anywhere — so
+   there is no CI to judge drift against: strings and field presence
+   are structural (Breaking), every numeric field gets the
+   bit-stability fallback epsilon.  The comparison walks the union of
+   top-level keys, so adding or dropping a field is loud. *)
+
+let optimize_schema = "rgleak-optimize/1"
+
+let compare_optimize ~baseline ~current =
+  let keys_of = function
+    | Vjson.Obj kvs -> List.map fst kvs
+    | _ -> []
+  in
+  let keys =
+    List.sort_uniq String.compare (keys_of baseline @ keys_of current)
+  in
+  let findings =
+    let acc = [] in
+    let acc =
+      diff_string ~path:"" "schema" (jstr baseline "schema")
+        (jstr current "schema") acc
+    in
+    if acc <> [] then acc
+    else
+      List.fold_left
+        (fun acc key ->
+          match (Vjson.mem key baseline, Vjson.mem key current) with
+          | None, None -> acc
+          | Some _, None | None, Some _ ->
+            breaking ("/" ^ key) "field presence changed" :: acc
+          | Some (Vjson.Str b), Some (Vjson.Str c) ->
+            diff_string ~path:"" key b c acc
+          | Some (Vjson.Num b), Some (Vjson.Num c) ->
+            diff_number ~path:"" ~tol:None key (Some b) (Some c) acc
+          | Some (Vjson.Bool b), Some (Vjson.Bool c) ->
+            diff_flag ~path:"" key b c acc
+          | Some b, Some c ->
+            if b = c then acc
+            else breaking ("/" ^ key) "structured field changed" :: acc)
+        acc keys
+  in
+  let findings = List.rev findings in
+  let severity =
+    List.fold_left (fun s f -> worst s f.kind) Identical findings
+  in
+  { severity; findings }
+
+(* Schema-dispatching entry point: tail and optimize documents route
+   to their comparators, everything else to the validation-report
+   comparator. *)
 let compare_document ~baseline ~current =
   match Vjson.mem "schema" baseline with
   | Some (Vjson.Str s) when String.equal s tail_schema ->
     compare_tail ~baseline ~current
+  | Some (Vjson.Str s) when String.equal s optimize_schema ->
+    compare_optimize ~baseline ~current
   | _ -> compare ~baseline ~current
 
 let pp fmt d =

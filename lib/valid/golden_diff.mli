@@ -40,8 +40,20 @@ val compare_tail : baseline:Vjson.t -> current:Vjson.t -> diff
     numerics use the bit-stability fallback.  Raises
     {!Vjson.Parse_error} on documents without the tail shape. *)
 
+val optimize_schema : string
+(** ["rgleak-optimize/1"]. *)
+
+val compare_optimize : baseline:Vjson.t -> current:Vjson.t -> diff
+(** Diffs two [rgleak-optimize/1] documents over the union of their
+    top-level keys.  Optimizer reports are fully deterministic (no MC
+    noise), so strings, booleans, and field presence are structural
+    (Breaking) and every numeric field uses the bit-stability fallback
+    epsilon.  Raises {!Vjson.Parse_error} on documents without a
+    ["schema"] string. *)
+
 val compare_document : baseline:Vjson.t -> current:Vjson.t -> diff
 (** Dispatches on the baseline's ["schema"] field: [rgleak-tail/1]
-    documents go to {!compare_tail}, everything else to {!compare}. *)
+    documents go to {!compare_tail}, [rgleak-optimize/1] to
+    {!compare_optimize}, everything else to {!compare}. *)
 
 val pp : Format.formatter -> diff -> unit

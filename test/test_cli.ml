@@ -261,6 +261,63 @@ let test_tail_determinism () =
   Alcotest.(check string) "rerun byte-identical" a (go "b" 1);
   Alcotest.(check string) "jobs 4 byte-identical" a (go "j4" 4)
 
+(* ---------- optimize ---------- *)
+
+let optimize_args = [ "optimize"; "-n"; "120"; "--budget"; "2"; "--seed"; "7" ]
+
+(* the rgleak-optimize/1 report carries every contract field *)
+let test_optimize_schema () =
+  with_temp_dir @@ fun dir ->
+  let json = Filename.concat dir "optimize.json" in
+  Alcotest.(check int) "optimize exits 0" 0
+    (run (optimize_args @ [ "--json"; json ]));
+  let doc = read_file json in
+  List.iter
+    (fun field ->
+      check_contains "optimize report field" doc ("\"" ^ field ^ "\""))
+    [ "schema"; "n"; "corr"; "mix"; "p"; "seed"; "start"; "method"; "budget";
+      "spent"; "swaps"; "moves_lvt_svt"; "moves_lvt_hvt"; "moves_svt_hvt";
+      "leakage_reduction"; "exact_initial_mean"; "exact_initial_std";
+      "exact_final_mean"; "exact_final_std"; "linear_initial_mean";
+      "linear_final_mean"; "integral_initial_mean"; "integral_final_mean" ];
+  check_contains "schema id" doc {|"schema": "rgleak-optimize/1"|}
+
+(* invalid budgets and start flavors are input diagnostics: exit 2
+   before any staging (note the --budget=-3 form: a bare "-3" operand
+   is a CLI syntax error, not our diagnostic) *)
+let test_optimize_invalid_input () =
+  check_exit "zero budget" 2
+    [ "optimize"; "-n"; "120"; "--budget"; "0"; "--seed"; "7" ];
+  check_exit "negative budget" 2
+    [ "optimize"; "-n"; "120"; "--budget=-3"; "--seed"; "7" ];
+  check_exit "nan budget" 2
+    [ "optimize"; "-n"; "120"; "--budget"; "nan"; "--seed"; "7" ];
+  check_exit "unknown start flavor" 2 (optimize_args @ [ "--start"; "xvt" ]);
+  check_exit "all-HVT start has no downgrades" 2
+    (optimize_args @ [ "--start"; "hvt" ]);
+  check_exit "bad signal probability" 2 (optimize_args @ [ "-p"; "1.5" ])
+
+(* an injected delta fault poisons the recombined variance: exit 3 *)
+let test_optimize_fault_exit () =
+  check_exit "delta fault exits 3" 3
+    (optimize_args @ [ "--fault-spec"; "delta:1:11" ])
+
+(* the report is a pure function of the arguments: reruns and --jobs
+   variations are byte-identical *)
+let test_optimize_determinism () =
+  with_temp_dir @@ fun dir ->
+  let go tag jobs =
+    let out = Filename.concat dir (tag ^ ".json") in
+    let code =
+      run (optimize_args @ [ "--jobs"; string_of_int jobs; "--json"; out ])
+    in
+    Alcotest.(check int) (tag ^ " exits 0") 0 code;
+    read_file out
+  in
+  let a = go "a" 1 in
+  Alcotest.(check string) "rerun byte-identical" a (go "b" 1);
+  Alcotest.(check string) "jobs 4 byte-identical" a (go "j4" 4)
+
 (* every run with --ledger appends one parseable rgleak-run/1 record *)
 let test_ledger_written () =
   with_temp_dir @@ fun dir ->
@@ -343,6 +400,15 @@ let () =
           case "invalid budget/shift exit 2" test_tail_invalid_input;
           case "injected cholesky fault exits 3" test_tail_fault_exit;
           case "byte-identical across reruns and --jobs" test_tail_determinism;
+        ] );
+      ( "optimize",
+        [
+          case "report carries the rgleak-optimize/1 contract"
+            test_optimize_schema;
+          case "invalid budget/start exit 2" test_optimize_invalid_input;
+          case "injected delta fault exits 3" test_optimize_fault_exit;
+          case "byte-identical across reruns and --jobs"
+            test_optimize_determinism;
         ] );
       ( "ledger",
         [

@@ -379,6 +379,67 @@ let test_vt_ratio_shrinks () =
   check_true "Vt variance share vanishes with n" (r10000 < r100);
   check_true "Vt share negligible at 10k gates" (r10000 < 0.05)
 
+let test_vt_flavor_triples () =
+  let open Vt_correction in
+  check_true "offsets ordered around SVT"
+    (vth_offset Lvt < 0.0 && vth_offset Svt = 0.0 && vth_offset Hvt > 0.0);
+  check_true "SVT scale is exactly one" (leakage_scale Svt = 1.0);
+  check_true "LVT leaks more, HVT less"
+    (leakage_scale Lvt > 1.0
+    && leakage_scale Hvt > 0.0
+    && leakage_scale Hvt < 1.0);
+  check_true "delay ordering is the leakage ordering reversed"
+    (delay_factor Lvt < delay_factor Svt && delay_factor Svt < delay_factor Hvt);
+  Array.iteri
+    (fun i f ->
+      check_true "flavor_index is the array position" (flavor_index f = i);
+      check_true "name round-trips" (flavor_of_string (flavor_name f) = Some f);
+      check_true "parse is case-insensitive"
+        (flavor_of_string (String.uppercase_ascii (flavor_name f)) = Some f))
+    all_flavors;
+  check_true "unknown flavor rejected" (flavor_of_string "xvt" = None);
+  (* Per cell type: the flavored mean-leakage triple keeps the
+     LVT > SVT > HVT ordering, with every flavor still positive. *)
+  let c = ctx () in
+  let rg = Estimate.random_gate c in
+  Array.iteri
+    (fun ci cell ->
+      let mu = Random_gate.mean_of_cell rg ci in
+      check_true (cell.Cell.name ^ ": positive SVT mean") (mu > 0.0);
+      let l = mu *. leakage_scale Lvt
+      and s = mu *. leakage_scale Svt
+      and h = mu *. leakage_scale Hvt in
+      check_true (cell.Cell.name ^ ": LVT > SVT > HVT > 0")
+        (l > s && s > h && h > 0.0))
+    Library.cells
+
+let test_vt_ratio_sigma_regression () =
+  (* The regression the flavor work depends on: variance_ratio must be
+     strictly positive, monotone in σ_vt, and pinned against the
+     closed-form n·E[μ²]·Var(factor) / chip-variance construction. *)
+  let c = ctx () in
+  let rg = Estimate.random_gate c in
+  let rgcorr = Estimate.correlation c in
+  let layout = Layout.square ~n:400 () in
+  let ratio sigma_vt =
+    Vt_correction.variance_ratio ~rg ~rgcorr ~corr:corr_linear ~layout
+      ~sigma_vt ()
+  in
+  let r_small = ratio 0.015 and r_default = ratio 0.025 and r_big = ratio 0.05 in
+  check_true "ratio positive" (r_small > 0.0);
+  check_true "ratio monotone in sigma_vt"
+    (r_small < r_default && r_default < r_big);
+  let lin =
+    Estimator_linear.estimate ~corr:corr_linear
+      ~rgcorr:(Estimate.correlation c) ~layout ()
+  in
+  let expected =
+    Vt_correction.chip_variance_from_vt ~rg ~n:400 ~sigma_vt:0.025 ()
+    /. lin.Estimator_linear.variance
+  in
+  check_rel ~tol:1e-12 "ratio matches its closed-form construction" expected
+    r_default
+
 let test_with_vt_applies_factor () =
   let c = ctx () in
   let spec =
@@ -419,5 +480,7 @@ let suite =
       case "estimate histogram guard" test_estimate_histogram_guard;
       case "vt correction factors" test_vt_factors;
       slow_case "vt variance ratio shrinks (E9)" test_vt_ratio_shrinks;
+      case "vt flavor triples (LVT/SVT/HVT)" test_vt_flavor_triples;
+      case "vt variance_ratio regression" test_vt_ratio_sigma_regression;
       case "with_vt applies the factor" test_with_vt_applies_factor;
     ] )

@@ -647,6 +647,37 @@ let test_pool_metrics_recorded () =
          && v >= 0.0)
        s.Obs.gauges)
 
+(* Histogram site names are a process-global namespace shared by every
+   subsystem that records latencies; two subsystems silently writing
+   the same site would merge unrelated distributions.  declare_hist
+   makes ownership explicit: first owner wins, re-declaring is
+   idempotent, a different owner is a programming error. *)
+let test_hist_site_registry () =
+  Obs.declare_hist ~owner:"test_obs" "test_obs.unique_site_s";
+  (* idempotent for the same owner, including after a reset (the
+     registry outlives metric state) *)
+  Obs.declare_hist ~owner:"test_obs" "test_obs.unique_site_s";
+  Obs.reset ();
+  Obs.declare_hist ~owner:"test_obs" "test_obs.unique_site_s";
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Obs.declare_hist ~owner:"impostor" "test_obs.unique_site_s" with
+  | () -> Alcotest.fail "cross-owner re-declaration must raise"
+  | exception Invalid_argument msg ->
+    check_true "collision message names both owners"
+      (contains msg "test_obs" && contains msg "impostor"));
+  (* declared sites record normally *)
+  let s =
+    with_telemetry @@ fun () ->
+    Obs.hist_record "test_obs.unique_site_s" 0.125;
+    Obs.snapshot ()
+  in
+  check_true "declared site records"
+    (List.mem_assoc "test_obs.unique_site_s" s.Obs.hists)
+
 let suite =
   ( "obs",
     [
@@ -674,4 +705,6 @@ let suite =
         test_folded_export;
       case "pool records chunk/task counters and worker gauges"
         test_pool_metrics_recorded;
+      case "histogram site registry rejects cross-owner collisions"
+        test_hist_site_registry;
     ] )
