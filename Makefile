@@ -2,8 +2,9 @@
 
 .PHONY: all build test bench examples clean doc bench-json microbench \
         trace metrics overhead check fault-matrix validate golden-check \
-        golden-update batch-demo batch-smoke bench-gate bench-ratchet \
-        report-demo flamegraph tail-demo optimize-demo bench-delta
+        golden-update batch-demo batch-smoke serve-smoke bench-gate \
+        bench-ratchet report-demo flamegraph tail-demo optimize-demo \
+        bench-delta
 
 all: check
 
@@ -150,6 +151,64 @@ batch-smoke: build
 	@test -s /tmp/rgleak_batch_smoke/warm.folded \
 	  || { echo "FAIL: collapsed-stack profile is empty"; exit 1; }
 	@echo "batch smoke passed: identical reports, warm cache hits, fleet report aggregates the ledger"
+
+# Service smoke gate: start the daemon on a throwaway socket, fire 8
+# concurrent clients (the mixed-tier example manifest, duplicated so
+# the shared cache sees repeats), byte-compare every response against
+# the direct `rgleak batch` records, assert nonzero cache hits in the
+# serve stats, prove shed-to-integral under a forced shed threshold
+# and admission rejection under a zero queue cap, then check the
+# SIGTERM drain exits 0, unlinks the socket and flushes the final
+# ledger line.  The daemon and clients run the built binary directly:
+# concurrent `dune exec` invocations would race on the build lock.
+RGLEAK_BIN := _build/default/bin/rgleak.exe
+serve-smoke: build
+	@set -e; \
+	D=/tmp/rgleak_serve_smoke; rm -rf $$D; mkdir -p $$D; \
+	$(RGLEAK_BIN) batch examples/batch_manifest.jsonl --no-cache \
+	  --out $$D/batch.jsonl 2>/dev/null; \
+	tail -n +2 $$D/batch.jsonl > $$D/reference.jsonl; \
+	$(RGLEAK_BIN) serve --socket $$D/serve.sock --cache-dir $$D/cache \
+	  --ledger $$D/ledger.jsonl 2>$$D/serve.err & pid=$$!; \
+	$(RGLEAK_BIN) client --socket $$D/serve.sock --ping --wait 10; \
+	cpids=""; \
+	for i in 1 2 3 4 5 6 7 8; do \
+	  $(RGLEAK_BIN) client --socket $$D/serve.sock \
+	    --manifest examples/batch_manifest.jsonl > $$D/resp$$i.jsonl & \
+	  cpids="$$cpids $$!"; \
+	done; \
+	for p in $$cpids; do wait $$p; done; \
+	for i in 1 2 3 4 5 6 7 8; do \
+	  cmp $$D/resp$$i.jsonl $$D/reference.jsonl; \
+	done; \
+	$(RGLEAK_BIN) client --socket $$D/serve.sock --stats > $$D/stats.json; \
+	grep -E '"hits": [1-9]' $$D/stats.json >/dev/null \
+	  || { echo "FAIL: duplicate requests produced no cache hits"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid \
+	  || { echo "FAIL: SIGTERM drain exited nonzero"; exit 1; }; \
+	test ! -e $$D/serve.sock \
+	  || { echo "FAIL: socket not unlinked after drain"; exit 1; }; \
+	grep -q '"subcommand":"serve"' $$D/ledger.jsonl \
+	  || { echo "FAIL: no final ledger line after drain"; exit 1; }; \
+	printf '%s\n' '{"id": "ex", "n": 200, "mix": "INV_X1:1", "corr": "spherical:100", "tier": "exact"}' \
+	  > $$D/exact.jsonl; \
+	$(RGLEAK_BIN) serve --socket $$D/shed.sock --no-cache \
+	  --shed-threshold 0 2>>$$D/serve.err & spid=$$!; \
+	$(RGLEAK_BIN) client --socket $$D/shed.sock --ping --wait 10; \
+	$(RGLEAK_BIN) client --socket $$D/shed.sock \
+	  --manifest $$D/exact.jsonl > $$D/shed.out; \
+	grep -q '"degraded": true' $$D/shed.out \
+	  || { echo "FAIL: shed record not marked degraded"; exit 1; }; \
+	$(RGLEAK_BIN) client --socket $$D/shed.sock --shutdown; wait $$spid; \
+	$(RGLEAK_BIN) serve --socket $$D/cap.sock --no-cache \
+	  --max-queue 0 2>>$$D/serve.err & qpid=$$!; \
+	$(RGLEAK_BIN) client --socket $$D/cap.sock --ping --wait 10; \
+	got=0; $(RGLEAK_BIN) client --socket $$D/cap.sock \
+	  --manifest $$D/exact.jsonl >/dev/null 2>&1 || got=$$?; \
+	test $$got -eq 5 \
+	  || { echo "FAIL: full queue expected exit 5, got $$got"; exit 1; }; \
+	kill -TERM $$qpid; wait $$qpid; \
+	echo "serve smoke passed: 8 identical concurrent responses, cache hits, shed + overload paths, clean drain"
 
 # Perf-regression gate: fresh timing pass vs the committed baseline.
 # Warnings (1.5x+ on noisy runners) pass; schema breaks, missing

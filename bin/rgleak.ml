@@ -1708,6 +1708,198 @@ let report_cmd =
       const run $ ledgers_arg $ metrics_arg $ json_arg $ diff_arg
       $ robust_term)
 
+(* ---------- serve / client ---------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the estimation daemon.")
+
+let serve_cmd =
+  let module Cache = Rgleak_cache.Cache in
+  let module Serve = Rgleak_serve.Serve in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission cap: estimate requests arriving while $(docv) are \
+             already queued are rejected with code 5 (server overloaded).  0 \
+             rejects every estimate.")
+  in
+  let shed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-threshold" ] ~docv:"N"
+          ~doc:
+            "Load shedding: a request dequeued while at least $(docv) others \
+             still wait runs its exact/mc-tier scenarios on the O(1) integral \
+             tier instead, marking the records \"degraded\": true.  Default: \
+             never shed.")
+  in
+  let cache_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-cap" ] ~docv:"BYTES"
+          ~doc:
+            "LRU size cap on the shared result cache: after each write the \
+             coldest entries are evicted until total on-disk bytes fit.  \
+             Default: unbounded.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root of the shared content-addressed result cache.  Defaults to \
+             \\$RGLEAK_CACHE_DIR, then \\$XDG_CACHE_HOME/rgleak, then \
+             ~/.cache/rgleak.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the on-disk cache (compute everything in-process).")
+  in
+  let run socket_path max_queue shed_threshold cache_cap cache_dir no_cache
+      jobs ro tr =
+    with_diagnostics ro @@ fun () ->
+    apply_jobs jobs;
+    with_telemetry tr @@ fun () ->
+    if max_queue < 0 then Guard.invalid "--max-queue must be >= 0";
+    Option.iter
+      (fun t -> if t < 0 then Guard.invalid "--shed-threshold must be >= 0")
+      shed_threshold;
+    Option.iter
+      (fun b -> if b < 0 then Guard.invalid "--cache-cap must be >= 0")
+      cache_cap;
+    let cache =
+      if no_cache then None
+      else
+        let dir =
+          match cache_dir with Some d -> d | None -> Cache.default_dir ()
+        in
+        Some
+          (Cache.open_
+             ~on_corrupt:(fun d ->
+               Printf.eprintf "rgleak: warning: %s\n%!" (Guard.to_string d))
+             ?cap_bytes:cache_cap ~dir ())
+    in
+    Serve.run
+      ~on_listen:(fun () ->
+        Printf.eprintf "serve: listening on %s (max queue %d%s)\n%!"
+          socket_path max_queue
+          (match shed_threshold with
+          | None -> ""
+          | Some t -> Printf.sprintf ", shed threshold %d" t))
+      { Serve.socket_path; max_queue; shed_threshold; cache };
+    Printf.eprintf "serve: drained, exiting\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent estimation daemon on a Unix-domain socket: \
+          length-prefixed rgleak-serve/1 requests (single scenarios or inline \
+          manifests with the batch fields), fair round-robin admission onto \
+          one warm pool and one shared LRU-capped cache, load shedding to the \
+          integral tier under queue pressure, and a graceful SIGTERM drain \
+          that flushes in-flight responses (and the run ledger, with \
+          --ledger).  Responses are byte-identical to rgleak batch records \
+          for the same manifest lines.")
+    Term.(
+      const run $ socket_arg $ max_queue_arg $ shed_arg $ cache_cap_arg
+      $ cache_dir_arg $ no_cache_arg $ jobs_arg $ robust_term $ trace_term)
+
+let client_cmd =
+  let module Protocol = Rgleak_serve.Protocol in
+  let module Client = Rgleak_serve.Client in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Send the JSONL manifest (same fields as rgleak batch; $(b,-) \
+             reads stdin) as one estimate request and print the scenario \
+             records.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the daemon's rgleak-serve-stats/1 JSON object.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Check the daemon is answering.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the daemon to drain in-flight requests and exit.")
+  in
+  let wait_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "wait" ] ~docv:"SECS"
+          ~doc:
+            "Retry until the daemon answers a ping or $(docv) elapse before \
+             sending the request — the startup barrier for scripts.")
+  in
+  let run socket manifest stats ping shutdown wait ro =
+    with_diagnostics ro @@ fun () ->
+    let op, body =
+      match (manifest, stats, ping, shutdown) with
+      | Some path, false, false, false ->
+        let text =
+          try
+            if path = "-" then In_channel.input_all In_channel.stdin
+            else
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+          with Sys_error msg -> Guard.invalid msg
+        in
+        (Protocol.Estimate, text)
+      | None, true, false, false -> (Protocol.Stats, "")
+      | None, false, true, false -> (Protocol.Ping, "")
+      | None, false, false, true -> (Protocol.Shutdown, "")
+      | None, false, false, false ->
+        Guard.invalid "pick one of --manifest, --stats, --ping, --shutdown"
+      | _ ->
+        Guard.invalid
+          "--manifest, --stats, --ping and --shutdown are mutually exclusive"
+    in
+    if wait > 0.0 && not (Client.wait_ready ~socket ~timeout_s:wait) then
+      Guard.invalid
+        (Printf.sprintf "daemon on %s not ready after %gs" socket wait);
+    match Client.request ~socket ~op ~body () with
+    | Error msg -> Guard.invalid msg
+    | Ok resp ->
+      (match resp.Protocol.status with
+      | Protocol.Ok -> print_string resp.Protocol.payload
+      | Protocol.Error ->
+        Printf.eprintf "rgleak: server: %s%!" resp.Protocol.payload);
+      if resp.Protocol.code <> 0 then exit resp.Protocol.code
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running rgleak serve daemon: send a manifest for \
+          estimation (records print to stdout, byte-identical to rgleak \
+          batch), fetch serve stats, ping, or request a graceful shutdown.  \
+          Exits with the response code: 0 ok, 2/3/4 the diagnostic classes, \
+          5 server overloaded.")
+    Term.(
+      const run $ socket_arg $ manifest_arg $ stats_arg $ ping_arg
+      $ shutdown_arg $ wait_arg $ robust_term)
+
 let () =
   let info =
     Cmd.info "rgleak" ~version:"1.0.0"
@@ -1721,4 +1913,4 @@ let () =
           [ cells_cmd; characterize_cmd; estimate_cmd; signoff_cmd; yield_cmd;
             sensitivity_cmd; corners_cmd; profile_cmd; map_cmd; sleep_cmd;
             convert_cmd; validate_cmd; tail_cmd; optimize_cmd; batch_cmd;
-            report_cmd ]))
+            report_cmd; serve_cmd; client_cmd ]))

@@ -555,37 +555,38 @@ let run_scenario state scen =
 
 type outcome = { o_id : string; o_json : Vjson.t; o_code : int }
 
-let run ?cache scenarios =
+type engine = state
+
+let engine ?cache () =
   (* Touch the shared pool once so every scenario reuses warm domains. *)
   ignore (Parallel.default ());
-  let state =
-    { cache; chars_tbl = Hashtbl.create 4; ctx_tbl = Hashtbl.create 8 }
+  { cache; chars_tbl = Hashtbl.create 4; ctx_tbl = Hashtbl.create 8 }
+
+let run_one state scen =
+  (* Per-scenario latency distributions, overall and per tier —
+     the service-level histograms `rgleak report` aggregates. *)
+  let timed () =
+    Obs.hist_time "batch.scenario_s" @@ fun () ->
+    Obs.hist_time ("batch.tier." ^ tier_name scen.s_tier ^ "_s")
+    @@ fun () -> run_scenario state scen
   in
-  List.map
-    (fun scen ->
-      (* Per-scenario latency distributions, overall and per tier —
-         the service-level histograms `rgleak report` aggregates. *)
-      let timed () =
-        Obs.hist_time "batch.scenario_s" @@ fun () ->
-        Obs.hist_time ("batch.tier." ^ tier_name scen.s_tier ^ "_s")
-        @@ fun () -> run_scenario state scen
-      in
-      match Guard.protect timed with
-      | Ok json -> { o_id = scen.s_id; o_json = json; o_code = 0 }
-      | Error d ->
-        {
-          o_id = scen.s_id;
-          o_json =
-            Vjson.Obj
-              [
-                ("id", Vjson.Str scen.s_id);
-                ("status", Vjson.Str "error");
-                ("class", Vjson.Str (Guard.class_name d));
-                ("error", Vjson.Str (Guard.to_string d));
-              ];
-          o_code = Guard.exit_code d;
-        })
-    scenarios
+  match Guard.protect timed with
+  | Ok json -> { o_id = scen.s_id; o_json = json; o_code = 0 }
+  | Error d ->
+    {
+      o_id = scen.s_id;
+      o_json =
+        Vjson.Obj
+          [
+            ("id", Vjson.Str scen.s_id);
+            ("status", Vjson.Str "error");
+            ("class", Vjson.Str (Guard.class_name d));
+            ("error", Vjson.Str (Guard.to_string d));
+          ];
+      o_code = Guard.exit_code d;
+    }
+
+let run ?cache scenarios = List.map (run_one (engine ?cache ())) scenarios
 
 let report outcomes =
   let header =

@@ -77,11 +77,28 @@ type outcome = {
   o_code : int;  (** 0, or the {!Rgleak_num.Guard.exit_code} class *)
 }
 
+type engine
+(** One run's worth of shared state: the warm pool handle, the
+    in-memory characterization/correlation tables, and the (optional)
+    on-disk cache.  The serve daemon creates one engine per request so
+    every request's shared work flows through the one disk cache. *)
+
+val engine : ?cache:Cache.t -> unit -> engine
+(** A fresh engine on the warm shared pool (touching the pool so the
+    first scenario reuses warm domains). *)
+
+val run_one : engine -> scenario -> outcome
+(** Executes one scenario.  Never raises for per-scenario failures —
+    those become error records carrying the diagnostic class.  A
+    scenario's record is a pure function of the scenario content:
+    bit-identical across engines, job counts and cache states. *)
+
 val run : ?cache:Cache.t -> scenario list -> outcome list
 (** Executes the scenarios in manifest order on the warm shared pool,
     sharing characterizations and correlation structures in memory
     within the run and through [cache] across runs.  Never raises for
-    per-scenario failures — those become error records. *)
+    per-scenario failures — those become error records.  Equivalent to
+    folding {!run_one} over one fresh {!engine}. *)
 
 val report : outcome list -> string
 (** The [rgleak-batch/1] JSONL report: a header line, then one record

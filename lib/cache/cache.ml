@@ -12,17 +12,29 @@ type stats = {
   put_errors : int;
   bytes_read : int;
   bytes_written : int;
+  evictions : int;
+  bytes_evicted : int;
 }
+
+(* LRU index entry: on-disk size and a monotone recency stamp (larger =
+   hotter).  Only maintained when the handle has a size cap. *)
+type indexed = { mutable i_bytes : int; mutable i_seq : int }
 
 type t = {
   root : string;
   on_corrupt : Guard.diagnostic -> unit;
+  cap_bytes : int option;
+  index : (string, indexed) Hashtbl.t;  (* entry path -> size/recency *)
+  mutable total : int;  (* sum of indexed sizes *)
+  mutable seq : int;  (* recency clock *)
   mutable n_hits : int;
   mutable n_misses : int;
   mutable n_corrupt : int;
   mutable n_put_errors : int;
   mutable n_bytes_read : int;
   mutable n_bytes_written : int;
+  mutable n_evictions : int;
+  mutable n_bytes_evicted : int;
 }
 
 let default_dir () =
@@ -37,19 +49,119 @@ let default_dir () =
         Filename.concat (Filename.concat d ".cache") "rgleak"
       | _ -> "_rgleak_cache"))
 
-let open_ ?(on_corrupt = fun _ -> ()) ~dir () =
-  {
-    root = dir;
-    on_corrupt;
-    n_hits = 0;
-    n_misses = 0;
-    n_corrupt = 0;
-    n_put_errors = 0;
-    n_bytes_read = 0;
-    n_bytes_written = 0;
-  }
+(* Seed the LRU index from the entries already on disk, ordering their
+   initial recency by mtime (hits bump the mtime best-effort, so the
+   ordering approximately survives restarts). *)
+let scan_entries root =
+  let found = ref [] in
+  let dirents d = try Sys.readdir d with Sys_error _ -> [||] in
+  Array.iter
+    (fun kind ->
+      let kdir = Filename.concat root kind in
+      if (try Sys.is_directory kdir with Sys_error _ -> false) then
+        Array.iter
+          (fun shard ->
+            let sdir = Filename.concat kdir shard in
+            if (try Sys.is_directory sdir with Sys_error _ -> false) then
+              Array.iter
+                (fun name ->
+                  if Filename.check_suffix name ".rgc" then
+                    let path = Filename.concat sdir name in
+                    match Unix.stat path with
+                    | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                      found := (path, st_size, st_mtime) :: !found
+                    | _ | (exception Unix.Unix_error _) -> ())
+                (dirents sdir))
+          (dirents kdir))
+    (dirents root);
+  List.sort (fun (_, _, a) (_, _, b) -> compare a b) !found
+
+let open_ ?(on_corrupt = fun _ -> ()) ?cap_bytes ~dir () =
+  let t =
+    {
+      root = dir;
+      on_corrupt;
+      cap_bytes;
+      index = Hashtbl.create 64;
+      total = 0;
+      seq = 0;
+      n_hits = 0;
+      n_misses = 0;
+      n_corrupt = 0;
+      n_put_errors = 0;
+      n_bytes_read = 0;
+      n_bytes_written = 0;
+      n_evictions = 0;
+      n_bytes_evicted = 0;
+    }
+  in
+  if cap_bytes <> None then
+    List.iter
+      (fun (path, bytes, _) ->
+        t.seq <- t.seq + 1;
+        Hashtbl.replace t.index path { i_bytes = bytes; i_seq = t.seq };
+        t.total <- t.total + bytes)
+      (scan_entries dir);
+  t
 
 let dir t = t.root
+
+let total_bytes t = t.total
+
+let capped t = t.cap_bytes <> None
+
+let index_forget t path =
+  match Hashtbl.find_opt t.index path with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.index path;
+    t.total <- t.total - e.i_bytes
+
+let index_touch t path =
+  match Hashtbl.find_opt t.index path with
+  | None -> ()
+  | Some e ->
+    t.seq <- t.seq + 1;
+    e.i_seq <- t.seq;
+    (* Best-effort mtime bump so LRU order survives a restart. *)
+    (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ())
+
+let index_insert t path bytes =
+  index_forget t path;
+  t.seq <- t.seq + 1;
+  Hashtbl.replace t.index path { i_bytes = bytes; i_seq = t.seq };
+  t.total <- t.total + bytes
+
+(* Evict coldest-first until the cap fits; [keep] (the entry just
+   written) is exempt so one oversized payload cannot evict itself. *)
+let evict_to_cap t ~keep =
+  match t.cap_bytes with
+  | None -> ()
+  | Some cap ->
+    let rec loop () =
+      if t.total > cap then begin
+        let victim = ref None in
+        Hashtbl.iter
+          (fun path e ->
+            if path <> keep then
+              match !victim with
+              | Some (_, v) when v.i_seq <= e.i_seq -> ()
+              | _ -> victim := Some (path, e))
+          t.index;
+        match !victim with
+        | None -> ()
+        | Some (path, e) ->
+          (try Sys.remove path with Sys_error _ -> ());
+          Hashtbl.remove t.index path;
+          t.total <- t.total - e.i_bytes;
+          t.n_evictions <- t.n_evictions + 1;
+          t.n_bytes_evicted <- t.n_bytes_evicted + e.i_bytes;
+          Obs.count "cache.evictions" 1;
+          Obs.count "cache.bytes_evicted" e.i_bytes;
+          loop ()
+      end
+    in
+    loop ()
 
 (* Length-prefixed concatenation makes part boundaries unambiguous, so
    the key is a pure function of the part *list*, not of the joined
@@ -102,6 +214,7 @@ let record_corrupt t ~path detail =
   t.n_corrupt <- t.n_corrupt + 1;
   Obs.count "cache.corrupt" 1;
   (try Sys.remove path with Sys_error _ -> ());
+  index_forget t path;
   t.on_corrupt
     (Guard.Invalid_input
        (Printf.sprintf "corrupt cache entry %s (%s); recomputing" path detail))
@@ -148,6 +261,7 @@ let get t ~kind ~version ~key =
       match parse_entry ~kind ~version contents with
       | Ok payload ->
         record_hit t (String.length payload);
+        if capped t then index_touch t path;
         Some payload
       | Error detail ->
         record_corrupt t ~path detail;
@@ -175,7 +289,15 @@ let put t ~kind ~version ~key payload =
        raise e);
     Sys.rename tmp path;
     t.n_bytes_written <- t.n_bytes_written + String.length payload;
-    Obs.count "cache.bytes_written" (String.length payload)
+    Obs.count "cache.bytes_written" (String.length payload);
+    if capped t then begin
+      let size =
+        try (Unix.stat path).Unix.st_size
+        with Unix.Unix_error _ -> String.length payload
+      in
+      index_insert t path size;
+      evict_to_cap t ~keep:path
+    end
   with Sys_error _ | Unix.Unix_error _ ->
     t.n_put_errors <- t.n_put_errors + 1;
     Obs.count "cache.put_errors" 1
@@ -188,6 +310,8 @@ let stats t =
     put_errors = t.n_put_errors;
     bytes_read = t.n_bytes_read;
     bytes_written = t.n_bytes_written;
+    evictions = t.n_evictions;
+    bytes_evicted = t.n_bytes_evicted;
   }
 
 let reset_stats t =
@@ -196,4 +320,6 @@ let reset_stats t =
   t.n_corrupt <- 0;
   t.n_put_errors <- 0;
   t.n_bytes_read <- 0;
-  t.n_bytes_written <- 0
+  t.n_bytes_written <- 0;
+  t.n_evictions <- 0;
+  t.n_bytes_evicted <- 0

@@ -26,11 +26,24 @@
     The ["cache"] {!Rgleak_num.Guard.Fault} site deterministically
     forces reads down the corrupt path for testing.
 
-    {b Counters.}  Hits, misses, corruption events and byte traffic
-    are kept per handle ({!stats}) and mirrored into
+    {b Eviction.}  By default the store only grows.  Opening with
+    [~cap_bytes] turns on a least-recently-used size cap: the handle
+    indexes every entry on open (recency seeded from file mtimes) and,
+    after each write, evicts the coldest entries until total on-disk
+    bytes fit the cap.  Hits refresh recency (in memory, and
+    best-effort on the file mtime so recency survives restarts).
+    Eviction only ever runs inside {!put} and never selects the entry
+    just written, so a payload returned by {!get} is always a complete
+    read — an entry is never deleted mid-read through its own handle.
+    A concurrent reader in another process at worst sees a miss and
+    recomputes; correctness never depends on an entry staying.
+
+    {b Counters.}  Hits, misses, corruption events, evictions and byte
+    traffic are kept per handle ({!stats}) and mirrored into
     {!Rgleak_obs.Obs} counters ([cache.hits], [cache.misses],
     [cache.corrupt], [cache.bytes_read], [cache.bytes_written],
-    [cache.put_errors]) so they land in [--metrics-json] exports.
+    [cache.put_errors], [cache.evictions], [cache.bytes_evicted]) so
+    they land in [--metrics-json] exports.
 
     Handles must be driven from one domain at a time (the batch engine
     runs scenarios sequentially; pool workers never touch the cache). *)
@@ -44,6 +57,8 @@ type stats = {
   put_errors : int;  (** failed writes (swallowed) *)
   bytes_read : int;  (** payload bytes of successful hits *)
   bytes_written : int;  (** payload bytes of successful puts *)
+  evictions : int;  (** entries removed by the LRU size cap *)
+  bytes_evicted : int;  (** on-disk bytes of evicted entries *)
 }
 
 val default_dir : unit -> string
@@ -52,11 +67,23 @@ val default_dir : unit -> string
     directory. *)
 
 val open_ :
-  ?on_corrupt:(Rgleak_num.Guard.diagnostic -> unit) -> dir:string -> unit -> t
+  ?on_corrupt:(Rgleak_num.Guard.diagnostic -> unit) ->
+  ?cap_bytes:int ->
+  dir:string ->
+  unit ->
+  t
 (** A handle rooted at [dir] (created lazily on first write).
-    [on_corrupt] (default: ignore) observes every integrity failure. *)
+    [on_corrupt] (default: ignore) observes every integrity failure.
+    [cap_bytes] (default: unbounded) caps total on-disk entry bytes
+    (header + payload) with LRU eviction; the single entry most
+    recently written is exempt, so a cap smaller than one entry still
+    admits that entry. *)
 
 val dir : t -> string
+
+val total_bytes : t -> int
+(** Indexed on-disk entry bytes.  Always [0] when the handle was
+    opened without [cap_bytes] (no index is maintained). *)
 
 val key : string list -> string
 (** Stable content hash (32 hex chars) of the canonical parts.  Parts

@@ -1,0 +1,59 @@
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | written -> go (off + written)
+  in
+  go 0
+
+let read_response fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Protocol.decode_response (Buffer.contents buf) with
+    | Protocol.Got (resp, _) -> Ok resp
+    | Protocol.Bad reason -> Error ("malformed response: " ^ reason)
+    | Protocol.Need_more -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("read: " ^ Unix.error_message e)
+      | 0 -> Error "connection closed before a full response"
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ())
+  in
+  go ()
+
+let request ~socket ~op ?(body = "") () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message e))
+      | () -> (
+        match write_all fd (Protocol.encode_request { Protocol.op; body }) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("write: " ^ Unix.error_message e)
+        | () -> read_response fd))
+
+let wait_ready ~socket ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match request ~socket ~op:Protocol.Ping () with
+    | Ok { Protocol.status = Protocol.Ok; _ } -> true
+    | _ ->
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        (try ignore (Unix.select [] [] [] 0.05)
+         with Unix.Unix_error _ -> ());
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,19 @@
+(** Blocking client for the [rgleak serve] daemon: one request, one
+    response, over a fresh connection.  Errors (no daemon, refused
+    connection, truncated or malformed reply) come back as [Error]
+    strings — never exceptions — so callers map them to their own
+    diagnostics. *)
+
+val request :
+  socket:string ->
+  op:Protocol.op ->
+  ?body:string ->
+  unit ->
+  (Protocol.response, string) result
+(** Connects to [socket], sends one frame, reads the full response.
+    [body] defaults to empty (only [Estimate] carries one). *)
+
+val wait_ready : socket:string -> timeout_s:float -> bool
+(** Polls the daemon with [Ping] until it answers or [timeout_s]
+    elapses — the startup barrier scripts and tests use instead of
+    sleeping. *)

@@ -1,0 +1,92 @@
+let magic = "rgleak-serve/1"
+let max_payload = 16 * 1024 * 1024
+
+(* A header is the magic, two or three short tokens and a newline;
+   anything longer without a newline is garbage, not a slow sender. *)
+let max_header = 128
+
+type op = Estimate | Stats | Ping | Shutdown
+
+let op_name = function
+  | Estimate -> "estimate"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "estimate" -> Some Estimate
+  | "stats" -> Some Stats
+  | "ping" -> Some Ping
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type request = { op : op; body : string }
+type status = Ok | Error
+type response = { status : status; code : int; payload : string }
+
+let encode_request { op; body } =
+  Printf.sprintf "%s %s %d\n%s" magic (op_name op) (String.length body) body
+
+let encode_response { status; code; payload } =
+  Printf.sprintf "%s %s %d %d\n%s" magic
+    (match status with Ok -> "ok" | Error -> "error")
+    code (String.length payload) payload
+
+type 'a decode = Need_more | Got of 'a * int | Bad of string
+
+(* Shared framing: find the header line, validate the length field,
+   wait for the payload.  [of_tokens] interprets the header tokens
+   before the trailing length. *)
+let decode_frame of_tokens buf =
+  match String.index_opt buf '\n' with
+  | None ->
+    if String.length buf > max_header then Bad "oversized header line"
+    else Need_more
+  | Some nl when nl > max_header -> Bad "oversized header line"
+  | Some nl -> (
+    let header = String.sub buf 0 nl in
+    match String.split_on_char ' ' header with
+    | m :: rest when m = magic -> (
+      match List.rev rest with
+      | len_s :: rev_tokens -> (
+        match int_of_string_opt len_s with
+        | None -> Bad (Printf.sprintf "bad frame length %S" len_s)
+        | Some len when len < 0 || len > max_payload ->
+          Bad (Printf.sprintf "frame length %d out of range" len)
+        | Some len -> (
+          match of_tokens (List.rev rev_tokens) with
+          | Result.Error reason -> Bad reason
+          | Result.Ok mk ->
+            if String.length buf < nl + 1 + len then Need_more
+            else Got (mk (String.sub buf (nl + 1) len), nl + 1 + len)))
+      | [] -> Bad "truncated header")
+    | _ -> Bad "bad magic")
+
+let decode_request buf =
+  decode_frame
+    (function
+      | [ name ] -> (
+        match op_of_name name with
+        | Some op -> Result.Ok (fun body -> { op; body })
+        | None -> Result.Error (Printf.sprintf "unknown op %S" name))
+      | _ -> Result.Error "malformed request header")
+    buf
+
+let decode_response buf =
+  decode_frame
+    (function
+      | [ status_s; code_s ] -> (
+        match
+          ( (match status_s with
+            | "ok" -> Some Ok
+            | "error" -> Some Error
+            | _ -> None),
+            int_of_string_opt code_s )
+        with
+        | Some status, Some code ->
+          Result.Ok (fun payload -> { status; code; payload })
+        | _ ->
+          Result.Error
+            (Printf.sprintf "malformed response header %S %S" status_s code_s))
+      | _ -> Result.Error "malformed response header")
+    buf

@@ -1,0 +1,68 @@
+(** The [rgleak-serve/1] wire protocol: length-prefixed frames over a
+    Unix-domain stream socket.
+
+    A request frame is one ASCII header line followed by exactly
+    [LEN] payload bytes:
+
+    {v
+    rgleak-serve/1 <op> <LEN>\n<payload>
+    v}
+
+    where [<op>] is [estimate], [stats], [ping] or [shutdown].  The
+    [estimate] payload is JSONL manifest text with exactly the
+    [rgleak batch] scenario fields (a single scenario is a one-line
+    manifest); the other ops carry an empty payload.
+
+    A response frame mirrors the shape:
+
+    {v
+    rgleak-serve/1 <status> <code> <LEN>\n<payload>
+    v}
+
+    with [<status>] either [ok] or [error] and [<code>] the run class:
+    [0] ok, [2]/[3]/[4] the {!Rgleak_num.Guard} CLI exit classes
+    (invalid-input / numeric / internal), [5] server overloaded
+    (admission rejection).  An [estimate] response with [status ok]
+    carries the scenario records (one compact JSON object per line,
+    byte-identical to the corresponding [rgleak batch] records) and
+    [code] equal to the records' highest failure class; an [error]
+    response means the request itself failed and the payload is a
+    human-readable diagnostic.
+
+    The length prefix makes framing independent of payload content;
+    the decoder is incremental so servers and clients can feed it
+    partial reads.  Payloads over {!max_payload} are rejected before
+    buffering. *)
+
+val magic : string
+(** ["rgleak-serve/1"]. *)
+
+val max_payload : int
+(** Frame payload hard cap (16 MiB): a decoder fed a larger length
+    answers [Bad] without waiting for the bytes. *)
+
+type op = Estimate | Stats | Ping | Shutdown
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+type request = { op : op; body : string }
+
+type status = Ok | Error
+
+type response = { status : status; code : int; payload : string }
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+(** Incremental decode result: [Need_more] when the buffer holds only
+    a partial frame, [Got (frame, consumed)] with the byte count to
+    drop from the front of the buffer, [Bad reason] on a malformed
+    header (the connection cannot be resynchronized and should be
+    closed). *)
+type 'a decode = Need_more | Got of 'a * int | Bad of string
+
+val decode_request : string -> request decode
+(** Decodes the frame starting at offset 0 of the buffer. *)
+
+val decode_response : string -> response decode

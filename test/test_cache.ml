@@ -348,6 +348,88 @@ let test_batch_run_and_report () =
          {|"status": "error"|})
   | _ -> Alcotest.fail "expected one outcome"
 
+(* --- LRU eviction --------------------------------------------------- *)
+
+(* One entry's on-disk footprint, measured rather than assumed, so the
+   cap arithmetic below tracks any header format change. *)
+let entry_size () =
+  let c = Cache.open_ ~cap_bytes:max_int ~dir:(fresh_dir ()) () in
+  Cache.put c ~kind:"k" ~version:1 ~key:(Cache.key [ "probe" ])
+    (String.make 100 'p');
+  Cache.total_bytes c
+
+let test_lru_eviction_under_cap () =
+  let sz = entry_size () in
+  let c = Cache.open_ ~cap_bytes:(2 * sz) ~dir:(fresh_dir ()) () in
+  let key i = Cache.key [ string_of_int i ] in
+  let put i = Cache.put c ~kind:"k" ~version:1 ~key:(key i) (String.make 100 'p')
+  and get i = Cache.get c ~kind:"k" ~version:1 ~key:(key i) in
+  put 1;
+  put 2;
+  Alcotest.(check int) "two entries fit the cap" (2 * sz) (Cache.total_bytes c);
+  put 3;
+  (* Coldest (1) evicted, newest exempt. *)
+  Alcotest.(check bool) "coldest entry evicted" true (get 1 = None);
+  Alcotest.(check bool) "warm entry kept" true (get 2 <> None);
+  Alcotest.(check bool) "new entry kept" true (get 3 <> None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction counted" 1 s.Cache.evictions;
+  Alcotest.(check int) "evicted bytes counted" sz s.Cache.bytes_evicted;
+  Alcotest.(check int) "total back under cap" (2 * sz) (Cache.total_bytes c)
+
+let test_lru_recency_survival () =
+  let sz = entry_size () in
+  let c = Cache.open_ ~cap_bytes:(2 * sz) ~dir:(fresh_dir ()) () in
+  let key i = Cache.key [ string_of_int i ] in
+  let put i = Cache.put c ~kind:"k" ~version:1 ~key:(key i) (String.make 100 'p')
+  and get i = Cache.get c ~kind:"k" ~version:1 ~key:(key i) in
+  put 1;
+  put 2;
+  ignore (get 1);
+  (* A hit refreshes recency: now 2 is the coldest. *)
+  put 3;
+  Alcotest.(check bool) "recently-hit entry survives" true (get 1 <> None);
+  Alcotest.(check bool) "stale entry evicted" true (get 2 = None);
+  Alcotest.(check bool) "new entry kept" true (get 3 <> None)
+
+let test_lru_keep_exempt_and_complete_reads () =
+  (* A cap smaller than one entry still admits the entry just written
+     (eviction never selects it), and every hit returns the complete
+     payload even as writes evict around it — the "never evicted
+     mid-read" contract through a single handle. *)
+  let c = Cache.open_ ~cap_bytes:1 ~dir:(fresh_dir ()) () in
+  let payload i = String.init 2048 (fun j -> Char.chr ((i + j) mod 256)) in
+  let key i = Cache.key [ "p"; string_of_int i ] in
+  for i = 1 to 4 do
+    Cache.put c ~kind:"k" ~version:1 ~key:(key i) (payload i);
+    (match Cache.get c ~kind:"k" ~version:1 ~key:(key i) with
+    | Some p ->
+      Alcotest.(check string)
+        (Printf.sprintf "hit %d returns the complete payload" i)
+        (payload i) p
+    | None -> Alcotest.failf "entry %d missing right after its put" i);
+    (* Everything but the newest write has been evicted. *)
+    if i > 1 then
+      Alcotest.(check bool)
+        "previous entry evicted" true
+        (Cache.get c ~kind:"k" ~version:1 ~key:(key (i - 1)) = None)
+  done;
+  Alcotest.(check int) "three evictions" 3 (Cache.stats c).Cache.evictions
+
+let test_lru_index_survives_reopen () =
+  let dir = fresh_dir () in
+  let c = Cache.open_ ~cap_bytes:max_int ~dir () in
+  Cache.put c ~kind:"k" ~version:1 ~key:(Cache.key [ "a" ]) "one";
+  Cache.put c ~kind:"k" ~version:1 ~key:(Cache.key [ "b" ]) "two";
+  let total = Cache.total_bytes c in
+  Alcotest.(check bool) "nonzero total" true (total > 0);
+  let c2 = Cache.open_ ~cap_bytes:max_int ~dir () in
+  Alcotest.(check int) "reopened handle re-indexes the entries" total
+    (Cache.total_bytes c2);
+  (* An uncapped handle keeps no index at all. *)
+  let c3 = Cache.open_ ~dir () in
+  Alcotest.(check int) "uncapped handle keeps no index" 0 (Cache.total_bytes c3)
+
 let suite =
   ( "cache",
     [
@@ -379,4 +461,12 @@ let suite =
         `Quick test_manifest_ids_content_derived;
       Alcotest.test_case "batch runs and reports" `Quick
         test_batch_run_and_report;
+      Alcotest.test_case "LRU evicts the coldest past the cap" `Quick
+        test_lru_eviction_under_cap;
+      Alcotest.test_case "LRU hits refresh recency" `Quick
+        test_lru_recency_survival;
+      Alcotest.test_case "LRU never evicts the entry just written or mid-read"
+        `Quick test_lru_keep_exempt_and_complete_reads;
+      Alcotest.test_case "LRU index survives reopen" `Quick
+        test_lru_index_survives_reopen;
     ] )

@@ -374,6 +374,183 @@ let test_report_missing_input () =
     (run [ "report"; "/nonexistent/ledger.jsonl" ]);
   Alcotest.(check int) "no inputs at all exits 2" 2 (run [ "report" ])
 
+(* ---------- serve ---------- *)
+
+(* Spawn the daemon as a real child process (stderr to a log file),
+   hand the test its socket and pid, and always reap it. *)
+let with_daemon ?(args = []) dir f =
+  let sock = Filename.concat dir "serve.sock" in
+  let errlog = Filename.concat dir "serve.err" in
+  let err_fd =
+    Unix.openfile errlog [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let argv = Array.of_list ((rgleak :: [ "serve"; "--socket"; sock ]) @ args) in
+  let pid = Unix.create_process rgleak argv Unix.stdin Unix.stdout err_fd in
+  Unix.close err_fd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      Alcotest.(check int)
+        "daemon answers ping" 0
+        (run [ "client"; "--socket"; sock; "--ping"; "--wait"; "10" ]);
+      f ~sock ~pid)
+
+(* The rgleak-batch/1 report minus its header line: what the daemon's
+   estimate responses must reproduce byte for byte. *)
+let records_of_report s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let serve_manifest = batch_manifest
+
+let batch_reference dir =
+  let manifest = Filename.concat dir "m.jsonl" in
+  write_file manifest serve_manifest;
+  let ref_out = Filename.concat dir "batch-ref.jsonl" in
+  Alcotest.(check int) "reference batch exits 0" 0
+    (run [ "batch"; manifest; "--no-cache"; "--out"; ref_out ]);
+  (manifest, records_of_report (read_file ref_out))
+
+(* daemon responses are byte-identical to batch records, duplicates hit
+   the shared cache, and the stats endpoint reports it *)
+let test_serve_byte_identity_and_cache () =
+  with_temp_dir @@ fun dir ->
+  let manifest, reference = batch_reference dir in
+  with_daemon ~args:[ "--cache-dir"; Filename.concat dir "cache" ] dir
+  @@ fun ~sock ~pid:_ ->
+  let ask tag =
+    let out = Filename.concat dir (tag ^ ".out") in
+    Alcotest.(check int) (tag ^ " exits 0") 0
+      (run ~out [ "client"; "--socket"; sock; "--manifest"; manifest ]);
+    read_file out
+  in
+  Alcotest.(check string)
+    "cold response byte-identical to batch records" reference (ask "cold");
+  Alcotest.(check string)
+    "duplicate response byte-identical too" reference (ask "warm");
+  let stats_out = Filename.concat dir "stats.json" in
+  Alcotest.(check int) "stats exits 0" 0
+    (run ~out:stats_out [ "client"; "--socket"; sock; "--stats" ]);
+  let stats = read_file stats_out in
+  check_contains "stats schema" stats {|"schema": "rgleak-serve-stats/1"|};
+  check_contains "both requests counted" stats {|"requests": 2|};
+  check_contains "cache enabled" stats {|"enabled": true|};
+  if contains stats {|"hits": 0,|} then
+    Alcotest.failf "duplicate request produced no cache hits:\n%s" stats
+
+(* eight concurrent clients, all served, all byte-identical *)
+let test_serve_concurrent_clients () =
+  with_temp_dir @@ fun dir ->
+  let manifest, reference = batch_reference dir in
+  with_daemon ~args:[ "--cache-dir"; Filename.concat dir "cache" ] dir
+  @@ fun ~sock ~pid:_ ->
+  let spawn i =
+    let out = Filename.concat dir (Printf.sprintf "c%d.out" i) in
+    let out_fd =
+      Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let pid =
+      Unix.create_process rgleak
+        [| rgleak; "client"; "--socket"; sock; "--manifest"; manifest |]
+        Unix.stdin out_fd Unix.stderr
+    in
+    Unix.close out_fd;
+    (pid, out)
+  in
+  let clients = List.init 8 spawn in
+  List.iteri
+    (fun i (pid, out) ->
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, status ->
+        Alcotest.failf "client %d failed: %s" i
+          (match status with
+          | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+      Alcotest.(check string)
+        (Printf.sprintf "client %d byte-identical" i)
+        reference (read_file out))
+    clients
+
+(* queue pressure sheds exact/mc tiers to the integral tier, marked *)
+let test_serve_shedding () =
+  with_temp_dir @@ fun dir ->
+  let manifest = Filename.concat dir "exact.jsonl" in
+  write_file manifest
+    {|{"id": "ex", "n": 200, "mix": "INV_X1:1", "corr": "spherical:100", "tier": "exact"}
+|};
+  with_daemon ~args:[ "--no-cache"; "--shed-threshold"; "0" ] dir
+  @@ fun ~sock ~pid:_ ->
+  let out = Filename.concat dir "shed.out" in
+  Alcotest.(check int) "degraded request still succeeds" 0
+    (run ~out [ "client"; "--socket"; sock; "--manifest"; manifest ]);
+  let resp = read_file out in
+  check_contains "record keeps its id" resp {|"id": "ex"|};
+  check_contains "record marked degraded" resp {|"degraded": true|};
+  check_contains "requested tier recorded" resp {|"requested_tier": "exact"|};
+  let stats_out = Filename.concat dir "stats.json" in
+  Alcotest.(check int) "stats exits 0" 0
+    (run ~out:stats_out [ "client"; "--socket"; sock; "--stats" ]);
+  check_contains "shed counted" (read_file stats_out) {|"sheds": 1|}
+
+(* a full admission queue rejects with the overload code *)
+let test_serve_overload_rejection () =
+  with_temp_dir @@ fun dir ->
+  let manifest = Filename.concat dir "m.jsonl" in
+  write_file manifest serve_manifest;
+  with_daemon ~args:[ "--no-cache"; "--max-queue"; "0" ] dir
+  @@ fun ~sock ~pid:_ ->
+  Alcotest.(check int) "estimate rejected with code 5" 5
+    (run [ "client"; "--socket"; sock; "--manifest"; manifest ]);
+  let stats_out = Filename.concat dir "stats.json" in
+  Alcotest.(check int) "stats still answered" 0
+    (run ~out:stats_out [ "client"; "--socket"; sock; "--stats" ]);
+  check_contains "rejection counted" (read_file stats_out) {|"rejected": 1|}
+
+(* request-level errors carry the diagnostic class *)
+let test_serve_error_classes () =
+  with_temp_dir @@ fun dir ->
+  let bad = Filename.concat dir "bad.jsonl" in
+  write_file bad "this is not json\n";
+  with_daemon ~args:[ "--no-cache" ] dir @@ fun ~sock ~pid:_ ->
+  Alcotest.(check int) "malformed manifest exits 2" 2
+    (run [ "client"; "--socket"; sock; "--manifest"; bad ]);
+  Alcotest.(check int) "client without an op exits 2" 2
+    (run [ "client"; "--socket"; sock ])
+
+(* SIGTERM drains and flushes the final ledger line; exit 0 *)
+let test_serve_sigterm_drain () =
+  with_temp_dir @@ fun dir ->
+  let manifest = Filename.concat dir "m.jsonl" in
+  write_file manifest serve_manifest;
+  let ledger = Filename.concat dir "ledger.jsonl" in
+  with_daemon ~args:[ "--no-cache"; "--ledger"; ledger ] dir
+  @@ fun ~sock ~pid ->
+  Alcotest.(check int) "request before the drain" 0
+    (run [ "client"; "--socket"; sock; "--manifest"; manifest ]);
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> Alcotest.failf "drain exited %d" c
+  | _, Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d" s
+  | _, Unix.WSTOPPED s -> Alcotest.failf "daemon stopped by signal %d" s);
+  let line = read_file ledger in
+  check_contains "final ledger line present" line {|"schema":"rgleak-run/1"|};
+  check_contains "attributed to serve" line {|"subcommand":"serve"|};
+  check_contains "clean exit class" line {|"exit_class":"ok"|};
+  Alcotest.(check bool) "socket unlinked after drain" false (Sys.file_exists sock)
+
+(* an unbindable socket path is invalid input *)
+let test_serve_bind_error () =
+  check_exit "unbindable socket exits 2" 2
+    [ "serve"; "--socket"; "/nonexistent-rgleak-dir/serve.sock" ];
+  check_exit "client to a dead socket exits 2" 2
+    [ "client"; "--socket"; "/nonexistent-rgleak-dir/serve.sock"; "--ping" ]
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -417,5 +594,21 @@ let () =
             test_ledger_records_failures;
           case "report aggregates a ledger window" test_report_over_ledger;
           case "report rejects missing inputs" test_report_missing_input;
+        ] );
+      ( "serve",
+        [
+          case "responses byte-identical to batch, duplicates hit the cache"
+            test_serve_byte_identity_and_cache;
+          case "eight concurrent clients all served identically"
+            test_serve_concurrent_clients;
+          case "queue pressure sheds to the integral tier"
+            test_serve_shedding;
+          case "full queue rejects with the overload code"
+            test_serve_overload_rejection;
+          case "request errors carry the diagnostic class"
+            test_serve_error_classes;
+          case "SIGTERM drains and flushes the ledger"
+            test_serve_sigterm_drain;
+          case "unbindable socket is invalid input" test_serve_bind_error;
         ] );
     ]

@@ -1,0 +1,175 @@
+(* The serve daemon's pure parts: the rgleak-serve/1 frame codec
+   (incremental decode over partial reads, hard rejection of malformed
+   or oversized headers) and the round-robin admission scheduler
+   (per-client FIFO, cross-client fairness, vanished-client cleanup).
+   The daemon's socket behavior is exercised end-to-end in test_cli. *)
+
+module Protocol = Rgleak_serve.Protocol
+module Sched = Rgleak_serve.Serve.Sched
+
+(* --- protocol codec ------------------------------------------------- *)
+
+let test_request_round_trip () =
+  List.iter
+    (fun (op, body) ->
+      let enc = Protocol.encode_request { Protocol.op; body } in
+      match Protocol.decode_request enc with
+      | Protocol.Got (req, consumed) ->
+        Alcotest.(check bool) "op round-trips" true (req.Protocol.op = op);
+        Alcotest.(check string) "body round-trips" body req.Protocol.body;
+        Alcotest.(check int) "whole frame consumed" (String.length enc)
+          consumed
+      | Protocol.Need_more -> Alcotest.fail "complete frame decoded Need_more"
+      | Protocol.Bad reason -> Alcotest.failf "complete frame decoded Bad: %s" reason)
+    [
+      (Protocol.Ping, "");
+      (Protocol.Stats, "");
+      (Protocol.Shutdown, "");
+      (Protocol.Estimate, "{\"n\": 100}\n{\"n\": 200}\n");
+      (* Framing is length-based: payload bytes are opaque, including
+         newlines and the magic itself. *)
+      (Protocol.Estimate, "rgleak-serve/1 ping 0\n\x00\xff");
+    ]
+
+let test_response_round_trip () =
+  List.iter
+    (fun (status, code, payload) ->
+      let enc = Protocol.encode_response { Protocol.status; code; payload } in
+      match Protocol.decode_response enc with
+      | Protocol.Got (resp, consumed) ->
+        Alcotest.(check bool) "status round-trips" true
+          (resp.Protocol.status = status);
+        Alcotest.(check int) "code round-trips" code resp.Protocol.code;
+        Alcotest.(check string) "payload round-trips" payload
+          resp.Protocol.payload;
+        Alcotest.(check int) "whole frame consumed" (String.length enc)
+          consumed
+      | _ -> Alcotest.fail "complete response failed to decode")
+    [
+      (Protocol.Ok, 0, "");
+      (Protocol.Ok, 3, "{\"id\": \"a\"}\n");
+      (Protocol.Error, 5, "server overloaded\n");
+    ]
+
+let test_partial_frames_need_more () =
+  let enc =
+    Protocol.encode_request
+      { Protocol.op = Protocol.Estimate; body = "{\"n\": 100}\n" }
+  in
+  for i = 0 to String.length enc - 1 do
+    match Protocol.decode_request (String.sub enc 0 i) with
+    | Protocol.Need_more -> ()
+    | Protocol.Got _ -> Alcotest.failf "prefix %d decoded a full frame" i
+    | Protocol.Bad reason -> Alcotest.failf "prefix %d decoded Bad: %s" i reason
+  done
+
+let test_trailing_bytes_left () =
+  let a = Protocol.encode_request { Protocol.op = Protocol.Ping; body = "" } in
+  let b =
+    Protocol.encode_request { Protocol.op = Protocol.Estimate; body = "xyz" }
+  in
+  match Protocol.decode_request (a ^ b) with
+  | Protocol.Got (req, consumed) ->
+    Alcotest.(check bool) "first frame first" true
+      (req.Protocol.op = Protocol.Ping);
+    Alcotest.(check int) "consumed exactly the first frame" (String.length a)
+      consumed
+  | _ -> Alcotest.fail "concatenated frames failed to decode"
+
+let check_bad name buf =
+  match Protocol.decode_request buf with
+  | Protocol.Bad _ -> ()
+  | Protocol.Got _ -> Alcotest.failf "%s: decoded a frame" name
+  | Protocol.Need_more -> Alcotest.failf "%s: Need_more instead of Bad" name
+
+let test_malformed_frames_rejected () =
+  check_bad "wrong magic" "rgleak-serve/2 ping 0\n";
+  check_bad "unknown op" "rgleak-serve/1 frobnicate 0\n";
+  check_bad "missing length" "rgleak-serve/1 ping\n";
+  check_bad "non-numeric length" "rgleak-serve/1 ping many\n";
+  check_bad "negative length" "rgleak-serve/1 ping -1\n";
+  check_bad "oversized length"
+    (Printf.sprintf "rgleak-serve/1 estimate %d\n" (Protocol.max_payload + 1));
+  (* Garbage with no newline cannot be a slow header forever. *)
+  check_bad "endless junk" (String.make 200 'x');
+  match Protocol.decode_response "rgleak-serve/1 maybe 0 0\n" with
+  | Protocol.Bad _ -> ()
+  | _ -> Alcotest.fail "bad response status decoded"
+
+(* --- admission scheduler -------------------------------------------- *)
+
+let drain sched =
+  let rec go acc =
+    match Sched.next sched with
+    | None -> List.rev acc
+    | Some (_, x) -> go (x :: acc)
+  in
+  go []
+
+let test_sched_round_robin () =
+  let s = Sched.create () in
+  (* Client 1 streams three requests before clients 2 and 3 arrive:
+     fairness serves the newcomers before client 1's backlog. *)
+  Sched.admit s ~client:1 "a1";
+  Sched.admit s ~client:1 "a2";
+  Sched.admit s ~client:1 "a3";
+  Sched.admit s ~client:2 "b1";
+  Sched.admit s ~client:3 "c1";
+  Alcotest.(check int) "depth counts all" 5 (Sched.depth s);
+  Alcotest.(check (list string))
+    "round-robin across clients"
+    [ "a1"; "b1"; "c1"; "a2"; "a3" ]
+    (drain s);
+  Alcotest.(check int) "drained" 0 (Sched.depth s)
+
+let test_sched_fifo_per_client () =
+  let s = Sched.create () in
+  List.iter (fun x -> Sched.admit s ~client:7 x) [ "1"; "2"; "3"; "4" ];
+  Alcotest.(check (list string))
+    "single client stays FIFO" [ "1"; "2"; "3"; "4" ] (drain s)
+
+let test_sched_forget () =
+  let s = Sched.create () in
+  Sched.admit s ~client:1 "a1";
+  Sched.admit s ~client:2 "b1";
+  Sched.admit s ~client:1 "a2";
+  Sched.forget s ~client:1;
+  Alcotest.(check int) "forgotten items leave the depth" 1 (Sched.depth s);
+  Alcotest.(check (list string)) "only the survivor served" [ "b1" ] (drain s);
+  (* Readmission after forget works (stale ring entries are skipped). *)
+  Sched.admit s ~client:1 "a3";
+  Alcotest.(check (list string)) "client can come back" [ "a3" ] (drain s)
+
+let test_sched_interleaved_admit_next () =
+  let s = Sched.create () in
+  Sched.admit s ~client:1 "a1";
+  Sched.admit s ~client:2 "b1";
+  (match Sched.next s with
+  | Some (1, "a1") -> ()
+  | _ -> Alcotest.fail "expected a1 first");
+  Sched.admit s ~client:1 "a2";
+  (* Client 2 has waited longer: it goes before client 1's new item. *)
+  Alcotest.(check (list string)) "waiting client first" [ "b1"; "a2" ] (drain s)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "request frames round-trip" `Quick
+        test_request_round_trip;
+      Alcotest.test_case "response frames round-trip" `Quick
+        test_response_round_trip;
+      Alcotest.test_case "every partial frame is Need_more" `Quick
+        test_partial_frames_need_more;
+      Alcotest.test_case "decode consumes exactly one frame" `Quick
+        test_trailing_bytes_left;
+      Alcotest.test_case "malformed frames are rejected" `Quick
+        test_malformed_frames_rejected;
+      Alcotest.test_case "scheduler is round-robin across clients" `Quick
+        test_sched_round_robin;
+      Alcotest.test_case "scheduler is FIFO within a client" `Quick
+        test_sched_fifo_per_client;
+      Alcotest.test_case "forget drops a client's queue" `Quick
+        test_sched_forget;
+      Alcotest.test_case "late admissions respect waiting clients" `Quick
+        test_sched_interleaved_admit_next;
+    ] )
